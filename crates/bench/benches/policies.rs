@@ -1,0 +1,36 @@
+//! Per-policy replay throughput — the measurements behind Figures 9 and
+//! 11 (CPU cost per request / TPS), one Criterion benchmark per policy on
+//! the CDN-T fixture at the 64 GB-equivalent cache size.
+
+use bench::Fixture;
+use cdn_sim::runner::{PolicyKind, TraceCtx};
+use cdn_trace::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let f = Fixture::new(Workload::CdnT);
+    let ctx = TraceCtx::new(&f.trace, 7);
+    let mut group = c.benchmark_group("fig9_fig11_throughput");
+    group.sample_size(10);
+    let mut kinds = vec![PolicyKind::Lru, PolicyKind::Scip, PolicyKind::Sci];
+    kinds.extend(PolicyKind::INSERTION_BASELINES);
+    kinds.extend(PolicyKind::REPLACEMENT_BASELINES);
+    kinds.push(PolicyKind::Belady);
+    for kind in kinds {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut p = kind.build(f.cache_64g, &ctx);
+                let mut hits = 0u64;
+                for r in &f.trace {
+                    hits += u64::from(p.on_request(black_box(r)).is_hit());
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

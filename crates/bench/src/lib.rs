@@ -1,0 +1,49 @@
+//! Shared fixtures for the Criterion benches: small, seeded traces so
+//! `cargo bench` regenerates every figure's code path in minutes.
+
+use cdn_cache::Request;
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+
+/// Requests per bench trace (small on purpose; the `fig*` binaries run the
+/// full-scale experiments).
+pub const BENCH_REQUESTS: u64 = 40_000;
+
+/// A seeded bench trace plus its stats and a paper-equivalent cache size.
+pub struct Fixture {
+    /// The workload.
+    pub workload: Workload,
+    /// The trace.
+    pub trace: Vec<Request>,
+    /// Its statistics.
+    pub stats: TraceStats,
+    /// 64 GB-equivalent cache bytes.
+    pub cache_64g: u64,
+}
+
+impl Fixture {
+    /// Build the fixture for a workload.
+    pub fn new(workload: Workload) -> Self {
+        let trace = TraceGenerator::generate(workload.profile().config(BENCH_REQUESTS, 99));
+        let stats = TraceStats::compute(&trace);
+        let cache_64g =
+            stats.cache_bytes_for_fraction(workload.paper_cache_fraction(64.0));
+        Fixture {
+            workload,
+            trace,
+            stats,
+            cache_64g,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = Fixture::new(Workload::CdnW);
+        assert_eq!(f.trace.len() as u64, BENCH_REQUESTS);
+        assert!(f.cache_64g > 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! FIFO ghost (history) lists of evicted-object metadata.
+//!
+//! The paper keeps two such lists: `H_m` for victims whose residency began
+//! at the MRU position and `H_l` for victims inserted at the LRU position,
+//! each logically sized at half the real cache. Only metadata (key + size)
+//! is stored, so the memory overhead is small — this mirrors the TDC
+//! deployment where shadow caches live in RAM next to the inode index.
+//!
+//! The same structure serves as the ghost list of DIP's set-dueling
+//! monitors, ARC's B1/B2, and LeCaR/CACHEUS history queues.
+
+use crate::hash::FxHashMap;
+use crate::list::{Handle, LinkedSlab};
+use crate::object::{ObjectId, Tick};
+
+/// Metadata remembered about an evicted object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GhostEntry {
+    /// Object identity.
+    pub id: ObjectId,
+    /// Size at eviction time (counts against the list's byte budget).
+    pub size: u64,
+    /// Tick at which the object was evicted from the real cache.
+    pub evicted_tick: Tick,
+    /// Policy-private tag carried over from the residency.
+    pub tag: u64,
+}
+
+/// Byte-budgeted FIFO list of [`GhostEntry`]s with O(1) membership tests.
+///
+/// `ADD` inserts at the head; when the budget is exceeded the oldest entries
+/// fall off the tail (Algorithm 1, lines 34-38).
+#[derive(Debug, Clone)]
+pub struct GhostList {
+    list: LinkedSlab<GhostEntry>,
+    map: FxHashMap<ObjectId, Handle>,
+    capacity_bytes: u64,
+    used: u64,
+}
+
+impl GhostList {
+    /// Ghost list with the given byte budget.
+    pub fn new(capacity_bytes: u64) -> Self {
+        GhostList {
+            list: LinkedSlab::new(),
+            map: FxHashMap::default(),
+            capacity_bytes,
+            used: 0,
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes of (logical) object sizes currently tracked.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// True if `id` is tracked.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Shared access to a tracked entry.
+    pub fn get(&self, id: ObjectId) -> Option<&GhostEntry> {
+        self.map.get(&id).map(|&h| self.list.get(h))
+    }
+
+    /// Record an eviction (the paper's `ADD`): insert at the head, dropping
+    /// tail entries until the new entry fits. If the object is already
+    /// tracked, its entry is refreshed and moved to the head.
+    ///
+    /// Objects larger than the whole budget are not tracked at all (they
+    /// could never be re-found anyway without evicting everything).
+    pub fn add(&mut self, entry: GhostEntry) {
+        if entry.size > self.capacity_bytes {
+            // Still forget any stale record of the same id.
+            self.delete(entry.id);
+            return;
+        }
+        if let Some(&h) = self.map.get(&entry.id) {
+            let old = self.list.get(h).size;
+            self.used = self.used - old + entry.size;
+            *self.list.get_mut(h) = entry;
+            self.list.move_to_front(h);
+        } else {
+            self.used += entry.size;
+            let h = self.list.push_front(entry);
+            self.map.insert(entry.id, h);
+        }
+        while self.used > self.capacity_bytes {
+            let victim = self.list.pop_back().expect("used > 0 implies nonempty");
+            self.map.remove(&victim.id);
+            self.used -= victim.size;
+        }
+    }
+
+    /// Forget an object (the paper's `DELETE`), returning its entry if it
+    /// was tracked.
+    pub fn delete(&mut self, id: ObjectId) -> Option<GhostEntry> {
+        let h = self.map.remove(&id)?;
+        let e = self.list.remove(h);
+        self.used -= e.size;
+        Some(e)
+    }
+
+    /// Iterate entries newest→oldest.
+    pub fn iter(&self) -> impl Iterator<Item = &GhostEntry> {
+        self.list.iter()
+    }
+
+    /// Approximate metadata footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.list.memory_bytes()
+            + self.map.capacity()
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<Handle>() + 8)
+    }
+
+    /// Forget everything.
+    pub fn clear(&mut self) {
+        self.list.clear();
+        self.map.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, size: u64, tick: Tick) -> GhostEntry {
+        GhostEntry {
+            id: ObjectId(id),
+            size,
+            evicted_tick: tick,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn add_and_contains() {
+        let mut g = GhostList::new(1000);
+        g.add(entry(1, 100, 0));
+        assert!(g.contains(ObjectId(1)));
+        assert_eq!(g.used_bytes(), 100);
+        assert_eq!(g.get(ObjectId(1)).unwrap().size, 100);
+    }
+
+    #[test]
+    fn budget_drops_oldest() {
+        let mut g = GhostList::new(250);
+        g.add(entry(1, 100, 0));
+        g.add(entry(2, 100, 1));
+        g.add(entry(3, 100, 2)); // 300 > 250: drop oldest (1)
+        assert!(!g.contains(ObjectId(1)));
+        assert!(g.contains(ObjectId(2)));
+        assert!(g.contains(ObjectId(3)));
+        assert_eq!(g.used_bytes(), 200);
+    }
+
+    #[test]
+    fn delete_frees_budget() {
+        let mut g = GhostList::new(200);
+        g.add(entry(1, 100, 0));
+        g.add(entry(2, 100, 1));
+        let e = g.delete(ObjectId(1)).unwrap();
+        assert_eq!(e.evicted_tick, 0);
+        assert_eq!(g.used_bytes(), 100);
+        assert_eq!(g.delete(ObjectId(1)), None);
+        // Freed budget admits a new entry without dropping id 2.
+        g.add(entry(3, 100, 2));
+        assert!(g.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn re_add_refreshes_position() {
+        let mut g = GhostList::new(250);
+        g.add(entry(1, 100, 0));
+        g.add(entry(2, 100, 1));
+        g.add(entry(1, 100, 2)); // refresh id 1 to the head
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.used_bytes(), 200);
+        g.add(entry(3, 100, 3)); // over budget: the oldest is now id 2
+        assert!(g.contains(ObjectId(1)));
+        assert!(!g.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn oversized_entry_not_tracked() {
+        let mut g = GhostList::new(100);
+        g.add(entry(1, 500, 0));
+        assert!(!g.contains(ObjectId(1)));
+        assert_eq!(g.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_re_add_forgets_previous() {
+        let mut g = GhostList::new(100);
+        g.add(entry(1, 50, 0));
+        g.add(entry(1, 500, 1)); // grew beyond budget: must forget
+        assert!(!g.contains(ObjectId(1)));
+        assert_eq!(g.used_bytes(), 0);
+    }
+
+    #[test]
+    fn fifo_order_iter() {
+        let mut g = GhostList::new(1000);
+        for i in 0..5 {
+            g.add(entry(i, 10, i));
+        }
+        let order: Vec<u64> = g.iter().map(|e| e.id.0).collect();
+        assert_eq!(order, vec![4, 3, 2, 1, 0]);
+    }
+}

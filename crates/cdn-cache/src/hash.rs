@@ -1,0 +1,132 @@
+//! Fx-style hashing for integer-keyed metadata tables.
+//!
+//! Cache policies index object metadata by [`crate::ObjectId`] on every
+//! request; SipHash's HashDoS resistance buys nothing on synthetic ids while
+//! costing a measurable fraction of simulation time. This module provides
+//! the rustc Fx hash (a multiply-xor construction) plus map/set aliases.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc Fx hasher: fast, low-quality, excellent for integer keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single `u64` — used for leader-set selection (DIP), signature
+/// tables (SHiP) and sharding, where we need a cheap stateless mix.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    // SplitMix64 finaliser.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 2) as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hasher_differentiates_close_keys() {
+        use std::hash::Hash;
+        let h = |k: u64| {
+            let mut hasher = FxHasher::default();
+            k.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(2));
+        assert_ne!(h(u64::MAX), h(u64::MAX - 1));
+    }
+
+    #[test]
+    fn write_bytes_tail_handled() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn mix64_spreads_sequential_ids() {
+        let buckets = 64u64;
+        let mut counts = vec![0u32; buckets as usize];
+        for i in 0..64_000u64 {
+            counts[(mix64(i) % buckets) as usize] += 1;
+        }
+        let expected = 1000;
+        for &c in &counts {
+            assert!((c as i64 - expected).abs() < 200, "bucket {c}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Cache substrate for the SCIP reproduction.
+//!
+//! This crate contains everything a trace-driven CDN cache simulator needs
+//! below the policy level:
+//!
+//! - [`rng`]: a small, fast, seedable xoshiro256++ PRNG so every simulation
+//!   is deterministic and reproducible.
+//! - [`hash`]: an Fx-style hasher and map/set aliases for integer-keyed
+//!   metadata tables (hot path of every policy).
+//! - [`object`]: object identifiers, request records and logical time.
+//! - [`list`]: a slab-backed intrusive doubly-linked list with stable
+//!   handles — the O(1) backbone of every queue-based policy.
+//! - [`queue`]: a byte-budgeted LRU queue with MRU/LRU bimodal insertion,
+//!   per-entry policy tags, and tail eviction.
+//! - [`segq`]: a segmented queue (stack of LRU queues with overflow) used by
+//!   S4LRU, SS-LRU, PIPP and DGIPPR.
+//! - [`ghost`]: FIFO ghost (history) lists holding metadata of evicted
+//!   objects under a byte budget — the `H_m`/`H_l` of the paper.
+//! - [`metrics`]: miss-ratio tracking, windowed hit rates and byte metrics.
+//! - [`policy`]: the `CachePolicy` trait that every replacement algorithm
+//!   and insertion policy in the workspace implements.
+
+pub mod ghost;
+pub mod hash;
+pub mod list;
+pub mod metrics;
+pub mod object;
+pub mod policy;
+pub mod queue;
+pub mod rng;
+pub mod segq;
+
+pub use ghost::GhostList;
+pub use hash::{FxHashMap, FxHashSet};
+pub use list::{Handle, LinkedSlab};
+pub use metrics::{IntervalStats, MetricsRecorder, MissRatio};
+pub use object::{ObjectId, Request, Tick};
+pub use policy::{AccessKind, CachePolicy, InsertPos, PolicyStats};
+pub use queue::{EntryMeta, EvictedEntry, LruQueue};
+pub use rng::SimRng;
+pub use segq::SegmentedQueue;

@@ -1,0 +1,527 @@
+//! A slab-backed intrusive doubly-linked list with stable handles.
+//!
+//! Every queue-based cache policy needs O(1) insert-at-either-end,
+//! remove-from-middle and move-to-front. `std::collections::LinkedList`
+//! cannot remove interior nodes through a handle, and per-node `Box`
+//! allocation would dominate simulation time; this list instead stores
+//! nodes contiguously in a slab (`Vec`) and hands out generation-checked
+//! [`Handle`]s, so stale handles are detected rather than corrupting the
+//! structure.
+
+const NIL: u32 = u32::MAX;
+
+/// A stable reference to a list node. Invalidated by `remove`; reuse of the
+/// slot bumps the generation so stale handles never alias a new node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    idx: u32,
+    generation: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    prev: u32,
+    next: u32,
+    generation: u32,
+}
+
+/// Doubly-linked list over a slab. Front = MRU end, back = LRU end by the
+/// conventions used throughout this workspace.
+#[derive(Debug, Clone)]
+pub struct LinkedSlab<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for LinkedSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LinkedSlab<T> {
+    /// Empty list.
+    pub fn new() -> Self {
+        LinkedSlab {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Empty list with room for `cap` nodes before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        LinkedSlab {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint of the slab (for policy memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.nodes[idx as usize];
+            debug_assert!(node.value.is_none());
+            node.value = Some(value);
+            node.prev = NIL;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx < NIL, "LinkedSlab overflow");
+            self.nodes.push(Node {
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+                generation: 0,
+            });
+            idx
+        }
+    }
+
+    #[inline]
+    fn handle(&self, idx: u32) -> Handle {
+        Handle {
+            idx,
+            generation: self.nodes[idx as usize].generation,
+        }
+    }
+
+    #[inline]
+    fn check(&self, h: Handle) -> u32 {
+        let node = &self.nodes[h.idx as usize];
+        assert!(
+            node.generation == h.generation && node.value.is_some(),
+            "stale LinkedSlab handle"
+        );
+        h.idx
+    }
+
+    /// True if `h` still refers to a live node.
+    pub fn is_valid(&self, h: Handle) -> bool {
+        (h.idx as usize) < self.nodes.len() && {
+            let node = &self.nodes[h.idx as usize];
+            node.generation == h.generation && node.value.is_some()
+        }
+    }
+
+    /// Insert at the front (MRU end). O(1).
+    pub fn push_front(&mut self, value: T) -> Handle {
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+        self.handle(idx)
+    }
+
+    /// Insert at the back (LRU end). O(1).
+    pub fn push_back(&mut self, value: T) -> Handle {
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        self.handle(idx)
+    }
+
+    /// Insert immediately before the node at `h`. O(1).
+    pub fn insert_before(&mut self, h: Handle, value: T) -> Handle {
+        let at = self.check(h);
+        let prev = self.nodes[at as usize].prev;
+        if prev == NIL {
+            return self.push_front(value);
+        }
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].prev = prev;
+        self.nodes[idx as usize].next = at;
+        self.nodes[prev as usize].next = idx;
+        self.nodes[at as usize].prev = idx;
+        self.len += 1;
+        self.handle(idx)
+    }
+
+    /// Insert immediately after the node at `h`. O(1).
+    pub fn insert_after(&mut self, h: Handle, value: T) -> Handle {
+        let at = self.check(h);
+        let next = self.nodes[at as usize].next;
+        if next == NIL {
+            return self.push_back(value);
+        }
+        let idx = self.alloc(value);
+        self.nodes[idx as usize].prev = at;
+        self.nodes[idx as usize].next = next;
+        self.nodes[at as usize].next = idx;
+        self.nodes[next as usize].prev = idx;
+        self.len += 1;
+        self.handle(idx)
+    }
+
+    #[inline]
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Remove the node at `h`, returning its value. Invalidates `h`. O(1).
+    pub fn remove(&mut self, h: Handle) -> T {
+        let idx = self.check(h);
+        self.unlink(idx);
+        let node = &mut self.nodes[idx as usize];
+        let value = node.value.take().expect("checked live");
+        node.generation = node.generation.wrapping_add(1);
+        self.free.push(idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Remove from the back (LRU end). O(1).
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.tail == NIL {
+            return None;
+        }
+        let h = self.handle(self.tail);
+        Some(self.remove(h))
+    }
+
+    /// Remove from the front (MRU end). O(1).
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.head == NIL {
+            return None;
+        }
+        let h = self.handle(self.head);
+        Some(self.remove(h))
+    }
+
+    /// Move the node at `h` to the front. O(1). The handle stays valid.
+    pub fn move_to_front(&mut self, h: Handle) {
+        let idx = self.check(h);
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Move the node at `h` to the back. O(1). The handle stays valid.
+    pub fn move_to_back(&mut self, h: Handle) {
+        let idx = self.check(h);
+        if self.tail == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx as usize].next = NIL;
+        self.nodes[idx as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+    }
+
+    /// Swap the node one step toward the front (PIPP's promote-by-one). O(1).
+    /// No-op if already at the front.
+    pub fn promote_one(&mut self, h: Handle) {
+        let idx = self.check(h);
+        let prev = self.nodes[idx as usize].prev;
+        if prev == NIL {
+            return;
+        }
+        // Unlink idx and re-insert before prev.
+        self.unlink(idx);
+        let prev_prev = self.nodes[prev as usize].prev;
+        self.nodes[idx as usize].prev = prev_prev;
+        self.nodes[idx as usize].next = prev;
+        self.nodes[prev as usize].prev = idx;
+        if prev_prev != NIL {
+            self.nodes[prev_prev as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+    }
+
+    /// Handle of the front node.
+    pub fn front(&self) -> Option<Handle> {
+        (self.head != NIL).then(|| self.handle(self.head))
+    }
+
+    /// Handle of the back node.
+    pub fn back(&self) -> Option<Handle> {
+        (self.tail != NIL).then(|| self.handle(self.tail))
+    }
+
+    /// Handle of the node after `h` (toward the back).
+    pub fn next(&self, h: Handle) -> Option<Handle> {
+        let idx = self.check(h);
+        let next = self.nodes[idx as usize].next;
+        (next != NIL).then(|| self.handle(next))
+    }
+
+    /// Handle of the node before `h` (toward the front).
+    pub fn prev(&self, h: Handle) -> Option<Handle> {
+        let idx = self.check(h);
+        let prev = self.nodes[idx as usize].prev;
+        (prev != NIL).then(|| self.handle(prev))
+    }
+
+    /// Shared access to the value at `h`.
+    pub fn get(&self, h: Handle) -> &T {
+        let idx = self.check(h);
+        self.nodes[idx as usize].value.as_ref().expect("checked")
+    }
+
+    /// Mutable access to the value at `h`.
+    pub fn get_mut(&mut self, h: Handle) -> &mut T {
+        let idx = self.check(h);
+        self.nodes[idx as usize].value.as_mut().expect("checked")
+    }
+
+    /// Iterate front→back.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    /// Drop all nodes.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+}
+
+/// Front-to-back iterator over a [`LinkedSlab`].
+pub struct Iter<'a, T> {
+    list: &'a LinkedSlab<T>,
+    cur: u32,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur as usize];
+        self.cur = node.next;
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect<T: Clone>(l: &LinkedSlab<T>) -> Vec<T> {
+        l.iter().cloned().collect()
+    }
+
+    #[test]
+    fn push_front_and_back() {
+        let mut l = LinkedSlab::new();
+        l.push_back(2);
+        l.push_front(1);
+        l.push_back(3);
+        assert_eq!(collect(&l), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = LinkedSlab::new();
+        let _a = l.push_back('a');
+        let b = l.push_back('b');
+        let _c = l.push_back('c');
+        assert_eq!(l.remove(b), 'b');
+        assert_eq!(collect(&l), vec!['a', 'c']);
+    }
+
+    #[test]
+    fn remove_ends() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        let _b = l.push_back(2);
+        let c = l.push_back(3);
+        assert_eq!(l.remove(a), 1);
+        assert_eq!(l.remove(c), 3);
+        assert_eq!(collect(&l), vec![2]);
+        assert_eq!(l.front(), l.back());
+    }
+
+    #[test]
+    fn pop_back_order() {
+        let mut l = LinkedSlab::new();
+        for i in 0..5 {
+            l.push_front(i);
+        }
+        // Front order: 4 3 2 1 0, so pops from back give 0,1,2,3,4.
+        let mut popped = Vec::new();
+        while let Some(v) = l.pop_back() {
+            popped.push(v);
+        }
+        assert_eq!(popped, vec![0, 1, 2, 3, 4]);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = LinkedSlab::new();
+        let _a = l.push_back('a');
+        let _b = l.push_back('b');
+        let c = l.push_back('c');
+        l.move_to_front(c);
+        assert_eq!(collect(&l), vec!['c', 'a', 'b']);
+        l.move_to_front(c); // already front: no-op
+        assert_eq!(collect(&l), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn move_to_back_reorders() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back('a');
+        let _b = l.push_back('b');
+        l.move_to_back(a);
+        assert_eq!(collect(&l), vec!['b', 'a']);
+    }
+
+    #[test]
+    fn promote_one_swaps_with_predecessor() {
+        let mut l = LinkedSlab::new();
+        let _a = l.push_back('a');
+        let _b = l.push_back('b');
+        let c = l.push_back('c');
+        l.promote_one(c);
+        assert_eq!(collect(&l), vec!['a', 'c', 'b']);
+        l.promote_one(c);
+        assert_eq!(collect(&l), vec!['c', 'a', 'b']);
+        l.promote_one(c); // at front: no-op
+        assert_eq!(collect(&l), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn insert_before_after() {
+        let mut l = LinkedSlab::new();
+        let b = l.push_back('b');
+        l.insert_before(b, 'a');
+        l.insert_after(b, 'c');
+        assert_eq!(collect(&l), vec!['a', 'b', 'c']);
+        let a = l.front().unwrap();
+        l.insert_before(a, 'z');
+        assert_eq!(collect(&l), vec!['z', 'a', 'b', 'c']);
+        let c = l.back().unwrap();
+        l.insert_after(c, 'd');
+        assert_eq!(collect(&l), vec!['z', 'a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn handles_survive_unrelated_removals() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        let c = l.push_back(3);
+        l.remove(b);
+        assert_eq!(*l.get(a), 1);
+        assert_eq!(*l.get(c), 3);
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        l.remove(a);
+        let b = l.push_back(2); // reuses slot 0
+        assert!(!l.is_valid(a));
+        assert!(l.is_valid(b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_handle_panics() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        l.remove(a);
+        let _ = l.get(a);
+    }
+
+    #[test]
+    fn next_prev_walk() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        let c = l.push_back(3);
+        assert_eq!(l.next(a), Some(b));
+        assert_eq!(l.next(c), None);
+        assert_eq!(l.prev(c), Some(b));
+        assert_eq!(l.prev(a), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = LinkedSlab::new();
+        l.push_back(1);
+        l.push_back(2);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        l.push_back(9);
+        assert_eq!(collect(&l), vec![9]);
+    }
+}

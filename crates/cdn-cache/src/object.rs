@@ -1,0 +1,89 @@
+//! Object identifiers, request records and logical time.
+
+use std::fmt;
+
+/// Logical time: the index of a request within a trace.
+///
+/// The paper's algorithms are clocked by request count (`t % i == 0`
+/// triggers the learning-rate update), so a `u64` request index is the
+/// natural notion of time. Wall-clock timestamps from real traces are kept
+/// separately in [`Request::wall_secs`] for the TDC latency model.
+pub type Tick = u64;
+
+/// A cached object's identity.
+///
+/// Real CDN objects are keyed by URL/MD5; synthetic traces use dense ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// One request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Logical time = index of this request in the trace.
+    pub tick: Tick,
+    /// Object being requested.
+    pub id: ObjectId,
+    /// Object size in bytes. CDN caches are size-aware: the same object is
+    /// assumed to keep its size across a trace (true of the paper's traces;
+    /// our generators guarantee it).
+    pub size: u64,
+    /// Wall-clock seconds since trace start (drives the TDC diurnal model).
+    pub wall_secs: f64,
+}
+
+impl Request {
+    /// Convenience constructor for tests and micro-traces: wall time is the
+    /// tick interpreted as one request per second.
+    pub fn new(tick: Tick, id: u64, size: u64) -> Self {
+        Request {
+            tick,
+            id: ObjectId(id),
+            size,
+            wall_secs: tick as f64,
+        }
+    }
+}
+
+/// Build a micro-trace from `(id, size)` pairs; ticks are assigned 0..n.
+/// Test helper used across the workspace.
+pub fn micro_trace(pairs: &[(u64, u64)]) -> Vec<Request> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(t, &(id, size))| Request::new(t as Tick, id, size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let id: ObjectId = 42u64.into();
+        assert_eq!(id.to_string(), "o42");
+        assert_eq!(id, ObjectId(42));
+    }
+
+    #[test]
+    fn micro_trace_assigns_ticks() {
+        let t = micro_trace(&[(1, 100), (2, 200), (1, 100)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].tick, 2);
+        assert_eq!(t[2].id, ObjectId(1));
+        assert_eq!(t[1].size, 200);
+        assert_eq!(t[1].wall_secs, 1.0);
+    }
+}

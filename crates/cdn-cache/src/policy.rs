@@ -1,0 +1,113 @@
+//! The policy interface every caching algorithm in the workspace implements.
+//!
+//! A policy owns its cache structure(s) and is driven one request at a time
+//! by the simulator. The trait is object-safe so the simulator can sweep
+//! heterogeneous policy sets (`Box<dyn CachePolicy>`).
+
+use crate::object::Request;
+
+/// Where an object is (re-)inserted in the recency queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertPos {
+    /// Head of the queue (most-recently-used end).
+    Mru,
+    /// Tail of the queue (least-recently-used end).
+    Lru,
+}
+
+/// Outcome of a single request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Object was resident.
+    Hit,
+    /// Object was not resident (and was fetched/inserted if admissible).
+    Miss,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessKind::Hit)
+    }
+}
+
+/// Aggregate counters a policy can report for diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Objects currently resident.
+    pub resident_objects: usize,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Evictions performed so far.
+    pub evictions: u64,
+    /// Insertions performed so far.
+    pub insertions: u64,
+}
+
+/// A complete cache replacement algorithm (victim selection + insertion +
+/// promotion) driven request by request.
+pub trait CachePolicy {
+    /// Short identifier used in tables and figures (e.g. `"SCIP"`).
+    fn name(&self) -> &str;
+
+    /// Process one request and report hit/miss.
+    ///
+    /// On a miss the policy is expected to admit the object (unless its own
+    /// admission logic declines or the object exceeds capacity), evicting as
+    /// needed. Requests must arrive with non-decreasing `tick`.
+    fn on_request(&mut self, req: &Request) -> AccessKind;
+
+    /// Byte capacity of the managed cache.
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently resident.
+    fn used_bytes(&self) -> u64;
+
+    /// Approximate bytes of policy metadata (queues, maps, ghost lists,
+    /// models). Basis of the paper's Figure 9(b)/11(b) memory comparison.
+    fn memory_bytes(&self) -> usize;
+
+    /// Aggregate counters.
+    fn stats(&self) -> PolicyStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_helpers() {
+        assert!(AccessKind::Hit.is_hit());
+        assert!(!AccessKind::Miss.is_hit());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        // Compile-time check: Box<dyn CachePolicy> must be constructible.
+        struct Nop;
+        impl CachePolicy for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn on_request(&mut self, _req: &Request) -> AccessKind {
+                AccessKind::Miss
+            }
+            fn capacity(&self) -> u64 {
+                0
+            }
+            fn used_bytes(&self) -> u64 {
+                0
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+            fn stats(&self) -> PolicyStats {
+                PolicyStats::default()
+            }
+        }
+        let mut p: Box<dyn CachePolicy> = Box::new(Nop);
+        let req = Request::new(0, 1, 10);
+        assert_eq!(p.on_request(&req), AccessKind::Miss);
+        assert_eq!(p.name(), "nop");
+    }
+}

@@ -1,0 +1,347 @@
+//! A byte-budgeted LRU queue with bimodal insertion.
+//!
+//! This is the "real cache" structure of the paper: a recency queue whose
+//! front is the MRU position and whose back is the LRU position, holding
+//! variable-size objects under a byte capacity. Insertion policies choose
+//! the end (or an interior point) at which an object enters; the victim
+//! policy evicts from the back. Each entry carries the `insert_pos` mark the
+//! paper stores in TDC inodes, plus residency statistics used by labelers
+//! and learned policies.
+
+use crate::hash::FxHashMap;
+use crate::list::{Handle, LinkedSlab};
+use crate::object::{ObjectId, Tick};
+
+/// Metadata of one resident object (the paper's ~110-byte inode analog).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryMeta {
+    /// Object identity.
+    pub id: ObjectId,
+    /// Object size in bytes.
+    pub size: u64,
+    /// The paper's `insert_pos`: true if the *current residency* began at
+    /// the MRU position (set again on every promotion re-insert).
+    pub inserted_at_mru: bool,
+    /// Tick when this residency began.
+    pub inserted_tick: Tick,
+    /// Tick of the most recent access (insert or hit).
+    pub last_access: Tick,
+    /// Hits during this residency (0 on insert).
+    pub hits: u32,
+    /// Policy-private tag (segment index, SHiP signature, LRB group id...).
+    pub tag: u64,
+}
+
+/// An entry evicted from the queue's LRU end.
+pub type EvictedEntry = EntryMeta;
+
+/// Byte-budgeted LRU queue. All operations are O(1).
+#[derive(Debug, Clone)]
+pub struct LruQueue {
+    list: LinkedSlab<EntryMeta>,
+    map: FxHashMap<ObjectId, Handle>,
+    capacity: u64,
+    used: u64,
+}
+
+impl LruQueue {
+    /// Queue with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        LruQueue {
+            list: LinkedSlab::new(),
+            map: FxHashMap::default(),
+            capacity,
+            used: 0,
+        }
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when no objects are resident.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// True if the object is resident.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Shared access to a resident entry's metadata.
+    pub fn get(&self, id: ObjectId) -> Option<&EntryMeta> {
+        self.map.get(&id).map(|&h| self.list.get(h))
+    }
+
+    /// Mutable access to a resident entry's metadata.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut EntryMeta> {
+        let h = *self.map.get(&id)?;
+        Some(self.list.get_mut(h))
+    }
+
+    /// Whether inserting `size` bytes would require evictions.
+    pub fn needs_eviction_for(&self, size: u64) -> bool {
+        self.used + size > self.capacity
+    }
+
+    /// Whether an object of `size` bytes can ever fit.
+    pub fn admissible(&self, size: u64) -> bool {
+        size <= self.capacity
+    }
+
+    fn make_meta(id: ObjectId, size: u64, tick: Tick, at_mru: bool) -> EntryMeta {
+        EntryMeta {
+            id,
+            size,
+            inserted_at_mru: at_mru,
+            inserted_tick: tick,
+            last_access: tick,
+            hits: 0,
+            tag: 0,
+        }
+    }
+
+    /// Insert at the MRU position (front). The object must not be resident
+    /// and must fit (callers evict first). Marks `inserted_at_mru = true`.
+    pub fn insert_mru(&mut self, id: ObjectId, size: u64, tick: Tick) {
+        debug_assert!(!self.contains(id), "insert of resident object {id}");
+        debug_assert!(self.used + size <= self.capacity, "insert overflows");
+        let h = self.list.push_front(Self::make_meta(id, size, tick, true));
+        self.map.insert(id, h);
+        self.used += size;
+    }
+
+    /// Insert at the LRU position (back). Marks `inserted_at_mru = false`.
+    pub fn insert_lru(&mut self, id: ObjectId, size: u64, tick: Tick) {
+        debug_assert!(!self.contains(id), "insert of resident object {id}");
+        debug_assert!(self.used + size <= self.capacity, "insert overflows");
+        let h = self.list.push_back(Self::make_meta(id, size, tick, false));
+        self.map.insert(id, h);
+        self.used += size;
+    }
+
+    /// Re-insert a preserved entry at the MRU position without resetting
+    /// its residency statistics (used when entries migrate between segments
+    /// of a [`crate::SegmentedQueue`]).
+    pub fn insert_meta_mru(&mut self, meta: EntryMeta) {
+        debug_assert!(!self.contains(meta.id), "insert of resident object");
+        debug_assert!(self.used + meta.size <= self.capacity, "insert overflows");
+        let id = meta.id;
+        let size = meta.size;
+        let h = self.list.push_front(meta);
+        self.map.insert(id, h);
+        self.used += size;
+    }
+
+    /// Re-insert a preserved entry at the LRU position (see
+    /// [`LruQueue::insert_meta_mru`]).
+    pub fn insert_meta_lru(&mut self, meta: EntryMeta) {
+        debug_assert!(!self.contains(meta.id), "insert of resident object");
+        debug_assert!(self.used + meta.size <= self.capacity, "insert overflows");
+        let id = meta.id;
+        let size = meta.size;
+        let h = self.list.push_back(meta);
+        self.map.insert(id, h);
+        self.used += size;
+    }
+
+    /// Record a hit: bump hit count and last-access *without* moving the
+    /// entry. Promotion is a separate decision taken by the policy.
+    pub fn record_hit(&mut self, id: ObjectId, tick: Tick) {
+        if let Some(meta) = self.get_mut(id) {
+            meta.hits += 1;
+            meta.last_access = tick;
+        }
+    }
+
+    /// Move a resident object to the MRU position (classic promotion).
+    pub fn promote_to_mru(&mut self, id: ObjectId) {
+        if let Some(&h) = self.map.get(&id) {
+            self.list.move_to_front(h);
+        }
+    }
+
+    /// Move a resident object to the LRU position (demotion).
+    pub fn demote_to_lru(&mut self, id: ObjectId) {
+        if let Some(&h) = self.map.get(&id) {
+            self.list.move_to_back(h);
+        }
+    }
+
+    /// Move a resident object one slot toward MRU (PIPP-style promotion).
+    pub fn promote_one(&mut self, id: ObjectId) {
+        if let Some(&h) = self.map.get(&id) {
+            self.list.promote_one(h);
+        }
+    }
+
+    /// Remove a resident object (the paper's `C.REMOVE`: no history write).
+    pub fn remove(&mut self, id: ObjectId) -> Option<EntryMeta> {
+        let h = self.map.remove(&id)?;
+        let meta = self.list.remove(h);
+        self.used -= meta.size;
+        Some(meta)
+    }
+
+    /// Evict from the LRU end (the paper's `C.EVICT`), returning the victim.
+    pub fn evict_lru(&mut self) -> Option<EvictedEntry> {
+        let h = self.list.back()?;
+        let meta = self.list.remove(h);
+        self.map.remove(&meta.id);
+        self.used -= meta.size;
+        Some(meta)
+    }
+
+    /// Peek at the LRU-end victim without evicting.
+    pub fn peek_lru(&self) -> Option<&EntryMeta> {
+        self.list.back().map(|h| self.list.get(h))
+    }
+
+    /// Peek at the MRU-end entry.
+    pub fn peek_mru(&self) -> Option<&EntryMeta> {
+        self.list.front().map(|h| self.list.get(h))
+    }
+
+    /// Iterate entries MRU→LRU.
+    pub fn iter(&self) -> impl Iterator<Item = &EntryMeta> {
+        self.list.iter()
+    }
+
+    /// Approximate policy-metadata footprint in bytes (slab + map).
+    pub fn memory_bytes(&self) -> usize {
+        self.list.memory_bytes()
+            + self.map.capacity()
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<Handle>() + 8)
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.list.clear();
+        self.map.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(q: &LruQueue) -> Vec<u64> {
+        q.iter().map(|m| m.id.0).collect()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut q = LruQueue::new(1000);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_mru(ObjectId(2), 200, 1);
+        assert!(q.contains(ObjectId(1)));
+        assert_eq!(q.used_bytes(), 300);
+        assert_eq!(ids(&q), vec![2, 1]);
+        assert!(q.get(ObjectId(2)).unwrap().inserted_at_mru);
+    }
+
+    #[test]
+    fn insert_lru_goes_to_back() {
+        let mut q = LruQueue::new(1000);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_lru(ObjectId(2), 100, 1);
+        assert_eq!(ids(&q), vec![1, 2]);
+        assert!(!q.get(ObjectId(2)).unwrap().inserted_at_mru);
+        assert_eq!(q.peek_lru().unwrap().id, ObjectId(2));
+    }
+
+    #[test]
+    fn evict_from_lru_end() {
+        let mut q = LruQueue::new(1000);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_mru(ObjectId(2), 100, 1);
+        let v = q.evict_lru().unwrap();
+        assert_eq!(v.id, ObjectId(1));
+        assert_eq!(q.used_bytes(), 100);
+        assert!(!q.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn record_hit_updates_stats_without_moving() {
+        let mut q = LruQueue::new(1000);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_mru(ObjectId(2), 100, 1);
+        q.record_hit(ObjectId(1), 5);
+        assert_eq!(ids(&q), vec![2, 1]);
+        let m = q.get(ObjectId(1)).unwrap();
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.last_access, 5);
+    }
+
+    #[test]
+    fn promote_and_demote() {
+        let mut q = LruQueue::new(1000);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_mru(ObjectId(2), 100, 1);
+        q.insert_mru(ObjectId(3), 100, 2);
+        // order: 3 2 1
+        q.promote_to_mru(ObjectId(1));
+        assert_eq!(ids(&q), vec![1, 3, 2]);
+        q.demote_to_lru(ObjectId(1));
+        assert_eq!(ids(&q), vec![3, 2, 1]);
+        q.promote_one(ObjectId(1));
+        assert_eq!(ids(&q), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn remove_does_not_touch_others() {
+        let mut q = LruQueue::new(1000);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_mru(ObjectId(2), 150, 1);
+        let m = q.remove(ObjectId(1)).unwrap();
+        assert_eq!(m.size, 100);
+        assert_eq!(q.used_bytes(), 150);
+        assert_eq!(q.remove(ObjectId(1)), None);
+    }
+
+    #[test]
+    fn eviction_loop_frees_space() {
+        let mut q = LruQueue::new(300);
+        q.insert_mru(ObjectId(1), 100, 0);
+        q.insert_mru(ObjectId(2), 100, 1);
+        q.insert_mru(ObjectId(3), 100, 2);
+        // Need 150 bytes for a new object.
+        let mut evicted = Vec::new();
+        while q.needs_eviction_for(150) {
+            evicted.push(q.evict_lru().unwrap().id.0);
+        }
+        assert_eq!(evicted, vec![1, 2]);
+        q.insert_mru(ObjectId(4), 150, 3);
+        assert_eq!(q.used_bytes(), 250);
+    }
+
+    #[test]
+    fn admissibility() {
+        let q = LruQueue::new(100);
+        assert!(q.admissible(100));
+        assert!(!q.admissible(101));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = LruQueue::new(100);
+        q.insert_mru(ObjectId(1), 50, 0);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.used_bytes(), 0);
+        assert!(!q.contains(ObjectId(1)));
+    }
+}

@@ -1,0 +1,366 @@
+//! A segmented recency queue: a stack of LRU queues with cascading demotion.
+//!
+//! Segment `n-1` is the most-protected end; segment `0` is the eviction end.
+//! When a segment exceeds its byte budget, its LRU entry is demoted to the
+//! MRU position of the segment below; overflow of segment 0 evicts. This is
+//! the structure behind S4LRU and SS-LRU, and its segment boundaries give
+//! PIPP and DGIPPR their O(1) "insert at queue fraction k/N" positions.
+//!
+//! The *global* recency order is the concatenation
+//! `seg[n-1] (MRU→LRU) ++ ... ++ seg[0] (MRU→LRU)`.
+
+use crate::hash::FxHashMap;
+use crate::object::{ObjectId, Tick};
+use crate::queue::{EntryMeta, EvictedEntry, LruQueue};
+
+/// Stack of LRU queues with per-segment byte budgets.
+#[derive(Debug, Clone)]
+pub struct SegmentedQueue {
+    /// Index 0 = eviction end.
+    segments: Vec<LruQueue>,
+    budgets: Vec<u64>,
+    seg_of: FxHashMap<ObjectId, u8>,
+    total_capacity: u64,
+}
+
+impl SegmentedQueue {
+    /// Build with `fractions.len()` segments; `fractions[i]` is segment
+    /// `i`'s share of `total_capacity`. Fractions must be positive and sum
+    /// to ~1.
+    pub fn new(total_capacity: u64, fractions: &[f64]) -> Self {
+        assert!(!fractions.is_empty(), "need at least one segment");
+        assert!(fractions.len() <= 256, "at most 256 segments");
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "segment fractions must sum to 1 (got {sum})"
+        );
+        let mut budgets: Vec<u64> = fractions
+            .iter()
+            .map(|&f| {
+                assert!(f > 0.0, "segment fraction must be positive");
+                (total_capacity as f64 * f) as u64
+            })
+            .collect();
+        // Give rounding remainder to the top segment so budgets sum to the
+        // total capacity exactly (f64 rounding can land on either side for
+        // huge capacities, hence the saturating form).
+        let last = budgets.len() - 1;
+        let sum_head: u64 = budgets[..last].iter().sum();
+        budgets[last] = total_capacity.saturating_sub(sum_head).max(1);
+        SegmentedQueue {
+            // Segments are budgeted by `budgets`, not by the queues
+            // themselves, because cascade demotion transiently overfills.
+            segments: fractions.iter().map(|_| LruQueue::new(u64::MAX)).collect(),
+            budgets,
+            seg_of: FxHashMap::default(),
+            total_capacity,
+        }
+    }
+
+    /// Equal-share segmentation (S4LRU uses 4 segments).
+    pub fn equal(total_capacity: u64, n_segments: usize) -> Self {
+        let frac = vec![1.0 / n_segments as f64; n_segments];
+        Self::new(total_capacity, &frac)
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.total_capacity
+    }
+
+    /// Bytes resident across all segments.
+    pub fn used_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.used_bytes()).sum()
+    }
+
+    /// Objects resident across all segments.
+    pub fn len(&self) -> usize {
+        self.seg_of.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.seg_of.is_empty()
+    }
+
+    /// True if `id` is resident (in any segment).
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.seg_of.contains_key(&id)
+    }
+
+    /// Segment currently holding `id`.
+    pub fn segment_of(&self, id: ObjectId) -> Option<usize> {
+        self.seg_of.get(&id).map(|&s| s as usize)
+    }
+
+    /// Entry metadata of a resident object.
+    pub fn get(&self, id: ObjectId) -> Option<&EntryMeta> {
+        let seg = *self.seg_of.get(&id)?;
+        self.segments[seg as usize].get(id)
+    }
+
+    /// Mutable entry metadata of a resident object.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut EntryMeta> {
+        let seg = *self.seg_of.get(&id)?;
+        self.segments[seg as usize].get_mut(id)
+    }
+
+    /// Cascade overflow from segment `from` downward; evictions from
+    /// segment 0 are appended to `evicted`.
+    fn rebalance(&mut self, from: usize, evicted: &mut Vec<EvictedEntry>) {
+        for i in (0..=from).rev() {
+            while self.segments[i].used_bytes() > self.budgets[i] {
+                let victim = self.segments[i]
+                    .evict_lru()
+                    .expect("overfull segment is nonempty");
+                if i == 0 {
+                    self.seg_of.remove(&victim.id);
+                    evicted.push(victim);
+                } else {
+                    self.seg_of.insert(victim.id, (i - 1) as u8);
+                    self.segments[i - 1].insert_meta_mru(victim);
+                }
+            }
+        }
+        // A demotion into segment i-1 can overflow it even when `from` was
+        // higher; the loop above already visits every lower segment, so no
+        // further pass is needed.
+    }
+
+    /// Insert a *new* object at the MRU position of segment `seg`,
+    /// returning any entries evicted out the bottom.
+    pub fn insert(
+        &mut self,
+        seg: usize,
+        id: ObjectId,
+        size: u64,
+        tick: Tick,
+    ) -> Vec<EvictedEntry> {
+        assert!(seg < self.segments.len());
+        debug_assert!(!self.contains(id), "insert of resident object {id}");
+        self.segments[seg].insert_mru(id, size, tick);
+        self.seg_of.insert(id, seg as u8);
+        let mut evicted = Vec::new();
+        // Rebalance from the very top: boundary-crossing promotions may
+        // have left upper segments transiently over budget.
+        self.rebalance(self.segments.len() - 1, &mut evicted);
+        evicted
+    }
+
+    /// Record a hit and move the object to the MRU position of segment
+    /// `target_seg` (S4LRU: `min(cur + 1, n-1)`), returning overflow
+    /// evictions.
+    pub fn hit_move_to(
+        &mut self,
+        id: ObjectId,
+        target_seg: usize,
+        tick: Tick,
+    ) -> Vec<EvictedEntry> {
+        assert!(target_seg < self.segments.len());
+        let cur = *self.seg_of.get(&id).expect("hit on non-resident object") as usize;
+        self.segments[cur].record_hit(id, tick);
+        let mut meta = self.segments[cur].remove(id).expect("resident");
+        meta.inserted_at_mru = true;
+        self.segments[target_seg].insert_meta_mru(meta);
+        self.seg_of.insert(id, target_seg as u8);
+        let mut evicted = Vec::new();
+        self.rebalance(self.segments.len() - 1, &mut evicted);
+        evicted
+    }
+
+    /// Move the object one position toward the global MRU end. Crossing a
+    /// segment boundary moves it to the LRU position of the segment above.
+    pub fn promote_one_global(&mut self, id: ObjectId) {
+        let Some(&seg) = self.seg_of.get(&id) else {
+            return;
+        };
+        let seg = seg as usize;
+        let at_front = self.segments[seg]
+            .peek_mru()
+            .is_some_and(|m| m.id == id);
+        if at_front {
+            if seg + 1 < self.segments.len() {
+                let meta = self.segments[seg].remove(id).expect("resident");
+                self.segments[seg + 1].insert_meta_lru(meta);
+                self.seg_of.insert(id, (seg + 1) as u8);
+                // Note: byte budgets are intentionally not rebalanced here;
+                // promote-by-one must not evict. The next insert rebalances.
+            }
+        } else {
+            self.segments[seg].promote_one(id);
+        }
+    }
+
+    /// Remove a resident object without recording an eviction.
+    pub fn remove(&mut self, id: ObjectId) -> Option<EntryMeta> {
+        let seg = self.seg_of.remove(&id)? as usize;
+        self.segments[seg].remove(id)
+    }
+
+    /// Evict the globally least-recent entry (LRU of the lowest non-empty
+    /// segment).
+    pub fn evict_global(&mut self) -> Option<EvictedEntry> {
+        for seg in 0..self.segments.len() {
+            if !self.segments[seg].is_empty() {
+                let victim = self.segments[seg].evict_lru().expect("nonempty");
+                self.seg_of.remove(&victim.id);
+                return Some(victim);
+            }
+        }
+        None
+    }
+
+    /// Iterate a segment's entries MRU→LRU.
+    pub fn iter_segment(&self, seg: usize) -> impl Iterator<Item = &EntryMeta> {
+        self.segments[seg].iter()
+    }
+
+    /// Iterate all entries in global recency order (most protected first).
+    pub fn iter_global(&self) -> impl Iterator<Item = &EntryMeta> {
+        self.segments.iter().rev().flat_map(|s| s.iter())
+    }
+
+    /// Approximate metadata footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.memory_bytes()).sum::<usize>()
+            + self.seg_of.capacity() * (std::mem::size_of::<ObjectId>() + 2 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn global_ids(q: &SegmentedQueue) -> Vec<u64> {
+        q.iter_global().map(|m| m.id.0).collect()
+    }
+
+    #[test]
+    fn budgets_sum_to_capacity() {
+        let q = SegmentedQueue::new(1000, &[0.3, 0.3, 0.4]);
+        assert_eq!(q.budgets.iter().sum::<u64>(), 1000);
+        assert_eq!(q.n_segments(), 3);
+    }
+
+    #[test]
+    fn insert_into_segment_and_lookup() {
+        let mut q = SegmentedQueue::equal(400, 2);
+        let ev = q.insert(1, ObjectId(1), 100, 0);
+        assert!(ev.is_empty());
+        assert_eq!(q.segment_of(ObjectId(1)), Some(1));
+        assert_eq!(q.used_bytes(), 100);
+        assert!(q.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn overflow_cascades_downward() {
+        let mut q = SegmentedQueue::equal(400, 2); // 200 per segment
+        q.insert(1, ObjectId(1), 150, 0);
+        q.insert(1, ObjectId(2), 150, 1); // seg1 over budget: demote id 1
+        assert_eq!(q.segment_of(ObjectId(1)), Some(0));
+        assert_eq!(q.segment_of(ObjectId(2)), Some(1));
+        assert_eq!(q.used_bytes(), 300);
+    }
+
+    #[test]
+    fn overflow_evicts_from_bottom() {
+        let mut q = SegmentedQueue::equal(400, 2);
+        q.insert(1, ObjectId(1), 150, 0);
+        q.insert(1, ObjectId(2), 150, 1);
+        let ev = q.insert(1, ObjectId(3), 150, 2);
+        // id2,id3 in seg1 -> id2 demoted; seg0 holds id1+id2=300 > 200 ->
+        // evict id1.
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].id, ObjectId(1));
+        assert_eq!(q.used_bytes(), 300);
+    }
+
+    #[test]
+    fn s4lru_style_hit_promotion() {
+        let mut q = SegmentedQueue::equal(4000, 4);
+        q.insert(0, ObjectId(1), 100, 0);
+        assert_eq!(q.segment_of(ObjectId(1)), Some(0));
+        q.hit_move_to(ObjectId(1), 1, 1);
+        assert_eq!(q.segment_of(ObjectId(1)), Some(1));
+        assert_eq!(q.get(ObjectId(1)).unwrap().hits, 1);
+        q.hit_move_to(ObjectId(1), 2, 2);
+        assert_eq!(q.segment_of(ObjectId(1)), Some(2));
+        assert_eq!(q.get(ObjectId(1)).unwrap().hits, 2);
+    }
+
+    #[test]
+    fn global_order_concatenates_segments() {
+        let mut q = SegmentedQueue::equal(10_000, 2);
+        q.insert(1, ObjectId(1), 10, 0);
+        q.insert(1, ObjectId(2), 10, 1);
+        q.insert(0, ObjectId(3), 10, 2);
+        q.insert(0, ObjectId(4), 10, 3);
+        // seg1: 2,1 ; seg0: 4,3 → global: 2 1 4 3
+        assert_eq!(global_ids(&q), vec![2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn evict_global_prefers_lowest_segment() {
+        let mut q = SegmentedQueue::equal(10_000, 2);
+        q.insert(1, ObjectId(1), 10, 0);
+        q.insert(0, ObjectId(2), 10, 1);
+        let v = q.evict_global().unwrap();
+        assert_eq!(v.id, ObjectId(2));
+        let v = q.evict_global().unwrap();
+        assert_eq!(v.id, ObjectId(1));
+        assert!(q.evict_global().is_none());
+    }
+
+    #[test]
+    fn promote_one_within_and_across_segments() {
+        let mut q = SegmentedQueue::equal(10_000, 2);
+        q.insert(0, ObjectId(1), 10, 0);
+        q.insert(0, ObjectId(2), 10, 1);
+        // seg0 order: 2,1
+        q.promote_one_global(ObjectId(1));
+        assert_eq!(global_ids(&q), vec![1, 2]);
+        // id 1 now at front of seg0: next promote crosses into seg1 (LRU
+        // position of seg1).
+        q.promote_one_global(ObjectId(1));
+        assert_eq!(q.segment_of(ObjectId(1)), Some(1));
+        q.insert(1, ObjectId(3), 10, 2);
+        assert_eq!(global_ids(&q), vec![3, 1, 2]);
+        // At front of the top segment: promote is a no-op.
+        q.promote_one_global(ObjectId(3));
+        assert_eq!(global_ids(&q), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn remove_frees_without_evicting() {
+        let mut q = SegmentedQueue::equal(400, 2);
+        q.insert(1, ObjectId(1), 100, 0);
+        let m = q.remove(ObjectId(1)).unwrap();
+        assert_eq!(m.size, 100);
+        assert!(q.is_empty());
+        assert!(q.remove(ObjectId(1)).is_none());
+    }
+
+    #[test]
+    fn meta_preserved_across_demotion() {
+        let mut q = SegmentedQueue::equal(400, 2);
+        q.insert(1, ObjectId(1), 150, 0);
+        q.hit_move_to(ObjectId(1), 1, 5);
+        q.insert(1, ObjectId(2), 150, 6); // demotes id 1 to seg0
+        let m = q.get(ObjectId(1)).unwrap();
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.inserted_tick, 0);
+        assert_eq!(m.last_access, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_fractions_rejected() {
+        let _ = SegmentedQueue::new(100, &[0.5, 0.2]);
+    }
+}

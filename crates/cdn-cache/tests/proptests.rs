@@ -1,0 +1,192 @@
+//! Property-based tests for the cache substrate: the slab list is checked
+//! against a `VecDeque` reference model, and the queues' byte accounting
+//! invariants are exercised with random operation sequences.
+
+use cdn_cache::ghost::GhostEntry;
+use cdn_cache::{GhostList, LinkedSlab, LruQueue, ObjectId, SegmentedQueue};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    PushFront(u32),
+    PushBack(u32),
+    PopFront,
+    PopBack,
+    MoveToFront(usize),
+    MoveToBack(usize),
+    Remove(usize),
+    PromoteOne(usize),
+}
+
+fn list_op() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        any::<u32>().prop_map(ListOp::PushFront),
+        any::<u32>().prop_map(ListOp::PushBack),
+        Just(ListOp::PopFront),
+        Just(ListOp::PopBack),
+        any::<usize>().prop_map(ListOp::MoveToFront),
+        any::<usize>().prop_map(ListOp::MoveToBack),
+        any::<usize>().prop_map(ListOp::Remove),
+        any::<usize>().prop_map(ListOp::PromoteOne),
+    ]
+}
+
+proptest! {
+    /// LinkedSlab behaves exactly like a VecDeque under a random op mix.
+    #[test]
+    fn linked_slab_matches_vecdeque(ops in proptest::collection::vec(list_op(), 1..200)) {
+        use std::collections::VecDeque;
+        let mut list = LinkedSlab::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        // Track handles in model (front-to-back) order.
+        let mut handles: VecDeque<cdn_cache::Handle> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                ListOp::PushFront(v) => {
+                    handles.push_front(list.push_front(v));
+                    model.push_front(v);
+                }
+                ListOp::PushBack(v) => {
+                    handles.push_back(list.push_back(v));
+                    model.push_back(v);
+                }
+                ListOp::PopFront => {
+                    prop_assert_eq!(list.pop_front(), model.pop_front());
+                    handles.pop_front();
+                }
+                ListOp::PopBack => {
+                    prop_assert_eq!(list.pop_back(), model.pop_back());
+                    handles.pop_back();
+                }
+                ListOp::MoveToFront(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        let h = handles.remove(i).unwrap();
+                        let v = model.remove(i).unwrap();
+                        list.move_to_front(h);
+                        handles.push_front(h);
+                        model.push_front(v);
+                    }
+                }
+                ListOp::MoveToBack(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        let h = handles.remove(i).unwrap();
+                        let v = model.remove(i).unwrap();
+                        list.move_to_back(h);
+                        handles.push_back(h);
+                        model.push_back(v);
+                    }
+                }
+                ListOp::Remove(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        let h = handles.remove(i).unwrap();
+                        let v = model.remove(i).unwrap();
+                        prop_assert_eq!(list.remove(h), v);
+                    }
+                }
+                ListOp::PromoteOne(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        let h = handles[i];
+                        list.promote_one(h);
+                        if i > 0 {
+                            handles.swap(i, i - 1);
+                            model.swap(i, i - 1);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+            let got: Vec<u32> = list.iter().copied().collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// LruQueue never exceeds capacity when evictions are honoured, and its
+    /// byte accounting matches a recomputed sum.
+    #[test]
+    fn lru_queue_byte_accounting(
+        ops in proptest::collection::vec((0u64..50, 1u64..200, any::<bool>()), 1..300)
+    ) {
+        let capacity = 1000u64;
+        let mut q = LruQueue::new(capacity);
+        for (tick, (id, size, at_mru)) in ops.into_iter().enumerate() {
+            let id = ObjectId(id);
+            if q.contains(id) {
+                q.record_hit(id, tick as u64);
+                q.promote_to_mru(id);
+            } else if size <= capacity {
+                while q.needs_eviction_for(size) {
+                    prop_assert!(q.evict_lru().is_some());
+                }
+                if at_mru {
+                    q.insert_mru(id, size, tick as u64);
+                } else {
+                    q.insert_lru(id, size, tick as u64);
+                }
+            }
+            prop_assert!(q.used_bytes() <= capacity);
+            let recomputed: u64 = q.iter().map(|m| m.size).sum();
+            prop_assert_eq!(recomputed, q.used_bytes());
+            prop_assert_eq!(q.iter().count(), q.len());
+        }
+    }
+
+    /// GhostList stays within its byte budget and membership matches its
+    /// iterated contents.
+    #[test]
+    fn ghost_list_budget(
+        ops in proptest::collection::vec((0u64..40, 1u64..150), 1..300)
+    ) {
+        let budget = 500u64;
+        let mut g = GhostList::new(budget);
+        for (tick, (id, size)) in ops.into_iter().enumerate() {
+            g.add(GhostEntry {
+                id: ObjectId(id),
+                size,
+                evicted_tick: tick as u64,
+                tag: 0,
+            });
+            prop_assert!(g.used_bytes() <= budget);
+            let sum: u64 = g.iter().map(|e| e.size).sum();
+            prop_assert_eq!(sum, g.used_bytes());
+            for e in g.iter() {
+                prop_assert!(g.contains(e.id));
+            }
+        }
+    }
+
+    /// SegmentedQueue conserves bytes: inserted = resident + evicted, and
+    /// per-segment budgets hold after every insert.
+    #[test]
+    fn segmented_queue_conservation(
+        n_segments in 1usize..5,
+        ops in proptest::collection::vec((0u64..60, 1u64..100, 0usize..8), 1..200)
+    ) {
+        let capacity = 800u64;
+        let mut q = SegmentedQueue::equal(capacity, n_segments);
+        let mut inserted = 0u64;
+        let mut evicted = 0u64;
+        for (tick, (id, size, seg)) in ops.into_iter().enumerate() {
+            let id = ObjectId(id);
+            let seg = seg % n_segments;
+            if q.contains(id) {
+                let target = (q.segment_of(id).unwrap() + 1).min(n_segments - 1);
+                for v in q.hit_move_to(id, target, tick as u64) {
+                    evicted += v.size;
+                }
+            } else {
+                inserted += size;
+                for v in q.insert(seg, id, size, tick as u64) {
+                    evicted += v.size;
+                }
+            }
+            prop_assert_eq!(q.used_bytes(), inserted - evicted);
+            prop_assert!(q.used_bytes() <= capacity);
+        }
+    }
+}

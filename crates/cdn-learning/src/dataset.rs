@@ -1,0 +1,230 @@
+//! Feature matrices, normalisation, splits and metrics.
+
+use cdn_cache::SimRng;
+
+/// A dense binary-classification dataset (row-major features).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature rows; all rows must share a length.
+    pub x: Vec<Vec<f64>>,
+    /// Labels in `{0, 1}`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one labelled sample.
+    pub fn push(&mut self, features: Vec<f64>, label: f64) {
+        debug_assert!(label == 0.0 || label == 1.0, "binary labels only");
+        if let Some(first) = self.x.first() {
+            debug_assert_eq!(first.len(), features.len(), "ragged features");
+        }
+        self.x.push(features);
+        self.y.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty set).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.y.iter().sum::<f64>() / self.y.len() as f64
+        }
+    }
+
+    /// Split into (train, test) by time order: the first `train_frac` of
+    /// samples train, the rest test. Temporal splits match how a cache
+    /// would actually deploy a model (no lookahead leakage).
+    pub fn temporal_split(&self, train_frac: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let cut = (self.len() as f64 * train_frac) as usize;
+        (
+            Dataset {
+                x: self.x[..cut].to_vec(),
+                y: self.y[..cut].to_vec(),
+            },
+            Dataset {
+                x: self.x[cut..].to_vec(),
+                y: self.y[cut..].to_vec(),
+            },
+        )
+    }
+
+    /// Downsample the majority class so classes are balanced (the paper
+    /// notes heuristics "favor the side with a large number" — balancing
+    /// the training set removes that bias for the learned models).
+    pub fn balanced(&self, rng: &mut SimRng) -> Dataset {
+        let pos: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == 1.0).collect();
+        let neg: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == 0.0).collect();
+        let (mut majority, minority) = if pos.len() > neg.len() {
+            (pos, neg)
+        } else {
+            (neg, pos)
+        };
+        rng.shuffle(&mut majority);
+        majority.truncate(minority.len());
+        let mut idx: Vec<usize> = minority.into_iter().chain(majority).collect();
+        rng.shuffle(&mut idx);
+        Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// Per-feature z-score normalisation fitted on a training set.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fit means and standard deviations on `x`.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a normalizer on no data");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for row in x {
+            for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                let d = v - m;
+                *s += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd < 1e-12 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        Normalizer { mean, std }
+    }
+
+    /// Normalise a single row in place.
+    pub fn apply(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Normalise a whole matrix in place.
+    pub fn apply_all(&self, x: &mut [Vec<f64>]) {
+        for row in x {
+            self.apply(row);
+        }
+    }
+}
+
+/// Classification accuracy of a scoring function thresholded at 0.5.
+pub fn accuracy<F: Fn(&[f64]) -> f64>(x: &[Vec<f64>], y: &[f64], score: F) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.is_empty() {
+        return 0.0;
+    }
+    let correct = x
+        .iter()
+        .zip(y)
+        .filter(|(row, &label)| (score(row) >= 0.5) == (label == 1.0))
+        .count();
+    correct as f64 / x.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64, 1.0], if i < 3 { 1.0 } else { 0.0 });
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_dims() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 2);
+        assert!((d.positive_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temporal_split_preserves_order() {
+        let d = toy();
+        let (tr, te) = d.temporal_split(0.7);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        assert_eq!(te.x[0][0], 7.0);
+    }
+
+    #[test]
+    fn balanced_equalises_classes() {
+        let d = toy();
+        let mut rng = SimRng::new(1);
+        let b = d.balanced(&mut rng);
+        assert_eq!(b.len(), 6);
+        assert!((b.positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizer_zero_mean_unit_std() {
+        let d = toy();
+        let norm = Normalizer::fit(&d.x);
+        let mut x = d.x.clone();
+        norm.apply_all(&mut x);
+        let n = x.len() as f64;
+        for j in 0..2 {
+            let mean: f64 = x.iter().map(|r| r[j]).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-9, "col {j} mean {mean}");
+        }
+        let var0: f64 = x.iter().map(|r| r[0] * r[0]).sum::<f64>() / n;
+        assert!((var0 - 1.0).abs() < 1e-9);
+        // Constant column maps to zeros (std clamped to 1), not NaN.
+        assert!(x.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0.0, 1.0, 1.0];
+        let acc = accuracy(&x, &y, |r| if r[0] > 0.5 { 1.0 } else { 0.0 });
+        assert!((acc - 1.0).abs() < 1e-12);
+        let acc = accuracy(&x, &y, |_| 1.0);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,369 @@
+//! Gradient-boosted regression trees (the paper's "GBM", and the model
+//! inside LRB and GL-Cache).
+//!
+//! Least-squares boosting (Friedman 2001): each CART regression tree fits
+//! the residual of the ensemble so far, scaled by a shrinkage factor.
+//! Splits are chosen by exhaustive SSE reduction over quantile candidate
+//! thresholds — exact enough at cache-feature dimensionality and orders of
+//! magnitude cheaper than scanning every unique value.
+
+use crate::Classifier;
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtParams {
+    /// Number of boosted trees.
+    pub n_trees: usize,
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Shrinkage (learning rate).
+    pub shrinkage: f64,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+    /// Candidate thresholds per feature per node.
+    pub n_thresholds: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_trees: 30,
+            max_depth: 4,
+            shrinkage: 0.2,
+            min_leaf: 8,
+            n_thresholds: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// One CART regression tree.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Fit a tree to targets `r` on rows `idx` of `x`.
+    fn fit(x: &[Vec<f64>], r: &[f64], idx: &mut [usize], params: &GbdtParams) -> Tree {
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.build(x, r, idx, 0, params);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        r: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        params: &GbdtParams,
+    ) -> u32 {
+        let n = idx.len();
+        let mean = idx.iter().map(|&i| r[i]).sum::<f64>() / n as f64;
+        if depth >= params.max_depth || n < 2 * params.min_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return (self.nodes.len() - 1) as u32;
+        }
+        let sse =
+            |items: &[usize]| -> (f64, f64) {
+                let m = items.iter().map(|&i| r[i]).sum::<f64>() / items.len() as f64;
+                (
+                    items.iter().map(|&i| (r[i] - m) * (r[i] - m)).sum::<f64>(),
+                    m,
+                )
+            };
+        let (parent_sse, _) = sse(idx);
+        let dim = x[0].len();
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut vals: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..dim {
+            vals.clear();
+            vals.extend(idx.iter().map(|&i| x[i][f]));
+            vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN features"));
+            if vals[0] == vals[n - 1] {
+                continue; // constant feature at this node
+            }
+            for q in 1..=params.n_thresholds {
+                let pos = q * (n - 1) / (params.n_thresholds + 1);
+                let threshold = vals[pos];
+                if threshold == vals[n - 1] {
+                    continue; // nothing would go right
+                }
+                // One pass: left/right sums for SSE reduction.
+                let (mut ln, mut ls, mut lss) = (0usize, 0.0f64, 0.0f64);
+                let (mut rn, mut rs, mut rss) = (0usize, 0.0f64, 0.0f64);
+                for &i in idx.iter() {
+                    let v = r[i];
+                    if x[i][f] <= threshold {
+                        ln += 1;
+                        ls += v;
+                        lss += v * v;
+                    } else {
+                        rn += 1;
+                        rs += v;
+                        rss += v * v;
+                    }
+                }
+                if ln < params.min_leaf || rn < params.min_leaf {
+                    continue;
+                }
+                let child_sse =
+                    (lss - ls * ls / ln as f64) + (rss - rs * rs / rn as f64);
+                let gain = parent_sse - child_sse;
+                if best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+        let Some((gain, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return (self.nodes.len() - 1) as u32;
+        };
+        if gain <= 1e-12 {
+            self.nodes.push(Node::Leaf { value: mean });
+            return (self.nodes.len() - 1) as u32;
+        }
+        // Partition indices in place.
+        let split_at = partition(idx, |&i| x[i][feature] <= threshold);
+        let node_slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let (left_idx, right_idx) = idx.split_at_mut(split_at);
+        let left = self.build(x, r, left_idx, depth + 1, params);
+        let right = self.build(x, r, right_idx, depth + 1, params);
+        self.nodes[node_slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_slot as u32
+    }
+}
+
+/// Stable-order partition: moves elements satisfying `pred` to the front,
+/// returning the boundary.
+fn partition<T: Copy, F: Fn(&T) -> bool>(items: &mut [T], pred: F) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(items.len());
+    buf.extend(items.iter().copied().filter(|t| pred(t)));
+    let boundary = buf.len();
+    buf.extend(items.iter().copied().filter(|t| !pred(t)));
+    items.copy_from_slice(&buf);
+    boundary
+}
+
+/// Gradient-boosted tree ensemble for regression and classification.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    params: GbdtParams,
+    base: f64,
+    trees: Vec<Tree>,
+}
+
+impl Gbdt {
+    /// Untrained ensemble with the given hyper-parameters.
+    pub fn new(params: GbdtParams) -> Self {
+        Gbdt {
+            params,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Least-squares boosting on arbitrary real targets.
+    pub fn fit_regression(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        self.trees.clear();
+        if x.is_empty() {
+            self.base = 0.0;
+            return;
+        }
+        self.base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut pred: Vec<f64> = vec![self.base; y.len()];
+        let mut residual = vec![0.0f64; y.len()];
+        let mut idx: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..self.params.n_trees {
+            for i in 0..y.len() {
+                residual[i] = y[i] - pred[i];
+            }
+            let tree = Tree::fit(x, &residual, &mut idx, &self.params);
+            for (i, row) in x.iter().enumerate() {
+                pred[i] += self.params.shrinkage * tree.predict(row);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    /// Raw regression prediction.
+    pub fn predict_raw(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.params.shrinkage
+                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Approximate model footprint in bytes (for resource figures).
+    pub fn memory_bytes(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.nodes.len() * std::mem::size_of::<Node>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+impl Classifier for Gbdt {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        self.fit_regression(x, y);
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        self.predict_raw(x).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::accuracy;
+    use cdn_cache::SimRng;
+
+    #[test]
+    fn partition_is_stable() {
+        let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let b = partition(&mut v, |&x| x % 2 == 0);
+        assert_eq!(b, 3);
+        assert_eq!(v, vec![4, 2, 6, 3, 1, 1, 5, 9]);
+    }
+
+    #[test]
+    fn fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| f64::from(r[0] > 0.6)).collect();
+        let mut m = Gbdt::new(GbdtParams::default());
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn fits_nonlinear_interaction() {
+        // XOR-style checkerboard: trees must model interactions.
+        let mut rng = SimRng::new(16);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..3000 {
+            let a = rng.f64_range(-1.0, 1.0);
+            let b = rng.f64_range(-1.0, 1.0);
+            x.push(vec![a, b]);
+            y.push(f64::from((a > 0.0) != (b > 0.0)));
+        }
+        let mut m = Gbdt::new(GbdtParams {
+            n_trees: 40,
+            max_depth: 3,
+            ..GbdtParams::default()
+        });
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn regression_reduces_error_with_more_trees() {
+        let x: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 400.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| (r[0] * std::f64::consts::TAU).sin())
+            .collect();
+        let mse = |m: &Gbdt| {
+            x.iter()
+                .zip(&y)
+                .map(|(r, &t)| (m.predict_raw(r) - t).powi(2))
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        let mut small = Gbdt::new(GbdtParams {
+            n_trees: 3,
+            ..GbdtParams::default()
+        });
+        small.fit_regression(&x, &y);
+        let mut big = Gbdt::new(GbdtParams {
+            n_trees: 50,
+            ..GbdtParams::default()
+        });
+        big.fit_regression(&x, &y);
+        assert!(mse(&big) < mse(&small) * 0.5, "{} vs {}", mse(&big), mse(&small));
+        assert!(mse(&big) < 0.01, "big mse {}", mse(&big));
+    }
+
+    #[test]
+    fn constant_target_gives_constant_prediction() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![0.7; 50];
+        let mut m = Gbdt::new(GbdtParams::default());
+        m.fit_regression(&x, &y);
+        assert!((m.predict_raw(&[25.0]) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let mut m = Gbdt::new(GbdtParams::default());
+        m.fit_regression(&[], &[]);
+        assert_eq!(m.predict_raw(&[1.0]), 0.0);
+        assert_eq!(m.n_trees(), 0);
+    }
+
+    #[test]
+    fn memory_reporting_grows_with_trees() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| f64::from(i % 2 == 0)).collect();
+        let mut a = Gbdt::new(GbdtParams {
+            n_trees: 2,
+            ..GbdtParams::default()
+        });
+        a.fit(&x, &y);
+        let mut b = Gbdt::new(GbdtParams {
+            n_trees: 20,
+            ..GbdtParams::default()
+        });
+        b.fit(&x, &y);
+        assert!(b.memory_bytes() > a.memory_bytes());
+    }
+}

@@ -1,0 +1,77 @@
+//! Learning substrate for the SCIP reproduction.
+//!
+//! The paper's Figure 4 compares six model families on ZRO / P-ZRO
+//! identification — linear regression, logistic regression, a linear SVM, a
+//! one-hidden-layer neural network, a gradient boosting machine and a
+//! multi-armed bandit — and its baselines LRB and GL-Cache embed gradient
+//! boosted trees. All are implemented here from scratch on plain `f64`
+//! slices: the feature dimensionality of cache metadata is tiny (≤ 16), so
+//! cache-friendly dense loops beat any linear-algebra dependency.
+//!
+//! - [`dataset`]: feature matrices, z-score normalisation, splits, metrics.
+//! - [`linreg`]: linear regression (SGD, squared loss).
+//! - [`logreg`]: logistic regression (SGD, log loss).
+//! - [`svm`]: linear SVM (SGD, hinge loss + L2).
+//! - [`mlp`]: one-hidden-layer fully-connected network (backprop).
+//! - [`gbdt`]: gradient-boosted regression trees (CART + boosting).
+//! - [`mab`]: contextual multi-armed bandit with exponential weights — the
+//!   model family SCIP itself builds on.
+
+pub mod dataset;
+pub mod gbdt;
+pub mod linreg;
+pub mod logreg;
+pub mod mab;
+pub mod mlp;
+pub mod svm;
+
+pub use dataset::{accuracy, Dataset, Normalizer};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use linreg::LinReg;
+pub use logreg::LogReg;
+pub use mab::{BanditArm, ContextualBandit};
+pub use mlp::Mlp;
+pub use svm::LinearSvm;
+
+/// A binary classifier over dense feature slices.
+///
+/// `predict_score` returns a score in `[0, 1]`; `predict` thresholds it at
+/// 0.5. Scores are probabilities for models that produce them (logreg, MLP,
+/// GBDT-with-sigmoid) and squashed regression/margin values otherwise.
+pub trait Classifier {
+    /// Fit on features `x` (row-major) and labels `y ∈ {0, 1}`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Score one sample in `[0, 1]`.
+    fn predict_score(&self, x: &[f64]) -> f64;
+
+    /// Hard 0/1 decision.
+    fn predict(&self, x: &[f64]) -> bool {
+        self.predict_score(x) >= 0.5
+    }
+}
+
+/// Numerically-stable logistic sigmoid, shared by several models.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sigmoid;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+}

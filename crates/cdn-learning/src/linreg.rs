@@ -1,0 +1,132 @@
+//! Linear regression trained by SGD, used as a thresholded classifier
+//! (the paper's "LinReg" baseline in Figure 4).
+
+use cdn_cache::SimRng;
+
+use crate::Classifier;
+
+/// Linear regression: `ŷ = w·x + b`, squared loss, L2 regularisation.
+#[derive(Debug, Clone)]
+pub struct LinReg {
+    w: Vec<f64>,
+    b: f64,
+    /// SGD step size.
+    pub lr: f64,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Passes over the data.
+    pub epochs: usize,
+    seed: u64,
+}
+
+impl LinReg {
+    /// Model for `dim` features with default hyper-parameters.
+    pub fn new(dim: usize) -> Self {
+        LinReg {
+            w: vec![0.0; dim],
+            b: 0.0,
+            lr: 0.05,
+            l2: 1e-4,
+            epochs: 30,
+            seed: 17,
+        }
+    }
+
+    /// Raw (unsquashed) prediction.
+    pub fn raw(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.w.len());
+        self.b + self.w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// Learned weights (for inspection).
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+}
+
+impl Classifier for LinReg {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return;
+        }
+        let dim = x[0].len();
+        if self.w.len() != dim {
+            self.w = vec![0.0; dim];
+        }
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(self.seed);
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            // 1/t learning-rate decay keeps late epochs from oscillating.
+            let step = self.lr / (1.0 + epoch as f64 * 0.2);
+            for &i in &order {
+                let err = self.raw(&x[i]) - y[i];
+                self.b -= step * err;
+                for (w, v) in self.w.iter_mut().zip(&x[i]) {
+                    *w -= step * (err * v + self.l2 * *w);
+                }
+            }
+        }
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        // Regression output clamped into [0,1]; 0.5 threshold as in the
+        // classic "linear probability model" classifier.
+        self.raw(x).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::accuracy;
+
+    fn separable(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SimRng::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.f64_range(-1.0, 1.0);
+            let b = rng.f64_range(-1.0, 1.0);
+            x.push(vec![a, b]);
+            y.push(if a + b > 0.0 { 1.0 } else { 0.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (x, y) = separable(2000, 3);
+        let mut m = LinReg::new(2);
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn recovers_plane_weights_direction() {
+        let (x, y) = separable(3000, 5);
+        let mut m = LinReg::new(2);
+        m.fit(&x, &y);
+        let w = m.weights();
+        // True separator is a+b=0: both weights positive and similar.
+        assert!(w[0] > 0.0 && w[1] > 0.0);
+        assert!((w[0] / w[1] - 1.0).abs() < 0.3, "weights {w:?}");
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut m = LinReg::new(2);
+        m.fit(&[], &[]);
+        assert_eq!(m.predict_score(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn scores_clamped() {
+        let mut m = LinReg::new(1);
+        m.fit(&[vec![10.0], vec![-10.0]], &[1.0, 0.0]);
+        assert!(m.predict_score(&[1000.0]) <= 1.0);
+        assert!(m.predict_score(&[-1000.0]) >= 0.0);
+    }
+}

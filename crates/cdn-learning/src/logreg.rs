@@ -1,0 +1,115 @@
+//! Logistic regression trained by SGD (Figure 4's "LogReg").
+
+use cdn_cache::SimRng;
+
+use crate::{sigmoid, Classifier};
+
+/// Logistic regression: `p = σ(w·x + b)`, log loss, L2 regularisation.
+#[derive(Debug, Clone)]
+pub struct LogReg {
+    w: Vec<f64>,
+    b: f64,
+    /// SGD step size.
+    pub lr: f64,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Passes over the data.
+    pub epochs: usize,
+    seed: u64,
+}
+
+impl LogReg {
+    /// Model for `dim` features with default hyper-parameters.
+    pub fn new(dim: usize) -> Self {
+        LogReg {
+            w: vec![0.0; dim],
+            b: 0.0,
+            lr: 0.1,
+            l2: 1e-4,
+            epochs: 30,
+            seed: 19,
+        }
+    }
+
+    fn margin(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.w.len());
+        self.b + self.w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+impl Classifier for LogReg {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return;
+        }
+        let dim = x[0].len();
+        if self.w.len() != dim {
+            self.w = vec![0.0; dim];
+        }
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(self.seed);
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let step = self.lr / (1.0 + epoch as f64 * 0.2);
+            for &i in &order {
+                // d(logloss)/d(margin) = p - y.
+                let err = sigmoid(self.margin(&x[i])) - y[i];
+                self.b -= step * err;
+                for (w, v) in self.w.iter_mut().zip(&x[i]) {
+                    *w -= step * (err * v + self.l2 * *w);
+                }
+            }
+        }
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        sigmoid(self.margin(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::accuracy;
+
+    #[test]
+    fn learns_separable_data() {
+        let mut rng = SimRng::new(4);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..2000 {
+            let a = rng.f64_range(-1.0, 1.0);
+            let b = rng.f64_range(-1.0, 1.0);
+            x.push(vec![a, b]);
+            y.push(if 2.0 * a - b > 0.3 { 1.0 } else { 0.0 });
+        }
+        let mut m = LogReg::new(2);
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_calibrated_on_noise() {
+        // Pure label noise: the model should sit near p = positive rate.
+        let mut rng = SimRng::new(6);
+        let x: Vec<Vec<f64>> = (0..1000).map(|_| vec![rng.f64()]).collect();
+        let y: Vec<f64> = (0..1000).map(|_| f64::from(rng.chance(0.7))).collect();
+        let mut m = LogReg::new(1);
+        m.fit(&x, &y);
+        let mean: f64 =
+            x.iter().map(|r| m.predict_score(r)).sum::<f64>() / x.len() as f64;
+        assert!((mean - 0.7).abs() < 0.1, "mean p {mean}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let mut m = LogReg::new(1);
+        m.fit(&[vec![5.0], vec![-5.0]], &[1.0, 0.0]);
+        let hi = m.predict_score(&[100.0]);
+        let lo = m.predict_score(&[-100.0]);
+        assert!((0.0..=1.0).contains(&hi) && (0.0..=1.0).contains(&lo));
+        assert!(hi > lo);
+    }
+}

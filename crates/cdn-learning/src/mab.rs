@@ -1,0 +1,190 @@
+//! Multi-armed bandit with multiplicative-weight updates (Figure 4's "MAB").
+//!
+//! This is the model family SCIP itself is built on: a small number of arms
+//! whose selection probabilities are adjusted multiplicatively (`ω ← ω·e^{-λ}`
+//! on evidence against an arm, then renormalised). For the classification
+//! benchmark of Figure 4 we make it *contextual*: feature vectors are
+//! discretised into quantile buckets, and each context bucket holds its own
+//! arm weights, learned online in one temporal pass — exactly how a cache
+//! would run it, and the reason the paper calls out MAB's ability to "make
+//! decisions from a global perspective" at near-zero cost.
+
+use cdn_cache::hash::mix64;
+use cdn_cache::FxHashMap;
+
+use crate::Classifier;
+
+/// One arm's weight (public for inspection in tests/experiments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BanditArm {
+    /// Current selection weight; weights of one context sum to 1.
+    pub weight: f64,
+}
+
+/// Contextual two-arm bandit classifier.
+#[derive(Debug, Clone)]
+pub struct ContextualBandit {
+    /// Quantile boundaries per feature (fitted on training data).
+    boundaries: Vec<Vec<f64>>,
+    /// Context key → arm weights `[w_class0, w_class1]`.
+    contexts: FxHashMap<u64, [f64; 2]>,
+    /// Multiplicative penalty exponent.
+    pub lambda: f64,
+    /// Buckets per feature.
+    pub buckets: usize,
+    /// Floor on weights to keep exploration alive.
+    pub floor: f64,
+}
+
+impl ContextualBandit {
+    /// Bandit with `buckets` quantile buckets per feature.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 2);
+        ContextualBandit {
+            boundaries: Vec::new(),
+            contexts: FxHashMap::default(),
+            lambda: 0.3,
+            buckets,
+            floor: 0.02,
+        }
+    }
+
+    fn fit_boundaries(&mut self, x: &[Vec<f64>]) {
+        let dim = x[0].len();
+        self.boundaries = (0..dim)
+            .map(|f| {
+                let mut vals: Vec<f64> = x.iter().map(|r| r[f]).collect();
+                vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                (1..self.buckets)
+                    .map(|q| vals[q * (vals.len() - 1) / self.buckets])
+                    .collect()
+            })
+            .collect();
+    }
+
+    fn context_key(&self, x: &[f64]) -> u64 {
+        let mut key = 0xcbf29ce484222325u64;
+        for (f, bounds) in self.boundaries.iter().enumerate() {
+            let bucket = bounds.partition_point(|&b| b < x[f]) as u64;
+            key = mix64(key ^ (f as u64) << 32 ^ bucket);
+        }
+        key
+    }
+
+    /// One online update: observe `(x, label)`, penalise the wrong arm.
+    pub fn update(&mut self, x: &[f64], label: bool) {
+        let key = self.context_key(x);
+        let w = self.contexts.entry(key).or_insert([0.5, 0.5]);
+        let wrong = usize::from(!label);
+        w[wrong] *= (-self.lambda).exp();
+        let sum = w[0] + w[1];
+        w[0] = (w[0] / sum).clamp(self.floor, 1.0 - self.floor);
+        w[1] = 1.0 - w[0];
+    }
+
+    /// Arm weights for a sample's context (`[w0, w1]`, uniform if unseen).
+    pub fn arms(&self, x: &[f64]) -> [BanditArm; 2] {
+        let w = self
+            .contexts
+            .get(&self.context_key(x))
+            .copied()
+            .unwrap_or([0.5, 0.5]);
+        [BanditArm { weight: w[0] }, BanditArm { weight: w[1] }]
+    }
+
+    /// Number of distinct contexts touched so far.
+    pub fn n_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+}
+
+impl Classifier for ContextualBandit {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        if x.is_empty() {
+            return;
+        }
+        self.contexts.clear();
+        self.fit_boundaries(x);
+        // Single temporal pass: bandits learn online, not by epochs.
+        for (row, &label) in x.iter().zip(y) {
+            self.update(row, label == 1.0);
+        }
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        self.arms(x)[1].weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::accuracy;
+    use cdn_cache::SimRng;
+
+    #[test]
+    fn learns_bucketable_boundary() {
+        let mut rng = SimRng::new(20);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..4000 {
+            let a = rng.f64_range(0.0, 1.0);
+            x.push(vec![a]);
+            y.push(f64::from(a > 0.5));
+        }
+        let mut m = ContextualBandit::new(8);
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn adapts_to_distribution_shift() {
+        // The mapping flips halfway: online multiplicative weights recover,
+        // which is the property the paper leans on for dynamic workloads.
+        let mut m = ContextualBandit::new(2);
+        let x: Vec<Vec<f64>> = (0..2000).map(|i| vec![f64::from(i % 2 == 0)]).collect();
+        m.fit_boundaries(&x);
+        for r in x.iter().take(1000) {
+            m.update(r, r[0] > 0.5);
+        }
+        assert!(m.predict_score(&[1.0]) > 0.5);
+        for r in x.iter().take(1000) {
+            m.update(r, r[0] <= 0.5); // flipped concept
+        }
+        assert!(m.predict_score(&[1.0]) < 0.5, "should have flipped");
+    }
+
+    #[test]
+    fn weights_stay_normalised_and_floored() {
+        let mut m = ContextualBandit::new(2);
+        m.fit_boundaries(&[vec![0.0], vec![1.0]]);
+        for _ in 0..1000 {
+            m.update(&[0.7], true);
+        }
+        let arms = m.arms(&[0.7]);
+        let sum = arms[0].weight + arms[1].weight;
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(arms[0].weight >= m.floor - 1e-12);
+        assert!(arms[1].weight > 0.9);
+    }
+
+    #[test]
+    fn unseen_context_is_uniform() {
+        let m = ContextualBandit::new(4);
+        assert_eq!(m.predict_score(&[]), 0.5);
+    }
+
+    #[test]
+    fn contexts_grow_with_data_diversity() {
+        let mut rng = SimRng::new(22);
+        let x: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.f64(), rng.f64()])
+            .collect();
+        let y: Vec<f64> = (0..500).map(|i| f64::from(i % 2 == 0)).collect();
+        let mut m = ContextualBandit::new(4);
+        m.fit(&x, &y);
+        assert!(m.n_contexts() > 4, "contexts {}", m.n_contexts());
+        assert!(m.n_contexts() <= 16);
+    }
+}

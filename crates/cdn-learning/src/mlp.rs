@@ -1,0 +1,173 @@
+//! One-hidden-layer fully-connected network (Figure 4's "NN").
+//!
+//! The paper uses 1024 hidden neurons; that width is tractable here too,
+//! but the default is 64 because accuracy on ≤16-dimensional cache features
+//! saturates far below 1024 and experiments run hundreds of fits. ReLU
+//! hidden activation, sigmoid output, log loss, plain SGD with shuffling.
+
+use cdn_cache::SimRng;
+
+use crate::{sigmoid, Classifier};
+
+/// `dim → hidden → 1` multi-layer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    dim: usize,
+    hidden: usize,
+    /// Row-major `hidden × dim` input weights.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    /// SGD step size.
+    pub lr: f64,
+    /// Passes over the data.
+    pub epochs: usize,
+    seed: u64,
+}
+
+impl Mlp {
+    /// Network with the given hidden width.
+    pub fn with_hidden(dim: usize, hidden: usize) -> Self {
+        let mut rng = SimRng::new(29);
+        // He initialisation for ReLU.
+        let scale1 = (2.0 / dim.max(1) as f64).sqrt();
+        let scale2 = (2.0 / hidden as f64).sqrt();
+        Mlp {
+            dim,
+            hidden,
+            w1: (0..hidden * dim)
+                .map(|_| rng.normal() * scale1)
+                .collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden).map(|_| rng.normal() * scale2).collect(),
+            b2: 0.0,
+            lr: 0.05,
+            epochs: 20,
+            seed: 31,
+        }
+    }
+
+    /// Default width (64 hidden units).
+    pub fn new(dim: usize) -> Self {
+        Self::with_hidden(dim, 64)
+    }
+
+    /// Paper-scale width (1024 hidden units) for fidelity runs.
+    pub fn paper_scale(dim: usize) -> Self {
+        Self::with_hidden(dim, 1024)
+    }
+
+    /// Forward pass; fills `h` with hidden activations and returns the
+    /// output probability.
+    fn forward(&self, x: &[f64], h: &mut [f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        for (j, hj) in h.iter_mut().enumerate() {
+            let row = &self.w1[j * self.dim..(j + 1) * self.dim];
+            let z = self.b1[j] + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+            *hj = z.max(0.0); // ReLU
+        }
+        let z2 = self.b2 + self.w2.iter().zip(h.iter()).map(|(w, v)| w * v).sum::<f64>();
+        sigmoid(z2)
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return;
+        }
+        assert_eq!(x[0].len(), self.dim, "feature dim mismatch");
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(self.seed);
+        let mut h = vec![0.0; self.hidden];
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let step = self.lr / (1.0 + epoch as f64 * 0.1);
+            for &i in &order {
+                let p = self.forward(&x[i], &mut h);
+                let err = p - y[i]; // dL/dz2 for log loss + sigmoid
+                // Output layer.
+                self.b2 -= step * err;
+                for (j, w2j) in self.w2.iter_mut().enumerate() {
+                    let grad_hidden = err * *w2j;
+                    *w2j -= step * err * h[j];
+                    // Hidden layer (ReLU gate: gradient flows iff h > 0).
+                    if h[j] > 0.0 {
+                        self.b1[j] -= step * grad_hidden;
+                        let row = &mut self.w1[j * self.dim..(j + 1) * self.dim];
+                        for (w, v) in row.iter_mut().zip(&x[i]) {
+                            *w -= step * grad_hidden * v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        let mut h = vec![0.0; self.hidden];
+        self.forward(x, &mut h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::accuracy;
+
+    #[test]
+    fn learns_xor_unlike_linear_models() {
+        let mut rng = SimRng::new(12);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..2000 {
+            let a = rng.f64_range(-1.0, 1.0);
+            let b = rng.f64_range(-1.0, 1.0);
+            x.push(vec![a, b]);
+            y.push(f64::from((a > 0.0) != (b > 0.0)));
+        }
+        let mut m = Mlp::with_hidden(2, 32);
+        m.epochs = 60;
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.9, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_linear_boundary_too() {
+        let mut rng = SimRng::new(14);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..1500 {
+            let a = rng.f64_range(-1.0, 1.0);
+            x.push(vec![a]);
+            y.push(f64::from(a > 0.2));
+        }
+        let mut m = Mlp::new(1);
+        m.fit(&x, &y);
+        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn output_is_probability() {
+        let m = Mlp::new(3);
+        for v in [-100.0, 0.0, 100.0] {
+            let p = m.predict_score(&[v, v, v]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let x = vec![vec![1.0], vec![-1.0]];
+        let y = vec![1.0, 0.0];
+        let mut a = Mlp::new(1);
+        let mut b = Mlp::new(1);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_score(&[0.5]), b.predict_score(&[0.5]));
+    }
+}

@@ -1,0 +1,229 @@
+//! AdaptSize (Berger, Sitaraman & Harchol-Balter, NSDI 2017):
+//! probabilistic size-aware admission for CDN memory caches.
+//!
+//! Objects are admitted with probability `e^{-size / c}`. The original
+//! tunes `c` by evaluating a Markov cache model over a log-spaced grid of
+//! candidates against recent request statistics; we keep the same outer
+//! loop — periodically pick the `c` whose *predicted* object hit ratio
+//! over the recent window is maximal — but score candidates with a direct
+//! little-model: an object with frequency `f` and size `s` is a predicted
+//! hit iff it is admitted (`e^{-s/c}`) and re-requested (`f ≥ 2`), with
+//! cache pressure approximated by the admitted-bytes budget. This keeps
+//! AdaptSize's behaviour (small objects favoured, threshold tracks the
+//! workload) at a fraction of the original solver's complexity.
+
+use cdn_cache::{AccessKind, CachePolicy, FxHashMap, LruQueue, ObjectId, PolicyStats, Request, SimRng};
+
+/// Number of log-spaced candidates for `c`.
+const N_CANDIDATES: usize = 24;
+
+/// AdaptSize admission in front of an LRU cache.
+#[derive(Debug, Clone)]
+pub struct AdaptSize {
+    cache: LruQueue,
+    /// Current admission scale `c` (bytes).
+    c: f64,
+    /// Recent-window per-object stats: (requests, size).
+    window: FxHashMap<ObjectId, (u32, u64)>,
+    window_reqs: u64,
+    /// Re-tune after this many requests.
+    pub tune_interval: u64,
+    rng: SimRng,
+    stats: PolicyStats,
+}
+
+impl AdaptSize {
+    /// AdaptSize with an initial scale of 64 KB.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        AdaptSize {
+            cache: LruQueue::new(capacity),
+            c: 65_536.0,
+            window: FxHashMap::default(),
+            window_reqs: 0,
+            tune_interval: 50_000,
+            rng: SimRng::new(seed),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Current admission scale (diagnostics).
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Score a candidate `c`: expected hits under the little-model, with
+    /// the admitted working set clamped to the cache size.
+    fn score(&self, c: f64) -> f64 {
+        let budget = self.cache.capacity() as f64;
+        let mut admitted_bytes = 0.0;
+        let mut expected_hits = 0.0;
+        // Most-valuable-first isn't tracked; approximate pressure by
+        // scaling achieved hits by budget/admitted when oversubscribed.
+        // One-hit objects earn nothing but still consume admitted bytes —
+        // that pressure is exactly what pushes `c` down.
+        for &(reqs, size) in self.window.values() {
+            let p_admit = (-(size as f64) / c).exp();
+            admitted_bytes += p_admit * size as f64;
+            if reqs >= 2 {
+                expected_hits += p_admit * (reqs - 1) as f64;
+            }
+        }
+        if admitted_bytes > budget && admitted_bytes > 0.0 {
+            expected_hits * (budget / admitted_bytes)
+        } else {
+            expected_hits
+        }
+    }
+
+    fn retune(&mut self) {
+        let mut best = (f64::MIN, self.c);
+        for i in 0..N_CANDIDATES {
+            // 256 B … 2 GB, log-spaced.
+            let c = 1024.0 * 2f64.powi(i as i32 - 2);
+            let s = self.score(c);
+            if s > best.0 {
+                best = (s, c);
+            }
+        }
+        self.c = best.1;
+        self.window.clear();
+        self.window_reqs = 0;
+    }
+}
+
+impl CachePolicy for AdaptSize {
+    fn name(&self) -> &str {
+        "AdaptSize"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        let e = self.window.entry(req.id).or_insert((0, req.size));
+        e.0 = e.0.saturating_add(1);
+        self.window_reqs += 1;
+        if self.window_reqs >= self.tune_interval {
+            self.retune();
+        }
+        if self.cache.contains(req.id) {
+            self.cache.record_hit(req.id, req.tick);
+            self.cache.promote_to_mru(req.id);
+            return AccessKind::Hit;
+        }
+        if !self.cache.admissible(req.size) {
+            return AccessKind::Miss;
+        }
+        // Probabilistic size-aware admission.
+        let p_admit = (-(req.size as f64) / self.c).exp();
+        if !self.rng.chance(p_admit) {
+            return AccessKind::Miss;
+        }
+        while self.cache.needs_eviction_for(req.size) {
+            self.cache.evict_lru();
+            self.stats.evictions += 1;
+        }
+        self.cache.insert_mru(req.id, req.size, req.tick);
+        self.stats.insertions += 1;
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cache.capacity()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.cache.used_bytes()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cache.memory_bytes() + self.window.capacity() * 24
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.cache.len(),
+            resident_bytes: self.cache.used_bytes(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::lru::Lru;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn small_objects_admitted_more_often() {
+        let mut p = AdaptSize::new(1_000_000, 1);
+        p.c = 10_000.0;
+        let mut small_in = 0;
+        let mut big_in = 0;
+        for i in 0..400u64 {
+            p.on_request(&cdn_cache::Request::new(i, i, 1_000));
+            small_in += usize::from(p.cache.contains(ObjectId(i)));
+        }
+        for i in 400..800u64 {
+            p.on_request(&cdn_cache::Request::new(i, i, 100_000));
+            big_in += usize::from(p.cache.contains(ObjectId(i)));
+        }
+        assert!(small_in > 300, "small admitted {small_in}");
+        assert!(big_in < 50, "big admitted {big_in}");
+    }
+
+    #[test]
+    fn retune_moves_c_toward_workload() {
+        let mut p = AdaptSize::new(10_000, 3);
+        p.tune_interval = 2_000;
+        // Reused objects are all ~100 B; large objects are one-hit.
+        let mut reqs = Vec::new();
+        let mut next = 10_000u64;
+        for i in 0..6_000u64 {
+            if i % 2 == 0 {
+                reqs.push((i / 2 % 40, 100));
+            } else {
+                reqs.push((next, 50_000));
+                next += 1;
+            }
+        }
+        replay(&mut p, &micro_trace(&reqs));
+        // c should have settled low enough to discriminate 100 B vs 50 KB.
+        let p_small = (-(100.0) / p.c()).exp();
+        let p_big = (-(50_000.0) / p.c()).exp();
+        assert!(p_small > 0.9, "p_small {p_small} (c={})", p.c());
+        assert!(p_big < 0.5, "p_big {p_big} (c={})", p.c());
+    }
+
+    #[test]
+    fn beats_lru_when_size_predicts_reuse() {
+        let mut reqs = Vec::new();
+        let mut next = 10_000u64;
+        for i in 0..8_000u64 {
+            if i % 3 == 0 {
+                reqs.push((i / 3 % 50, 200)); // hot small
+            } else {
+                reqs.push((next, 5_000)); // cold large
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cap = 20_000;
+        let mut ad = AdaptSize::new(cap, 5);
+        ad.tune_interval = 2_000;
+        let mut lru = Lru::new(cap);
+        let a = replay(&mut ad, &t).miss_ratio();
+        let b = replay(&mut lru, &t).miss_ratio();
+        assert!(a < b, "AdaptSize {a} vs LRU {b}");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let reqs: Vec<(u64, u64)> = (0..3000).map(|i| (i * 13 % 200, 1 + i % 40)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = AdaptSize::new(300, 7);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 300);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Cache *admission* algorithms — the related family the paper's §7
+//! surveys ("denying data that will not be accessed into the cache can
+//! effectively improve cache performance"). They attack the same ZRO
+//! problem as SCIP from the front door: instead of inserting suspected
+//! zero-reuse objects at the LRU position, they refuse to cache them at
+//! all.
+//!
+//! - [`two_q`]: 2Q (Johnson & Shasha, VLDB 1994) — only objects seen
+//!   twice within a FIFO probation window enter the main cache.
+//! - [`tinylfu`]: TinyLFU (Einziger, Friedman & Manes, TOS 2017) — a
+//!   frequency sketch arbitrates victim-vs-candidate admission.
+//! - [`adaptsize`]: AdaptSize (Berger, Sitaraman & Harchol-Balter,
+//!   NSDI 2017) — probabilistic size-threshold admission,
+//!   `P(admit) = e^{-size/c}`, with `c` tuned online.
+//!
+//! All three compose with the LRU queue substrate and implement
+//! [`cdn_cache::CachePolicy`], so they drop into the same sweeps as every
+//! other policy (see `compare_policies --admission`).
+
+pub mod adaptsize;
+pub mod tinylfu;
+pub mod two_q;
+
+pub use adaptsize::AdaptSize;
+pub use tinylfu::TinyLfu;
+pub use two_q::TwoQ;

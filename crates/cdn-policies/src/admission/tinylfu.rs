@@ -1,0 +1,275 @@
+//! TinyLFU (Einziger, Friedman & Manes, ACM TOS 2017): a counting-sketch
+//! admission filter in front of an LRU cache (the W-TinyLFU arrangement,
+//! with a small LRU window absorbing bursts).
+//!
+//! A 4-bit count-min sketch approximates each object's recent request
+//! frequency; on a miss that would force an eviction, the candidate is
+//! admitted only if its estimated frequency beats the would-be victim's.
+//! The sketch halves all counters periodically (the "reset" aging), so the
+//! frequency estimate tracks a sliding sample window.
+
+use cdn_cache::hash::mix64;
+use cdn_cache::{AccessKind, CachePolicy, LruQueue, ObjectId, PolicyStats, Request};
+
+/// 4-bit count-min sketch with periodic halving.
+#[derive(Debug, Clone)]
+pub struct FrequencySketch {
+    /// Packed 4-bit counters.
+    table: Vec<u64>,
+    /// Mask over counter slots (power of two).
+    slot_mask: u64,
+    additions: u64,
+    reset_after: u64,
+}
+
+impl FrequencySketch {
+    /// Sketch sized for roughly `expected_objects` distinct keys.
+    pub fn new(expected_objects: usize) -> Self {
+        let slots = expected_objects.next_power_of_two().max(1 << 10) as u64;
+        FrequencySketch {
+            table: vec![0u64; (slots / 16).max(1) as usize], // 16 counters/u64
+            slot_mask: slots - 1,
+            additions: 0,
+            reset_after: slots * 10,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, hash: u64) -> (usize, u32) {
+        let idx = hash & self.slot_mask;
+        ((idx / 16) as usize, ((idx % 16) * 4) as u32)
+    }
+
+    fn counter(&self, hash: u64) -> u64 {
+        let (word, shift) = self.slot(hash);
+        (self.table[word] >> shift) & 0xF
+    }
+
+    fn bump(&mut self, hash: u64) {
+        let (word, shift) = self.slot(hash);
+        let cur = (self.table[word] >> shift) & 0xF;
+        if cur < 15 {
+            self.table[word] += 1u64 << shift;
+        }
+    }
+
+    /// Record one access.
+    pub fn increment(&mut self, id: ObjectId) {
+        for i in 0..4u64 {
+            self.bump(mix64(id.0 ^ (i.wrapping_mul(0x9E3779B97F4A7C15))));
+        }
+        self.additions += 1;
+        if self.additions >= self.reset_after {
+            self.additions /= 2;
+            for w in &mut self.table {
+                // Halve every 4-bit lane.
+                *w = (*w >> 1) & 0x7777_7777_7777_7777;
+            }
+        }
+    }
+
+    /// Estimated frequency (count-min: minimum over the hash lanes).
+    pub fn estimate(&self, id: ObjectId) -> u64 {
+        (0..4u64)
+            .map(|i| self.counter(mix64(id.0 ^ (i.wrapping_mul(0x9E3779B97F4A7C15)))))
+            .min()
+            .expect("four lanes")
+    }
+
+    /// Sketch footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.capacity() * 8
+    }
+}
+
+/// W-TinyLFU: window LRU (1 %) + main LRU behind the sketch filter.
+#[derive(Debug, Clone)]
+pub struct TinyLfu {
+    sketch: FrequencySketch,
+    window: LruQueue,
+    main: LruQueue,
+    window_budget: u64,
+    capacity: u64,
+    stats: PolicyStats,
+}
+
+impl TinyLfu {
+    /// TinyLFU sized for the given byte capacity (sketch sized from an
+    /// assumed ~32 KB mean object size).
+    pub fn new(capacity: u64) -> Self {
+        let expected = (capacity / 32_768).max(1024) as usize;
+        TinyLfu {
+            sketch: FrequencySketch::new(expected * 4),
+            window: LruQueue::new(u64::MAX),
+            main: LruQueue::new(u64::MAX),
+            window_budget: (capacity / 100).max(1),
+            capacity,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    fn used(&self) -> u64 {
+        self.window.used_bytes() + self.main.used_bytes()
+    }
+
+    /// The admission duel: window overflow candidates fight the main
+    /// queue's LRU victim on sketch frequency.
+    fn rebalance(&mut self, tick: u64) {
+        while self.window.used_bytes() > self.window_budget {
+            let candidate = self.window.evict_lru().expect("over budget");
+            // Make room in main, dueling candidate vs victims.
+            let mut admitted = true;
+            while self.main.used_bytes() + candidate.size > self.capacity - self.window_budget
+            {
+                let victim = match self.main.peek_lru() {
+                    Some(v) => *v,
+                    None => break,
+                };
+                if self.sketch.estimate(candidate.id) > self.sketch.estimate(victim.id) {
+                    self.main.evict_lru();
+                    self.stats.evictions += 1;
+                } else {
+                    admitted = false;
+                    self.stats.evictions += 1; // the candidate is dropped
+                    break;
+                }
+            }
+            if admitted && self.main.used_bytes() + candidate.size
+                <= self.capacity.saturating_sub(self.window_budget)
+            {
+                let mut meta = candidate;
+                meta.last_access = tick;
+                self.main.insert_meta_mru(meta);
+            }
+        }
+    }
+}
+
+impl CachePolicy for TinyLfu {
+    fn name(&self) -> &str {
+        "TinyLFU"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        self.sketch.increment(req.id);
+        if self.window.contains(req.id) {
+            self.window.record_hit(req.id, req.tick);
+            self.window.promote_to_mru(req.id);
+            return AccessKind::Hit;
+        }
+        if self.main.contains(req.id) {
+            self.main.record_hit(req.id, req.tick);
+            self.main.promote_to_mru(req.id);
+            return AccessKind::Hit;
+        }
+        if req.size > self.capacity {
+            return AccessKind::Miss;
+        }
+        // New arrivals always enter the window (burst absorption), then
+        // duel for main admission on window overflow.
+        while self.used() + req.size > self.capacity {
+            if self.window.evict_lru().is_none() {
+                self.main.evict_lru();
+            }
+            self.stats.evictions += 1;
+        }
+        self.window.insert_mru(req.id, req.size, req.tick);
+        self.stats.insertions += 1;
+        self.rebalance(req.tick);
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.window.memory_bytes() + self.main.memory_bytes() + self.sketch.memory_bytes()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.window.len() + self.main.len(),
+            resident_bytes: self.used(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::lru::Lru;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn sketch_counts_and_ages() {
+        let mut s = FrequencySketch::new(1024);
+        let id = ObjectId(7);
+        assert_eq!(s.estimate(id), 0);
+        for _ in 0..10 {
+            s.increment(id);
+        }
+        assert!(s.estimate(id) >= 8, "estimate {}", s.estimate(id));
+        // Saturation at 15.
+        for _ in 0..100 {
+            s.increment(id);
+        }
+        assert!(s.estimate(id) <= 15);
+    }
+
+    #[test]
+    fn sketch_reset_halves() {
+        let mut s = FrequencySketch::new(64);
+        s.reset_after = 32;
+        let id = ObjectId(3);
+        for _ in 0..8 {
+            s.increment(id);
+        }
+        let before = s.estimate(id);
+        // Push unrelated traffic past the reset threshold.
+        for i in 0..64u64 {
+            s.increment(ObjectId(1000 + i));
+        }
+        assert!(s.estimate(id) < before, "aged: {} -> {}", before, s.estimate(id));
+    }
+
+    #[test]
+    fn frequent_objects_survive_scans() {
+        let mut reqs = Vec::new();
+        let mut next = 10_000u64;
+        for round in 0..200u64 {
+            for hot in 0..4u64 {
+                reqs.push((hot, 10));
+            }
+            for _ in 0..30 {
+                reqs.push((next, 10));
+                next += 1;
+            }
+            let _ = round;
+        }
+        let t = micro_trace(&reqs);
+        let cap = 200;
+        let mut tiny = TinyLfu::new(cap);
+        let mut lru = Lru::new(cap);
+        let a = replay(&mut tiny, &t).miss_ratio();
+        let b = replay(&mut lru, &t).miss_ratio();
+        assert!(a < b, "TinyLFU {a} vs LRU {b}");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let reqs: Vec<(u64, u64)> = (0..4000).map(|i| (i * 11 % 150, 1 + i % 12)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = TinyLfu::new(120);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 120, "used {}", p.used_bytes());
+        }
+    }
+}

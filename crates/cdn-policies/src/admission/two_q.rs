@@ -1,0 +1,186 @@
+//! 2Q (Johnson & Shasha, VLDB 1994), simplified to its full version's
+//! object-cache form: a FIFO probation queue `A1in`, a ghost `A1out`, and
+//! a main LRU `Am`. First-time objects enter `A1in`; objects re-referenced
+//! while in `A1in` or remembered in `A1out` are promoted into `Am`. One-hit
+//! wonders therefore never pollute the main queue — the admission-side
+//! answer to the ZRO problem.
+
+use cdn_cache::ghost::GhostEntry;
+use cdn_cache::{AccessKind, CachePolicy, GhostList, LruQueue, PolicyStats, Request};
+
+/// 2Q with byte-budgeted regions.
+#[derive(Debug, Clone)]
+pub struct TwoQ {
+    /// Probation FIFO (classic Kin ≈ 25 % of the cache).
+    a1in: LruQueue,
+    /// Ghost of recent probation evictions (Kout: one cache's worth of
+    /// bytes — byte-budgeted ghosts need the full budget to cover the
+    /// reuse distances the page-count Kout=50 % covered in the original).
+    a1out: GhostList,
+    /// Main protected LRU.
+    am: LruQueue,
+    a1in_budget: u64,
+    capacity: u64,
+    stats: PolicyStats,
+}
+
+impl TwoQ {
+    /// 2Q with the classic Kin = 25 %, Kout = 50 % split.
+    pub fn new(capacity: u64) -> Self {
+        TwoQ {
+            a1in: LruQueue::new(u64::MAX),
+            a1out: GhostList::new(capacity),
+            am: LruQueue::new(u64::MAX),
+            a1in_budget: capacity / 4,
+            capacity,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    fn used(&self) -> u64 {
+        self.a1in.used_bytes() + self.am.used_bytes()
+    }
+
+    /// Free space: drain over-budget probation first (FIFO → A1out), then
+    /// the main queue's LRU end.
+    fn reclaim(&mut self, incoming: u64, tick: u64) {
+        while self.used() + incoming > self.capacity {
+            let from_a1in = self.a1in.used_bytes() > self.a1in_budget || self.am.is_empty();
+            if from_a1in {
+                let v = self.a1in.evict_lru().expect("probation nonempty");
+                self.a1out.add(GhostEntry {
+                    id: v.id,
+                    size: v.size,
+                    evicted_tick: tick,
+                    tag: 0,
+                });
+            } else {
+                self.am.evict_lru().expect("main nonempty");
+            }
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl CachePolicy for TwoQ {
+    fn name(&self) -> &str {
+        "2Q"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        if self.am.contains(req.id) {
+            self.am.record_hit(req.id, req.tick);
+            self.am.promote_to_mru(req.id);
+            return AccessKind::Hit;
+        }
+        if self.a1in.contains(req.id) {
+            // Second touch while on probation: promote into Am.
+            let mut meta = self.a1in.remove(req.id).expect("resident");
+            meta.hits += 1;
+            meta.last_access = req.tick;
+            self.am.insert_meta_mru(meta);
+            return AccessKind::Hit;
+        }
+        if req.size > self.capacity {
+            return AccessKind::Miss;
+        }
+        self.reclaim(req.size, req.tick);
+        if self.a1out.delete(req.id).is_some() {
+            // Remembered from probation: admit straight into Am.
+            self.am.insert_mru(req.id, req.size, req.tick);
+        } else {
+            self.a1in.insert_mru(req.id, req.size, req.tick);
+        }
+        self.stats.insertions += 1;
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.a1in.memory_bytes() + self.am.memory_bytes() + self.a1out.memory_bytes()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.a1in.len() + self.am.len(),
+            resident_bytes: self.used(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::lru::Lru;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+    use cdn_cache::ObjectId;
+
+    #[test]
+    fn second_touch_promotes_to_main() {
+        let mut p = TwoQ::new(100);
+        for r in micro_trace(&[(1, 10), (1, 10)]) {
+            p.on_request(&r);
+        }
+        assert!(p.am.contains(ObjectId(1)));
+        assert!(!p.a1in.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn ghost_memory_readmits_into_main() {
+        let mut p = TwoQ::new(40); // a1in budget 10 = 1 object
+        // 1 enters probation, 2 pushes it to A1out, then 1 returns.
+        for r in micro_trace(&[(1, 10), (2, 10), (3, 10), (4, 10), (5, 10), (1, 10)]) {
+            p.on_request(&r);
+        }
+        assert!(p.am.contains(ObjectId(1)), "readmitted via A1out");
+    }
+
+    #[test]
+    fn one_hit_wonders_never_reach_main() {
+        let mut p = TwoQ::new(200);
+        let reqs: Vec<(u64, u64)> = (0..100).map(|i| (i, 10)).collect();
+        replay(&mut p, &micro_trace(&reqs));
+        assert_eq!(p.am.len(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let reqs: Vec<(u64, u64)> = (0..3000).map(|i| (i * 7 % 120, 1 + i % 15)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = TwoQ::new(150);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 150);
+        }
+    }
+
+    #[test]
+    fn beats_lru_on_wonder_heavy_traffic() {
+        let mut reqs = Vec::new();
+        let mut next = 10_000u64;
+        for i in 0..6_000u64 {
+            if i % 2 == 0 {
+                reqs.push((i / 2 % 20, 10));
+            } else {
+                reqs.push((next, 10));
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cap = 300;
+        let mut q = TwoQ::new(cap);
+        let mut lru = Lru::new(cap);
+        let a = replay(&mut q, &t).miss_ratio();
+        let b = replay(&mut lru, &t).miss_ratio();
+        assert!(a < b, "2Q {a} vs LRU {b}");
+    }
+}

@@ -1,0 +1,226 @@
+//! ARC: Adaptive Replacement Cache (Megiddo & Modha, FAST 2003),
+//! generalised to variable object sizes by running the adaptation target
+//! `p` in bytes.
+//!
+//! Two resident lists — T1 (recency, seen once) and T2 (frequency, seen at
+//! least twice) — shadowed by ghost lists B1/B2. Ghost hits steer `p`, the
+//! byte budget T1 is allowed to occupy.
+
+use cdn_cache::ghost::GhostEntry;
+use cdn_cache::{AccessKind, CachePolicy, GhostList, LruQueue, PolicyStats, Request};
+
+/// Adaptive replacement cache.
+#[derive(Debug, Clone)]
+pub struct Arc {
+    capacity: u64,
+    /// Target byte budget for T1.
+    p: u64,
+    t1: LruQueue,
+    t2: LruQueue,
+    b1: GhostList,
+    b2: GhostList,
+    stats: PolicyStats,
+}
+
+impl Arc {
+    /// ARC with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        Arc {
+            capacity,
+            p: 0,
+            // Budgets are enforced by the ARC logic itself; the queues are
+            // unbounded containers here.
+            t1: LruQueue::new(u64::MAX),
+            t2: LruQueue::new(u64::MAX),
+            b1: GhostList::new(capacity),
+            b2: GhostList::new(capacity),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Current adaptation target in bytes (diagnostics).
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Evict from T1 or T2 according to `p` until `incoming` fits.
+    fn replace(&mut self, incoming: u64, from_b2: bool) {
+        while self.t1.used_bytes() + self.t2.used_bytes() + incoming > self.capacity {
+            let prefer_t1 = !self.t1.is_empty()
+                && (self.t1.used_bytes() > self.p
+                    || (from_b2 && self.t1.used_bytes() >= self.p)
+                    || self.t2.is_empty());
+            let (victim, ghost) = if prefer_t1 {
+                (self.t1.evict_lru().expect("nonempty"), &mut self.b1)
+            } else {
+                (self.t2.evict_lru().expect("nonempty"), &mut self.b2)
+            };
+            ghost.add(GhostEntry {
+                id: victim.id,
+                size: victim.size,
+                evicted_tick: victim.last_access,
+                tag: 0,
+            });
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl CachePolicy for Arc {
+    fn name(&self) -> &str {
+        "ARC"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        // Case I: hit in T1 or T2 → move to T2 MRU.
+        if self.t1.contains(req.id) {
+            let mut meta = self.t1.remove(req.id).expect("resident");
+            meta.hits += 1;
+            meta.last_access = req.tick;
+            self.t2.insert_meta_mru(meta);
+            return AccessKind::Hit;
+        }
+        if self.t2.contains(req.id) {
+            self.t2.record_hit(req.id, req.tick);
+            self.t2.promote_to_mru(req.id);
+            return AccessKind::Hit;
+        }
+        if req.size > self.capacity {
+            return AccessKind::Miss;
+        }
+        // Case II: ghost hit in B1 → grow p.
+        if self.b1.contains(req.id) {
+            let ratio = if self.b1.used_bytes() == 0 {
+                1.0
+            } else {
+                (self.b2.used_bytes() as f64 / self.b1.used_bytes() as f64).max(1.0)
+            };
+            let delta = (req.size as f64 * ratio) as u64;
+            self.p = (self.p + delta).min(self.capacity);
+            self.b1.delete(req.id);
+            self.replace(req.size, false);
+            self.t2.insert_mru(req.id, req.size, req.tick);
+            self.stats.insertions += 1;
+            return AccessKind::Miss;
+        }
+        // Case III: ghost hit in B2 → shrink p.
+        if self.b2.contains(req.id) {
+            let ratio = if self.b2.used_bytes() == 0 {
+                1.0
+            } else {
+                (self.b1.used_bytes() as f64 / self.b2.used_bytes() as f64).max(1.0)
+            };
+            let delta = (req.size as f64 * ratio) as u64;
+            self.p = self.p.saturating_sub(delta);
+            self.b2.delete(req.id);
+            self.replace(req.size, true);
+            self.t2.insert_mru(req.id, req.size, req.tick);
+            self.stats.insertions += 1;
+            return AccessKind::Miss;
+        }
+        // Case IV: brand-new object → T1. (Directory trimming is handled
+        // by the ghost lists' own byte budgets.)
+        self.replace(req.size, false);
+        self.t1.insert_mru(req.id, req.size, req.tick);
+        self.stats.insertions += 1;
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.t1.used_bytes() + self.t2.used_bytes()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.t1.memory_bytes()
+            + self.t2.memory_bytes()
+            + self.b1.memory_bytes()
+            + self.b2.memory_bytes()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.t1.len() + self.t2.len(),
+            resident_bytes: self.used_bytes(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::lru::Lru;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+    use cdn_cache::ObjectId;
+
+    #[test]
+    fn second_access_promotes_to_t2() {
+        let mut p = Arc::new(10);
+        for r in micro_trace(&[(1, 1), (1, 1)]) {
+            p.on_request(&r);
+        }
+        assert!(!p.t1.contains(ObjectId(1)));
+        assert!(p.t2.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn ghost_hit_in_b1_grows_p() {
+        let mut p = Arc::new(2);
+        // 1 and 2 fill T1; 3 evicts 1 into B1; re-request 1 → p grows.
+        for r in micro_trace(&[(1, 1), (2, 1), (3, 1), (1, 1)]) {
+            p.on_request(&r);
+        }
+        assert!(p.p() > 0);
+        assert!(p.t2.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn scan_does_not_flush_frequent_set() {
+        // Rounds of (hot set touched twice, then a scan longer than the
+        // cache): LRU loses the hot set to every scan; ARC's T2 keeps it.
+        let mut reqs = Vec::new();
+        let mut next = 100u64;
+        for _round in 0..100 {
+            for _pass in 0..2 {
+                for hot in 0..4u64 {
+                    reqs.push((hot, 1));
+                }
+            }
+            for _ in 0..16 {
+                reqs.push((next, 1));
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let mut arc = Arc::new(8);
+        let mut lru = Lru::new(8);
+        let a = replay(&mut arc, &t).miss_ratio();
+        let l = replay(&mut lru, &t).miss_ratio();
+        assert!(a < l, "ARC {a} vs LRU {l}");
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let reqs: Vec<(u64, u64)> = (0..3000).map(|i| (i * 11 % 120, 1 + i % 17)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = Arc::new(100);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 100);
+            assert!(p.p() <= 100);
+        }
+    }
+
+    #[test]
+    fn recency_and_frequency_hits_both_served() {
+        let t = micro_trace(&[(1, 1), (1, 1), (1, 1), (2, 1), (2, 1)]);
+        let mut p = Arc::new(4);
+        let m = replay(&mut p, &t);
+        assert_eq!(m.hits(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! GDSF: GreedyDual-Size with Frequency (Cherkasova & Ciardo, HPCN 2001).
+//!
+//! Each resident object carries priority `H = L + F·C/S` where `F` is its
+//! access frequency, `S` its size, `C` a uniform retrieval cost (1), and
+//! `L` the inflation value — the priority of the last evicted object. The
+//! object with minimal `H` is evicted, which favours small, frequently
+//! accessed, recently touched objects without timestamps.
+
+use std::collections::BTreeSet;
+
+use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request};
+
+use super::OrdF64;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: u64,
+    freq: u64,
+    priority: f64,
+}
+
+/// GreedyDual-Size-Frequency replacement.
+#[derive(Debug, Clone)]
+pub struct Gdsf {
+    capacity: u64,
+    used: u64,
+    inflation: f64,
+    entries: FxHashMap<ObjectId, Entry>,
+    queue: BTreeSet<(OrdF64, ObjectId)>,
+    stats: PolicyStats,
+}
+
+impl Gdsf {
+    /// GDSF with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        Gdsf {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            entries: FxHashMap::default(),
+            queue: BTreeSet::new(),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    fn priority(&self, freq: u64, size: u64) -> f64 {
+        self.inflation + freq as f64 / size.max(1) as f64
+    }
+
+    /// Current inflation value `L` (diagnostics).
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+}
+
+impl CachePolicy for Gdsf {
+    fn name(&self) -> &str {
+        "GDSF"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        if let Some(&e) = self.entries.get(&req.id) {
+            self.queue.remove(&(OrdF64(e.priority), req.id));
+            let freq = e.freq + 1;
+            let priority = self.priority(freq, e.size);
+            self.entries.insert(
+                req.id,
+                Entry {
+                    size: e.size,
+                    freq,
+                    priority,
+                },
+            );
+            self.queue.insert((OrdF64(priority), req.id));
+            return AccessKind::Hit;
+        }
+        if req.size > self.capacity {
+            return AccessKind::Miss;
+        }
+        while self.used + req.size > self.capacity {
+            let &(OrdF64(h), victim) = self.queue.iter().next().expect("over capacity");
+            self.queue.remove(&(OrdF64(h), victim));
+            let e = self.entries.remove(&victim).expect("indexed");
+            self.used -= e.size;
+            self.inflation = h; // L := H of the evicted object
+            self.stats.evictions += 1;
+        }
+        let priority = self.priority(1, req.size);
+        self.entries.insert(
+            req.id,
+            Entry {
+                size: req.size,
+                freq: 1,
+                priority,
+            },
+        );
+        self.queue.insert((OrdF64(priority), req.id));
+        self.used += req.size;
+        self.stats.insertions += 1;
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * (8 + std::mem::size_of::<Entry>() + 8)
+            + self.queue.len() * (std::mem::size_of::<(OrdF64, ObjectId)>() * 2)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.entries.len(),
+            resident_bytes: self.used,
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn prefers_evicting_large_cold_objects() {
+        // Capacity 100: small object (1B) and large (90B) inserted, then a
+        // 50B object arrives: the large one has lower F/S and is evicted.
+        let t = micro_trace(&[(1, 1), (2, 90), (3, 50)]);
+        let mut p = Gdsf::new(100);
+        replay(&mut p, &t);
+        assert!(p.entries.contains_key(&ObjectId(1)));
+        assert!(!p.entries.contains_key(&ObjectId(2)));
+        assert!(p.entries.contains_key(&ObjectId(3)));
+    }
+
+    #[test]
+    fn frequency_protects_objects() {
+        // Large object hit many times (H = 20/80 = 0.25) outranks a cold
+        // small one (H = 1/30 ≈ 0.03): the cold one is evicted.
+        let mut reqs = vec![(1, 80); 20];
+        reqs.push((2, 30));
+        reqs.push((3, 50)); // 80+30+50 > 150: forces one eviction
+        let t = micro_trace(&reqs);
+        let mut p = Gdsf::new(150);
+        replay(&mut p, &t);
+        assert!(p.entries.contains_key(&ObjectId(1)), "hot large object kept");
+        assert!(!p.entries.contains_key(&ObjectId(2)), "cold small evicted");
+    }
+
+    #[test]
+    fn inflation_monotone_nondecreasing() {
+        let reqs: Vec<(u64, u64)> = (0..500).map(|i| (i * 3 % 40, 5 + i % 20)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = Gdsf::new(100);
+        let mut last = 0.0;
+        for r in &t {
+            p.on_request(r);
+            assert!(p.inflation() >= last);
+            last = p.inflation();
+        }
+    }
+
+    #[test]
+    fn aging_lets_new_objects_displace_stale_hot_ones() {
+        // Hot object accumulates priority, goes cold; inflation from later
+        // evictions lets fresh objects eventually displace it.
+        let mut reqs = vec![(1, 50); 10];
+        for i in 0..200u64 {
+            reqs.push((100 + i, 60)); // stream of new objects
+        }
+        let t = micro_trace(&reqs);
+        let mut p = Gdsf::new(100);
+        replay(&mut p, &t);
+        assert!(!p.entries.contains_key(&ObjectId(1)), "stale object aged out");
+    }
+
+    #[test]
+    fn accounting_invariants() {
+        let reqs: Vec<(u64, u64)> = (0..2000).map(|i| (i * 7 % 80, 1 + i % 30)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = Gdsf::new(200);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 200);
+            assert_eq!(p.queue.len(), p.entries.len());
+        }
+    }
+}

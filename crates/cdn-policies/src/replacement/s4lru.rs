@@ -1,0 +1,130 @@
+//! S4LRU (Huang et al., "An analysis of Facebook photo caching"; used as a
+//! CDN baseline in Zhou et al., ICS 2018 — the CDN-A paper).
+//!
+//! Four equal LRU segments: misses insert at the head of segment 0, a hit
+//! in segment `i` moves the object to the head of segment `min(i+1, 3)`,
+//! overflow cascades downward and segment 0 evicts.
+
+use cdn_cache::{AccessKind, CachePolicy, PolicyStats, Request, SegmentedQueue};
+
+/// Segmented LRU with 4 levels.
+#[derive(Debug, Clone)]
+pub struct S4Lru {
+    q: SegmentedQueue,
+    stats: PolicyStats,
+}
+
+impl S4Lru {
+    /// S4LRU with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        S4Lru {
+            q: SegmentedQueue::equal(capacity, 4),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Internal queue (tests).
+    pub fn queue(&self) -> &SegmentedQueue {
+        &self.q
+    }
+}
+
+impl CachePolicy for S4Lru {
+    fn name(&self) -> &str {
+        "S4LRU"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        if self.q.contains(req.id) {
+            let cur = self.q.segment_of(req.id).expect("resident");
+            let target = (cur + 1).min(3);
+            let evicted = self.q.hit_move_to(req.id, target, req.tick);
+            self.stats.evictions += evicted.len() as u64;
+            return AccessKind::Hit;
+        }
+        if req.size > self.q.capacity() {
+            return AccessKind::Miss;
+        }
+        let evicted = self.q.insert(0, req.id, req.size, req.tick);
+        self.stats.evictions += evicted.len() as u64;
+        self.stats.insertions += 1;
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.q.capacity()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.q.used_bytes()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.q.memory_bytes()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.q.len(),
+            resident_bytes: self.q.used_bytes(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::lru::Lru;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+    use cdn_cache::ObjectId;
+
+    #[test]
+    fn misses_enter_level_zero_and_hits_climb() {
+        let mut p = S4Lru::new(4000);
+        for r in micro_trace(&[(1, 10), (1, 10), (1, 10), (1, 10), (1, 10)]) {
+            p.on_request(&r);
+        }
+        assert_eq!(p.queue().segment_of(ObjectId(1)), Some(3)); // saturates at 3
+    }
+
+    #[test]
+    fn one_hit_wonders_cannot_pollute_upper_levels() {
+        let mut p = S4Lru::new(400);
+        let reqs: Vec<(u64, u64)> = (0..100).map(|i| (i, 10)).collect();
+        for r in micro_trace(&reqs) {
+            p.on_request(&r);
+        }
+        for seg in 1..4 {
+            assert_eq!(p.queue().iter_segment(seg).count(), 0, "segment {seg}");
+        }
+    }
+
+    #[test]
+    fn beats_lru_on_scan_mixed_workload() {
+        // Hot objects touched twice per round climb out of level 0; the
+        // scan that follows (longer than the whole cache) only churns
+        // level 0. LRU loses the hot set to every scan.
+        let mut reqs = Vec::new();
+        let mut next = 1000u64;
+        for _round in 0..150 {
+            for _pass in 0..2 {
+                for hot in 0..4u64 {
+                    reqs.push((hot, 10));
+                }
+            }
+            for _ in 0..32 {
+                reqs.push((next, 10));
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cap = 160;
+        let mut s4 = S4Lru::new(cap);
+        let mut lru = Lru::new(cap);
+        let a = replay(&mut s4, &t).miss_ratio();
+        let b = replay(&mut lru, &t).miss_ratio();
+        assert!(a < b, "S4LRU {a} vs LRU {b}");
+    }
+}

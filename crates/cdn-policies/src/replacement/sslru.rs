@@ -1,0 +1,189 @@
+//! SS-LRU: Smart Segmented LRU (Li et al., DAC 2022).
+//!
+//! A segmented LRU whose *admission segment* is chosen by a lightweight
+//! online model: an incoming object predicted to be reused enters the
+//! warm segment directly, everything else starts in probation. The model
+//! is a logistic regression over (log size, log frequency, log recency
+//! gap) trained continuously from eviction outcomes — the smallest model
+//! that captures the paper's "smart" segment steering. Hits climb segments
+//! exactly as in S4LRU.
+
+use cdn_cache::{
+    AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request, SegmentedQueue, Tick,
+};
+use cdn_learning::sigmoid;
+
+const N_SEGMENTS: usize = 3;
+const LR: f64 = 0.05;
+
+/// Smart segmented LRU.
+#[derive(Debug, Clone)]
+pub struct SsLru {
+    q: SegmentedQueue,
+    /// Online logistic regression weights (bias + 3 features).
+    w: [f64; 4],
+    freq: FxHashMap<ObjectId, (u32, Tick)>,
+    freq_budget: usize,
+    stats: PolicyStats,
+}
+
+fn features(size: u64, freq: u32, gap: f64) -> [f64; 3] {
+    [
+        (size.max(1) as f64).ln() / 16.0,
+        (freq as f64 + 1.0).ln() / 8.0,
+        (gap + 1.0).ln() / 16.0,
+    ]
+}
+
+impl SsLru {
+    /// SS-LRU with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        SsLru {
+            q: SegmentedQueue::equal(capacity, N_SEGMENTS),
+            w: [0.0; 4],
+            freq: FxHashMap::default(),
+            freq_budget: 1 << 15,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    fn observe(&mut self, id: ObjectId, tick: Tick) -> (u32, f64) {
+        if self.freq.len() >= self.freq_budget && !self.freq.contains_key(&id) {
+            self.freq.retain(|_, (c, _)| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+        let e = self.freq.entry(id).or_insert((0, tick));
+        let gap = tick.saturating_sub(e.1) as f64;
+        let f = e.0;
+        e.0 = e.0.saturating_add(1);
+        e.1 = tick;
+        (f, gap)
+    }
+
+    fn score(&self, x: &[f64; 3]) -> f64 {
+        sigmoid(self.w[0] + self.w[1] * x[0] + self.w[2] * x[1] + self.w[3] * x[2])
+    }
+
+    fn train(&mut self, x: &[f64; 3], reused: bool) {
+        let err = self.score(x) - f64::from(reused);
+        self.w[0] -= LR * err;
+        self.w[1] -= LR * err * x[0];
+        self.w[2] -= LR * err * x[1];
+        self.w[3] -= LR * err * x[2];
+    }
+
+    /// Model weights (diagnostics).
+    pub fn weights(&self) -> [f64; 4] {
+        self.w
+    }
+}
+
+impl CachePolicy for SsLru {
+    fn name(&self) -> &str {
+        "SS-LRU"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        if self.q.contains(req.id) {
+            self.observe(req.id, req.tick);
+            let cur = self.q.segment_of(req.id).expect("resident");
+            let target = (cur + 1).min(N_SEGMENTS - 1);
+            let evicted = self.q.hit_move_to(req.id, target, req.tick);
+            self.stats.evictions += evicted.len() as u64;
+            return AccessKind::Hit;
+        }
+        if req.size > self.q.capacity() {
+            return AccessKind::Miss;
+        }
+        let (freq, gap) = self.observe(req.id, req.tick);
+        let x = features(req.size, freq, gap);
+        // Smart admission: predicted-reusable objects skip probation.
+        let seg = if self.score(&x) >= 0.5 { 1 } else { 0 };
+        let evicted = self.q.insert(seg, req.id, req.size, req.tick);
+        for v in &evicted {
+            // Eviction outcome trains the admission model.
+            let (vf, _) = self.freq.get(&v.id).copied().unwrap_or((1, 0));
+            let vx = features(
+                v.size,
+                vf.saturating_sub(1),
+                v.inserted_tick.saturating_sub(0) as f64,
+            );
+            self.train(&vx, v.hits > 0);
+        }
+        self.stats.evictions += evicted.len() as u64;
+        self.stats.insertions += 1;
+        AccessKind::Miss
+    }
+
+    fn capacity(&self) -> u64 {
+        self.q.capacity()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.q.used_bytes()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.q.memory_bytes() + self.freq.capacity() * 24 + 32
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.q.len(),
+            resident_bytes: self.q.used_bytes(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::lru::Lru;
+    use crate::replay;
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn capacity_respected_and_weights_finite() {
+        let reqs: Vec<(u64, u64)> = (0..5000).map(|i| (i * 7 % 200, 1 + i % 8)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = SsLru::new(150);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 150);
+        }
+        assert!(p.weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn learns_to_separate_scan_from_hot() {
+        let mut reqs = Vec::new();
+        let mut next = 10_000u64;
+        for i in 0..12_000u64 {
+            if i % 3 == 0 {
+                reqs.push((i / 3 % 8, 4)); // hot small, reused
+            } else {
+                reqs.push((next, 64)); // cold large scan
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cap = 700;
+        let mut ss = SsLru::new(cap);
+        let mut lru = Lru::new(cap);
+        let a = replay(&mut ss, &t).miss_ratio();
+        let l = replay(&mut lru, &t).miss_ratio();
+        assert!(a < l, "SS-LRU {a} vs LRU {l}");
+    }
+
+    #[test]
+    fn hits_climb_segments() {
+        let mut p = SsLru::new(3000);
+        for r in micro_trace(&[(1, 10), (1, 10), (1, 10), (1, 10)]) {
+            p.on_request(&r);
+        }
+        assert_eq!(p.q.segment_of(cdn_cache::ObjectId(1)), Some(N_SEGMENTS - 1));
+    }
+}

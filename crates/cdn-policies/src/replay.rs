@@ -1,0 +1,57 @@
+//! Drive a policy over a trace and collect metrics.
+
+use cdn_cache::{CachePolicy, MetricsRecorder, MissRatio, Request};
+
+/// Replay a trace through a policy, returning cumulative metrics.
+pub fn replay(policy: &mut dyn CachePolicy, trace: &[Request]) -> MissRatio {
+    let mut m = MissRatio::new();
+    for r in trace {
+        if policy.on_request(r).is_hit() {
+            m.record_hit(r.size);
+        } else {
+            m.record_miss(r.size);
+        }
+    }
+    m
+}
+
+/// Replay with interval snapshots every `interval` requests (time-series
+/// figures).
+pub fn replay_with_recorder(
+    policy: &mut dyn CachePolicy,
+    trace: &[Request],
+    interval: u64,
+) -> MetricsRecorder {
+    let mut rec = MetricsRecorder::new(interval);
+    for r in trace {
+        let hit = policy.on_request(r).is_hit();
+        rec.record(r.tick, r.size, hit);
+    }
+    rec.finish(trace.last().map_or(0, |r| r.tick + 1));
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::{deciders::Mip, InsertionCache};
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn replay_counts_hits() {
+        let t = micro_trace(&[(1, 1), (1, 1), (2, 1), (1, 1)]);
+        let mut p = InsertionCache::new(Mip, 10, "LRU");
+        let m = replay(&mut p, &t);
+        assert_eq!(m.hits(), 2);
+        assert_eq!(m.misses(), 2);
+    }
+
+    #[test]
+    fn recorder_snapshots() {
+        let t = micro_trace(&[(1, 1), (1, 1), (2, 1), (1, 1)]);
+        let mut p = InsertionCache::new(Mip, 10, "LRU");
+        let rec = replay_with_recorder(&mut p, &t, 2);
+        assert_eq!(rec.snapshots().len(), 2);
+        assert_eq!(rec.totals().hits(), 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! Run the SCIP design-choice ablations (beyond the paper).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::ablations(&bench);
+    t.print();
+    let p = t.save_tsv("ablations").expect("write results");
+    eprintln!("saved {}", p.display());
+}

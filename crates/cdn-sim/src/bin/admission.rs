@@ -1,0 +1,8 @@
+//! Run the beyond-paper admission-family comparison.
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::admission_comparison(&bench);
+    t.print();
+    let p = t.save_tsv("admission").expect("write results");
+    eprintln!("saved {}", p.display());
+}

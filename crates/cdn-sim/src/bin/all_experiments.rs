@@ -1,0 +1,35 @@
+//! Regenerate every table and figure in one run.
+fn main() {
+    use cdn_sim::experiments as exp;
+    let bench = exp::Bench::default_scale();
+    eprintln!(
+        "running all experiments at {} requests/trace (REPRO_REQUESTS to change)",
+        bench.requests
+    );
+    let t = exp::table1(&bench);
+    t.print();
+    t.save_tsv("table1").unwrap();
+    for (name, table) in [
+        ("fig1", exp::fig1(&bench)),
+        ("fig3", exp::fig3(&bench)),
+        ("fig4", exp::fig4(&bench)),
+        ("fig7", exp::fig7(&bench)),
+        ("fig8", exp::fig8(&bench)),
+        ("fig9", exp::fig9(&bench)),
+        ("fig10", exp::fig10(&bench)),
+        ("fig11", exp::fig11(&bench)),
+        ("fig12", exp::fig12(&bench)),
+        ("ablations", exp::ablations(&bench)),
+        ("admission", exp::admission_comparison(&bench)),
+    ] {
+        println!();
+        table.print();
+        table.save_tsv(name).unwrap();
+    }
+    let (summary, series) = exp::fig6(&bench);
+    println!();
+    summary.print();
+    summary.save_tsv("fig6_summary").unwrap();
+    series.save_tsv("fig6_series").unwrap();
+    eprintln!("all tables saved under results/");
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 1 (ZRO/P-ZRO structure under LRU).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig1(&bench);
+    t.print();
+    let p = t.save_tsv("fig1").expect("write results");
+    eprintln!("saved {}", p.display());
+}

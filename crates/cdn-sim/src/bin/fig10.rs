@@ -1,0 +1,8 @@
+//! Regenerate Figure 10 (SCIP vs replacement algorithms).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig10(&bench);
+    t.print();
+    let p = t.save_tsv("fig10").expect("write results");
+    eprintln!("saved {}", p.display());
+}

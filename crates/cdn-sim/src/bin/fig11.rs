@@ -1,0 +1,8 @@
+//! Regenerate Figure 11 (resource use of replacement algorithms).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig11(&bench);
+    t.print();
+    let p = t.save_tsv("fig11").expect("write results");
+    eprintln!("saved {}", p.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 12 (SCIP as an enhancement layer).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig12(&bench);
+    t.print();
+    let p = t.save_tsv("fig12").expect("write results");
+    eprintln!("saved {}", p.display());
+}

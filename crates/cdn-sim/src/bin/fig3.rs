@@ -1,0 +1,8 @@
+//! Regenerate Figure 3 (oracle placement curves).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig3(&bench);
+    t.print();
+    let p = t.save_tsv("fig3").expect("write results");
+    eprintln!("saved {}", p.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 4 (model decision accuracy).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig4(&bench);
+    t.print();
+    let p = t.save_tsv("fig4").expect("write results");
+    eprintln!("saved {}", p.display());
+}

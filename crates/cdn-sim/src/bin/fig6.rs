@@ -1,0 +1,11 @@
+//! Regenerate Figure 6 (TDC deployment study).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let (summary, series) = cdn_sim::experiments::fig6(&bench);
+    summary.print();
+    println!();
+    series.print();
+    summary.save_tsv("fig6_summary").expect("write results");
+    let p = series.save_tsv("fig6_series").expect("write results");
+    eprintln!("saved {}", p.display());
+}

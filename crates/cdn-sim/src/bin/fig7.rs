@@ -1,0 +1,8 @@
+//! Regenerate Figure 7 (SCIP vs SCI).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig7(&bench);
+    t.print();
+    let p = t.save_tsv("fig7").expect("write results");
+    eprintln!("saved {}", p.display());
+}

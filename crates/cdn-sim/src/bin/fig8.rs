@@ -1,0 +1,8 @@
+//! Regenerate Figure 8 (SCIP vs insertion policies).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig8(&bench);
+    t.print();
+    let p = t.save_tsv("fig8").expect("write results");
+    eprintln!("saved {}", p.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 9 (resource use of insertion policies).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::fig9(&bench);
+    t.print();
+    let p = t.save_tsv("fig9").expect("write results");
+    eprintln!("saved {}", p.display());
+}

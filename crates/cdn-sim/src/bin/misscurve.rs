@@ -1,0 +1,8 @@
+//! Generate miss-ratio curves for the headline policies.
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::miss_curves(&bench);
+    t.print();
+    let p = t.save_tsv("misscurve").expect("write results");
+    eprintln!("saved {}", p.display());
+}

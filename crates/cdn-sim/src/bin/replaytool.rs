@@ -1,0 +1,118 @@
+//! Replay a trace file through one or more policies.
+//!
+//! ```bash
+//! cargo run --release -p cdn-sim --bin replaytool -- trace.bin 0.05 SCIP LRU ASC-IP
+//! ```
+//!
+//! The second argument is the cache size as a fraction of the trace's
+//! working-set size; remaining arguments are policy labels (default: a
+//! representative set). Accepts `.bin` and `.csv` traces.
+
+use std::path::Path;
+use std::process::exit;
+
+use cdn_sim::runner::{run_policy, PolicyKind, TraceCtx};
+use cdn_trace::TraceStats;
+
+fn parse_policy(label: &str) -> Option<PolicyKind> {
+    let all = [
+        PolicyKind::Lru,
+        PolicyKind::Lip,
+        PolicyKind::Bip,
+        PolicyKind::Dip,
+        PolicyKind::Pipp,
+        PolicyKind::Dta,
+        PolicyKind::Ship,
+        PolicyKind::Dgippr,
+        PolicyKind::Daaip,
+        PolicyKind::AscIp,
+        PolicyKind::Sci,
+        PolicyKind::Scip,
+        PolicyKind::LruK,
+        PolicyKind::S4Lru,
+        PolicyKind::SsLru,
+        PolicyKind::Gdsf,
+        PolicyKind::Lhd,
+        PolicyKind::Arc,
+        PolicyKind::LeCar,
+        PolicyKind::Cacheus,
+        PolicyKind::Lrb,
+        PolicyKind::GlCache,
+        PolicyKind::TwoQ,
+        PolicyKind::TinyLfu,
+        PolicyKind::AdaptSize,
+        PolicyKind::Belady,
+        PolicyKind::LruKScip,
+        PolicyKind::LruKAscIp,
+        PolicyKind::LrbScip,
+        PolicyKind::LrbAscIp,
+    ];
+    all.into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(label))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: replaytool <trace.bin|trace.csv> <wss-fraction> [policy...]");
+        exit(2);
+    }
+    let path = Path::new(&args[0]);
+    let fraction: f64 = args[1].parse().unwrap_or_else(|_| {
+        eprintln!("bad fraction {}", args[1]);
+        exit(2);
+    });
+    let trace = match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => cdn_trace::io::read_binary(path),
+        Some("csv") => cdn_trace::io::read_csv(path),
+        _ => {
+            eprintln!("trace must end in .bin or .csv");
+            exit(2);
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("read failed: {e}");
+        exit(1);
+    });
+    let stats = TraceStats::compute(&trace);
+    let cap = stats.cache_bytes_for_fraction(fraction);
+    println!("{stats}");
+    println!("cache: {:.1} MB ({:.2}% of WSS)\n", cap as f64 / 1e6, fraction * 100.0);
+
+    let policies: Vec<PolicyKind> = if args.len() > 2 {
+        args[2..]
+            .iter()
+            .map(|l| {
+                parse_policy(l).unwrap_or_else(|| {
+                    eprintln!("unknown policy {l}");
+                    exit(2);
+                })
+            })
+            .collect()
+    } else {
+        vec![
+            PolicyKind::Belady,
+            PolicyKind::Scip,
+            PolicyKind::Lru,
+            PolicyKind::AscIp,
+            PolicyKind::S4Lru,
+        ]
+    };
+
+    let ctx = TraceCtx::new(&trace, 42);
+    println!(
+        "{:<14} {:>9} {:>9} {:>10} {:>12}",
+        "policy", "miss", "byte-miss", "ns/req", "peak-MB"
+    );
+    for kind in policies {
+        let m = run_policy(kind, cap, &trace, &ctx);
+        println!(
+            "{:<14} {:>8.2}% {:>8.2}% {:>10.0} {:>12.1}",
+            m.policy,
+            m.miss_ratio * 100.0,
+            m.byte_miss_ratio * 100.0,
+            m.ns_per_request,
+            m.peak_memory_bytes as f64 / 1e6
+        );
+    }
+}

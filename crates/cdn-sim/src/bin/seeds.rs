@@ -1,0 +1,7 @@
+//! Seed-sensitivity check of the headline SCIP-vs-LRU result.
+fn main() {
+    let t = cdn_sim::experiments::seed_variance(cdn_sim::default_requests());
+    t.print();
+    let p = t.save_tsv("seeds").expect("write results");
+    eprintln!("saved {}", p.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 1 (workload summary).
+fn main() {
+    let bench = cdn_sim::experiments::Bench::default_scale();
+    let t = cdn_sim::experiments::table1(&bench);
+    t.print();
+    let p = t.save_tsv("table1").expect("write results");
+    eprintln!("saved {}", p.display());
+}

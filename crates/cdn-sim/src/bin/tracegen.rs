@@ -1,0 +1,59 @@
+//! Generate a synthetic workload trace and write it to disk.
+//!
+//! ```bash
+//! cargo run --release -p cdn-sim --bin tracegen -- cdn-w 1000000 out.bin [seed]
+//! cargo run --release -p cdn-sim --bin tracegen -- cdn-t 500000 out.csv
+//! ```
+//!
+//! The format is chosen by extension: `.bin` (compact binary) or `.csv`.
+
+use std::path::Path;
+use std::process::exit;
+
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+
+fn usage() -> ! {
+    eprintln!("usage: tracegen <cdn-t|cdn-w|cdn-a> <requests> <out.bin|out.csv> [seed]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let workload = match args[0].as_str() {
+        "cdn-t" => Workload::CdnT,
+        "cdn-w" => Workload::CdnW,
+        "cdn-a" => Workload::CdnA,
+        other => {
+            eprintln!("unknown workload {other}");
+            usage();
+        }
+    };
+    let requests: u64 = args[1].parse().unwrap_or_else(|_| usage());
+    let path = Path::new(&args[2]);
+    let seed: u64 = args
+        .get(3)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
+
+    let trace = TraceGenerator::generate(workload.profile().config(requests, seed));
+    let stats = TraceStats::compute(&trace);
+    println!("{stats}");
+    let result = match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => cdn_trace::io::write_binary(path, &trace),
+        Some("csv") => cdn_trace::io::write_csv(path, &trace),
+        _ => {
+            eprintln!("output must end in .bin or .csv");
+            exit(2);
+        }
+    };
+    match result {
+        Ok(()) => println!("wrote {} requests to {}", trace.len(), path.display()),
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            exit(1);
+        }
+    }
+}

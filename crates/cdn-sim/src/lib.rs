@@ -1,0 +1,41 @@
+//! Trace-driven cache simulator and the per-figure experiment harness.
+//!
+//! - [`runner`]: a policy registry ([`runner::PolicyKind`]) that can build
+//!   every algorithm in the workspace against a trace context, plus the
+//!   instrumented replay that measures miss ratio, TPS, per-request CPU
+//!   time and peak metadata memory — the quantities behind Figures 8-12.
+//! - [`sweep`]: parallel (crossbeam-scoped) execution of
+//!   {workload × policy × cache size} grids.
+//! - [`table`]: figure-style table formatting + TSV dumps under
+//!   `results/`.
+//! - [`experiments`]: one function per paper table/figure; the `fig*` and
+//!   `table1` binaries are thin wrappers around these.
+//!
+//! Scale is controlled by the `REPRO_REQUESTS` environment variable
+//! (default 500 000 requests per trace) so the full suite runs on a laptop
+//! in minutes while keeping every ratio of the paper's setup.
+
+pub mod experiments;
+pub mod runner;
+pub mod sweep;
+pub mod table;
+
+pub use runner::{PolicyKind, RunMeasurement, TraceCtx};
+pub use sweep::parallel_runs;
+pub use table::Table;
+
+/// Requests per synthetic trace (override with `REPRO_REQUESTS`).
+pub fn default_requests() -> u64 {
+    std::env::var("REPRO_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500_000)
+}
+
+/// Master seed for experiments (override with `REPRO_SEED`).
+pub fn default_seed() -> u64 {
+    std::env::var("REPRO_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}

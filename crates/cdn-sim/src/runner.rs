@@ -1,0 +1,336 @@
+//! Policy registry and instrumented replay.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cdn_cache::{CachePolicy, Request};
+use cdn_policies::admission::{AdaptSize, TinyLfu, TwoQ};
+use cdn_policies::insertion::{
+    deciders::{Bip, Lip},
+    AscIp, Daaip, Dgippr, Dip, Dta, InsertionCache, Pipp, Ship,
+};
+use cdn_policies::replacement::{
+    Arc as ArcPolicy, BeladyPolicy, Cacheus, Gdsf, GlCache, LeCar, Lhd, Lrb, LrbConfig, Lru,
+    LruK, S4Lru, SsLru,
+};
+use cdn_trace::next_access_table;
+use scip::{Sci, Scip, ScipConfig};
+
+/// Per-trace context a policy build may need (Belady's oracle table,
+/// scale-dependent LRB windows).
+#[derive(Debug, Clone)]
+pub struct TraceCtx {
+    /// Precomputed next-access table of the trace being replayed.
+    pub next_access: Arc<Vec<u64>>,
+    /// Trace length in requests.
+    pub requests: u64,
+    /// Seed for stochastic policies.
+    pub seed: u64,
+}
+
+impl TraceCtx {
+    /// Build a context for a trace.
+    pub fn new(trace: &[Request], seed: u64) -> Self {
+        TraceCtx {
+            next_access: Arc::new(next_access_table(trace)),
+            requests: trace.len() as u64,
+            seed,
+        }
+    }
+
+    fn lrb_config(&self) -> LrbConfig {
+        LrbConfig {
+            memory_window: (self.requests / 8).max(20_000),
+            train_interval: (self.requests / 40).max(5_000),
+            ..LrbConfig::default()
+        }
+    }
+}
+
+/// Every buildable algorithm in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PolicyKind {
+    // Insertion/promotion policies (LRU victim selection).
+    Lru,
+    Lip,
+    Bip,
+    Dip,
+    Pipp,
+    Dta,
+    Ship,
+    Dgippr,
+    Daaip,
+    AscIp,
+    Sci,
+    Scip,
+    // Replacement algorithms.
+    LruK,
+    S4Lru,
+    SsLru,
+    Gdsf,
+    Lhd,
+    Arc,
+    LeCar,
+    Cacheus,
+    Lrb,
+    GlCache,
+    // Admission family (§7 related work, beyond the paper's figures).
+    TwoQ,
+    TinyLfu,
+    AdaptSize,
+    // Oracle.
+    Belady,
+    // §4 enhancements (Figure 12).
+    LruKScip,
+    LruKAscIp,
+    LrbScip,
+    LrbAscIp,
+}
+
+impl PolicyKind {
+    /// The paper's eight insertion-policy baselines (Figure 8/9 order).
+    pub const INSERTION_BASELINES: [PolicyKind; 8] = [
+        PolicyKind::Lip,
+        PolicyKind::Dip,
+        PolicyKind::Pipp,
+        PolicyKind::Dta,
+        PolicyKind::Ship,
+        PolicyKind::Dgippr,
+        PolicyKind::Daaip,
+        PolicyKind::AscIp,
+    ];
+
+    /// The paper's eight replacement-algorithm baselines (Figure 10/11;
+    /// LRU-K, S4LRU, SS-LRU, GDSF, LHD, CACHEUS, LRB, GL-Cache).
+    pub const REPLACEMENT_BASELINES: [PolicyKind; 8] = [
+        PolicyKind::LruK,
+        PolicyKind::S4Lru,
+        PolicyKind::SsLru,
+        PolicyKind::Gdsf,
+        PolicyKind::Lhd,
+        PolicyKind::Cacheus,
+        PolicyKind::Lrb,
+        PolicyKind::GlCache,
+    ];
+
+    /// Display name matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Lip => "LIP",
+            PolicyKind::Bip => "BIP",
+            PolicyKind::Dip => "DIP",
+            PolicyKind::Pipp => "PIPP",
+            PolicyKind::Dta => "DTA",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::Dgippr => "DGIPPR",
+            PolicyKind::Daaip => "DAAIP",
+            PolicyKind::AscIp => "ASC-IP",
+            PolicyKind::Sci => "SCI",
+            PolicyKind::Scip => "SCIP",
+            PolicyKind::LruK => "LRU-K",
+            PolicyKind::S4Lru => "S4LRU",
+            PolicyKind::SsLru => "SS-LRU",
+            PolicyKind::Gdsf => "GDSF",
+            PolicyKind::Lhd => "LHD",
+            PolicyKind::Arc => "ARC",
+            PolicyKind::LeCar => "LeCaR",
+            PolicyKind::Cacheus => "CACHEUS",
+            PolicyKind::Lrb => "LRB",
+            PolicyKind::GlCache => "GL-Cache",
+            PolicyKind::TwoQ => "2Q",
+            PolicyKind::TinyLfu => "TinyLFU",
+            PolicyKind::AdaptSize => "AdaptSize",
+            PolicyKind::Belady => "Belady",
+            PolicyKind::LruKScip => "LRU-K-SCIP",
+            PolicyKind::LruKAscIp => "LRU-K-ASC-IP",
+            PolicyKind::LrbScip => "LRB-SCIP",
+            PolicyKind::LrbAscIp => "LRB-ASC-IP",
+        }
+    }
+
+    /// Instantiate the policy at `capacity` bytes.
+    pub fn build(self, capacity: u64, ctx: &TraceCtx) -> Box<dyn CachePolicy> {
+        let seed = ctx.seed;
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(capacity)),
+            PolicyKind::Lip => Box::new(InsertionCache::new(Lip, capacity, "LIP")),
+            PolicyKind::Bip => {
+                Box::new(InsertionCache::new(Bip::new(seed), capacity, "BIP"))
+            }
+            PolicyKind::Dip => {
+                Box::new(InsertionCache::new(Dip::new(seed), capacity, "DIP"))
+            }
+            PolicyKind::Pipp => Box::new(Pipp::new(capacity, seed)),
+            PolicyKind::Dta => {
+                Box::new(InsertionCache::new(Dta::new(1 << 15), capacity, "DTA"))
+            }
+            PolicyKind::Ship => {
+                Box::new(InsertionCache::new(Ship::new(), capacity, "SHiP"))
+            }
+            PolicyKind::Dgippr => Box::new(Dgippr::new(capacity, seed)),
+            PolicyKind::Daaip => {
+                Box::new(InsertionCache::new(Daaip::new(1 << 15), capacity, "DAAIP"))
+            }
+            PolicyKind::AscIp => Box::new(InsertionCache::new(
+                AscIp::default_for_cdn(),
+                capacity,
+                "ASC-IP",
+            )),
+            PolicyKind::Sci => Box::new(Sci::new(capacity, seed)),
+            PolicyKind::Scip => Box::new(Scip::with_config(
+                capacity,
+                ScipConfig {
+                    seed,
+                    update_interval: (ctx.requests / 40).max(2_000),
+                    ..ScipConfig::default()
+                },
+            )),
+            PolicyKind::LruK => Box::new(LruK::new(capacity)),
+            PolicyKind::S4Lru => Box::new(S4Lru::new(capacity)),
+            PolicyKind::SsLru => Box::new(SsLru::new(capacity)),
+            PolicyKind::Gdsf => Box::new(Gdsf::new(capacity)),
+            PolicyKind::Lhd => Box::new(Lhd::new(capacity, seed)),
+            PolicyKind::Arc => Box::new(ArcPolicy::new(capacity)),
+            PolicyKind::LeCar => Box::new(LeCar::new(capacity, seed)),
+            PolicyKind::Cacheus => Box::new(Cacheus::new(capacity, seed)),
+            PolicyKind::Lrb => {
+                Box::new(Lrb::with_config(capacity, ctx.lrb_config(), seed))
+            }
+            PolicyKind::GlCache => Box::new(GlCache::new(capacity)),
+            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
+            PolicyKind::TinyLfu => Box::new(TinyLfu::new(capacity)),
+            PolicyKind::AdaptSize => Box::new(AdaptSize::new(capacity, seed)),
+            PolicyKind::Belady => {
+                Box::new(BeladyPolicy::new(capacity, ctx.next_access.clone()))
+            }
+            PolicyKind::LruKScip => Box::new(scip::enhance::lruk_scip(capacity, 2, seed)),
+            PolicyKind::LruKAscIp => Box::new(scip::enhance::lruk_ascip(capacity, 2)),
+            PolicyKind::LrbScip => {
+                Box::new(scip::enhance::lrb_scip(capacity, ctx.lrb_config(), seed))
+            }
+            PolicyKind::LrbAscIp => {
+                Box::new(scip::enhance::lrb_ascip(capacity, ctx.lrb_config(), seed))
+            }
+        }
+    }
+}
+
+/// Everything one instrumented replay measures.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// Policy label.
+    pub policy: String,
+    /// Object miss ratio.
+    pub miss_ratio: f64,
+    /// Byte miss ratio.
+    pub byte_miss_ratio: f64,
+    /// Requests per wall-clock second (Figure 9(c)/11(c)'s TPS).
+    pub tps: f64,
+    /// Mean CPU time per request, nanoseconds (the peak-CPU-utilisation
+    /// proxy of Figure 9(a)/11(a): relative policy compute cost).
+    pub ns_per_request: f64,
+    /// Peak policy-metadata bytes observed (Figure 9(b)/11(b)).
+    pub peak_memory_bytes: usize,
+}
+
+/// Replay `trace` through a freshly built `kind`, measuring quality and
+/// resource proxies.
+pub fn run_policy(kind: PolicyKind, capacity: u64, trace: &[Request], ctx: &TraceCtx) -> RunMeasurement {
+    let mut policy = kind.build(capacity, ctx);
+    let mut m = cdn_cache::MissRatio::new();
+    let mut peak_mem = 0usize;
+    // Sample memory every ~1k requests: memory_bytes() walks structures.
+    let mem_stride = (trace.len() / 512).max(1);
+    let start = Instant::now();
+    for (i, r) in trace.iter().enumerate() {
+        if policy.on_request(r).is_hit() {
+            m.record_hit(r.size);
+        } else {
+            m.record_miss(r.size);
+        }
+        if i % mem_stride == 0 {
+            peak_mem = peak_mem.max(policy.memory_bytes());
+        }
+    }
+    let elapsed = start.elapsed();
+    peak_mem = peak_mem.max(policy.memory_bytes());
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    RunMeasurement {
+        policy: kind.label().to_string(),
+        miss_ratio: m.miss_ratio(),
+        byte_miss_ratio: m.byte_miss_ratio(),
+        tps: trace.len() as f64 / secs,
+        ns_per_request: elapsed.as_nanos() as f64 / trace.len() as f64,
+        peak_memory_bytes: peak_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn every_policy_builds_and_runs() {
+        let reqs: Vec<(u64, u64)> = (0..3_000).map(|i| (i * 7 % 200, 1 + i % 50)).collect();
+        let trace = micro_trace(&reqs);
+        let ctx = TraceCtx::new(&trace, 1);
+        let all = [
+            PolicyKind::Lru,
+            PolicyKind::Lip,
+            PolicyKind::Bip,
+            PolicyKind::Dip,
+            PolicyKind::Pipp,
+            PolicyKind::Dta,
+            PolicyKind::Ship,
+            PolicyKind::Dgippr,
+            PolicyKind::Daaip,
+            PolicyKind::AscIp,
+            PolicyKind::Sci,
+            PolicyKind::Scip,
+            PolicyKind::LruK,
+            PolicyKind::S4Lru,
+            PolicyKind::SsLru,
+            PolicyKind::Gdsf,
+            PolicyKind::Lhd,
+            PolicyKind::Arc,
+            PolicyKind::LeCar,
+            PolicyKind::Cacheus,
+            PolicyKind::Lrb,
+            PolicyKind::GlCache,
+            PolicyKind::TwoQ,
+            PolicyKind::TinyLfu,
+            PolicyKind::AdaptSize,
+            PolicyKind::Belady,
+            PolicyKind::LruKScip,
+            PolicyKind::LruKAscIp,
+            PolicyKind::LrbScip,
+            PolicyKind::LrbAscIp,
+        ];
+        for kind in all {
+            let r = run_policy(kind, 1_000, &trace, &ctx);
+            assert!(
+                (0.0..=1.0).contains(&r.miss_ratio),
+                "{}: mr {}",
+                r.policy,
+                r.miss_ratio
+            );
+            assert!(r.tps > 0.0);
+            assert!(r.peak_memory_bytes > 0, "{}", r.policy);
+        }
+    }
+
+    #[test]
+    fn belady_is_the_floor() {
+        let reqs: Vec<(u64, u64)> = (0..5_000).map(|i| (i * 13 % 300, 1 + i % 20)).collect();
+        let trace = micro_trace(&reqs);
+        let ctx = TraceCtx::new(&trace, 2);
+        let belady = run_policy(PolicyKind::Belady, 800, &trace, &ctx).miss_ratio;
+        for kind in [PolicyKind::Lru, PolicyKind::Scip, PolicyKind::S4Lru] {
+            let mr = run_policy(kind, 800, &trace, &ctx).miss_ratio;
+            assert!(belady <= mr + 1e-9, "{kind:?}: {mr} < belady {belady}");
+        }
+    }
+}

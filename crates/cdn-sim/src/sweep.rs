@@ -1,0 +1,84 @@
+//! Parallel execution of experiment grids.
+
+use crossbeam::thread;
+
+/// Run `jobs` closures on up to `available_parallelism` worker threads and
+/// collect results in input order. Panics in a job abort the sweep.
+pub fn parallel_runs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    {
+        let queue: parking_lot::Mutex<Vec<(usize, F)>> =
+            parking_lot::Mutex::new(jobs.into_iter().enumerate().rev().collect());
+        let results = parking_lot::Mutex::new(&mut results);
+        thread::scope(|s| {
+            for _ in 0..n_workers {
+                s.spawn(|_| loop {
+                    let job = queue.lock().pop();
+                    match job {
+                        Some((idx, f)) => {
+                            let out = f();
+                            results.lock()[idx] = Some(out);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..50)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_runs(jobs);
+        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
+        assert!(parallel_runs(jobs).is_empty());
+    }
+
+    #[test]
+    fn actually_parallel_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> () + Send>> = (0..16)
+            .map(|_| {
+                Box::new(|| {
+                    let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(live, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    LIVE.fetch_sub(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        parallel_runs(jobs);
+        // On any multi-core runner at least two jobs overlap.
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(PEAK.load(Ordering::SeqCst) >= 2);
+        }
+    }
+}

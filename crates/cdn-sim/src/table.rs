@@ -1,0 +1,150 @@
+//! Figure-style table formatting and TSV persistence.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table with a title, printable and dumpable.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "ragged row");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as TSV under `results/<name>.tsv` (relative to the workspace
+    /// root when run via cargo, else the current directory).
+    pub fn save_tsv(&self, name: &str) -> io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.tsv"));
+        let mut body = String::new();
+        let _ = writeln!(body, "# {}", self.title);
+        let _ = writeln!(body, "{}", self.header.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(body, "{}", row.join("\t"));
+        }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// The `results/` directory (workspace-rooted when available).
+pub fn results_dir() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/cdn-sim -> workspace root.
+        if let Some(root) = Path::new(&manifest).parent().and_then(|p| p.parent()) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Format a ratio as a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Format bytes as MB with one decimal.
+pub fn mb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["policy", "mr"]);
+        t.row(vec!["LRU".into(), "0.50".into()]);
+        t.row(vec!["SCIP-long-name".into(), "0.40".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("SCIP-long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.save_tsv("test_table_demo").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("a\tb"));
+        assert!(body.contains("1\t2"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(mb(2_500_000), "2.5");
+    }
+}

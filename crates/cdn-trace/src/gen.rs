@@ -1,0 +1,400 @@
+//! The synthetic trace generator engine.
+//!
+//! A trace is a superposition of four request processes, each responsible
+//! for one of the phenomena the paper's analysis depends on:
+//!
+//! 1. **Zipf core** — a pool of `core_objects` ids sampled by Zipf rank.
+//!    The popular head produces ordinary hits; the long tail produces ZROs
+//!    (inter-access gap exceeds cache residency) and A-ZROs (tail objects
+//!    that do come back eventually).
+//! 2. **One-hit wonders** — with probability `one_hit_fraction` a request
+//!    goes to a brand-new id never seen again: a guaranteed ZRO.
+//! 3. **Bursts** — short-lived objects accessed a few times in quick
+//!    succession and then abandoned. The *last* hit of a burst is exactly a
+//!    P-ZRO (a hit object that will not be hit again), so the burst rate
+//!    controls the Figure-1(d) P-ZRO share.
+//! 4. **Popularity drift** — every `drift_interval` requests a fraction of
+//!    Zipf ranks is remapped to fresh ids, modelling content churn.
+//!
+//! All randomness flows from a single [`SimRng`] seed; a trace is a pure
+//! function of its [`GeneratorConfig`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cdn_cache::{Request, SimRng, Tick};
+
+use crate::sizes::SizeModel;
+use crate::zipf::Zipf;
+
+/// Full parameterisation of a synthetic trace.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Total requests to emit.
+    pub requests: u64,
+    /// Size of the Zipf-popular core pool.
+    pub core_objects: usize,
+    /// Zipf exponent of the core pool.
+    pub zipf_s: f64,
+    /// Probability a request is a never-repeated fresh object.
+    pub one_hit_fraction: f64,
+    /// Probability a request *starts* a new burst object.
+    pub burst_start_prob: f64,
+    /// Mean number of accesses in a burst (geometric, ≥ 1).
+    pub burst_len_mean: f64,
+    /// Mean request-count gap between consecutive accesses of a burst.
+    pub burst_gap_mean: f64,
+    /// Remap period for popularity drift (0 disables drift).
+    pub drift_interval: u64,
+    /// Fraction of core ranks remapped per drift event.
+    pub drift_fraction: f64,
+    /// Object-size distribution.
+    pub size_model: SizeModel,
+    /// Size multiplier for one-hit-wonder objects (real CDN traces show a
+    /// strong size↔reuse anticorrelation: one-shot originals/downloads are
+    /// much larger than hot thumbnails — the signal ASC-IP and the
+    /// Figure 4 classifiers exploit).
+    pub wonder_size_factor: f64,
+    /// Base request rate for the wall clock (requests/second).
+    pub requests_per_sec: f64,
+    /// Diurnal modulation amplitude in `[0, 1)` (0 = flat rate).
+    pub diurnal_amplitude: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            requests: 1_000_000,
+            core_objects: 100_000,
+            zipf_s: 0.8,
+            one_hit_fraction: 0.1,
+            burst_start_prob: 0.005,
+            burst_len_mean: 4.0,
+            burst_gap_mean: 2_000.0,
+            drift_interval: 200_000,
+            drift_fraction: 0.02,
+            size_model: SizeModel::lognormal(15_000.0, 1.3),
+            wonder_size_factor: 1.0,
+            requests_per_sec: 2_000.0,
+            diurnal_amplitude: 0.4,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Burst {
+    id: u64,
+    remaining: u32,
+}
+
+/// Streaming generator: implements `Iterator<Item = Request>`.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: GeneratorConfig,
+    rng: SimRng,
+    zipf: Zipf,
+    rank_to_id: Vec<u64>,
+    next_id: u64,
+    bursts: Vec<Burst>,
+    /// Min-heap of (due_tick, burst slot index).
+    burst_queue: BinaryHeap<Reverse<(Tick, usize)>>,
+    free_burst_slots: Vec<usize>,
+    tick: Tick,
+    wall_secs: f64,
+    next_drift: Tick,
+}
+
+impl TraceGenerator {
+    /// Build a generator for `cfg`.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        assert!(cfg.core_objects > 0, "need a core pool");
+        assert!(cfg.one_hit_fraction + cfg.burst_start_prob < 1.0);
+        assert!(cfg.burst_len_mean >= 1.0);
+        assert!(cfg.burst_gap_mean >= 1.0);
+        assert!((0.0..1.0).contains(&cfg.diurnal_amplitude));
+        let mut rng = SimRng::new(cfg.seed);
+        let zipf = Zipf::new(cfg.core_objects, cfg.zipf_s);
+        // Shuffle ids over ranks so object id carries no popularity signal
+        // (policies must not be able to cheat by reading the id).
+        let mut rank_to_id: Vec<u64> = (0..cfg.core_objects as u64).collect();
+        rng.shuffle(&mut rank_to_id);
+        let next_drift = if cfg.drift_interval == 0 {
+            u64::MAX
+        } else {
+            cfg.drift_interval
+        };
+        TraceGenerator {
+            next_id: cfg.core_objects as u64,
+            zipf,
+            rank_to_id,
+            rng,
+            bursts: Vec::new(),
+            burst_queue: BinaryHeap::new(),
+            free_burst_slots: Vec::new(),
+            tick: 0,
+            wall_secs: 0.0,
+            next_drift,
+            cfg,
+        }
+    }
+
+    /// Generate the whole trace into a vector.
+    pub fn generate(cfg: GeneratorConfig) -> Vec<Request> {
+        let n = cfg.requests as usize;
+        let mut v = Vec::with_capacity(n);
+        v.extend(TraceGenerator::new(cfg));
+        v
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn start_burst(&mut self) -> u64 {
+        let id = self.fresh_id();
+        // Geometric length with mean `burst_len_mean`: support {1, 2, ...}.
+        let p = 1.0 / self.cfg.burst_len_mean;
+        let mut len = 1u32;
+        while !self.rng.chance(p) && len < 10_000 {
+            len += 1;
+        }
+        if len > 1 {
+            let slot = if let Some(s) = self.free_burst_slots.pop() {
+                self.bursts[s] = Burst {
+                    id,
+                    remaining: len - 1,
+                };
+                s
+            } else {
+                self.bursts.push(Burst {
+                    id,
+                    remaining: len - 1,
+                });
+                self.bursts.len() - 1
+            };
+            let gap = self.sample_gap();
+            self.burst_queue.push(Reverse((self.tick + gap, slot)));
+        }
+        id
+    }
+
+    fn sample_gap(&mut self) -> u64 {
+        (self.rng.exponential(1.0 / self.cfg.burst_gap_mean) as u64).max(1)
+    }
+
+    fn drift(&mut self) {
+        let n = self.cfg.core_objects;
+        let count = ((n as f64) * self.cfg.drift_fraction) as usize;
+        for _ in 0..count {
+            let rank = self.rng.usize_below(n);
+            self.rank_to_id[rank] = self.fresh_id();
+        }
+    }
+
+    fn advance_wall(&mut self) {
+        let day_frac = self.wall_secs / 86_400.0;
+        let rate = self.cfg.requests_per_sec
+            * (1.0
+                + self.cfg.diurnal_amplitude
+                    * (std::f64::consts::TAU * day_frac).sin());
+        self.wall_secs += 1.0 / rate.max(1e-9);
+    }
+
+    fn base_size(&self, id: u64) -> u64 {
+        self.cfg.size_model.size_of(id, self.cfg.seed)
+    }
+
+    fn wonder_size(&self, id: u64) -> u64 {
+        let s = (self.base_size(id) as f64 * self.cfg.wonder_size_factor) as u64;
+        s.clamp(self.cfg.size_model.min, self.cfg.size_model.max)
+    }
+
+    fn next_object(&mut self) -> (u64, u64) {
+        // Due burst accesses take priority (they model tight temporal
+        // correlation a probability mix cannot express).
+        if let Some(&Reverse((due, slot))) = self.burst_queue.peek() {
+            if due <= self.tick {
+                self.burst_queue.pop();
+                let id = self.bursts[slot].id;
+                self.bursts[slot].remaining -= 1;
+                if self.bursts[slot].remaining > 0 {
+                    let gap = self.sample_gap();
+                    self.burst_queue.push(Reverse((self.tick + gap, slot)));
+                } else {
+                    self.free_burst_slots.push(slot);
+                }
+                return (id, self.base_size(id));
+            }
+        }
+        let u = self.rng.f64();
+        if u < self.cfg.one_hit_fraction {
+            let id = self.fresh_id();
+            (id, self.wonder_size(id))
+        } else if u < self.cfg.one_hit_fraction + self.cfg.burst_start_prob {
+            let id = self.start_burst();
+            (id, self.base_size(id))
+        } else {
+            let rank = self.zipf.sample(&mut self.rng);
+            let id = self.rank_to_id[rank];
+            (id, self.base_size(id))
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.tick >= self.cfg.requests {
+            return None;
+        }
+        if self.tick >= self.next_drift {
+            self.drift();
+            self.next_drift += self.cfg.drift_interval;
+        }
+        let (id, size) = self.next_object();
+        let req = Request {
+            tick: self.tick,
+            id: id.into(),
+            size,
+            wall_secs: self.wall_secs,
+        };
+        self.tick += 1;
+        self.advance_wall();
+        Some(req)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.cfg.requests - self.tick) as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::FxHashMap;
+
+    fn small_cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            requests: 50_000,
+            core_objects: 5_000,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TraceGenerator::generate(small_cfg());
+        let b = TraceGenerator::generate(small_cfg());
+        assert_eq!(a, b);
+        let mut c = small_cfg();
+        c.seed = 99;
+        assert_ne!(a, TraceGenerator::generate(c));
+    }
+
+    #[test]
+    fn emits_exact_count_with_monotone_ticks_and_wall() {
+        let t = TraceGenerator::generate(small_cfg());
+        assert_eq!(t.len(), 50_000);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.tick, i as u64);
+        }
+        for w in t.windows(2) {
+            assert!(w[1].wall_secs > w[0].wall_secs);
+        }
+    }
+
+    #[test]
+    fn sizes_stable_per_object() {
+        let t = TraceGenerator::generate(small_cfg());
+        let mut seen: FxHashMap<u64, u64> = FxHashMap::default();
+        for r in &t {
+            let prev = seen.insert(r.id.0, r.size);
+            if let Some(p) = prev {
+                assert_eq!(p, r.size, "object {} changed size", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn one_hit_fraction_controls_uniques() {
+        let mut lo = small_cfg();
+        lo.one_hit_fraction = 0.01;
+        let mut hi = small_cfg();
+        hi.one_hit_fraction = 0.5;
+        let uniq = |t: &[Request]| {
+            let mut s = cdn_cache::FxHashSet::default();
+            for r in t {
+                s.insert(r.id);
+            }
+            s.len()
+        };
+        let ulo = uniq(&TraceGenerator::generate(lo));
+        let uhi = uniq(&TraceGenerator::generate(hi));
+        assert!(uhi > 2 * ulo, "uniques: hi {uhi} vs lo {ulo}");
+    }
+
+    #[test]
+    fn bursts_reaccess_within_short_gaps() {
+        let mut cfg = small_cfg();
+        cfg.burst_start_prob = 0.05;
+        cfg.burst_len_mean = 5.0;
+        cfg.burst_gap_mean = 50.0;
+        cfg.one_hit_fraction = 0.0;
+        let t = TraceGenerator::generate(cfg.clone());
+        // Count accesses to non-core ids (burst ids): mean accesses should
+        // approach burst_len_mean.
+        let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+        for r in &t {
+            if r.id.0 >= cfg.core_objects as u64 {
+                *counts.entry(r.id.0).or_insert(0) += 1;
+            }
+        }
+        assert!(!counts.is_empty());
+        let mean =
+            counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        assert!(
+            (mean - cfg.burst_len_mean).abs() < 1.5,
+            "mean burst length {mean}"
+        );
+    }
+
+    #[test]
+    fn drift_introduces_new_ids_over_time() {
+        let mut cfg = small_cfg();
+        cfg.drift_interval = 5_000;
+        cfg.drift_fraction = 0.05;
+        cfg.one_hit_fraction = 0.0;
+        cfg.burst_start_prob = 0.0;
+        let t = TraceGenerator::generate(cfg.clone());
+        let fresh = t
+            .iter()
+            .filter(|r| r.id.0 >= cfg.core_objects as u64)
+            .count();
+        assert!(fresh > 0, "drift should surface fresh ids");
+    }
+
+    #[test]
+    fn no_drift_when_disabled() {
+        let mut cfg = small_cfg();
+        cfg.drift_interval = 0;
+        cfg.one_hit_fraction = 0.0;
+        cfg.burst_start_prob = 0.0;
+        let t = TraceGenerator::generate(cfg.clone());
+        assert!(t.iter().all(|r| r.id.0 < cfg.core_objects as u64));
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let mut g = TraceGenerator::new(small_cfg());
+        assert_eq!(g.size_hint(), (50_000, Some(50_000)));
+        g.next();
+        assert_eq!(g.size_hint(), (49_999, Some(49_999)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace serialisation: a compact binary format plus CSV for interop.
+//!
+//! Binary layout (little-endian): magic `CDNT`, `u32` version, `u64`
+//! request count, then per request `u64 id`, `u64 size`, `f64 wall_secs`.
+//! Ticks are implicit (records are stored in tick order).
+//!
+//! The CSV flavour (`tick,id,size,wall_secs` with a header) matches what
+//! the LRB simulator's tooling consumes after a one-column rename.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use cdn_cache::Request;
+
+const MAGIC: &[u8; 4] = b"CDNT";
+const VERSION: u32 = 1;
+
+/// Write a trace in the binary format.
+pub fn write_binary(path: &Path, trace: &[Request]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for r in trace {
+        w.write_all(&r.id.0.to_le_bytes())?;
+        w.write_all(&r.size.to_le_bytes())?;
+        w.write_all(&r.wall_secs.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a binary trace written by [`write_binary`].
+pub fn read_binary(path: &Path) -> io::Result<Vec<Request>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+    let mut trace = Vec::with_capacity(count);
+    for tick in 0..count {
+        r.read_exact(&mut buf8)?;
+        let id = u64::from_le_bytes(buf8);
+        r.read_exact(&mut buf8)?;
+        let size = u64::from_le_bytes(buf8);
+        r.read_exact(&mut buf8)?;
+        let wall_secs = f64::from_le_bytes(buf8);
+        trace.push(Request {
+            tick: tick as u64,
+            id: id.into(),
+            size,
+            wall_secs,
+        });
+    }
+    Ok(trace)
+}
+
+/// Write a trace as CSV with a header row.
+pub fn write_csv(path: &Path, trace: &[Request]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "tick,id,size,wall_secs")?;
+    for r in trace {
+        writeln!(w, "{},{},{},{}", r.tick, r.id.0, r.size, r.wall_secs)?;
+    }
+    w.flush()
+}
+
+/// Read a CSV trace written by [`write_csv`] (header required).
+pub fn read_csv(path: &Path) -> io::Result<Vec<Request>> {
+    let r = BufReader::new(File::open(path)?);
+    let mut trace = Vec::new();
+    let bad = |line: usize, what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {line}: {what}"),
+        )
+    };
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if i == 0 {
+            if !line.starts_with("tick,") {
+                return Err(bad(1, "missing header"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let tick: u64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad(i + 1, "bad tick"))?;
+        let id: u64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad(i + 1, "bad id"))?;
+        let size: u64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad(i + 1, "bad size"))?;
+        let wall_secs: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad(i + 1, "bad wall_secs"))?;
+        trace.push(Request {
+            tick,
+            id: id.into(),
+            size,
+            wall_secs,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, TraceGenerator};
+
+    fn sample_trace() -> Vec<Request> {
+        TraceGenerator::generate(GeneratorConfig {
+            requests: 2_000,
+            core_objects: 1_000,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let dir = std::env::temp_dir().join("cdn_trace_io_test_bin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        let t = sample_trace();
+        write_binary(&path, &t).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("cdn_trace_io_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let t = sample_trace();
+        write_csv(&path, &t).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(t.len(), back.len());
+        for (a, b) in t.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.tick, b.tick);
+            assert!((a.wall_secs - b.wall_secs).abs() < 1e-9);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("cdn_trace_io_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, b"not a trace").unwrap();
+        assert!(read_binary(&path).is_err());
+        let csv = dir.join("bad.csv");
+        std::fs::write(&csv, "nope\n1,2\n").unwrap();
+        assert!(read_csv(&csv).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

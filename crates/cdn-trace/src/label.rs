@@ -1,0 +1,441 @@
+//! Offline ZRO / P-ZRO labeling by LRU replay, and oracle placement.
+//!
+//! Definitions (paper §1-§2), all relative to an LRU replay at a fixed
+//! cache size:
+//!
+//! - a **ZRO event** is a *miss* whose resulting residency ends with zero
+//!   hits — the inserted object was never reused while cached;
+//! - an **A-ZRO** is a ZRO event whose object is requested again *after*
+//!   that residency's eviction (the object is not permanently cold);
+//! - a **P-ZRO event** is a *hit* after which the object receives no
+//!   further hit before eviction — i.e. the final hit of a residency;
+//! - an **A-P-ZRO** is a P-ZRO event whose object is requested again after
+//!   eviction.
+//!
+//! Residencies still open at end-of-trace are treated as evicted at the
+//! trace end (their ZRO/P-ZRO status is decided by what was observed; they
+//! can never be A-*).
+//!
+//! [`oracle_replay`] re-runs LRU but places a chosen fraction of labeled
+//! ZRO insertions and/or P-ZRO promotions at the LRU position — exactly the
+//! experiment behind Figure 1's slashed bars and Figure 3's curves.
+
+use cdn_cache::{FxHashMap, LruQueue, MissRatio, ObjectId, Request};
+
+/// Per-request classification from the labeling replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestLabel {
+    /// Miss whose residency got at least one hit.
+    MissReused,
+    /// Miss whose residency ended hitless (ZRO). `reaccessed` marks A-ZRO.
+    MissZro {
+        /// True when the object is requested again after eviction (A-ZRO).
+        reaccessed: bool,
+    },
+    /// Hit followed by another hit in the same residency.
+    HitReused,
+    /// Final hit of a residency (P-ZRO). `reaccessed` marks A-P-ZRO.
+    HitPZro {
+        /// True when the object is requested again after eviction (A-P-ZRO).
+        reaccessed: bool,
+    },
+    /// Miss on an object larger than the cache (never admitted).
+    Inadmissible,
+}
+
+impl RequestLabel {
+    /// Is this any kind of miss?
+    pub fn is_miss(self) -> bool {
+        matches!(
+            self,
+            RequestLabel::MissReused | RequestLabel::MissZro { .. } | RequestLabel::Inadmissible
+        )
+    }
+
+    /// Is this a ZRO-labeled miss?
+    pub fn is_zro(self) -> bool {
+        matches!(self, RequestLabel::MissZro { .. })
+    }
+
+    /// Is this a P-ZRO-labeled hit?
+    pub fn is_pzro(self) -> bool {
+        matches!(self, RequestLabel::HitPZro { .. })
+    }
+}
+
+/// Aggregate label counts (Figure 1's bar heights).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LabelSummary {
+    /// Total requests.
+    pub requests: u64,
+    /// Total misses (including inadmissible).
+    pub misses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// ZRO events.
+    pub zro: u64,
+    /// A-ZRO events (subset of `zro`).
+    pub azro: u64,
+    /// P-ZRO events.
+    pub pzro: u64,
+    /// A-P-ZRO events (subset of `pzro`).
+    pub apzro: u64,
+}
+
+impl LabelSummary {
+    /// ZRO share of missing objects — Figure 1(a).
+    pub fn zro_of_misses(&self) -> f64 {
+        ratio(self.zro, self.misses)
+    }
+
+    /// A-ZRO share of ZROs — Figure 1(c).
+    pub fn azro_of_zros(&self) -> f64 {
+        ratio(self.azro, self.zro)
+    }
+
+    /// P-ZRO share of hit objects — Figure 1(d).
+    pub fn pzro_of_hits(&self) -> f64 {
+        ratio(self.pzro, self.hits)
+    }
+
+    /// A-P-ZRO share of P-ZROs — Figure 1(f).
+    pub fn apzro_of_pzros(&self) -> f64 {
+        ratio(self.apzro, self.pzro)
+    }
+
+    /// LRU miss ratio of the labeling replay.
+    pub fn miss_ratio(&self) -> f64 {
+        ratio(self.misses, self.requests)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Labels for a whole trace.
+#[derive(Debug, Clone)]
+pub struct TraceLabels {
+    /// One label per request, aligned with the trace.
+    pub labels: Vec<RequestLabel>,
+    /// Aggregate counts.
+    pub summary: LabelSummary,
+}
+
+/// Replay `trace` through LRU at `cache_bytes` and label every request.
+pub fn label_trace(trace: &[Request], cache_bytes: u64) -> TraceLabels {
+    // Last request index per object, to decide A-ZRO / A-P-ZRO.
+    let mut last_req: FxHashMap<ObjectId, u64> = FxHashMap::default();
+    for r in trace {
+        last_req.insert(r.id, r.tick);
+    }
+
+    let mut labels = vec![RequestLabel::MissReused; trace.len()];
+    let mut summary = LabelSummary {
+        requests: trace.len() as u64,
+        ..LabelSummary::default()
+    };
+    let mut cache = LruQueue::new(cache_bytes);
+
+    // Close a residency: decide the ZRO/P-ZRO label of its defining event.
+    // `evict_tick` of None means the residency survived to end-of-trace.
+    let close =
+        |meta: &cdn_cache::EntryMeta,
+         evict_tick: Option<u64>,
+         labels: &mut Vec<RequestLabel>,
+         summary: &mut LabelSummary| {
+            let reaccessed = match evict_tick {
+                Some(t) => last_req.get(&meta.id).is_some_and(|&last| last > t),
+                None => false,
+            };
+            if meta.hits == 0 {
+                labels[meta.inserted_tick as usize] = RequestLabel::MissZro { reaccessed };
+                summary.zro += 1;
+                if reaccessed {
+                    summary.azro += 1;
+                }
+            } else {
+                labels[meta.last_access as usize] = RequestLabel::HitPZro { reaccessed };
+                summary.pzro += 1;
+                if reaccessed {
+                    summary.apzro += 1;
+                }
+            }
+        };
+
+    for r in trace {
+        if cache.contains(r.id) {
+            summary.hits += 1;
+            labels[r.tick as usize] = RequestLabel::HitReused; // may be relabeled at close
+            cache.record_hit(r.id, r.tick);
+            cache.promote_to_mru(r.id);
+        } else {
+            summary.misses += 1;
+            if !cache.admissible(r.size) {
+                labels[r.tick as usize] = RequestLabel::Inadmissible;
+                continue;
+            }
+            labels[r.tick as usize] = RequestLabel::MissReused; // may be relabeled at close
+            while cache.needs_eviction_for(r.size) {
+                let victim = cache.evict_lru().expect("needs_eviction implies nonempty");
+                close(&victim, Some(r.tick), &mut labels, &mut summary);
+            }
+            cache.insert_mru(r.id, r.size, r.tick);
+        }
+    }
+    // Close residencies still open at end of trace.
+    let residents: Vec<cdn_cache::EntryMeta> = cache.iter().copied().collect();
+    for meta in residents {
+        close(&meta, None, &mut labels, &mut summary);
+    }
+
+    TraceLabels { labels, summary }
+}
+
+/// Which label classes the oracle replay treats (Figure 3's three curves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleTreatment {
+    /// Place labeled ZRO insertions at the LRU position.
+    Zro,
+    /// Place labeled P-ZRO promotions at the LRU position.
+    PZro,
+    /// Both.
+    Both,
+}
+
+/// Replay LRU, but send the first `fraction` (by occurrence order) of the
+/// treated label class(es) to the LRU position. Returns the replay's miss
+/// ratio.
+///
+/// This is the paper's "theoretical" experiment: labels come from the plain
+/// LRU replay, so the feedback between placement and later ZRO formation is
+/// deliberately ignored (§2.2 discusses exactly this bias).
+pub fn oracle_replay(
+    trace: &[Request],
+    labels: &TraceLabels,
+    cache_bytes: u64,
+    treatment: OracleTreatment,
+    fraction: f64,
+) -> f64 {
+    assert_eq!(trace.len(), labels.labels.len(), "labels/trace mismatch");
+    assert!((0.0..=1.0).contains(&fraction));
+    let treat_zro = matches!(treatment, OracleTreatment::Zro | OracleTreatment::Both);
+    let treat_pzro = matches!(treatment, OracleTreatment::PZro | OracleTreatment::Both);
+    let zro_budget = (labels.summary.zro as f64 * fraction) as u64;
+    let pzro_budget = (labels.summary.pzro as f64 * fraction) as u64;
+
+    let mut zro_seen = 0u64;
+    let mut pzro_seen = 0u64;
+    let mut cache = LruQueue::new(cache_bytes);
+    let mut metrics = MissRatio::new();
+
+    for r in trace {
+        let label = labels.labels[r.tick as usize];
+        if cache.contains(r.id) {
+            metrics.record_hit(r.size);
+            cache.record_hit(r.id, r.tick);
+            let demote = label.is_pzro() && treat_pzro && {
+                pzro_seen += 1;
+                pzro_seen <= pzro_budget
+            };
+            if demote {
+                cache.demote_to_lru(r.id);
+            } else {
+                cache.promote_to_mru(r.id);
+            }
+        } else {
+            metrics.record_miss(r.size);
+            if !cache.admissible(r.size) {
+                continue;
+            }
+            while cache.needs_eviction_for(r.size) {
+                cache.evict_lru();
+            }
+            let to_lru = label.is_zro() && treat_zro && {
+                zro_seen += 1;
+                zro_seen <= zro_budget
+            };
+            if to_lru {
+                cache.insert_lru(r.id, r.size, r.tick);
+            } else {
+                cache.insert_mru(r.id, r.size, r.tick);
+            }
+        }
+    }
+    metrics.miss_ratio()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::object::micro_trace;
+
+    // Cache of 2 unit-size objects: a classic pedagogical setting.
+    const UNIT: u64 = 1;
+
+    #[test]
+    fn pure_one_hit_wonders_are_all_zro() {
+        let t = micro_trace(&[(1, UNIT), (2, UNIT), (3, UNIT), (4, UNIT)]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.summary.misses, 4);
+        assert_eq!(l.summary.zro, 4);
+        assert_eq!(l.summary.azro, 0);
+        assert_eq!(l.summary.pzro, 0);
+        assert!(l.labels.iter().all(|lb| lb.is_zro()));
+    }
+
+    #[test]
+    fn final_hit_is_pzro() {
+        // 1 inserted, hit once, then displaced by 2,3.
+        let t = micro_trace(&[(1, UNIT), (1, UNIT), (2, UNIT), (3, UNIT)]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.summary.hits, 1);
+        assert_eq!(l.summary.pzro, 1);
+        assert_eq!(l.labels[1], RequestLabel::HitPZro { reaccessed: false });
+        // The miss at t=0 led to a residency with a hit: not a ZRO.
+        assert_eq!(l.labels[0], RequestLabel::MissReused);
+    }
+
+    #[test]
+    fn intermediate_hits_are_reused() {
+        let t = micro_trace(&[(1, UNIT), (1, UNIT), (1, UNIT)]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.labels[1], RequestLabel::HitReused);
+        // Final hit at t=2 closes at end-of-trace as P-ZRO.
+        assert_eq!(l.labels[2], RequestLabel::HitPZro { reaccessed: false });
+        assert_eq!(l.summary.pzro, 1);
+    }
+
+    #[test]
+    fn azro_detected_on_reaccess_after_eviction() {
+        // 1 evicted hitless by 2,3, then requested again: its first miss is
+        // an A-ZRO.
+        let t = micro_trace(&[(1, UNIT), (2, UNIT), (3, UNIT), (1, UNIT)]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.labels[0], RequestLabel::MissZro { reaccessed: true });
+        assert_eq!(l.summary.azro, 1);
+        assert!(l.summary.zro >= 2); // 1 (twice? second still open) + 2
+    }
+
+    #[test]
+    fn apzro_detected() {
+        // 1 hit (t=1), evicted by 2,3, then re-requested (t=4): the hit at
+        // t=1 is an A-P-ZRO.
+        let t = micro_trace(&[(1, UNIT), (1, UNIT), (2, UNIT), (3, UNIT), (1, UNIT)]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.labels[1], RequestLabel::HitPZro { reaccessed: true });
+        assert_eq!(l.summary.apzro, 1);
+    }
+
+    #[test]
+    fn inadmissible_objects_labeled() {
+        let t = micro_trace(&[(1, 10)]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.labels[0], RequestLabel::Inadmissible);
+        assert_eq!(l.summary.misses, 1);
+        assert_eq!(l.summary.zro, 0);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let t = micro_trace(&[
+            (1, UNIT),
+            (2, UNIT),
+            (1, UNIT),
+            (3, UNIT),
+            (4, UNIT),
+            (2, UNIT),
+            (1, UNIT),
+        ]);
+        let l = label_trace(&t, 2);
+        assert_eq!(l.summary.hits + l.summary.misses, 7);
+        assert!(l.summary.azro <= l.summary.zro);
+        assert!(l.summary.apzro <= l.summary.pzro);
+        assert!(l.summary.zro <= l.summary.misses);
+        assert!(l.summary.pzro <= l.summary.hits);
+    }
+
+    #[test]
+    fn oracle_zro_placement_reduces_misses() {
+        // ZRO-heavy stream with a stable pair of hot objects: placing the
+        // one-hit wonders at LRU protects the hot pair.
+        let mut reqs = Vec::new();
+        let mut next = 100u64;
+        for i in 0..200u64 {
+            if i % 4 == 0 {
+                reqs.push((1, UNIT));
+            } else if i % 4 == 2 {
+                reqs.push((2, UNIT));
+            } else {
+                reqs.push((next, UNIT));
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cache = 2;
+        let l = label_trace(&t, cache);
+        let base = l.summary.miss_ratio();
+        let treated = oracle_replay(&t, &l, cache, OracleTreatment::Zro, 1.0);
+        assert!(
+            treated < base,
+            "oracle ZRO placement should help: {treated} vs {base}"
+        );
+        // Fraction 0 reproduces plain LRU exactly.
+        let zero = oracle_replay(&t, &l, cache, OracleTreatment::Zro, 0.0);
+        assert!((zero - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_fraction_monotone_in_expectation() {
+        // More treated ZROs should not hurt on this adversarial stream.
+        let mut reqs = Vec::new();
+        let mut next = 100u64;
+        for i in 0..400u64 {
+            if i % 3 == 0 {
+                reqs.push((i % 9 / 3 + 1, UNIT)); // rotating trio of hot ids
+            } else {
+                reqs.push((next, UNIT));
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let l = label_trace(&t, 3);
+        let m25 = oracle_replay(&t, &l, 3, OracleTreatment::Zro, 0.25);
+        let m100 = oracle_replay(&t, &l, 3, OracleTreatment::Zro, 1.0);
+        assert!(m100 <= m25 + 1e-9, "{m100} vs {m25}");
+    }
+
+    #[test]
+    fn oracle_both_at_least_as_good_as_each() {
+        let mut reqs = Vec::new();
+        let mut next = 1000u64;
+        for i in 0..600u64 {
+            match i % 5 {
+                0 => reqs.push((1, UNIT)),
+                1 => reqs.push((2, UNIT)),
+                2 => {
+                    // Burst object: inserted, hit once shortly after, gone.
+                    reqs.push((next, UNIT));
+                }
+                3 => {
+                    reqs.push((next, UNIT));
+                    next += 1;
+                }
+                _ => {
+                    reqs.push((next + 10_000, UNIT)); // one-hit wonder
+                    next += 1;
+                }
+            }
+        }
+        let t = micro_trace(&reqs);
+        let l = label_trace(&t, 3);
+        let z = oracle_replay(&t, &l, 3, OracleTreatment::Zro, 1.0);
+        let p = oracle_replay(&t, &l, 3, OracleTreatment::PZro, 1.0);
+        let b = oracle_replay(&t, &l, 3, OracleTreatment::Both, 1.0);
+        assert!(b <= z + 0.02 && b <= p + 0.02, "both {b}, zro {z}, pzro {p}");
+    }
+}

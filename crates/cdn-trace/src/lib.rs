@@ -1,0 +1,38 @@
+//! CDN workload substrate: synthetic traces, trace I/O, offline analysis.
+//!
+//! The paper evaluates on CDN-T (proprietary Tencent), CDN-W (wiki, from
+//! the LRB artifact) and CDN-A (Tencent photo, ICS'18). None are available
+//! offline, so this crate generates seeded synthetic analogs whose Table-1
+//! statistics (requests per unique object, size distribution, working-set
+//! size) and class structure (ZRO / A-ZRO / P-ZRO / A-P-ZRO percentages)
+//! match the paper's reported ranges. See DESIGN.md §5 for the substitution
+//! argument.
+//!
+//! Modules:
+//! - [`zipf`]: exact finite-support Zipf rank sampling.
+//! - [`sizes`]: per-object size models (clamped lognormal + heavy tail).
+//! - [`gen`]: the trace generator engine (Zipf core, popularity drift,
+//!   one-hit wonders, burst processes, diurnal wall clock).
+//! - [`profiles`]: CDN-T / CDN-W / CDN-A parameterisations.
+//! - [`stats`]: Table-1 style trace statistics.
+//! - [`io`]: binary + CSV trace serialisation.
+//! - [`label`]: offline ZRO / P-ZRO / A-ZRO / A-P-ZRO labeling by LRU
+//!   replay, and the oracle-placement replay behind Figure 3.
+//! - [`belady`]: next-access precomputation and the Belady MIN lower bound.
+
+pub mod belady;
+pub mod gen;
+pub mod io;
+pub mod label;
+pub mod profiles;
+pub mod sizes;
+pub mod stats;
+pub mod zipf;
+
+pub use belady::{next_access_table, BeladyOracle, NO_NEXT};
+pub use gen::{GeneratorConfig, TraceGenerator};
+pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
+pub use profiles::{Workload, WorkloadProfile};
+pub use sizes::SizeModel;
+pub use stats::TraceStats;
+pub use zipf::Zipf;

@@ -1,0 +1,251 @@
+//! CDN-T / CDN-W / CDN-A workload parameterisations.
+//!
+//! Each profile scales to an arbitrary request count while preserving the
+//! *ratios* of Table 1 — requests per unique object, object-size
+//! distribution and working-set size per request — so experiments quote
+//! cache sizes as fractions of the working set exactly like the paper
+//! (64 GB on CDN-T = 64/1097 of the WSS).
+//!
+//! | paper trait            | CDN-T | CDN-W  | CDN-A |
+//! |------------------------|-------|--------|-------|
+//! | requests (M)           | 78.75 | 100.0  | 99.55 |
+//! | unique objects (M)     | 24.71 | 2.34   | 54.43 |
+//! | requests per unique    | 3.19  | 42.7   | 1.83  |
+//! | mean size (KB)         | 44.56 | 35.07  | 31.21 |
+//! | max size               | 20 MB | 674 MB | 8 MB  |
+//! | working set (GB)       | 1097  | 327    | 1580  |
+//!
+//! CDN-A is a photo store (massive one-hit-wonder share), CDN-W is a
+//! popularity-concentrated wiki/media trace with bursty items (highest
+//! P-ZRO share in the paper, 21.7 % of hits), CDN-T sits in between.
+
+use crate::gen::GeneratorConfig;
+use crate::sizes::SizeModel;
+
+/// The three evaluation workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Tencent TDC image CDN analog.
+    CdnT,
+    /// Wiki/media CDN analog (LRB's trace).
+    CdnW,
+    /// Tencent photo-store analog (ICS'18 trace).
+    CdnA,
+}
+
+impl Workload {
+    /// All three, in paper order.
+    pub const ALL: [Workload; 3] = [Workload::CdnT, Workload::CdnW, Workload::CdnA];
+
+    /// Paper's name for the workload.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::CdnT => "CDN-T",
+            Workload::CdnW => "CDN-W",
+            Workload::CdnA => "CDN-A",
+        }
+    }
+
+    /// The profile behind this workload.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            Workload::CdnT => WorkloadProfile::cdn_t(),
+            Workload::CdnW => WorkloadProfile::cdn_w(),
+            Workload::CdnA => WorkloadProfile::cdn_a(),
+        }
+    }
+
+    /// Working-set size (`X` in the paper's figures), in GB, of the paper's
+    /// original trace. Used to translate absolute paper cache sizes into
+    /// WSS fractions.
+    pub fn paper_wss_gb(self) -> f64 {
+        match self {
+            Workload::CdnT => 1097.0,
+            Workload::CdnW => 327.0,
+            Workload::CdnA => 1580.0,
+        }
+    }
+
+    /// The WSS fraction corresponding to a paper cache size in GB
+    /// (e.g. `paper_cache_fraction(64.0)` for the 64 GB figures).
+    pub fn paper_cache_fraction(self, cache_gb: f64) -> f64 {
+        cache_gb / self.paper_wss_gb()
+    }
+}
+
+/// Scalable generator parameterisation of one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Paper name.
+    pub name: &'static str,
+    /// Core pool size as a fraction of total requests.
+    pub core_frac: f64,
+    /// Zipf exponent.
+    pub zipf_s: f64,
+    /// One-hit-wonder request fraction.
+    pub one_hit_fraction: f64,
+    /// Burst start probability per request.
+    pub burst_start_prob: f64,
+    /// Mean burst length.
+    pub burst_len_mean: f64,
+    /// Mean intra-burst gap in requests, as a fraction of total requests.
+    pub burst_gap_frac: f64,
+    /// Drift period as a fraction of total requests (0 = off).
+    pub drift_interval_frac: f64,
+    /// Fraction of core ranks remapped per drift.
+    pub drift_fraction: f64,
+    /// Size distribution.
+    pub size_model: SizeModel,
+    /// One-hit-wonder size multiplier (size↔reuse anticorrelation).
+    pub wonder_size_factor: f64,
+    /// Base request rate (requests/second) at the paper's traffic scale.
+    pub requests_per_sec: f64,
+}
+
+impl WorkloadProfile {
+    /// CDN-T: ~3.2 requests per unique object, 44.6 KB mean size.
+    pub fn cdn_t() -> Self {
+        WorkloadProfile {
+            name: "CDN-T",
+            core_frac: 0.09,
+            zipf_s: 0.80,
+            one_hit_fraction: 0.18,
+            burst_start_prob: 0.010,
+            burst_len_mean: 5.0,
+            burst_gap_frac: 0.0008,
+            drift_interval_frac: 0.02,
+            drift_fraction: 0.03,
+            size_model: SizeModel::lognormal(7_500.0, 1.30)
+                .with_tail(0.002, 1.7, 1 << 20)
+                .clamped(2, 19_970_000),
+            wonder_size_factor: 3.0,
+            requests_per_sec: 12_000.0,
+        }
+    }
+
+    /// CDN-W: ~43 requests per unique object, burstiest (highest P-ZRO share).
+    pub fn cdn_w() -> Self {
+        WorkloadProfile {
+            name: "CDN-W",
+            core_frac: 0.010,
+            zipf_s: 0.85,
+            one_hit_fraction: 0.004,
+            burst_start_prob: 0.006,
+            burst_len_mean: 12.0,
+            burst_gap_frac: 0.0005,
+            drift_interval_frac: 0.04,
+            drift_fraction: 0.04,
+            size_model: SizeModel::lognormal(6_000.0, 1.30)
+                .with_tail(0.0002, 1.5, 10 << 20)
+                .clamped(10, 674_380_000),
+            wonder_size_factor: 7.0,
+            requests_per_sec: 15_000.0,
+        }
+    }
+
+    /// CDN-A: ~1.8 requests per unique object (photo store, ZRO-dominated).
+    pub fn cdn_a() -> Self {
+        WorkloadProfile {
+            name: "CDN-A",
+            core_frac: 0.09,
+            zipf_s: 0.72,
+            one_hit_fraction: 0.42,
+            burst_start_prob: 0.018,
+            burst_len_mean: 3.0,
+            burst_gap_frac: 0.001,
+            drift_interval_frac: 0.02,
+            drift_fraction: 0.03,
+            size_model: SizeModel::lognormal(7_000.0, 1.20)
+                .with_tail(0.0007, 1.8, 1 << 20)
+                .clamped(2, 7_990_000),
+            wonder_size_factor: 2.5,
+            requests_per_sec: 15_000.0,
+        }
+    }
+
+    /// Concrete generator configuration at `requests` scale.
+    pub fn config(&self, requests: u64, seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            requests,
+            core_objects: ((requests as f64 * self.core_frac) as usize).max(1_000),
+            zipf_s: self.zipf_s,
+            one_hit_fraction: self.one_hit_fraction,
+            burst_start_prob: self.burst_start_prob,
+            burst_len_mean: self.burst_len_mean,
+            burst_gap_mean: (requests as f64 * self.burst_gap_frac).max(10.0),
+            drift_interval: (requests as f64 * self.drift_interval_frac) as u64,
+            drift_fraction: self.drift_fraction,
+            size_model: self.size_model,
+            wonder_size_factor: self.wonder_size_factor,
+            requests_per_sec: self.requests_per_sec,
+            diurnal_amplitude: 0.4,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::stats::TraceStats;
+
+    fn stats_for(w: Workload, requests: u64) -> TraceStats {
+        let cfg = w.profile().config(requests, 7);
+        let trace = TraceGenerator::generate(cfg);
+        TraceStats::compute(&trace)
+    }
+
+    #[test]
+    fn cdn_t_ratios_match_table1() {
+        let s = stats_for(Workload::CdnT, 300_000);
+        let ratio = s.total_requests as f64 / s.unique_objects as f64;
+        // Paper: 3.19 requests per unique object.
+        assert!((2.4..4.2).contains(&ratio), "CDN-T req/uniq {ratio}");
+        let mean_kb = s.mean_size_bytes() / 1024.0;
+        assert!((30.0..62.0).contains(&mean_kb), "CDN-T mean size {mean_kb} KB");
+    }
+
+    #[test]
+    fn cdn_w_ratios_match_table1() {
+        let s = stats_for(Workload::CdnW, 300_000);
+        let ratio = s.total_requests as f64 / s.unique_objects as f64;
+        // Paper: 42.7.
+        assert!((25.0..60.0).contains(&ratio), "CDN-W req/uniq {ratio}");
+        let mean_kb = s.mean_size_bytes() / 1024.0;
+        assert!((20.0..55.0).contains(&mean_kb), "CDN-W mean size {mean_kb} KB");
+    }
+
+    #[test]
+    fn cdn_a_ratios_match_table1() {
+        let s = stats_for(Workload::CdnA, 300_000);
+        let ratio = s.total_requests as f64 / s.unique_objects as f64;
+        // Paper: 1.83.
+        assert!((1.4..2.4).contains(&ratio), "CDN-A req/uniq {ratio}");
+        let mean_kb = s.mean_size_bytes() / 1024.0;
+        assert!((20.0..45.0).contains(&mean_kb), "CDN-A mean size {mean_kb} KB");
+    }
+
+    #[test]
+    fn workload_ordering_of_uniques() {
+        // CDN-A most unique objects, CDN-W fewest — as in Table 1.
+        let t = stats_for(Workload::CdnT, 200_000).unique_objects;
+        let w = stats_for(Workload::CdnW, 200_000).unique_objects;
+        let a = stats_for(Workload::CdnA, 200_000).unique_objects;
+        assert!(a > t && t > w, "uniques A={a} T={t} W={w}");
+    }
+
+    #[test]
+    fn paper_cache_fraction_sane() {
+        let f = Workload::CdnT.paper_cache_fraction(64.0);
+        assert!((f - 64.0 / 1097.0).abs() < 1e-12);
+        assert!(Workload::CdnW.paper_cache_fraction(64.0) > f);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(w.profile().name, w.name());
+        }
+    }
+}

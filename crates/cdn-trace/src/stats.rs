@@ -1,0 +1,139 @@
+//! Table-1 style trace statistics.
+
+use std::fmt;
+
+use cdn_cache::{FxHashMap, Request};
+
+/// Summary statistics of a trace (the paper's Table 1 row set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Total requests.
+    pub total_requests: u64,
+    /// Distinct object ids.
+    pub unique_objects: u64,
+    /// Largest object size, bytes.
+    pub max_size: u64,
+    /// Smallest object size, bytes.
+    pub min_size: u64,
+    /// Sum of requested bytes (over all requests).
+    pub total_bytes: u64,
+    /// Working-set size: sum of unique objects' sizes, bytes.
+    pub wss_bytes: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics in one pass.
+    pub fn compute(trace: &[Request]) -> Self {
+        let mut sizes: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut max_size = 0u64;
+        let mut min_size = u64::MAX;
+        let mut total_bytes = 0u64;
+        for r in trace {
+            sizes.entry(r.id.0).or_insert(r.size);
+            max_size = max_size.max(r.size);
+            min_size = min_size.min(r.size);
+            total_bytes += r.size;
+        }
+        let wss_bytes: u64 = sizes.values().sum();
+        TraceStats {
+            total_requests: trace.len() as u64,
+            unique_objects: sizes.len() as u64,
+            max_size,
+            min_size: if trace.is_empty() { 0 } else { min_size },
+            total_bytes,
+            wss_bytes,
+        }
+    }
+
+    /// Mean size over *unique objects*, bytes (Table 1's "Mean Object Size").
+    pub fn mean_size_bytes(&self) -> f64 {
+        if self.unique_objects == 0 {
+            0.0
+        } else {
+            self.wss_bytes as f64 / self.unique_objects as f64
+        }
+    }
+
+    /// Requests per unique object.
+    pub fn requests_per_object(&self) -> f64 {
+        if self.unique_objects == 0 {
+            0.0
+        } else {
+            self.total_requests as f64 / self.unique_objects as f64
+        }
+    }
+
+    /// Working-set size in GB.
+    pub fn wss_gb(&self) -> f64 {
+        self.wss_bytes as f64 / 1e9
+    }
+
+    /// A cache capacity in bytes for a given fraction of this trace's WSS.
+    pub fn cache_bytes_for_fraction(&self, fraction: f64) -> u64 {
+        assert!(fraction > 0.0);
+        ((self.wss_bytes as f64 * fraction) as u64).max(1)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Total Requests        : {}", self.total_requests)?;
+        writeln!(f, "Unique Objects        : {}", self.unique_objects)?;
+        writeln!(
+            f,
+            "Max Object Size (MB)  : {:.2}",
+            self.max_size as f64 / 1e6
+        )?;
+        writeln!(f, "Min Object Size (B)   : {}", self.min_size)?;
+        writeln!(
+            f,
+            "Mean Object Size (KB) : {:.2}",
+            self.mean_size_bytes() / 1024.0
+        )?;
+        write!(f, "Working Set Size (GB) : {:.2}", self.wss_gb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::object::micro_trace;
+
+    #[test]
+    fn basic_stats() {
+        let t = micro_trace(&[(1, 100), (2, 200), (1, 100), (3, 50)]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.total_requests, 4);
+        assert_eq!(s.unique_objects, 3);
+        assert_eq!(s.max_size, 200);
+        assert_eq!(s.min_size, 50);
+        assert_eq!(s.total_bytes, 450);
+        assert_eq!(s.wss_bytes, 350);
+        assert!((s.mean_size_bytes() - 350.0 / 3.0).abs() < 1e-9);
+        assert!((s.requests_per_object() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.total_requests, 0);
+        assert_eq!(s.min_size, 0);
+        assert_eq!(s.mean_size_bytes(), 0.0);
+    }
+
+    #[test]
+    fn cache_fraction() {
+        let t = micro_trace(&[(1, 1000)]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.cache_bytes_for_fraction(0.1), 100);
+        assert_eq!(s.cache_bytes_for_fraction(1.0), 1000);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let t = micro_trace(&[(1, 1 << 20)]);
+        let s = TraceStats::compute(&t).to_string();
+        assert!(s.contains("Total Requests"));
+        assert!(s.contains("Working Set Size"));
+    }
+}

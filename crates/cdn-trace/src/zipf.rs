@@ -1,0 +1,140 @@
+//! Exact finite-support Zipf sampling.
+//!
+//! CDN object popularity is classically Zipf-like: the r-th most popular
+//! object is requested with probability proportional to `1 / r^s`. We
+//! precompute the cumulative distribution once (O(N) memory, N ≤ a few
+//! million for our scaled traces) and sample by binary search (O(log N)).
+//! This is exact, branch-predictable and fast enough that trace generation
+//! is never the bottleneck of an experiment.
+
+use cdn_cache::SimRng;
+
+/// Finite Zipf(s) distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Distribution over `n` ranks with exponent `s ≥ 0`. `s = 0` is
+    /// uniform; CDN workloads typically fit `s ∈ [0.6, 1.1]`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against FP round-off so the final bucket always catches.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability mass of rank `r` (0-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Sample a rank (0-based; rank 0 is the most popular).
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        // partition_point returns the first index with cdf[i] >= u … we use
+        // the "first strictly greater-or-equal" boundary via !(c < u).
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 0.9);
+        let sum: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SimRng::new(1);
+        let mut top10 = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            if r < 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1, N=1000 the top-10 mass is H(10)/H(1000) ≈ 0.39.
+        let frac = top10 as f64 / n as f64;
+        assert!((0.34..0.44).contains(&frac), "top-10 fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = Zipf::new(50, 0.8);
+        let mut rng = SimRng::new(7);
+        let mut counts = vec![0u32; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20, 49] {
+            let emp = counts[r] as f64 / n as f64;
+            let exp = z.pmf(r);
+            assert!(
+                (emp - exp).abs() < 0.01 + exp * 0.1,
+                "rank {r}: emp {emp} vs pmf {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the workload substrate: Belady optimality bounds,
+//! labeling consistency and generator determinism over random parameter
+//! draws.
+
+use cdn_cache::{LruQueue, MissRatio, Request};
+use cdn_trace::label::label_trace;
+use cdn_trace::{next_access_table, BeladyOracle, GeneratorConfig, TraceGenerator, NO_NEXT};
+use proptest::prelude::*;
+
+fn lru_miss_ratio(trace: &[Request], cap: u64) -> f64 {
+    let mut cache = LruQueue::new(cap);
+    let mut m = MissRatio::new();
+    for r in trace {
+        if cache.contains(r.id) {
+            m.record_hit(r.size);
+            cache.record_hit(r.id, r.tick);
+            cache.promote_to_mru(r.id);
+        } else {
+            m.record_miss(r.size);
+            if !cache.admissible(r.size) {
+                continue;
+            }
+            while cache.needs_eviction_for(r.size) {
+                cache.evict_lru();
+            }
+            cache.insert_mru(r.id, r.size, r.tick);
+        }
+    }
+    m.miss_ratio()
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..60, 1u64..100), 1..500)
+}
+
+proptest! {
+    /// Belady lower-bounds LRU on arbitrary request streams.
+    #[test]
+    fn belady_lower_bounds_lru(pairs in arb_pairs(), cap in 50u64..2000) {
+        let trace: Vec<Request> = pairs
+            .iter()
+            .enumerate()
+            .map(|(t, &(id, size))| Request::new(t as u64, id, size))
+            .collect();
+        let belady = BeladyOracle::run(&trace, cap);
+        let lru = lru_miss_ratio(&trace, cap);
+        prop_assert!(belady <= lru + 1e-9, "belady {belady} vs lru {lru}");
+    }
+
+    /// The next-access table is self-consistent: `next[i]` points to a
+    /// strictly later request for the same object, and nothing in between
+    /// touches that object.
+    #[test]
+    fn next_access_table_consistent(pairs in arb_pairs()) {
+        let trace: Vec<Request> = pairs
+            .iter()
+            .enumerate()
+            .map(|(t, &(id, size))| Request::new(t as u64, id, size))
+            .collect();
+        let next = next_access_table(&trace);
+        for (i, &n) in next.iter().enumerate() {
+            if n == NO_NEXT {
+                for later in &trace[i + 1..] {
+                    prop_assert_ne!(later.id, trace[i].id);
+                }
+            } else {
+                let n = n as usize;
+                prop_assert!(n > i);
+                prop_assert_eq!(trace[n].id, trace[i].id);
+                for between in &trace[i + 1..n] {
+                    prop_assert_ne!(between.id, trace[i].id);
+                }
+            }
+        }
+    }
+
+    /// Labeling counts are internally consistent for any stream.
+    #[test]
+    fn label_counts_consistent(pairs in arb_pairs(), cap in 20u64..500) {
+        let trace: Vec<Request> = pairs
+            .iter()
+            .enumerate()
+            .map(|(t, &(id, size))| Request::new(t as u64, id, size))
+            .collect();
+        let l = label_trace(&trace, cap);
+        let s = l.summary;
+        prop_assert_eq!(s.hits + s.misses, trace.len() as u64);
+        prop_assert!(s.zro <= s.misses);
+        prop_assert!(s.pzro <= s.hits);
+        prop_assert!(s.azro <= s.zro);
+        prop_assert!(s.apzro <= s.pzro);
+        // Label vector agrees with the counters.
+        let zro_count = l.labels.iter().filter(|lb| lb.is_zro()).count() as u64;
+        let pzro_count = l.labels.iter().filter(|lb| lb.is_pzro()).count() as u64;
+        prop_assert_eq!(zro_count, s.zro);
+        prop_assert_eq!(pzro_count, s.pzro);
+    }
+
+    /// The generator is a pure function of its config.
+    #[test]
+    fn generator_deterministic(
+        requests in 100u64..3000,
+        core in 100usize..2000,
+        s in 0.3f64..1.2,
+        ohw in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let cfg = GeneratorConfig {
+            requests,
+            core_objects: core,
+            zipf_s: s,
+            one_hit_fraction: ohw,
+            burst_start_prob: 0.01,
+            seed,
+            ..GeneratorConfig::default()
+        };
+        let a = TraceGenerator::generate(cfg.clone());
+        let b = TraceGenerator::generate(cfg);
+        prop_assert_eq!(a.len() as u64, requests);
+        prop_assert_eq!(a, b);
+    }
+}

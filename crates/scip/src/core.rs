@@ -1,0 +1,683 @@
+//! The SCIP brain: history lists, bandit weights and the adaptive
+//! learning rate (Algorithm 1's state + Algorithm 2).
+//!
+//! ## Concretization notes (see DESIGN.md §"SCIP concretization")
+//!
+//! Algorithm 1 as printed under-determines the learning signals — its
+//! prose (§3.3, "the probability of insertion into the MRU/LRU position is
+//! increased") and pseudo-code (lines 8/11 decrease the corresponding ω)
+//! disagree, and a bandit fed *only* by ghost hits cannot observe one-hit
+//! wonders at all (they never return, so they generate no ghost evidence
+//! even though placing them at the LRU position is SCIP's headline win).
+//! Reproducing the paper's qualitative results therefore requires three
+//! concretizations, each staying inside the paper's own vocabulary:
+//!
+//! 1. **Eviction-outcome pressure.** A victim whose residency began at the
+//!    MRU position and ended hitless is a *confirmed ZRO residency* (§2.3
+//!    uses exactly this "hit token equals False" signal for ASC-IP), so
+//!    every such eviction applies a small ω_m penalty. This is the only
+//!    signal one-hit wonders emit.
+//! 2. **Gap-tested per-object judgement.** §3.2's judgement ("when the
+//!    missing object is in H_l, it means the object has a chance to be hit
+//!    if it is inserted into the MRU position") is applied per object, but
+//!    qualified by comparing the object's observed re-access gap with the
+//!    cache's estimated full-queue traversal time: a returning object
+//!    whose gap exceeds what an MRU residency lasts could not have been
+//!    hit anywhere — re-demote it instead of oscillating.
+//! 3. **Size-contextual insertion arms.** Figure 4 trains its MAB (and
+//!    every other model) on object features, size first among them; the
+//!    production system stores sizes in the inode for exactly this reason.
+//!    We therefore keep one (ω_m, ω_l) pair per log₂-size class rather
+//!    than a single global pair — the bandit machinery and updates are
+//!    unchanged, they just address the arm pair of the object's class.
+//! 4. **A distinct promotion weight ω_p.** The unified model still treats
+//!    promotion as insertion (same SELECT machinery, same λ), but hits and
+//!    misses see different base rates (§1 discusses this imbalance), so
+//!    the bandit keeps one weight per decision type. P-ZRO evidence comes
+//!    from evictions whose *final hit* long predates the eviction — the
+//!    promotion bought nothing.
+
+use cdn_cache::ghost::GhostEntry;
+use cdn_cache::{GhostList, InsertPos, ObjectId, SimRng, Tick};
+
+/// Floor of the learning rate (Algorithm 2, line 8).
+pub const LAMBDA_MIN: f64 = 0.001;
+/// Ceiling of the learning rate (Algorithm 2, line 6).
+pub const LAMBDA_MAX: f64 = 1.0;
+/// Weight floor/ceiling: keeps both arms explorable (the BIP "give
+/// suspected ZROs a chance" property).
+const OMEGA_FLOOR: f64 = 0.02;
+/// Number of log₂-size context classes.
+const N_SIZE_CLASSES: usize = 40;
+
+#[inline]
+fn size_class(size: u64) -> usize {
+    (64 - size.max(1).leading_zeros() as usize).min(N_SIZE_CLASSES - 1)
+}
+
+/// Tunable parameters of SCIP.
+#[derive(Debug, Clone, Copy)]
+pub struct ScipConfig {
+    /// Learning-rate update interval `i` in requests (Algorithm 1 line 21).
+    pub update_interval: u64,
+    /// Initial learning rate `λ`.
+    pub initial_lambda: f64,
+    /// Each history list's byte budget as a fraction of the cache
+    /// ("logically, the size of each list is half of the real cache").
+    pub history_fraction: f64,
+    /// Restarts trigger after this many stagnant windows (paper: 10).
+    pub unlearn_threshold: u32,
+    /// Initial MRU-insertion probability `ω_m`.
+    pub initial_omega_m: f64,
+    /// Initial MRU-promotion probability `ω_p`.
+    pub initial_omega_p: f64,
+    /// Scale of per-eviction pressure relative to per-ghost-hit updates
+    /// (evictions are far more frequent than ghost hits).
+    pub eviction_pressure: f64,
+    /// Host mode, for enhancing non-queue algorithms (§4): disables every
+    /// queue-relative signal — the traversal-gap test and the P-ZRO
+    /// promotion pressure — keeping only the admission-relevant pair
+    /// (confirmed-ZRO eviction pressure vs. H_l bypass-mistake rescue).
+    pub host_mode: bool,
+    /// PRNG seed for `γ` draws and restarts.
+    pub seed: u64,
+}
+
+impl Default for ScipConfig {
+    fn default() -> Self {
+        ScipConfig {
+            update_interval: 20_000,
+            initial_lambda: 0.1,
+            history_fraction: 0.5,
+            unlearn_threshold: 10,
+            initial_omega_m: 0.5,
+            initial_omega_p: 0.95,
+            eviction_pressure: 0.05,
+            host_mode: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Algorithm 2 — UPDATELR as a standalone, testable unit.
+///
+/// Holds the (λ, Π) history it needs: `λ_{t-i}`, `λ_{t-2i}`, `Π_{t-i}`.
+#[derive(Debug, Clone)]
+pub struct UpdateLr {
+    lambda: f64,
+    lambda_prev: f64,
+    pi_prev: f64,
+    unlearn_count: u32,
+    unlearn_threshold: u32,
+    rng: SimRng,
+}
+
+impl UpdateLr {
+    /// Fresh state with the given initial learning rate.
+    pub fn new(initial_lambda: f64, unlearn_threshold: u32, seed: u64) -> Self {
+        assert!((LAMBDA_MIN..=LAMBDA_MAX).contains(&initial_lambda));
+        UpdateLr {
+            lambda: initial_lambda,
+            lambda_prev: initial_lambda,
+            pi_prev: 0.0,
+            unlearn_count: 0,
+            unlearn_threshold,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Current learning rate `λ_t`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Stagnation counter (diagnostics).
+    pub fn unlearn_count(&self) -> u32 {
+        self.unlearn_count
+    }
+
+    /// One Algorithm-2 step with the window's average hit rate `Π_t`.
+    pub fn update(&mut self, pi_t: f64) {
+        let delta = pi_t - self.pi_prev; // Δ_t = Π_t − Π_{t−i}
+        let grad_denom = self.lambda - self.lambda_prev; // δ_t = λ_{t−i} − λ_{t−2i}
+        let new_lambda;
+        if grad_denom != 0.0 {
+            let ratio = delta / grad_denom;
+            // λ_t = λ_{t−i} + λ_{t−i}·(Δ/δ), clamped per the sign of Δ/δ.
+            if ratio > 0.0 {
+                new_lambda = (self.lambda + self.lambda * ratio).min(LAMBDA_MAX);
+            } else {
+                new_lambda = (self.lambda + self.lambda * ratio).max(LAMBDA_MIN);
+            }
+            self.unlearn_count = 0;
+        } else {
+            new_lambda = self.lambda;
+            if pi_t == 0.0 || delta <= 0.0 {
+                self.unlearn_count += 1;
+            }
+        }
+        self.lambda_prev = self.lambda;
+        self.lambda = new_lambda;
+        if self.unlearn_count >= self.unlearn_threshold {
+            // Random restart (gradient-based stochastic hill climbing).
+            self.unlearn_count = 0;
+            self.lambda = self.rng.f64_range(LAMBDA_MIN, LAMBDA_MAX);
+        }
+        self.pi_prev = pi_t;
+    }
+}
+
+/// What the core needs to know about an eviction.
+#[derive(Debug, Clone, Copy)]
+pub struct VictimInfo {
+    /// Victim identity.
+    pub id: ObjectId,
+    /// Victim size, bytes.
+    pub size: u64,
+    /// Eviction tick.
+    pub tick: Tick,
+    /// Whether the residency began at the MRU position (`insert_pos`).
+    pub inserted_at_mru: bool,
+    /// Hits during the residency.
+    pub hits: u32,
+    /// Tick of the last access (insert or hit).
+    pub last_access: Tick,
+    /// Tick the residency began.
+    pub inserted_tick: Tick,
+}
+
+/// The reusable SCIP decision engine: two history lists, the (ω_m, ω_l)
+/// insertion bandit, the ω_p promotion bandit, and the adaptive learning
+/// rate. Queue-agnostic — [`crate::Scip`] drives an LRU queue with it,
+/// [`crate::Enhanced`] drives LRU-K/LRB.
+#[derive(Debug, Clone)]
+pub struct ScipCore {
+    /// History of evictions whose residency began at the MRU position.
+    pub h_m: GhostList,
+    /// History of evictions whose residency began at the LRU position.
+    pub h_l: GhostList,
+    /// Per-size-class MRU-insertion weights.
+    omega_m: Vec<f64>,
+    omega_p: f64,
+    /// EWMA of how long a hitless MRU residency lasts (ticks): the
+    /// "could MRU have helped?" yardstick for the gap test.
+    traversal_est: f64,
+    lr: UpdateLr,
+    cfg: ScipConfig,
+    rng: SimRng,
+    // Window bookkeeping for Π_t.
+    window_hits: u64,
+    window_reqs: u64,
+    requests: u64,
+}
+
+/// Ghost tag layout: `last_access << 1 | had_hits`.
+fn pack_tag(last_access: Tick, had_hits: bool) -> u64 {
+    (last_access << 1) | u64::from(had_hits)
+}
+
+fn unpack_tag(tag: u64) -> (Tick, bool) {
+    (tag >> 1, tag & 1 == 1)
+}
+
+impl ScipCore {
+    /// Engine for a cache of `capacity` bytes.
+    pub fn new(capacity: u64, cfg: ScipConfig) -> Self {
+        let budget = ((capacity as f64) * cfg.history_fraction) as u64;
+        let mut seed_rng = SimRng::new(cfg.seed);
+        let lr_seed = seed_rng.next_u64();
+        ScipCore {
+            h_m: GhostList::new(budget),
+            h_l: GhostList::new(budget),
+            omega_m: vec![
+                cfg.initial_omega_m.clamp(OMEGA_FLOOR, 1.0 - OMEGA_FLOOR);
+                N_SIZE_CLASSES
+            ],
+            omega_p: cfg.initial_omega_p.clamp(OMEGA_FLOOR, 1.0 - OMEGA_FLOOR),
+            traversal_est: 0.0,
+            lr: UpdateLr::new(cfg.initial_lambda, cfg.unlearn_threshold, lr_seed),
+            cfg,
+            rng: seed_rng,
+            window_hits: 0,
+            window_reqs: 0,
+            requests: 0,
+        }
+    }
+
+    /// MRU-insertion probability `ω_m` for a given object size's class.
+    pub fn omega_m_for(&self, size: u64) -> f64 {
+        self.omega_m[size_class(size)]
+    }
+
+    /// Mean MRU-insertion probability across classes (diagnostics).
+    pub fn omega_m(&self) -> f64 {
+        self.omega_m.iter().sum::<f64>() / self.omega_m.len() as f64
+    }
+
+    /// LRU-insertion probability `ω_l = 1 − ω_m` for a size's class.
+    pub fn omega_l_for(&self, size: u64) -> f64 {
+        1.0 - self.omega_m_for(size)
+    }
+
+    /// Current MRU-promotion probability `ω_p`.
+    pub fn omega_p(&self) -> f64 {
+        self.omega_p
+    }
+
+    /// Current learning rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lr.lambda()
+    }
+
+    /// Estimated full-queue traversal time in ticks (0 until observed).
+    pub fn traversal_estimate(&self) -> f64 {
+        self.traversal_est
+    }
+
+    #[inline]
+    fn clamp_omega(w: f64) -> f64 {
+        w.clamp(OMEGA_FLOOR, 1.0 - OMEGA_FLOOR)
+    }
+
+    /// Multiplicative update: decrease arm `m` (of a two-arm pair with
+    /// total 1) by `e^{-λ·scale}` and renormalise; returns the new weight
+    /// of the *first* arm.
+    fn decay_arm(w_first: f64, decay_first: bool, lambda: f64, scale: f64) -> f64 {
+        let decay = (-lambda * scale).exp();
+        let mut a = w_first;
+        let mut b = 1.0 - w_first;
+        if decay_first {
+            a *= decay;
+        } else {
+            b *= decay;
+        }
+        Self::clamp_omega(a / (a + b))
+    }
+
+    /// Algorithm 1 lines 6-13 + gap-tested §3.2 judgement: on a miss,
+    /// consult the history lists, update the weights, and return the
+    /// per-object placement when history exists (`None` = fall back to
+    /// SELECT on the global weights).
+    pub fn on_miss_lookup(&mut self, id: ObjectId, now: Tick) -> Option<InsertPos> {
+        let lambda = self.lr.lambda();
+        let (entry, from_hm) = if let Some(e) = self.h_m.delete(id) {
+            (e, true)
+        } else if let Some(e) = self.h_l.delete(id) {
+            (e, false)
+        } else {
+            return None;
+        };
+        let class = size_class(entry.size);
+        let (last_access, had_hits) = unpack_tag(entry.tag);
+        if self.cfg.host_mode {
+            // Host mode: an H_l ghost is a confirmed bypass mistake —
+            // rescue the object and penalise the class's LRU arm. H_m
+            // ghosts (the host's own victims returning) say nothing about
+            // admission and are just forgotten.
+            if !from_hm {
+                self.omega_m[class] =
+                    Self::decay_arm(self.omega_m[class], false, lambda, 1.0);
+                if had_hits {
+                    self.omega_p = Self::decay_arm(self.omega_p, false, lambda, 1.0);
+                }
+                return Some(InsertPos::Mru);
+            }
+            return None;
+        }
+        let gap = now.saturating_sub(last_access) as f64;
+        // Could an MRU residency have covered this gap?
+        let mru_would_help = self.traversal_est <= 0.0 || gap < self.traversal_est;
+        if from_hm {
+            // MRU residency failed and the object came back: Algorithm 1
+            // line 8 — decrease ω_m (of the object's size class).
+            self.omega_m[class] = Self::decay_arm(self.omega_m[class], true, lambda, 1.0);
+        } else if mru_would_help {
+            // Demotion was a confirmed mistake: line 11 — decrease ω_l.
+            self.omega_m[class] = Self::decay_arm(self.omega_m[class], false, lambda, 1.0);
+            if had_hits {
+                // The demotion happened on a hit: promotion arm was wrong.
+                self.omega_p = Self::decay_arm(self.omega_p, false, lambda, 1.0);
+            }
+        }
+        Some(if mru_would_help {
+            InsertPos::Mru
+        } else {
+            InsertPos::Lru
+        })
+    }
+
+    /// Algorithm 1 lines 27-33: SELECT between MIP and LIP by γ, on the
+    /// arm pair of the object's size class.
+    pub fn decide(&mut self, size: u64) -> InsertPos {
+        let gamma = self.rng.f64();
+        if self.omega_m[size_class(size)] > gamma {
+            InsertPos::Mru
+        } else {
+            InsertPos::Lru
+        }
+    }
+
+    /// Promotion SELECT: Algorithm 1 treats every hit as a special miss
+    /// (same bimodal SELECT, on the promotion arm). We exempt objects that
+    /// have already proven multi-hit behaviour in this residency — a
+    /// SELECT there can only lose (verified empirically; see
+    /// EXPERIMENTS.md's Figure-7 notes).
+    pub fn decide_promotion(&mut self, hits_including_this: u32) -> InsertPos {
+        if hits_including_this >= 2 {
+            return InsertPos::Mru;
+        }
+        let gamma = self.rng.f64();
+        if self.omega_p > gamma {
+            InsertPos::Mru
+        } else {
+            InsertPos::Lru
+        }
+    }
+
+    /// Algorithm 1 lines 16-19 + eviction-outcome pressure: record the
+    /// victim in the history list matching its `insert_pos` mark, and
+    /// apply the confirmed-ZRO / wasted-promotion penalties.
+    pub fn on_evict(&mut self, v: VictimInfo) {
+        let lambda = self.lr.lambda();
+        let kappa = self.cfg.eviction_pressure;
+        if v.inserted_at_mru && v.hits == 0 {
+            // Confirmed ZRO residency: the full traversal bought nothing.
+            let residency = v.tick.saturating_sub(v.inserted_tick) as f64;
+            self.traversal_est = if self.traversal_est <= 0.0 {
+                residency
+            } else {
+                0.95 * self.traversal_est + 0.05 * residency
+            };
+            let class = size_class(v.size);
+            self.omega_m[class] = Self::decay_arm(self.omega_m[class], true, lambda, kappa);
+        }
+        if v.hits > 0 && !self.cfg.host_mode {
+            let since_last_hit = v.tick.saturating_sub(v.last_access) as f64;
+            if self.traversal_est > 0.0 && since_last_hit > 0.5 * self.traversal_est {
+                // The final hit's promotion bought nothing: P-ZRO.
+                self.omega_p = Self::decay_arm(self.omega_p, true, lambda, kappa);
+            }
+        }
+        let entry = GhostEntry {
+            id: v.id,
+            size: v.size,
+            evicted_tick: v.tick,
+            tag: pack_tag(v.last_access, v.hits > 0),
+        };
+        if v.inserted_at_mru {
+            self.h_m.add(entry);
+        } else {
+            self.h_l.add(entry);
+        }
+    }
+
+    /// Algorithm 1 lines 21-22: clock one request and run UPDATELR on
+    /// interval boundaries.
+    pub fn on_request_end(&mut self, hit: bool) {
+        self.requests += 1;
+        self.window_reqs += 1;
+        if hit {
+            self.window_hits += 1;
+        }
+        if self.requests % self.cfg.update_interval == 0 {
+            let pi = if self.window_reqs == 0 {
+                0.0
+            } else {
+                self.window_hits as f64 / self.window_reqs as f64
+            };
+            self.lr.update(pi);
+            self.window_hits = 0;
+            self.window_reqs = 0;
+        }
+    }
+
+    /// Metadata footprint (history lists + per-class weights).
+    pub fn memory_bytes(&self) -> usize {
+        self.h_m.memory_bytes()
+            + self.h_l.memory_bytes()
+            + self.omega_m.len() * 8
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn victim(id: u64, mru: bool, hits: u32, inserted: Tick, last: Tick, tick: Tick) -> VictimInfo {
+        victim_sized(id, 10, mru, hits, inserted, last, tick)
+    }
+
+    fn victim_sized(
+        id: u64,
+        size: u64,
+        mru: bool,
+        hits: u32,
+        inserted: Tick,
+        last: Tick,
+        tick: Tick,
+    ) -> VictimInfo {
+        VictimInfo {
+            id: ObjectId(id),
+            size,
+            tick,
+            inserted_at_mru: mru,
+            hits,
+            last_access: last,
+            inserted_tick: inserted,
+        }
+    }
+
+    #[test]
+    fn updatelr_amplifies_on_positive_gradient() {
+        let mut u = UpdateLr::new(0.1, 10, 1);
+        u.lambda = 0.2; // λ_{t-i}=0.2, λ_{t-2i}=0.1 ⇒ δ=0.1
+        u.pi_prev = 0.3;
+        u.update(0.4); // Δ=0.1, ratio=1 ⇒ λ=0.4
+        assert!((u.lambda() - 0.4).abs() < 1e-12, "λ {}", u.lambda());
+        assert_eq!(u.unlearn_count(), 0);
+    }
+
+    #[test]
+    fn updatelr_damps_on_negative_gradient() {
+        let mut u = UpdateLr::new(0.1, 10, 1);
+        u.lambda = 0.2;
+        u.pi_prev = 0.5;
+        u.update(0.4); // Δ=-0.1, δ=0.1, ratio=-1 ⇒ λ = max(0.2-0.2, MIN)
+        assert!((u.lambda() - LAMBDA_MIN).abs() < 1e-12);
+    }
+
+    #[test]
+    fn updatelr_clamps_to_one() {
+        let mut u = UpdateLr::new(0.1, 10, 1);
+        u.lambda = 0.9;
+        u.lambda_prev = 0.1;
+        u.pi_prev = 0.1;
+        u.update(0.9); // huge positive ratio ⇒ clamp at 1.0
+        assert!((u.lambda() - LAMBDA_MAX).abs() < 1e-12);
+    }
+
+    #[test]
+    fn updatelr_random_restart_after_stagnation() {
+        let mut u = UpdateLr::new(0.5, 10, 7);
+        for _ in 0..9 {
+            u.update(0.0);
+        }
+        assert_eq!(u.unlearn_count(), 9);
+        u.update(0.0); // 10th stagnant window: restart
+        assert_eq!(u.unlearn_count(), 0);
+        assert!((LAMBDA_MIN..=LAMBDA_MAX).contains(&u.lambda()));
+    }
+
+    #[test]
+    fn updatelr_improving_hit_rate_is_not_stagnation() {
+        let mut u = UpdateLr::new(0.5, 10, 7);
+        for i in 0..20 {
+            u.update(0.1 + i as f64 * 0.01); // rising Π with δ=0
+        }
+        assert_eq!(u.unlearn_count(), 0);
+        assert!((u.lambda() - 0.5).abs() < 1e-12, "λ untouched while δ=0");
+    }
+
+    #[test]
+    fn confirmed_zro_evictions_lower_omega_m() {
+        let mut c = ScipCore::new(10_000, ScipConfig::default());
+        let before = c.omega_m_for(10);
+        for i in 0..200u64 {
+            c.on_evict(victim(i, true, 0, i, i, i + 100));
+        }
+        assert!(c.omega_m_for(10) < before, "ω_m {} -> {}", before, c.omega_m_for(10));
+        assert!(c.traversal_estimate() > 0.0);
+    }
+
+    #[test]
+    fn hm_ghost_hit_lowers_omega_m_and_demotes_far_returner() {
+        let mut c = ScipCore::new(10_000, ScipConfig::default());
+        // Establish a traversal estimate of ~100 ticks.
+        for i in 0..50u64 {
+            c.on_evict(victim(1000 + i, true, 0, i, i, i + 100));
+        }
+        let before = c.omega_m_for(10);
+        c.on_evict(victim(7, true, 0, 0, 0, 100));
+        // Returns at t=1000: gap 1000 >> traversal 100 ⇒ demote.
+        let verdict = c.on_miss_lookup(ObjectId(7), 1000);
+        assert_eq!(verdict, Some(InsertPos::Lru));
+        assert!(c.omega_m_for(10) < before);
+    }
+
+    #[test]
+    fn hl_ghost_quick_return_promotes_and_penalises_demotion() {
+        let mut c = ScipCore::new(10_000, ScipConfig::default());
+        for i in 0..50u64 {
+            c.on_evict(victim(1000 + i, true, 0, i, i, i + 100));
+        }
+        // Demoted object evicted at t=10, returns at t=20 (gap 10 < 100).
+        c.on_evict(victim(8, false, 0, 5, 10, 10));
+        let w_before = c.omega_m_for(10);
+        let verdict = c.on_miss_lookup(ObjectId(8), 20);
+        assert_eq!(verdict, Some(InsertPos::Mru));
+        assert!(c.omega_m_for(10) > w_before, "demotion mistake raises ω_m");
+    }
+
+    #[test]
+    fn demoted_hit_object_returning_boosts_promotion_arm() {
+        let mut c = ScipCore::new(10_000, ScipConfig::default());
+        for i in 0..50u64 {
+            c.on_evict(victim(1000 + i, true, 0, i, i, i + 100));
+        }
+        let p_before = c.omega_p();
+        // Object demoted at a hit (lives in H_l with had_hits), returns
+        // quickly: the promotion arm was wrongly suppressed.
+        c.on_evict(victim(9, false, 1, 5, 10, 12));
+        c.on_miss_lookup(ObjectId(9), 20);
+        assert!(c.omega_p() >= p_before);
+    }
+
+    #[test]
+    fn wasted_final_hit_lowers_promotion_arm() {
+        let mut c = ScipCore::new(10_000, ScipConfig::default());
+        for i in 0..50u64 {
+            c.on_evict(victim(1000 + i, true, 0, i, i, i + 100));
+        }
+        let p_before = c.omega_p();
+        for i in 0..200u64 {
+            // Hit at t=10, evicted at t=400: promotion bought nothing.
+            c.on_evict(victim(100 + i, true, 1, 0, 10, 400));
+        }
+        assert!(c.omega_p() < p_before, "ω_p {} -> {}", p_before, c.omega_p());
+    }
+
+    #[test]
+    fn unknown_miss_leaves_weights_untouched() {
+        let mut c = ScipCore::new(1000, ScipConfig::default());
+        let before = c.omega_m_for(10);
+        assert_eq!(c.on_miss_lookup(ObjectId(99), 5), None);
+        assert_eq!(c.omega_m_for(10), before);
+    }
+
+    #[test]
+    fn decide_follows_omega() {
+        let mut c = ScipCore::new(1000, ScipConfig::default());
+        let class = size_class(10);
+        c.omega_m[class] = 0.98;
+        let mru = (0..10_000).filter(|_| c.decide(10) == InsertPos::Mru).count();
+        assert!(mru > 9_500, "mru picks {mru}");
+        c.omega_m[class] = 0.02;
+        let mru = (0..10_000).filter(|_| c.decide(10) == InsertPos::Mru).count();
+        assert!(mru < 500, "mru picks {mru}");
+    }
+
+    #[test]
+    fn size_classes_learn_independently() {
+        let mut c = ScipCore::new(1_000_000, ScipConfig::default());
+        // Big objects (1 MB class) keep getting evicted hitless; small
+        // (10 B class) don't. Only the big class's arm should fall.
+        let small_before = c.omega_m_for(10);
+        for i in 0..500u64 {
+            c.on_evict(victim_sized(i, 1 << 20, true, 0, i, i, i + 100));
+            c.on_miss_lookup(ObjectId(i), i + 100_000);
+        }
+        assert!(c.omega_m_for(1 << 20) < 0.5);
+        assert_eq!(c.omega_m_for(10), small_before);
+    }
+
+    #[test]
+    fn multi_hit_objects_always_promote_to_mru() {
+        let mut c = ScipCore::new(1000, ScipConfig::default());
+        c.omega_p = OMEGA_FLOOR; // promotion arm fully suppressed
+        assert!((0..100).all(|_| c.decide_promotion(2) == InsertPos::Mru));
+        let mru = (0..1000)
+            .filter(|_| c.decide_promotion(1) == InsertPos::Mru)
+            .count();
+        assert!(mru < 100, "first hits mostly demoted: {mru}");
+    }
+
+    #[test]
+    fn weights_stay_clamped() {
+        let mut c = ScipCore::new(10_000, ScipConfig::default());
+        for i in 0..10_000u64 {
+            c.on_evict(victim(i, true, 0, i, i, i + 1));
+        }
+        assert!(c.omega_m_for(10) >= OMEGA_FLOOR);
+        for i in 0..10_000u64 {
+            c.on_evict(victim(i, false, 0, i, i, i + 1));
+            c.on_miss_lookup(ObjectId(i), i + 2);
+        }
+        assert!(c.omega_m_for(10) <= 1.0 - OMEGA_FLOOR);
+    }
+
+    #[test]
+    fn history_budget_is_half_cache() {
+        let c = ScipCore::new(1000, ScipConfig::default());
+        assert_eq!(c.h_m.capacity(), 500);
+        assert_eq!(c.h_l.capacity(), 500);
+    }
+
+    #[test]
+    fn lambda_updates_fire_on_interval() {
+        let cfg = ScipConfig {
+            update_interval: 10,
+            initial_lambda: 0.5,
+            ..ScipConfig::default()
+        };
+        let mut c = ScipCore::new(1000, cfg);
+        let mut saw_change = false;
+        for _ in 0..1000 {
+            c.on_request_end(false);
+            if (c.lambda() - 0.5).abs() > 1e-12 {
+                saw_change = true;
+            }
+        }
+        assert!(saw_change, "λ should restart after stagnant windows");
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let (last, hh) = unpack_tag(pack_tag(123_456, true));
+        assert_eq!(last, 123_456);
+        assert!(hh);
+        let (last, hh) = unpack_tag(pack_tag(0, false));
+        assert_eq!(last, 0);
+        assert!(!hh);
+    }
+}

@@ -1,0 +1,374 @@
+//! Algorithm 1 (SCIP) and Algorithm 3 (SCI) on the LRU victim policy.
+
+use cdn_cache::{AccessKind, CachePolicy, InsertPos, LruQueue, PolicyStats, Request};
+
+use crate::core::{ScipConfig, ScipCore, VictimInfo};
+
+/// SCIP-LRU: the paper's Algorithm 1.
+///
+/// - Hits are treated as special misses: the object is `REMOVE`d (no
+///   history write) and re-inserted through the same bimodal SELECT as a
+///   missing object — this is the promotion-as-insertion unification.
+/// - Misses consult `H_m`/`H_l` (adjusting `ω`), evict as needed
+///   (recording victims in the history list matching their `insert_pos`),
+///   then insert by SELECT.
+#[derive(Debug, Clone)]
+pub struct Scip {
+    cache: LruQueue,
+    core: ScipCore,
+    stats: PolicyStats,
+    name: String,
+}
+
+impl Scip {
+    /// SCIP with the paper's defaults.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Self::with_config(
+            capacity,
+            ScipConfig {
+                seed,
+                ..ScipConfig::default()
+            },
+        )
+    }
+
+    /// SCIP with explicit configuration.
+    pub fn with_config(capacity: u64, cfg: ScipConfig) -> Self {
+        Scip {
+            cache: LruQueue::new(capacity),
+            core: ScipCore::new(capacity, cfg),
+            stats: PolicyStats::default(),
+            name: "SCIP".to_string(),
+        }
+    }
+
+    /// The decision engine (diagnostics/ablations).
+    pub fn core(&self) -> &ScipCore {
+        &self.core
+    }
+
+    /// The queue (tests).
+    pub fn queue(&self) -> &LruQueue {
+        &self.cache
+    }
+
+    fn insert_by_select(&mut self, req: &Request) {
+        match self.core.decide(req.size) {
+            InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
+            InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
+        }
+        self.stats.insertions += 1;
+    }
+
+    fn evict_for(&mut self, size: u64, tick: u64) {
+        while self.cache.needs_eviction_for(size) {
+            let v = self.cache.evict_lru().expect("nonempty");
+            self.core.on_evict(VictimInfo {
+                id: v.id,
+                size: v.size,
+                tick,
+                inserted_at_mru: v.inserted_at_mru,
+                hits: v.hits,
+                last_access: v.last_access,
+                inserted_tick: v.inserted_tick,
+            });
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl CachePolicy for Scip {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        let outcome = if self.cache.contains(req.id) {
+            // PROMOTE = REMOVE (no history write) + INSERT by SELECT.
+            let meta = self.cache.remove(req.id).expect("resident");
+            match self.core.decide_promotion(meta.hits + 1) {
+                InsertPos::Mru => {
+                    let mut m = meta;
+                    m.inserted_at_mru = true;
+                    m.hits += 1;
+                    m.last_access = req.tick;
+                    self.cache.insert_meta_mru(m);
+                }
+                InsertPos::Lru => {
+                    let mut m = meta;
+                    m.inserted_at_mru = false;
+                    m.hits += 1;
+                    m.last_access = req.tick;
+                    self.cache.insert_meta_lru(m);
+                }
+            }
+            AccessKind::Hit
+        } else {
+            let verdict = self.core.on_miss_lookup(req.id, req.tick);
+            if self.cache.admissible(req.size) {
+                self.evict_for(req.size, req.tick);
+                match verdict {
+                    // §3.2 judgement: the object's own history decides.
+                    Some(InsertPos::Mru) => {
+                        self.cache.insert_mru(req.id, req.size, req.tick);
+                        self.stats.insertions += 1;
+                    }
+                    Some(InsertPos::Lru) => {
+                        self.cache.insert_lru(req.id, req.size, req.tick);
+                        self.stats.insertions += 1;
+                    }
+                    // No history: bimodal SELECT on the learned weights.
+                    None => self.insert_by_select(req),
+                }
+            }
+            AccessKind::Miss
+        };
+        self.core.on_request_end(outcome.is_hit());
+        outcome
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cache.capacity()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.cache.used_bytes()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cache.memory_bytes() + self.core.memory_bytes()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.cache.len(),
+            resident_bytes: self.cache.used_bytes(),
+            ..self.stats
+        }
+    }
+}
+
+/// SCI: Algorithm 3 — SCIP without the promotion half. Hits always go to
+/// the MRU position; only missing objects pass through the bandit. The
+/// paper's Figure 7 ablation.
+#[derive(Debug, Clone)]
+pub struct Sci {
+    cache: LruQueue,
+    core: ScipCore,
+    stats: PolicyStats,
+}
+
+impl Sci {
+    /// SCI with the paper's defaults.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Self::with_config(
+            capacity,
+            ScipConfig {
+                seed,
+                ..ScipConfig::default()
+            },
+        )
+    }
+
+    /// SCI with explicit configuration.
+    pub fn with_config(capacity: u64, cfg: ScipConfig) -> Self {
+        Sci {
+            cache: LruQueue::new(capacity),
+            core: ScipCore::new(capacity, cfg),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The decision engine (diagnostics).
+    pub fn core(&self) -> &ScipCore {
+        &self.core
+    }
+}
+
+impl CachePolicy for Sci {
+    fn name(&self) -> &str {
+        "SCI"
+    }
+
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        let outcome = if self.cache.contains(req.id) {
+            // Algorithm 3 lines 3-5: hits re-enter at MRU unconditionally.
+            let mut meta = self.cache.remove(req.id).expect("resident");
+            meta.inserted_at_mru = true;
+            meta.hits += 1;
+            meta.last_access = req.tick;
+            self.cache.insert_meta_mru(meta);
+            AccessKind::Hit
+        } else {
+            let verdict = self.core.on_miss_lookup(req.id, req.tick);
+            if self.cache.admissible(req.size) {
+                while self.cache.needs_eviction_for(req.size) {
+                    let v = self.cache.evict_lru().expect("nonempty");
+                    self.core.on_evict(VictimInfo {
+                        id: v.id,
+                        size: v.size,
+                        tick: req.tick,
+                        inserted_at_mru: v.inserted_at_mru,
+                        hits: v.hits,
+                        last_access: v.last_access,
+                        inserted_tick: v.inserted_tick,
+                    });
+                    self.stats.evictions += 1;
+                }
+                let pos = verdict.unwrap_or_else(|| self.core.decide(req.size));
+                match pos {
+                    cdn_cache::InsertPos::Mru => {
+                        self.cache.insert_mru(req.id, req.size, req.tick)
+                    }
+                    cdn_cache::InsertPos::Lru => {
+                        self.cache.insert_lru(req.id, req.size, req.tick)
+                    }
+                }
+                self.stats.insertions += 1;
+            }
+            AccessKind::Miss
+        };
+        self.core.on_request_end(outcome.is_hit());
+        outcome
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cache.capacity()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.cache.used_bytes()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cache.memory_bytes() + self.core.memory_bytes()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            resident_objects: self.cache.len(),
+            resident_bytes: self.cache.used_bytes(),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::object::micro_trace;
+    use cdn_cache::ObjectId;
+    use cdn_policies::replacement::lru::Lru;
+    use cdn_policies::replay;
+
+    #[test]
+    fn capacity_and_accounting() {
+        let reqs: Vec<(u64, u64)> = (0..5000).map(|i| (i * 7 % 300, 1 + i % 10)).collect();
+        let t = micro_trace(&reqs);
+        let mut p = Scip::new(200, 1);
+        for r in &t {
+            p.on_request(r);
+            assert!(p.used_bytes() <= 200);
+        }
+        let s = p.stats();
+        assert!(s.evictions > 0 && s.insertions > 0);
+    }
+
+    #[test]
+    fn promotion_does_not_write_history() {
+        let mut p = Scip::new(100, 1);
+        for r in micro_trace(&[(1, 10), (1, 10), (1, 10)]) {
+            p.on_request(&r);
+        }
+        // Hits only re-place the object; no eviction ⇒ empty histories.
+        assert!(p.core().h_m.is_empty());
+        assert!(p.core().h_l.is_empty());
+        assert_eq!(p.queue().get(ObjectId(1)).unwrap().hits, 2);
+    }
+
+    #[test]
+    fn evictions_route_to_matching_history_list() {
+        let mut p = Scip::new(20, 3);
+        // Fill and churn; every ghost entry must match its insert mark.
+        let reqs: Vec<(u64, u64)> = (0..400).map(|i| (i, 10)).collect();
+        for r in micro_trace(&reqs) {
+            p.on_request(&r);
+        }
+        assert!(!p.core().h_m.is_empty() || !p.core().h_l.is_empty());
+    }
+
+    #[test]
+    fn learns_to_demote_one_hit_wonders() {
+        // 80% one-hit wonders + small hot set: ω_m should fall well below
+        // its 0.5 prior as H_m ghost hits accumulate… but note ghost hits
+        // require *re-access* of an evicted object. One-hit wonders never
+        // re-access, so the signal comes from hot objects evicted after
+        // MRU inserts. Either way SCIP must beat LRU here.
+        let mut reqs = Vec::new();
+        let mut next = 10_000u64;
+        for i in 0..30_000u64 {
+            if i % 5 == 0 {
+                reqs.push((i / 5 % 30, 10)); // hot set of 30, distance 150
+            } else {
+                reqs.push((next, 10));
+                next += 1;
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cap = 500; // 50 objects: hot set doesn't survive MRU churn
+        let mut scip = Scip::new(cap, 5);
+        let mut lru = Lru::new(cap);
+        let s = replay(&mut scip, &t).miss_ratio();
+        let l = replay(&mut lru, &t).miss_ratio();
+        assert!(s < l, "SCIP {s} vs LRU {l}");
+    }
+
+    #[test]
+    fn scip_beats_sci_on_pzro_heavy_workload() {
+        // Burst objects: hit exactly once shortly after insertion, then
+        // dead (textbook P-ZROs). SCI promotes them to MRU where they rot;
+        // SCIP learns to demote on promotion too.
+        let mut reqs = Vec::new();
+        let mut next = 100_000u64;
+        for i in 0..40_000u64 {
+            match i % 5 {
+                0 => {
+                    reqs.push((next, 10)); // burst insert
+                }
+                1 => {
+                    reqs.push((next, 10)); // burst hit → P-ZRO
+                    next += 1;
+                }
+                _ => {
+                    reqs.push((i / 5 % 40, 10)); // hot set, distance ~120
+                }
+            }
+        }
+        let t = micro_trace(&reqs);
+        let cap = 350;
+        let mut scip = Scip::new(cap, 7);
+        let mut sci = Sci::new(cap, 7);
+        let s = replay(&mut scip, &t).miss_ratio();
+        let c = replay(&mut sci, &t).miss_ratio();
+        assert!(s <= c + 0.01, "SCIP {s} vs SCI {c}");
+    }
+
+    #[test]
+    fn sci_promotes_hits_to_mru_always() {
+        let mut p = Sci::new(100, 1);
+        for r in micro_trace(&[(1, 10), (2, 10), (1, 10)]) {
+            p.on_request(&r);
+        }
+        assert_eq!(p.cache.peek_mru().unwrap().id, ObjectId(1));
+        assert!(p.cache.peek_mru().unwrap().inserted_at_mru);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let reqs: Vec<(u64, u64)> = (0..3000).map(|i| (i * 11 % 200, 1 + i % 7)).collect();
+        let t = micro_trace(&reqs);
+        let mut a = Scip::new(100, 9);
+        let mut b = Scip::new(100, 9);
+        assert_eq!(replay(&mut a, &t).misses(), replay(&mut b, &t).misses());
+    }
+}

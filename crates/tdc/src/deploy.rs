@@ -1,0 +1,235 @@
+//! The §5.2 deployment experiment: replay a diurnal trace through TDC,
+//! deploy SCIP mid-timeline, and report BTO bandwidth, BTO ratio and mean
+//! latency time series plus before/after aggregates (Figure 6).
+
+use cdn_cache::Request;
+
+use crate::latency::{LatencyModel, ServedBy};
+use crate::system::{Tdc, TdcConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentConfig {
+    /// System shape (its `deploy_at` is overridden by `deploy_fraction`).
+    pub tdc: TdcConfig,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Fraction of the trace after which SCIP deploys (paper: mid-run).
+    pub deploy_fraction: f64,
+    /// Wall-clock seconds per reporting bucket.
+    pub bucket_secs: f64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            tdc: TdcConfig::default(),
+            latency: LatencyModel::default(),
+            deploy_fraction: 0.5,
+            bucket_secs: 3_600.0,
+        }
+    }
+}
+
+/// One reporting bucket of the Figure 6 time series.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bucket {
+    /// Bucket start, wall seconds.
+    pub start_secs: f64,
+    /// Requests in the bucket.
+    pub requests: u64,
+    /// Requests that went back to origin.
+    pub bto_requests: u64,
+    /// Bytes fetched from origin.
+    pub bto_bytes: u64,
+    /// Sum of user latencies, ms.
+    pub latency_sum_ms: f64,
+}
+
+impl Bucket {
+    /// BTO ratio within the bucket.
+    pub fn bto_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.bto_requests as f64 / self.requests as f64
+        }
+    }
+
+    /// BTO bandwidth in Gbps given the bucket width.
+    pub fn bto_gbps(&self, bucket_secs: f64) -> f64 {
+        self.bto_bytes as f64 * 8.0 / bucket_secs / 1e9
+    }
+
+    /// Mean user latency, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.requests as f64
+        }
+    }
+}
+
+/// Aggregate over a timeline phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// BTO (miss) ratio.
+    pub bto_ratio: f64,
+    /// Mean BTO bandwidth, Gbps.
+    pub bto_gbps: f64,
+    /// Mean user latency, ms.
+    pub mean_latency_ms: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Time series.
+    pub buckets: Vec<Bucket>,
+    /// Bucket width used.
+    pub bucket_secs: f64,
+    /// Aggregate before the deployment.
+    pub before: PhaseStats,
+    /// Aggregate after the deployment.
+    pub after: PhaseStats,
+}
+
+impl DeploymentReport {
+    /// Relative reduction helper: `(before − after) / before`.
+    pub fn relative_reduction(before: f64, after: f64) -> f64 {
+        if before == 0.0 {
+            0.0
+        } else {
+            (before - after) / before
+        }
+    }
+}
+
+fn phase_stats(buckets: &[Bucket], wall_span: f64) -> PhaseStats {
+    let requests: u64 = buckets.iter().map(|b| b.requests).sum();
+    let bto: u64 = buckets.iter().map(|b| b.bto_requests).sum();
+    let bytes: u64 = buckets.iter().map(|b| b.bto_bytes).sum();
+    let lat: f64 = buckets.iter().map(|b| b.latency_sum_ms).sum();
+    PhaseStats {
+        bto_ratio: if requests == 0 { 0.0 } else { bto as f64 / requests as f64 },
+        bto_gbps: bytes as f64 * 8.0 / wall_span.max(1e-9) / 1e9,
+        mean_latency_ms: if requests == 0 { 0.0 } else { lat / requests as f64 },
+    }
+}
+
+/// Run the deployment replay.
+pub fn run_deployment(trace: &[Request], cfg: DeploymentConfig) -> DeploymentReport {
+    assert!(!trace.is_empty());
+    let deploy_tick = (trace.len() as f64 * cfg.deploy_fraction) as u64;
+    let mut tdc_cfg = cfg.tdc;
+    tdc_cfg.deploy_at = deploy_tick;
+    let mut tdc = Tdc::new(tdc_cfg, cfg.latency);
+
+    let mut buckets: Vec<Bucket> = Vec::new();
+    let mut deploy_wall = f64::MAX;
+    for r in trace {
+        if r.tick == deploy_tick {
+            deploy_wall = r.wall_secs;
+        }
+        let idx = (r.wall_secs / cfg.bucket_secs) as usize;
+        while buckets.len() <= idx {
+            buckets.push(Bucket {
+                start_secs: buckets.len() as f64 * cfg.bucket_secs,
+                ..Bucket::default()
+            });
+        }
+        let (served, latency) = tdc.serve(r);
+        let b = &mut buckets[idx];
+        b.requests += 1;
+        b.latency_sum_ms += latency;
+        if served == ServedBy::Origin {
+            b.bto_requests += 1;
+            b.bto_bytes += r.size;
+        }
+    }
+    if deploy_wall == f64::MAX {
+        deploy_wall = trace.last().expect("nonempty").wall_secs;
+    }
+
+    let split = buckets
+        .iter()
+        .position(|b| b.start_secs + cfg.bucket_secs > deploy_wall)
+        .unwrap_or(buckets.len());
+    // Skip the cold-start warmup (first 20 % of the before-phase buckets)
+    // when aggregating, as the paper measures a warm production system.
+    let warm = split / 5;
+    let before = phase_stats(
+        &buckets[warm..split],
+        (split - warm).max(1) as f64 * cfg.bucket_secs,
+    );
+    let after = phase_stats(
+        &buckets[split..],
+        (buckets.len() - split).max(1) as f64 * cfg.bucket_secs,
+    );
+    DeploymentReport {
+        buckets,
+        bucket_secs: cfg.bucket_secs,
+        before,
+        after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::{TraceGenerator, Workload};
+
+    #[test]
+    fn deployment_improves_bto_and_latency() {
+        let profile = Workload::CdnT.profile();
+        let trace = TraceGenerator::generate(profile.config(120_000, 11));
+        let stats = cdn_trace::TraceStats::compute(&trace);
+        // Bucket width derived from the trace's actual wall-clock span so
+        // the timeline has ~50 buckets regardless of request rate.
+        let span = trace.last().unwrap().wall_secs;
+        let cfg = DeploymentConfig {
+            tdc: TdcConfig {
+                oc_nodes: 2,
+                oc_capacity: stats.cache_bytes_for_fraction(0.01),
+                dc_capacity: stats.cache_bytes_for_fraction(0.04),
+                deploy_at: u64::MAX,
+                seed: 3,
+            },
+            bucket_secs: (span / 50.0).max(1e-6),
+            ..DeploymentConfig::default()
+        };
+        let report = run_deployment(&trace, cfg);
+        assert!(!report.buckets.is_empty());
+        assert!(report.before.bto_ratio > 0.0);
+        // SCIP should not make the system worse, and typically helps.
+        assert!(
+            report.after.bto_ratio <= report.before.bto_ratio + 0.02,
+            "before {} after {}",
+            report.before.bto_ratio,
+            report.after.bto_ratio
+        );
+        assert!(report.after.mean_latency_ms <= report.before.mean_latency_ms * 1.1);
+    }
+
+    #[test]
+    fn buckets_cover_the_whole_timeline() {
+        let profile = Workload::CdnW.profile();
+        let trace = TraceGenerator::generate(profile.config(20_000, 5));
+        let report = run_deployment(
+            &trace,
+            DeploymentConfig {
+                bucket_secs: 1.0,
+                ..DeploymentConfig::default()
+            },
+        );
+        let total: u64 = report.buckets.iter().map(|b| b.requests).sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn relative_reduction_math() {
+        assert!((DeploymentReport::relative_reduction(8.87, 6.59) - 0.257).abs() < 0.01);
+        assert_eq!(DeploymentReport::relative_reduction(0.0, 1.0), 0.0);
+    }
+}

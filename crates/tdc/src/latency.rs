@@ -1,0 +1,95 @@
+//! Parametric user-latency model.
+//!
+//! Latency decomposes into per-layer round trips plus size-dependent
+//! transfer time on the narrowest link of the path. Defaults approximate
+//! a metro OC (~15 ms), an in-region DC (~45 ms) and a cross-region origin
+//! (~200 ms) — the absolute numbers only scale the figure; the *relative*
+//! change the paper reports (−26.1 % mean latency) comes from shifting
+//! traffic between layers.
+
+/// Which layer ultimately served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Outside-cache hit.
+    Oc,
+    /// OC miss, data-center cache hit.
+    Dc,
+    /// Both layers missed: back to origin (COS).
+    Origin,
+}
+
+/// Latency parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// User ↔ OC round trip, ms.
+    pub oc_rtt_ms: f64,
+    /// OC ↔ DC round trip, ms.
+    pub dc_rtt_ms: f64,
+    /// DC ↔ origin round trip, ms.
+    pub origin_rtt_ms: f64,
+    /// Effective user-path bandwidth, bytes/ms.
+    pub edge_bw: f64,
+    /// Effective origin-path bandwidth, bytes/ms (narrower).
+    pub origin_bw: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            oc_rtt_ms: 15.0,
+            dc_rtt_ms: 45.0,
+            origin_rtt_ms: 200.0,
+            edge_bw: 12_500.0,  // ≈100 Mbit/s
+            origin_bw: 2_500.0, // ≈20 Mbit/s
+        }
+    }
+}
+
+impl LatencyModel {
+    /// User-perceived latency of a request of `size` bytes served by the
+    /// given layer, in milliseconds.
+    pub fn latency_ms(&self, size: u64, served: ServedBy) -> f64 {
+        let transfer_edge = size as f64 / self.edge_bw;
+        match served {
+            ServedBy::Oc => self.oc_rtt_ms + transfer_edge,
+            ServedBy::Dc => self.oc_rtt_ms + self.dc_rtt_ms + transfer_edge,
+            ServedBy::Origin => {
+                self.oc_rtt_ms
+                    + self.dc_rtt_ms
+                    + self.origin_rtt_ms
+                    + transfer_edge
+                    + size as f64 / self.origin_bw
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_layers_are_slower() {
+        let m = LatencyModel::default();
+        let size = 100_000;
+        let oc = m.latency_ms(size, ServedBy::Oc);
+        let dc = m.latency_ms(size, ServedBy::Dc);
+        let origin = m.latency_ms(size, ServedBy::Origin);
+        assert!(oc < dc && dc < origin, "{oc} {dc} {origin}");
+    }
+
+    #[test]
+    fn larger_objects_take_longer() {
+        let m = LatencyModel::default();
+        assert!(
+            m.latency_ms(10_000_000, ServedBy::Origin) > m.latency_ms(1_000, ServedBy::Origin)
+        );
+    }
+
+    #[test]
+    fn zero_size_is_pure_rtt() {
+        let m = LatencyModel::default();
+        assert!((m.latency_ms(0, ServedBy::Oc) - 15.0).abs() < 1e-12);
+        assert!((m.latency_ms(0, ServedBy::Origin) - 260.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Compare every policy in the workspace on one workload — a miniature
+//! Figure 8 + Figure 10 in one run.
+//!
+//! ```bash
+//! cargo run --release --example compare_policies [cdn-t|cdn-w|cdn-a]
+//! ```
+
+use cdn_sim::runner::{run_policy, PolicyKind, TraceCtx};
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+
+fn main() {
+    let workload = match std::env::args().nth(1).as_deref() {
+        Some("cdn-w") => Workload::CdnW,
+        Some("cdn-a") => Workload::CdnA,
+        _ => Workload::CdnT,
+    };
+    let trace = TraceGenerator::generate(workload.profile().config(200_000, 11));
+    let stats = TraceStats::compute(&trace);
+    let capacity = stats.cache_bytes_for_fraction(workload.paper_cache_fraction(64.0));
+    println!(
+        "{} @ 64GB-equivalent cache ({:.1} MB)\n",
+        workload.name(),
+        capacity as f64 / 1e6
+    );
+
+    let mut policies = vec![PolicyKind::Belady, PolicyKind::Scip, PolicyKind::Sci, PolicyKind::Lru];
+    policies.extend(PolicyKind::INSERTION_BASELINES);
+    policies.extend(PolicyKind::REPLACEMENT_BASELINES);
+
+    let ctx = TraceCtx::new(&trace, 3);
+    let mut rows: Vec<(String, f64, f64)> = policies
+        .into_iter()
+        .map(|kind| {
+            let m = run_policy(kind, capacity, &trace, &ctx);
+            (m.policy, m.miss_ratio, m.tps)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    println!("{:<14} {:>10} {:>12}", "policy", "miss", "TPS (K/s)");
+    println!("{}", "-".repeat(38));
+    for (name, mr, tps) in rows {
+        println!("{:<14} {:>9.2}% {:>12.0}", name, mr * 100.0, tps / 1e3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: run SCIP on a synthetic CDN trace and compare with LRU.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use cdn_policies::replacement::Lru;
+use cdn_policies::replay;
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+use scip::Scip;
+
+fn main() {
+    // 1. Generate a 200k-request CDN-T-like workload (seeded: reproducible).
+    let profile = Workload::CdnT.profile();
+    let trace = TraceGenerator::generate(profile.config(200_000, 7));
+    let stats = TraceStats::compute(&trace);
+    println!("workload: {} requests, {} unique objects, WSS {:.2} GB",
+        stats.total_requests, stats.unique_objects, stats.wss_gb());
+
+    // 2. Size the cache like the paper: 64 GB on a 1097 GB working set.
+    let capacity = stats.cache_bytes_for_fraction(Workload::CdnT.paper_cache_fraction(64.0));
+    println!("cache: {:.1} MB ({:.2}% of WSS)\n",
+        capacity as f64 / 1e6,
+        capacity as f64 / stats.wss_bytes as f64 * 100.0);
+
+    // 3. Replay through LRU and SCIP.
+    let mut lru = Lru::new(capacity);
+    let lru_m = replay(&mut lru, &trace);
+
+    let mut scip = Scip::new(capacity, 7);
+    let scip_m = replay(&mut scip, &trace);
+
+    println!("LRU  miss ratio: {:.2}%", lru_m.miss_ratio() * 100.0);
+    println!("SCIP miss ratio: {:.2}%", scip_m.miss_ratio() * 100.0);
+    println!(
+        "reduction: {:.2} percentage points",
+        (lru_m.miss_ratio() - scip_m.miss_ratio()) * 100.0
+    );
+    println!(
+        "\nSCIP internals: ω_m(mean)={:.3}, ω_p={:.3}, λ={:.4}",
+        scip.core().omega_m(),
+        scip.core().omega_p(),
+        scip.core().lambda()
+    );
+}

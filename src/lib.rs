@@ -1,0 +1,13 @@
+//! Umbrella crate for the SCIP (ICPP 2023) reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! depend on a single package. See README.md for a tour and DESIGN.md for
+//! the per-experiment index.
+
+pub use cdn_cache;
+pub use cdn_learning;
+pub use cdn_policies;
+pub use cdn_sim;
+pub use cdn_trace;
+pub use scip;
+pub use tdc;
