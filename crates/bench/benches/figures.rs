@@ -1,220 +1,247 @@
 //! One Criterion benchmark per paper table/figure pipeline, exercising the
 //! exact code each `fig*` binary runs (at bench scale). Regenerate the
 //! full-scale numbers with `cargo run --release -p cdn-sim --bin <figN>`.
+//!
+//! Compiled out unless the `criterion` feature is enabled, because the
+//! offline build environment cannot fetch the criterion crate — see
+//! `crates/bench/Cargo.toml` for how to restore it.
 
-use bench::{Fixture, BENCH_REQUESTS};
-use cdn_sim::runner::{run_policy, PolicyKind, TraceCtx};
-use cdn_trace::label::{label_trace, oracle_replay, OracleTreatment};
-use cdn_trace::{BeladyOracle, TraceGenerator, TraceStats, Workload};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+#[cfg(feature = "criterion")]
+mod real {
+    use bench::{Fixture, BENCH_REQUESTS};
+    use cdn_sim::runner::{run_policy, PolicyKind, TraceCtx};
+    use cdn_trace::label::{label_trace, oracle_replay, OracleTreatment};
+    use cdn_trace::{BeladyOracle, TraceGenerator, TraceStats, Workload};
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
 
-fn bench_table1_tracegen(c: &mut Criterion) {
-    c.bench_function("table1_tracegen_cdn_t", |b| {
-        b.iter(|| {
-            let cfg = Workload::CdnT.profile().config(BENCH_REQUESTS, 3);
-            let trace = TraceGenerator::generate(cfg);
-            black_box(TraceStats::compute(&trace))
-        })
-    });
-}
-
-fn bench_fig1_labeling(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnA);
-    let cap = f.stats.cache_bytes_for_fraction(0.01);
-    c.bench_function("fig1_zro_labeling", |b| {
-        b.iter(|| black_box(label_trace(&f.trace, cap)))
-    });
-}
-
-fn bench_fig3_oracle(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    let cap = f.stats.cache_bytes_for_fraction(0.01);
-    let labels = label_trace(&f.trace, cap);
-    c.bench_function("fig3_oracle_replay_both", |b| {
-        b.iter(|| {
-            black_box(oracle_replay(
-                &f.trace,
-                &labels,
-                cap,
-                OracleTreatment::Both,
-                1.0,
-            ))
-        })
-    });
-}
-
-fn bench_fig4_models(c: &mut Criterion) {
-    use cdn_learning::{Classifier, ContextualBandit, Gbdt, GbdtParams, LogReg};
-    let mut rng = cdn_cache::SimRng::new(4);
-    let x: Vec<Vec<f64>> = (0..8_000)
-        .map(|_| vec![rng.f64(), rng.f64(), rng.f64()])
-        .collect();
-    let y: Vec<f64> = x
-        .iter()
-        .map(|r| f64::from(r[0] + 0.5 * r[1] > 0.7))
-        .collect();
-    let mut g = c.benchmark_group("fig4_model_training");
-    g.sample_size(10);
-    g.bench_function("gbm", |b| {
-        b.iter(|| {
-            let mut m = Gbdt::new(GbdtParams::default());
-            m.fit(&x, &y);
-            black_box(m.predict_score(&x[0]))
-        })
-    });
-    g.bench_function("logreg", |b| {
-        b.iter(|| {
-            let mut m = LogReg::new(3);
-            m.fit(&x, &y);
-            black_box(m.predict_score(&x[0]))
-        })
-    });
-    g.bench_function("mab", |b| {
-        b.iter(|| {
-            let mut m = ContextualBandit::new(8);
-            m.fit(&x, &y);
-            black_box(m.predict_score(&x[0]))
-        })
-    });
-    g.finish();
-}
-
-fn bench_fig6_tdc(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    let span = f.trace.last().unwrap().wall_secs;
-    c.bench_function("fig6_tdc_deployment", |b| {
-        b.iter(|| {
-            black_box(tdc::run_deployment(
-                &f.trace,
-                tdc::DeploymentConfig {
-                    tdc: tdc::TdcConfig {
-                        oc_nodes: 2,
-                        oc_capacity: f.stats.cache_bytes_for_fraction(0.01),
-                        dc_capacity: f.stats.cache_bytes_for_fraction(0.04),
-                        deploy_at: u64::MAX,
-                        seed: 3,
-                    },
-                    latency: tdc::LatencyModel::default(),
-                    deploy_fraction: 0.5,
-                    bucket_secs: (span / 20.0).max(1e-6),
-                },
-            ))
-        })
-    });
-}
-
-fn bench_fig7_scip_vs_sci(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    let ctx = TraceCtx::new(&f.trace, 7);
-    let mut g = c.benchmark_group("fig7_scip_vs_sci");
-    g.sample_size(10);
-    for kind in [PolicyKind::Scip, PolicyKind::Sci] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig8_insertion(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    let ctx = TraceCtx::new(&f.trace, 7);
-    let mut g = c.benchmark_group("fig8_insertion_policies");
-    g.sample_size(10);
-    for kind in [PolicyKind::Scip, PolicyKind::AscIp, PolicyKind::Lip, PolicyKind::Dip] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig10_replacement(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    let ctx = TraceCtx::new(&f.trace, 7);
-    let mut g = c.benchmark_group("fig10_replacement_algorithms");
-    g.sample_size(10);
-    for kind in [
-        PolicyKind::Scip,
-        PolicyKind::LruK,
-        PolicyKind::S4Lru,
-        PolicyKind::Lrb,
-        PolicyKind::GlCache,
-    ] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig12_enhance(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnA);
-    let ctx = TraceCtx::new(&f.trace, 7);
-    let mut g = c.benchmark_group("fig12_enhancement");
-    g.sample_size(10);
-    for kind in [PolicyKind::LruK, PolicyKind::LruKScip, PolicyKind::LruKAscIp] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
-        });
-    }
-    g.finish();
-}
-
-fn bench_belady(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    c.bench_function("belady_lower_bound", |b| {
-        b.iter(|| black_box(BeladyOracle::run(&f.trace, f.cache_64g)))
-    });
-}
-
-fn bench_ablation_scip_components(c: &mut Criterion) {
-    use cdn_policies::replay;
-    use scip::{Scip, ScipConfig};
-    let f = Fixture::new(Workload::CdnT);
-    let mut g = c.benchmark_group("ablation_scip");
-    g.sample_size(10);
-    let variants = [
-        ("adaptive_lambda", ScipConfig::default()),
-        (
-            "fixed_lambda",
-            ScipConfig {
-                unlearn_threshold: u32::MAX,
-                ..ScipConfig::default()
-            },
-        ),
-        (
-            "quarter_history",
-            ScipConfig {
-                history_fraction: 0.25,
-                ..ScipConfig::default()
-            },
-        ),
-    ];
-    for (name, cfg) in variants {
-        g.bench_function(name, |b| {
+    fn bench_table1_tracegen(c: &mut Criterion) {
+        c.bench_function("table1_tracegen_cdn_t", |b| {
             b.iter(|| {
-                let mut p = Scip::with_config(f.cache_64g, cfg);
-                black_box(replay(&mut p, &f.trace).miss_ratio())
+                let cfg = Workload::CdnT.profile().config(BENCH_REQUESTS, 3);
+                let trace = TraceGenerator::generate(cfg);
+                black_box(TraceStats::compute(&trace))
             })
         });
     }
-    g.finish();
+
+    fn bench_fig1_labeling(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnA);
+        let cap = f.stats.cache_bytes_for_fraction(0.01);
+        c.bench_function("fig1_zro_labeling", |b| {
+            b.iter(|| black_box(label_trace(&f.trace, cap)))
+        });
+    }
+
+    fn bench_fig3_oracle(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        let cap = f.stats.cache_bytes_for_fraction(0.01);
+        let labels = label_trace(&f.trace, cap);
+        c.bench_function("fig3_oracle_replay_both", |b| {
+            b.iter(|| {
+                black_box(oracle_replay(
+                    &f.trace,
+                    &labels,
+                    cap,
+                    OracleTreatment::Both,
+                    1.0,
+                ))
+            })
+        });
+    }
+
+    fn bench_fig4_models(c: &mut Criterion) {
+        use cdn_learning::{Classifier, ContextualBandit, Gbdt, GbdtParams, LogReg};
+        let mut rng = cdn_cache::SimRng::new(4);
+        let x: Vec<Vec<f64>> = (0..8_000)
+            .map(|_| vec![rng.f64(), rng.f64(), rng.f64()])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| f64::from(r[0] + 0.5 * r[1] > 0.7))
+            .collect();
+        let mut g = c.benchmark_group("fig4_model_training");
+        g.sample_size(10);
+        g.bench_function("gbm", |b| {
+            b.iter(|| {
+                let mut m = Gbdt::new(GbdtParams::default());
+                m.fit(&x, &y);
+                black_box(m.predict_score(&x[0]))
+            })
+        });
+        g.bench_function("logreg", |b| {
+            b.iter(|| {
+                let mut m = LogReg::new(3);
+                m.fit(&x, &y);
+                black_box(m.predict_score(&x[0]))
+            })
+        });
+        g.bench_function("mab", |b| {
+            b.iter(|| {
+                let mut m = ContextualBandit::new(8);
+                m.fit(&x, &y);
+                black_box(m.predict_score(&x[0]))
+            })
+        });
+        g.finish();
+    }
+
+    fn bench_fig6_tdc(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        let span = f.trace.last().unwrap().wall_secs;
+        c.bench_function("fig6_tdc_deployment", |b| {
+            b.iter(|| {
+                black_box(tdc::run_deployment(
+                    &f.trace,
+                    tdc::DeploymentConfig {
+                        tdc: tdc::TdcConfig {
+                            oc_nodes: 2,
+                            oc_capacity: f.stats.cache_bytes_for_fraction(0.01),
+                            dc_capacity: f.stats.cache_bytes_for_fraction(0.04),
+                            deploy_at: u64::MAX,
+                            seed: 3,
+                        },
+                        latency: tdc::LatencyModel::default(),
+                        deploy_fraction: 0.5,
+                        bucket_secs: (span / 20.0).max(1e-6),
+                    },
+                ))
+            })
+        });
+    }
+
+    fn bench_fig7_scip_vs_sci(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        let ctx = TraceCtx::new(&f.trace, 7);
+        let mut g = c.benchmark_group("fig7_scip_vs_sci");
+        g.sample_size(10);
+        for kind in [PolicyKind::Scip, PolicyKind::Sci] {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_fig8_insertion(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        let ctx = TraceCtx::new(&f.trace, 7);
+        let mut g = c.benchmark_group("fig8_insertion_policies");
+        g.sample_size(10);
+        for kind in [
+            PolicyKind::Scip,
+            PolicyKind::AscIp,
+            PolicyKind::Lip,
+            PolicyKind::Dip,
+        ] {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_fig10_replacement(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        let ctx = TraceCtx::new(&f.trace, 7);
+        let mut g = c.benchmark_group("fig10_replacement_algorithms");
+        g.sample_size(10);
+        for kind in [
+            PolicyKind::Scip,
+            PolicyKind::LruK,
+            PolicyKind::S4Lru,
+            PolicyKind::Lrb,
+            PolicyKind::GlCache,
+        ] {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_fig12_enhance(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnA);
+        let ctx = TraceCtx::new(&f.trace, 7);
+        let mut g = c.benchmark_group("fig12_enhancement");
+        g.sample_size(10);
+        for kind in [
+            PolicyKind::LruK,
+            PolicyKind::LruKScip,
+            PolicyKind::LruKAscIp,
+        ] {
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_belady(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        c.bench_function("belady_lower_bound", |b| {
+            b.iter(|| black_box(BeladyOracle::run(&f.trace, f.cache_64g)))
+        });
+    }
+
+    fn bench_ablation_scip_components(c: &mut Criterion) {
+        use cdn_policies::replay;
+        use scip::{Scip, ScipConfig};
+        let f = Fixture::new(Workload::CdnT);
+        let mut g = c.benchmark_group("ablation_scip");
+        g.sample_size(10);
+        let variants = [
+            ("adaptive_lambda", ScipConfig::default()),
+            (
+                "fixed_lambda",
+                ScipConfig {
+                    unlearn_threshold: u32::MAX,
+                    ..ScipConfig::default()
+                },
+            ),
+            (
+                "quarter_history",
+                ScipConfig {
+                    history_fraction: 0.25,
+                    ..ScipConfig::default()
+                },
+            ),
+        ];
+        for (name, cfg) in variants {
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut p = Scip::with_config(f.cache_64g, cfg);
+                    black_box(replay(&mut p, &f.trace).miss_ratio())
+                })
+            });
+        }
+        g.finish();
+    }
+
+    criterion_group!(
+        figures,
+        bench_table1_tracegen,
+        bench_fig1_labeling,
+        bench_fig3_oracle,
+        bench_fig4_models,
+        bench_fig6_tdc,
+        bench_fig7_scip_vs_sci,
+        bench_fig8_insertion,
+        bench_fig10_replacement,
+        bench_fig12_enhance,
+        bench_belady,
+        bench_ablation_scip_components
+    );
 }
 
-criterion_group!(
-    figures,
-    bench_table1_tracegen,
-    bench_fig1_labeling,
-    bench_fig3_oracle,
-    bench_fig4_models,
-    bench_fig6_tdc,
-    bench_fig7_scip_vs_sci,
-    bench_fig8_insertion,
-    bench_fig10_replacement,
-    bench_fig12_enhance,
-    bench_belady,
-    bench_ablation_scip_components
-);
-criterion_main!(figures);
+#[cfg(feature = "criterion")]
+criterion::criterion_main!(real::figures);
+
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "criterion benches are disabled in offline builds; \
+         see crates/bench/Cargo.toml to enable them, or run \
+         `cargo run --release -p cdn-sim --bin replay_bench` for throughput"
+    );
+}

@@ -1,36 +1,63 @@
 //! Per-policy replay throughput — the measurements behind Figures 9 and
 //! 11 (CPU cost per request / TPS), one Criterion benchmark per policy on
 //! the CDN-T fixture at the 64 GB-equivalent cache size.
+//!
+//! Compiled out unless the `criterion` feature is enabled, because the
+//! offline build environment cannot fetch the criterion crate — see
+//! `crates/bench/Cargo.toml` for how to restore it.
 
-use bench::Fixture;
-use cdn_sim::runner::{PolicyKind, TraceCtx};
-use cdn_trace::Workload;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+#[cfg(feature = "criterion")]
+mod real {
+    use bench::Fixture;
+    use cdn_sim::runner::{run_policy, run_policy_dyn, PolicyKind, TraceCtx};
+    use cdn_trace::Workload;
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
 
-fn bench_policies(c: &mut Criterion) {
-    let f = Fixture::new(Workload::CdnT);
-    let ctx = TraceCtx::new(&f.trace, 7);
-    let mut group = c.benchmark_group("fig9_fig11_throughput");
-    group.sample_size(10);
-    let mut kinds = vec![PolicyKind::Lru, PolicyKind::Scip, PolicyKind::Sci];
-    kinds.extend(PolicyKind::INSERTION_BASELINES);
-    kinds.extend(PolicyKind::REPLACEMENT_BASELINES);
-    kinds.push(PolicyKind::Belady);
-    for kind in kinds {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let mut p = kind.build(f.cache_64g, &ctx);
-                let mut hits = 0u64;
-                for r in &f.trace {
-                    hits += u64::from(p.on_request(black_box(r)).is_hit());
-                }
-                black_box(hits)
-            })
-        });
+    fn bench_policies(c: &mut Criterion) {
+        let f = Fixture::new(Workload::CdnT);
+        let ctx = TraceCtx::new(&f.trace, 7);
+        let mut group = c.benchmark_group("fig9_fig11_throughput");
+        group.sample_size(10);
+        let mut kinds = vec![PolicyKind::Lru, PolicyKind::Scip, PolicyKind::Sci];
+        kinds.extend(PolicyKind::INSERTION_BASELINES);
+        kinds.extend(PolicyKind::REPLACEMENT_BASELINES);
+        kinds.push(PolicyKind::Belady);
+        for kind in kinds {
+            group.bench_function(kind.label(), |b| {
+                b.iter(|| black_box(run_policy(kind, f.cache_64g, &f.trace, &ctx).miss_ratio))
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    fn bench_dispatch(c: &mut Criterion) {
+        // Monomorphized vs dyn replay of the same policy/trace — the overhead
+        // the static-dispatch sweep path removes.
+        let f = Fixture::new(Workload::CdnT);
+        let ctx = TraceCtx::new(&f.trace, 7);
+        let mut group = c.benchmark_group("dispatch_overhead_lru");
+        group.sample_size(10);
+        group.bench_function("monomorphized", |b| {
+            b.iter(|| black_box(run_policy(PolicyKind::Lru, f.cache_64g, &f.trace, &ctx).tps))
+        });
+        group.bench_function("dyn", |b| {
+            b.iter(|| black_box(run_policy_dyn(PolicyKind::Lru, f.cache_64g, &f.trace, &ctx).tps))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_policies, bench_dispatch);
 }
 
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);
+#[cfg(feature = "criterion")]
+criterion::criterion_main!(real::benches);
+
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "criterion benches are disabled in offline builds; \
+         see crates/bench/Cargo.toml to enable them, or run \
+         `cargo run --release -p cdn-sim --bin replay_bench` for throughput"
+    );
+}

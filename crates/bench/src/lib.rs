@@ -25,8 +25,7 @@ impl Fixture {
     pub fn new(workload: Workload) -> Self {
         let trace = TraceGenerator::generate(workload.profile().config(BENCH_REQUESTS, 99));
         let stats = TraceStats::compute(&trace);
-        let cache_64g =
-            stats.cache_bytes_for_fraction(workload.paper_cache_fraction(64.0));
+        let cache_64g = stats.cache_bytes_for_fraction(workload.paper_cache_fraction(64.0));
         Fixture {
             workload,
             trace,

@@ -71,6 +71,27 @@ pub trait CachePolicy {
     fn stats(&self) -> PolicyStats;
 }
 
+impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        (**self).on_request(req)
+    }
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+    fn used_bytes(&self) -> u64 {
+        (**self).used_bytes()
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn stats(&self) -> PolicyStats {
+        (**self).stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,19 +76,44 @@ impl LruQueue {
     }
 
     /// True if the object is resident.
+    #[inline]
     pub fn contains(&self, id: ObjectId) -> bool {
         self.map.contains_key(&id)
     }
 
+    /// One-probe residency lookup: the entry's [`Handle`], if resident.
+    /// The handle stays valid until the entry is removed or evicted, so a
+    /// hot hit path can pay for the hash lookup once and drive the
+    /// `*_at` methods with the handle.
+    #[inline]
+    pub fn lookup(&self, id: ObjectId) -> Option<Handle> {
+        self.map.get(&id).copied()
+    }
+
     /// Shared access to a resident entry's metadata.
+    #[inline]
     pub fn get(&self, id: ObjectId) -> Option<&EntryMeta> {
         self.map.get(&id).map(|&h| self.list.get(h))
     }
 
     /// Mutable access to a resident entry's metadata.
+    #[inline]
     pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut EntryMeta> {
         let h = *self.map.get(&id)?;
         Some(self.list.get_mut(h))
+    }
+
+    /// Shared access through a [`Handle`] obtained from
+    /// [`LruQueue::lookup`] (no hash probe).
+    #[inline]
+    pub fn get_at(&self, h: Handle) -> &EntryMeta {
+        self.list.get(h)
+    }
+
+    /// Mutable access through a [`Handle`] (no hash probe).
+    #[inline]
+    pub fn get_at_mut(&mut self, h: Handle) -> &mut EntryMeta {
+        self.list.get_mut(h)
     }
 
     /// Whether inserting `size` bytes would require evictions.
@@ -115,21 +140,28 @@ impl LruQueue {
 
     /// Insert at the MRU position (front). The object must not be resident
     /// and must fit (callers evict first). Marks `inserted_at_mru = true`.
-    pub fn insert_mru(&mut self, id: ObjectId, size: u64, tick: Tick) {
+    /// Returns the new entry's [`Handle`] so callers can tag it without
+    /// re-probing the map.
+    #[inline]
+    pub fn insert_mru(&mut self, id: ObjectId, size: u64, tick: Tick) -> Handle {
         debug_assert!(!self.contains(id), "insert of resident object {id}");
         debug_assert!(self.used + size <= self.capacity, "insert overflows");
         let h = self.list.push_front(Self::make_meta(id, size, tick, true));
         self.map.insert(id, h);
         self.used += size;
+        h
     }
 
     /// Insert at the LRU position (back). Marks `inserted_at_mru = false`.
-    pub fn insert_lru(&mut self, id: ObjectId, size: u64, tick: Tick) {
+    /// Returns the new entry's [`Handle`].
+    #[inline]
+    pub fn insert_lru(&mut self, id: ObjectId, size: u64, tick: Tick) -> Handle {
         debug_assert!(!self.contains(id), "insert of resident object {id}");
         debug_assert!(self.used + size <= self.capacity, "insert overflows");
         let h = self.list.push_back(Self::make_meta(id, size, tick, false));
         self.map.insert(id, h);
         self.used += size;
+        h
     }
 
     /// Re-insert a preserved entry at the MRU position without resetting
@@ -159,32 +191,61 @@ impl LruQueue {
 
     /// Record a hit: bump hit count and last-access *without* moving the
     /// entry. Promotion is a separate decision taken by the policy.
+    #[inline]
     pub fn record_hit(&mut self, id: ObjectId, tick: Tick) {
-        if let Some(meta) = self.get_mut(id) {
-            meta.hits += 1;
-            meta.last_access = tick;
+        if let Some(&h) = self.map.get(&id) {
+            self.record_hit_at(h, tick);
         }
     }
 
+    /// [`LruQueue::record_hit`] through a [`Handle`] (no hash probe).
+    #[inline]
+    pub fn record_hit_at(&mut self, h: Handle, tick: Tick) {
+        let meta = self.list.get_mut(h);
+        meta.hits += 1;
+        meta.last_access = tick;
+    }
+
     /// Move a resident object to the MRU position (classic promotion).
+    #[inline]
     pub fn promote_to_mru(&mut self, id: ObjectId) {
         if let Some(&h) = self.map.get(&id) {
             self.list.move_to_front(h);
         }
     }
 
+    /// [`LruQueue::promote_to_mru`] through a [`Handle`] (no hash probe).
+    #[inline]
+    pub fn promote_to_mru_at(&mut self, h: Handle) {
+        self.list.move_to_front(h);
+    }
+
     /// Move a resident object to the LRU position (demotion).
+    #[inline]
     pub fn demote_to_lru(&mut self, id: ObjectId) {
         if let Some(&h) = self.map.get(&id) {
             self.list.move_to_back(h);
         }
     }
 
+    /// [`LruQueue::demote_to_lru`] through a [`Handle`] (no hash probe).
+    #[inline]
+    pub fn demote_to_lru_at(&mut self, h: Handle) {
+        self.list.move_to_back(h);
+    }
+
     /// Move a resident object one slot toward MRU (PIPP-style promotion).
+    #[inline]
     pub fn promote_one(&mut self, id: ObjectId) {
         if let Some(&h) = self.map.get(&id) {
             self.list.promote_one(h);
         }
+    }
+
+    /// [`LruQueue::promote_one`] through a [`Handle`] (no hash probe).
+    #[inline]
+    pub fn promote_one_at(&mut self, h: Handle) {
+        self.list.promote_one(h);
     }
 
     /// Remove a resident object (the paper's `C.REMOVE`: no history write).

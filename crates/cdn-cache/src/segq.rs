@@ -135,13 +135,7 @@ impl SegmentedQueue {
 
     /// Insert a *new* object at the MRU position of segment `seg`,
     /// returning any entries evicted out the bottom.
-    pub fn insert(
-        &mut self,
-        seg: usize,
-        id: ObjectId,
-        size: u64,
-        tick: Tick,
-    ) -> Vec<EvictedEntry> {
+    pub fn insert(&mut self, seg: usize, id: ObjectId, size: u64, tick: Tick) -> Vec<EvictedEntry> {
         assert!(seg < self.segments.len());
         debug_assert!(!self.contains(id), "insert of resident object {id}");
         self.segments[seg].insert_mru(id, size, tick);
@@ -181,9 +175,7 @@ impl SegmentedQueue {
             return;
         };
         let seg = seg as usize;
-        let at_front = self.segments[seg]
-            .peek_mru()
-            .is_some_and(|m| m.id == id);
+        let at_front = self.segments[seg].peek_mru().is_some_and(|m| m.id == id);
         if at_front {
             if seg + 1 < self.segments.len() {
                 let meta = self.segments[seg].remove(id).expect("resident");
@@ -228,7 +220,10 @@ impl SegmentedQueue {
 
     /// Approximate metadata footprint.
     pub fn memory_bytes(&self) -> usize {
-        self.segments.iter().map(|s| s.memory_bytes()).sum::<usize>()
+        self.segments
+            .iter()
+            .map(|s| s.memory_bytes())
+            .sum::<usize>()
             + self.seg_of.capacity() * (std::mem::size_of::<ObjectId>() + 2 + 8)
     }
 }

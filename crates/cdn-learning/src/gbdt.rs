@@ -98,18 +98,20 @@ impl Tree {
             self.nodes.push(Node::Leaf { value: mean });
             return (self.nodes.len() - 1) as u32;
         }
-        let sse =
-            |items: &[usize]| -> (f64, f64) {
-                let m = items.iter().map(|&i| r[i]).sum::<f64>() / items.len() as f64;
-                (
-                    items.iter().map(|&i| (r[i] - m) * (r[i] - m)).sum::<f64>(),
-                    m,
-                )
-            };
+        let sse = |items: &[usize]| -> (f64, f64) {
+            let m = items.iter().map(|&i| r[i]).sum::<f64>() / items.len() as f64;
+            (
+                items.iter().map(|&i| (r[i] - m) * (r[i] - m)).sum::<f64>(),
+                m,
+            )
+        };
         let (parent_sse, _) = sse(idx);
         let dim = x[0].len();
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut vals: Vec<f64> = Vec::with_capacity(n);
+        // Features are columns of row-major `x`; a column index is the
+        // natural loop variable here.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..dim {
             vals.clear();
             vals.extend(idx.iter().map(|&i| x[i][f]));
@@ -141,8 +143,7 @@ impl Tree {
                 if ln < params.min_leaf || rn < params.min_leaf {
                     continue;
                 }
-                let child_sse =
-                    (lss - ls * ls / ln as f64) + (rss - rs * rs / rn as f64);
+                let child_sse = (lss - ls * ls / ln as f64) + (rss - rs * rs / rn as f64);
                 let gain = parent_sse - child_sse;
                 if best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, threshold));
@@ -229,9 +230,7 @@ impl Gbdt {
 
     /// Raw regression prediction.
     pub fn predict_raw(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.params.shrinkage
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.params.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// Number of fitted trees.
@@ -329,7 +328,12 @@ mod tests {
             ..GbdtParams::default()
         });
         big.fit_regression(&x, &y);
-        assert!(mse(&big) < mse(&small) * 0.5, "{} vs {}", mse(&big), mse(&small));
+        assert!(
+            mse(&big) < mse(&small) * 0.5,
+            "{} vs {}",
+            mse(&big),
+            mse(&small)
+        );
         assert!(mse(&big) < 0.01, "big mse {}", mse(&big));
     }
 

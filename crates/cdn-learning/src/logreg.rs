@@ -98,8 +98,7 @@ mod tests {
         let y: Vec<f64> = (0..1000).map(|_| f64::from(rng.chance(0.7))).collect();
         let mut m = LogReg::new(1);
         m.fit(&x, &y);
-        let mean: f64 =
-            x.iter().map(|r| m.predict_score(r)).sum::<f64>() / x.len() as f64;
+        let mean: f64 = x.iter().map(|r| m.predict_score(r)).sum::<f64>() / x.len() as f64;
         assert!((mean - 0.7).abs() < 0.1, "mean p {mean}");
     }
 

@@ -178,9 +178,7 @@ mod tests {
     #[test]
     fn contexts_grow_with_data_diversity() {
         let mut rng = SimRng::new(22);
-        let x: Vec<Vec<f64>> = (0..500)
-            .map(|_| vec![rng.f64(), rng.f64()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.f64(), rng.f64()]).collect();
         let y: Vec<f64> = (0..500).map(|i| f64::from(i % 2 == 0)).collect();
         let mut m = ContextualBandit::new(4);
         m.fit(&x, &y);

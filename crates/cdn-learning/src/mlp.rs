@@ -36,9 +36,7 @@ impl Mlp {
         Mlp {
             dim,
             hidden,
-            w1: (0..hidden * dim)
-                .map(|_| rng.normal() * scale1)
-                .collect(),
+            w1: (0..hidden * dim).map(|_| rng.normal() * scale1).collect(),
             b1: vec![0.0; hidden],
             w2: (0..hidden).map(|_| rng.normal() * scale2).collect(),
             b2: 0.0,
@@ -67,7 +65,13 @@ impl Mlp {
             let z = self.b1[j] + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
             *hj = z.max(0.0); // ReLU
         }
-        let z2 = self.b2 + self.w2.iter().zip(h.iter()).map(|(w, v)| w * v).sum::<f64>();
+        let z2 = self.b2
+            + self
+                .w2
+                .iter()
+                .zip(h.iter())
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
         sigmoid(z2)
     }
 }
@@ -88,7 +92,7 @@ impl Classifier for Mlp {
             for &i in &order {
                 let p = self.forward(&x[i], &mut h);
                 let err = p - y[i]; // dL/dz2 for log loss + sigmoid
-                // Output layer.
+                                    // Output layer.
                 self.b2 -= step * err;
                 for (j, w2j) in self.w2.iter_mut().enumerate() {
                     let grad_hidden = err * *w2j;

@@ -12,7 +12,9 @@
 //! AdaptSize's behaviour (small objects favoured, threshold tracks the
 //! workload) at a fraction of the original solver's complexity.
 
-use cdn_cache::{AccessKind, CachePolicy, FxHashMap, LruQueue, ObjectId, PolicyStats, Request, SimRng};
+use cdn_cache::{
+    AccessKind, CachePolicy, FxHashMap, LruQueue, ObjectId, PolicyStats, Request, SimRng,
+};
 
 /// Number of log-spaced candidates for `c`.
 const N_CANDIDATES: usize = 24;

@@ -119,8 +119,7 @@ impl TinyLfu {
             let candidate = self.window.evict_lru().expect("over budget");
             // Make room in main, dueling candidate vs victims.
             let mut admitted = true;
-            while self.main.used_bytes() + candidate.size > self.capacity - self.window_budget
-            {
+            while self.main.used_bytes() + candidate.size > self.capacity - self.window_budget {
                 let victim = match self.main.peek_lru() {
                     Some(v) => *v,
                     None => break,
@@ -134,8 +133,9 @@ impl TinyLfu {
                     break;
                 }
             }
-            if admitted && self.main.used_bytes() + candidate.size
-                <= self.capacity.saturating_sub(self.window_budget)
+            if admitted
+                && self.main.used_bytes() + candidate.size
+                    <= self.capacity.saturating_sub(self.window_budget)
             {
                 let mut meta = candidate;
                 meta.last_access = tick;
@@ -236,7 +236,12 @@ mod tests {
         for i in 0..64u64 {
             s.increment(ObjectId(1000 + i));
         }
-        assert!(s.estimate(id) < before, "aged: {} -> {}", before, s.estimate(id));
+        assert!(
+            s.estimate(id) < before,
+            "aged: {} -> {}",
+            before,
+            s.estimate(id)
+        );
     }
 
     #[test]

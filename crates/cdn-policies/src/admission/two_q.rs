@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn ghost_memory_readmits_into_main() {
         let mut p = TwoQ::new(40); // a1in budget 10 = 1 object
-        // 1 enters probation, 2 pushes it to A1out, then 1 returns.
+                                   // 1 enters probation, 2 pushes it to A1out, then 1 returns.
         for r in micro_trace(&[(1, 10), (2, 10), (3, 10), (4, 10), (5, 10), (1, 10)]) {
             p.on_request(&r);
         }

@@ -183,6 +183,10 @@ mod tests {
         let mut p = InsertionCache::new(Daaip::new(1024), 10_000, "DAAIP");
         let reqs: Vec<(u64, u64)> = (0..20_000).map(|i| (i, 1)).collect();
         replay(&mut p, &micro_trace(&reqs));
-        assert!(p.decider().freq.len() <= 1100, "freq {}", p.decider().freq.len());
+        assert!(
+            p.decider().freq.len() <= 1100,
+            "freq {}",
+            p.decider().freq.len()
+        );
     }
 }

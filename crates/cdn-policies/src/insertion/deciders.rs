@@ -112,7 +112,10 @@ mod tests {
             p.on_request(&r);
         }
         let mru_inserts = p.queue().iter().filter(|m| m.inserted_at_mru).count();
-        assert!((300..700).contains(&mru_inserts), "mru inserts {mru_inserts}");
+        assert!(
+            (300..700).contains(&mru_inserts),
+            "mru inserts {mru_inserts}"
+        );
     }
 
     #[test]

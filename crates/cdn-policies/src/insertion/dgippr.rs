@@ -35,7 +35,11 @@ impl Genome {
 
     fn crossover(a: Genome, b: Genome, rng: &mut SimRng) -> Genome {
         Genome {
-            insert_seg: if rng.chance(0.5) { a.insert_seg } else { b.insert_seg },
+            insert_seg: if rng.chance(0.5) {
+                a.insert_seg
+            } else {
+                b.insert_seg
+            },
             promote_step: if rng.chance(0.5) {
                 a.promote_step
             } else {
@@ -177,9 +181,9 @@ impl CachePolicy for Dgippr {
         } else if req.size > self.q.capacity() {
             AccessKind::Miss
         } else {
-            let evicted =
-                self.q
-                    .insert(genome.insert_seg as usize, req.id, req.size, req.tick);
+            let evicted = self
+                .q
+                .insert(genome.insert_seg as usize, req.id, req.size, req.tick);
             self.stats.evictions += evicted.len() as u64;
             self.stats.insertions += 1;
             AccessKind::Miss

@@ -140,7 +140,10 @@ mod tests {
         let l = mr(replay(&mut lipc, &t).miss_ratio());
         let m = mr(replay(&mut mipc, &t).miss_ratio());
         assert!(m > l, "sanity: MIP should thrash ({m} vs {l})");
-        assert!(d < (l + m) / 2.0, "DIP {d} should be near LIP {l}, not MIP {m}");
+        assert!(
+            d < (l + m) / 2.0,
+            "DIP {d} should be near LIP {l}, not MIP {m}"
+        );
     }
 
     #[test]

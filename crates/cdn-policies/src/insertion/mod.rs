@@ -114,13 +114,15 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
     }
 
     fn on_request(&mut self, req: &Request) -> AccessKind {
-        if self.cache.contains(req.id) {
-            self.cache.record_hit(req.id, req.tick);
-            let meta = *self.cache.get(req.id).expect("resident");
+        // Hit path: one hash probe; all follow-up work goes through the
+        // handle. This loop dominates replay throughput.
+        if let Some(h) = self.cache.lookup(req.id) {
+            self.cache.record_hit_at(h, req.tick);
+            let meta = *self.cache.get_at(h);
             match self.decider.on_hit(req, &meta, &self.cache) {
-                PromoteAction::ToMru => self.cache.promote_to_mru(req.id),
-                PromoteAction::OneStep => self.cache.promote_one(req.id),
-                PromoteAction::ToLru => self.cache.demote_to_lru(req.id),
+                PromoteAction::ToMru => self.cache.promote_to_mru_at(h),
+                PromoteAction::OneStep => self.cache.promote_one_at(h),
+                PromoteAction::ToLru => self.cache.demote_to_lru_at(h),
                 PromoteAction::Stay => {}
             }
             return AccessKind::Hit;
@@ -134,12 +136,12 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
             self.stats.evictions += 1;
             self.decider.on_evict(&victim, req.tick);
         }
-        match decision.pos {
+        let h = match decision.pos {
             InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
             InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
-        }
+        };
         if decision.tag != 0 {
-            self.cache.get_mut(req.id).expect("just inserted").tag = decision.tag;
+            self.cache.get_at_mut(h).tag = decision.tag;
         }
         self.stats.insertions += 1;
         AccessKind::Miss

@@ -17,8 +17,8 @@ use std::collections::BTreeSet;
 
 use cdn_cache::ghost::GhostEntry;
 use cdn_cache::{
-    AccessKind, CachePolicy, FxHashMap, GhostList, ObjectId, PolicyStats, Request,
-    SegmentedQueue, SimRng, Tick,
+    AccessKind, CachePolicy, FxHashMap, GhostList, ObjectId, PolicyStats, Request, SegmentedQueue,
+    SimRng, Tick,
 };
 
 const WINDOW: u64 = 4_096;
@@ -116,7 +116,11 @@ impl Cacheus {
         let victim_id = meta.id;
         let (f, last) = self.freq.remove(&victim_id).expect("tracked");
         self.freq_queue.remove(&(f, last, victim_id));
-        let ghost = if use_lru { &mut self.h_lru } else { &mut self.h_lfu };
+        let ghost = if use_lru {
+            &mut self.h_lru
+        } else {
+            &mut self.h_lfu
+        };
         ghost.add(GhostEntry {
             id: victim_id,
             size: meta.size,
@@ -166,7 +170,8 @@ impl CachePolicy for Cacheus {
         let evicted = self.recency.insert(0, req.id, req.size, req.tick);
         debug_assert!(evicted.is_empty(), "budget enforced above");
         self.freq.insert(req.id, (restored_freq + 1, req.tick));
-        self.freq_queue.insert((restored_freq + 1, req.tick, req.id));
+        self.freq_queue
+            .insert((restored_freq + 1, req.tick, req.id));
         self.stats.insertions += 1;
         AccessKind::Miss
     }

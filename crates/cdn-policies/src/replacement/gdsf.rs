@@ -150,7 +150,10 @@ mod tests {
         let t = micro_trace(&reqs);
         let mut p = Gdsf::new(150);
         replay(&mut p, &t);
-        assert!(p.entries.contains_key(&ObjectId(1)), "hot large object kept");
+        assert!(
+            p.entries.contains_key(&ObjectId(1)),
+            "hot large object kept"
+        );
         assert!(!p.entries.contains_key(&ObjectId(2)), "cold small evicted");
     }
 
@@ -178,7 +181,10 @@ mod tests {
         let t = micro_trace(&reqs);
         let mut p = Gdsf::new(100);
         replay(&mut p, &t);
-        assert!(!p.entries.contains_key(&ObjectId(1)), "stale object aged out");
+        assert!(
+            !p.entries.contains_key(&ObjectId(1)),
+            "stale object aged out"
+        );
     }
 
     #[test]

@@ -132,9 +132,9 @@ impl GlCache {
             let interval_hits = g.hits_total - g.hits_at_snapshot;
             if now > g.snapshot_tick && g.bytes > 0 {
                 g.features(now, &mut feats);
-                let label = interval_hits as f64 / g.bytes as f64
-                    / (now - g.snapshot_tick).max(1) as f64
-                    * 1e9; // scale to a comfortable regression range
+                let label =
+                    interval_hits as f64 / g.bytes as f64 / (now - g.snapshot_tick).max(1) as f64
+                        * 1e9; // scale to a comfortable regression range
                 if self.samples_y.len() >= self.max_samples {
                     self.samples_x.drain(..self.max_samples / 2);
                     self.samples_y.drain(..self.max_samples / 2);

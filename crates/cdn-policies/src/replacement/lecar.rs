@@ -89,7 +89,11 @@ impl LeCar {
         let meta = self.recency.remove(victim_id).expect("resident");
         let (f, last) = self.freq.remove(&victim_id).expect("tracked");
         self.freq_queue.remove(&(f, last, victim_id));
-        let ghost = if use_lru { &mut self.h_lru } else { &mut self.h_lfu };
+        let ghost = if use_lru {
+            &mut self.h_lru
+        } else {
+            &mut self.h_lfu
+        };
         ghost.add(GhostEntry {
             id: victim_id,
             size: meta.size,
@@ -129,7 +133,8 @@ impl CachePolicy for LeCar {
         }
         self.recency.insert_mru(req.id, req.size, req.tick);
         self.freq.insert(req.id, (restored_freq + 1, req.tick));
-        self.freq_queue.insert((restored_freq + 1, req.tick, req.id));
+        self.freq_queue
+            .insert((restored_freq + 1, req.tick, req.id));
         self.stats.insertions += 1;
         AccessKind::Miss
     }

@@ -71,7 +71,7 @@ impl Lhd {
 
     fn tick_event(&mut self) {
         self.events += 1;
-        if self.events % DECAY_EVERY == 0 {
+        if self.events.is_multiple_of(DECAY_EVERY) {
             for c in &mut self.classes {
                 c.hits *= DECAY;
                 c.evictions *= DECAY;
@@ -86,11 +86,7 @@ impl Lhd {
         let total = c.hits + c.evictions;
         // Unseen classes get an optimistic prior so new behaviour is
         // explored rather than insta-evicted.
-        let hit_prob = if total < 1.0 {
-            0.5
-        } else {
-            c.hits / total
-        };
+        let hit_prob = if total < 1.0 { 0.5 } else { c.hits / total };
         // Expected remaining space-time ∝ age (older without reuse means a
         // longer expected wait) × size.
         hit_prob / ((age.max(1) as f64) * r.size.max(1) as f64)

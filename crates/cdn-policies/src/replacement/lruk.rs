@@ -81,7 +81,10 @@ impl LruK {
             });
         }
         let k = self.k;
-        let h = self.history.entry(id).or_insert(History { times: Vec::new() });
+        let h = self
+            .history
+            .entry(id)
+            .or_insert(History { times: Vec::new() });
         h.times.push(tick);
         if h.times.len() > k {
             h.times.remove(0);

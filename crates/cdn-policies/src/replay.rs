@@ -1,12 +1,34 @@
 //! Drive a policy over a trace and collect metrics.
+//!
+//! The replay loops are generic over `P: CachePolicy + ?Sized`: called
+//! with a concrete policy type they monomorphize — the per-request
+//! virtual call and its inlining barrier disappear, which is what the
+//! sweep's hot paths use — while `&mut dyn CachePolicy` still works
+//! unchanged (and the `*_dyn` wrappers pin that reference path down for
+//! equivalence testing). Both the interleaved `&[Request]` and the
+//! structure-of-arrays [`TraceColumns`] layouts are supported; they
+//! produce bit-identical metrics.
 
 use cdn_cache::{CachePolicy, MetricsRecorder, MissRatio, Request};
+use cdn_trace::TraceColumns;
 
 /// Replay a trace through a policy, returning cumulative metrics.
-pub fn replay(policy: &mut dyn CachePolicy, trace: &[Request]) -> MissRatio {
+pub fn replay<P: CachePolicy + ?Sized>(policy: &mut P, trace: &[Request]) -> MissRatio {
+    replay_iter(policy, trace.iter().copied())
+}
+
+/// Replay a structure-of-arrays trace (same metrics as [`replay`]).
+pub fn replay_columns<P: CachePolicy + ?Sized>(policy: &mut P, trace: &TraceColumns) -> MissRatio {
+    replay_iter(policy, trace.iter())
+}
+
+fn replay_iter<P: CachePolicy + ?Sized>(
+    policy: &mut P,
+    requests: impl Iterator<Item = Request>,
+) -> MissRatio {
     let mut m = MissRatio::new();
-    for r in trace {
-        if policy.on_request(r).is_hit() {
+    for r in requests {
+        if policy.on_request(&r).is_hit() {
             m.record_hit(r.size);
         } else {
             m.record_miss(r.size);
@@ -17,8 +39,8 @@ pub fn replay(policy: &mut dyn CachePolicy, trace: &[Request]) -> MissRatio {
 
 /// Replay with interval snapshots every `interval` requests (time-series
 /// figures).
-pub fn replay_with_recorder(
-    policy: &mut dyn CachePolicy,
+pub fn replay_with_recorder<P: CachePolicy + ?Sized>(
+    policy: &mut P,
     trace: &[Request],
     interval: u64,
 ) -> MetricsRecorder {
@@ -31,10 +53,27 @@ pub fn replay_with_recorder(
     rec
 }
 
+/// Reference `dyn`-dispatch replay: same loop as [`replay`] but forced
+/// through a trait object, as the equivalence tests and the throughput
+/// harness's speedup baseline require.
+pub fn replay_dyn(policy: &mut dyn CachePolicy, trace: &[Request]) -> MissRatio {
+    replay(policy, trace)
+}
+
+/// Reference `dyn`-dispatch recorder replay (see [`replay_dyn`]).
+pub fn replay_with_recorder_dyn(
+    policy: &mut dyn CachePolicy,
+    trace: &[Request],
+    interval: u64,
+) -> MetricsRecorder {
+    replay_with_recorder(policy, trace, interval)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::insertion::{deciders::Mip, InsertionCache};
+    use crate::replacement::Lru;
     use cdn_cache::object::micro_trace;
 
     #[test]
@@ -53,5 +92,21 @@ mod tests {
         let rec = replay_with_recorder(&mut p, &t, 2);
         assert_eq!(rec.snapshots().len(), 2);
         assert_eq!(rec.totals().hits(), 2);
+    }
+
+    #[test]
+    fn generic_dyn_and_columns_agree() {
+        let reqs: Vec<(u64, u64)> = (0..2_000).map(|i| (i * 11 % 90, 1 + i % 40)).collect();
+        let t = micro_trace(&reqs);
+        let cols = TraceColumns::from_requests(&t);
+        let mono = replay(&mut Lru::new(500), &t);
+        let via_cols = replay_columns(&mut Lru::new(500), &cols);
+        let mut boxed: Box<dyn CachePolicy> = Box::new(Lru::new(500));
+        let dynamic = replay_dyn(boxed.as_mut(), &t);
+        for m in [&via_cols, &dynamic] {
+            assert_eq!(mono.hits(), m.hits());
+            assert_eq!(mono.misses(), m.misses());
+            assert_eq!(mono.miss_bytes(), m.miss_bytes());
+        }
     }
 }

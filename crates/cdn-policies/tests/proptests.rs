@@ -30,7 +30,11 @@ fn zoo(capacity: u64) -> Vec<Box<dyn CachePolicy>> {
         Box::new(InsertionCache::new(Ship::new(), capacity, "SHiP")),
         Box::new(Dgippr::new(capacity, 1)),
         Box::new(InsertionCache::new(Daaip::new(2048), capacity, "DAAIP")),
-        Box::new(InsertionCache::new(AscIp::default_for_cdn(), capacity, "ASC-IP")),
+        Box::new(InsertionCache::new(
+            AscIp::default_for_cdn(),
+            capacity,
+            "ASC-IP",
+        )),
         Box::new(LruK::new(capacity)),
         Box::new(S4Lru::new(capacity)),
         Box::new(SsLru::new(capacity)),

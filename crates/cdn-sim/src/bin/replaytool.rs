@@ -77,7 +77,11 @@ fn main() {
     let stats = TraceStats::compute(&trace);
     let cap = stats.cache_bytes_for_fraction(fraction);
     println!("{stats}");
-    println!("cache: {:.1} MB ({:.2}% of WSS)\n", cap as f64 / 1e6, fraction * 100.0);
+    println!(
+        "cache: {:.1} MB ({:.2}% of WSS)\n",
+        cap as f64 / 1e6,
+        fraction * 100.0
+    );
 
     let policies: Vec<PolicyKind> = if args.len() > 2 {
         args[2..]

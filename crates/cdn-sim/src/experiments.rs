@@ -59,25 +59,41 @@ impl Bench {
 pub fn table1(bench: &Bench) -> Table {
     let mut t = Table::new(
         "Table 1 — summary of workloads",
-        &[
-            "metric",
-            "CDN-T",
-            "CDN-W",
-            "CDN-A",
-        ],
+        &["metric", "CDN-T", "CDN-W", "CDN-A"],
     );
     let s: Vec<&TraceStats> = bench.traces.iter().map(|(_, _, s)| s).collect();
-    let fmt = |f: &dyn Fn(&TraceStats) -> String| -> Vec<String> {
-        s.iter().map(|st| f(st)).collect()
-    };
-    let rows: Vec<(&str, Box<dyn Fn(&TraceStats) -> String>)> = vec![
-        ("Total Requests (K)", Box::new(|s: &TraceStats| format!("{:.1}", s.total_requests as f64 / 1e3))),
-        ("Unique Objects (K)", Box::new(|s: &TraceStats| format!("{:.1}", s.unique_objects as f64 / 1e3))),
-        ("Requests / Unique", Box::new(|s: &TraceStats| format!("{:.2}", s.requests_per_object()))),
-        ("Max Object Size (MB)", Box::new(|s: &TraceStats| format!("{:.2}", s.max_size as f64 / 1e6))),
-        ("Min Object Size (B)", Box::new(|s: &TraceStats| format!("{}", s.min_size))),
-        ("Mean Object Size (KB)", Box::new(|s: &TraceStats| format!("{:.2}", s.mean_size_bytes() / 1024.0))),
-        ("Working Set Size (GB)", Box::new(|s: &TraceStats| format!("{:.2}", s.wss_gb()))),
+    let fmt =
+        |f: &dyn Fn(&TraceStats) -> String| -> Vec<String> { s.iter().map(|st| f(st)).collect() };
+    type StatRow<'a> = (&'a str, Box<dyn Fn(&TraceStats) -> String>);
+    let rows: Vec<StatRow> = vec![
+        (
+            "Total Requests (K)",
+            Box::new(|s: &TraceStats| format!("{:.1}", s.total_requests as f64 / 1e3)),
+        ),
+        (
+            "Unique Objects (K)",
+            Box::new(|s: &TraceStats| format!("{:.1}", s.unique_objects as f64 / 1e3)),
+        ),
+        (
+            "Requests / Unique",
+            Box::new(|s: &TraceStats| format!("{:.2}", s.requests_per_object())),
+        ),
+        (
+            "Max Object Size (MB)",
+            Box::new(|s: &TraceStats| format!("{:.2}", s.max_size as f64 / 1e6)),
+        ),
+        (
+            "Min Object Size (B)",
+            Box::new(|s: &TraceStats| format!("{}", s.min_size)),
+        ),
+        (
+            "Mean Object Size (KB)",
+            Box::new(|s: &TraceStats| format!("{:.2}", s.mean_size_bytes() / 1024.0)),
+        ),
+        (
+            "Working Set Size (GB)",
+            Box::new(|s: &TraceStats| format!("{:.2}", s.wss_gb())),
+        ),
     ];
     for (name, f) in rows {
         let mut cells = vec![name.to_string()];
@@ -93,11 +109,24 @@ pub fn fig1(bench: &Bench) -> Table {
     let mut t = Table::new(
         "Figure 1 — ZRO / P-ZRO structure under LRU (cache = fraction of WSS X)",
         &[
-            "workload", "cache", "ZRO/miss", "A-ZRO/ZRO", "P-ZRO/hit", "A-P-ZRO/P-ZRO",
-            "LRU mr", "mr|ZRO@LRU", "mr|PZRO@LRU", "mr|both@LRU",
+            "workload",
+            "cache",
+            "ZRO/miss",
+            "A-ZRO/ZRO",
+            "P-ZRO/hit",
+            "A-P-ZRO/P-ZRO",
+            "LRU mr",
+            "mr|ZRO@LRU",
+            "mr|PZRO@LRU",
+            "mr|both@LRU",
         ],
     );
-    let fractions = [("0.5%X", 0.005), ("1%X", 0.01), ("5%X", 0.05), ("10%X", 0.1)];
+    let fractions = [
+        ("0.5%X", 0.005),
+        ("1%X", 0.01),
+        ("5%X", 0.05),
+        ("10%X", 0.1),
+    ];
     let jobs: Vec<_> = bench
         .traces
         .iter()
@@ -262,7 +291,9 @@ fn eval_model(name: &str, ds: &Dataset, seed: u64) -> (String, f64) {
 pub fn fig4(bench: &Bench) -> Table {
     let mut t = Table::new(
         "Figure 4 — decision accuracy identifying ZRO / P-ZRO / both (balanced test sets)",
-        &["workload", "task", "LinReg", "LogReg", "SVM", "NN", "GBM", "MAB"],
+        &[
+            "workload", "task", "LinReg", "LogReg", "SVM", "NN", "GBM", "MAB",
+        ],
     );
     const MODELS: [&str; 6] = ["LinReg", "LogReg", "SVM", "NN", "GBM", "MAB"];
     let jobs: Vec<_> = bench
@@ -440,7 +471,13 @@ fn resource_table(bench: &Bench, policies: &[PolicyKind], title: &str) -> Table 
         .collect();
     let mut t = Table::new(
         title,
-        &["policy", "miss_ratio", "ns/req (CPU proxy)", "peak mem (MB)", "TPS (K/s)"],
+        &[
+            "policy",
+            "miss_ratio",
+            "ns/req (CPU proxy)",
+            "peak mem (MB)",
+            "TPS (K/s)",
+        ],
     );
     for m in parallel_runs(jobs) {
         t.row(vec![
@@ -604,8 +641,7 @@ pub fn seed_variance(requests: u64) -> Table {
         ]);
     }
     let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
-        / deltas.len() as f64;
+    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
     t.row(vec![
         "mean±sd".into(),
         String::new(),

@@ -4,8 +4,12 @@
 //!   every algorithm in the workspace against a trace context, plus the
 //!   instrumented replay that measures miss ratio, TPS, per-request CPU
 //!   time and peak metadata memory — the quantities behind Figures 8-12.
-//! - [`sweep`]: parallel (crossbeam-scoped) execution of
-//!   {workload × policy × cache size} grids.
+//!   Replays dispatch once per run and monomorphize
+//!   ([`runner::PolicyKind::run_monomorphized`]); the `dyn` path stays
+//!   available as [`runner::run_policy_dyn`].
+//! - [`sweep`]: lock-free parallel execution of
+//!   {workload × policy × cache size} grids (atomic work distributor,
+//!   per-job disjoint result slots).
 //! - [`table`]: figure-style table formatting + TSV dumps under
 //!   `results/`.
 //! - [`experiments`]: one function per paper table/figure; the `fig*` and
@@ -20,7 +24,7 @@ pub mod runner;
 pub mod sweep;
 pub mod table;
 
-pub use runner::{PolicyKind, RunMeasurement, TraceCtx};
+pub use runner::{run_policy, run_policy_dyn, PolicyKind, RunMeasurement, TraceCtx};
 pub use sweep::parallel_runs;
 pub use table::Table;
 

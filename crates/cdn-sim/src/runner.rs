@@ -1,4 +1,13 @@
 //! Policy registry and instrumented replay.
+//!
+//! [`PolicyKind`] dispatches **once per run**, not once per request: the
+//! `dispatch_policy!` macro builds the concrete policy type for a kind and
+//! hands it to a generic replay loop, so the whole per-request path
+//! monomorphizes (no virtual call, full inlining). The boxed
+//! [`PolicyKind::build`] constructor and [`run_policy_dyn`] keep the
+//! `dyn CachePolicy` path available for heterogeneous collections and as
+//! the reference the equivalence tests and the throughput harness's
+//! speedup baseline compare against.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -10,10 +19,11 @@ use cdn_policies::insertion::{
     AscIp, Daaip, Dgippr, Dip, Dta, InsertionCache, Pipp, Ship,
 };
 use cdn_policies::replacement::{
-    Arc as ArcPolicy, BeladyPolicy, Cacheus, Gdsf, GlCache, LeCar, Lhd, Lrb, LrbConfig, Lru,
-    LruK, S4Lru, SsLru,
+    Arc as ArcPolicy, BeladyPolicy, Cacheus, Gdsf, GlCache, LeCar, Lhd, Lrb, LrbConfig, Lru, LruK,
+    S4Lru, SsLru,
 };
 use cdn_trace::next_access_table;
+use cdn_trace::TraceColumns;
 use scip::{Sci, Scip, ScipConfig};
 
 /// Per-trace context a policy build may need (Belady's oracle table,
@@ -88,6 +98,86 @@ pub enum PolicyKind {
     LrbAscIp,
 }
 
+/// Build the concrete policy type for a [`PolicyKind`] and hand it to the
+/// generic callable `$go` (plus trailing arguments), so every caller
+/// dispatches once per run instead of once per request. `$go` must be the
+/// name of a function generic over `P: CachePolicy`.
+macro_rules! dispatch_policy {
+    ($kind:expr, $capacity:expr, $ctx:expr, $go:ident($($extra:expr),*)) => {{
+        let ctx: &TraceCtx = $ctx;
+        let capacity: u64 = $capacity;
+        let seed = ctx.seed;
+        match $kind {
+            PolicyKind::Lru => $go(Lru::new(capacity) $(, $extra)*),
+            PolicyKind::Lip => {
+                $go(InsertionCache::new(Lip, capacity, "LIP") $(, $extra)*)
+            }
+            PolicyKind::Bip => {
+                $go(InsertionCache::new(Bip::new(seed), capacity, "BIP") $(, $extra)*)
+            }
+            PolicyKind::Dip => {
+                $go(InsertionCache::new(Dip::new(seed), capacity, "DIP") $(, $extra)*)
+            }
+            PolicyKind::Pipp => $go(Pipp::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Dta => {
+                $go(InsertionCache::new(Dta::new(1 << 15), capacity, "DTA") $(, $extra)*)
+            }
+            PolicyKind::Ship => {
+                $go(InsertionCache::new(Ship::new(), capacity, "SHiP") $(, $extra)*)
+            }
+            PolicyKind::Dgippr => $go(Dgippr::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Daaip => $go(
+                InsertionCache::new(Daaip::new(1 << 15), capacity, "DAAIP") $(, $extra)*
+            ),
+            PolicyKind::AscIp => $go(
+                InsertionCache::new(AscIp::default_for_cdn(), capacity, "ASC-IP")
+                $(, $extra)*
+            ),
+            PolicyKind::Sci => $go(Sci::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Scip => $go(
+                Scip::with_config(
+                    capacity,
+                    ScipConfig {
+                        seed,
+                        update_interval: (ctx.requests / 40).max(2_000),
+                        ..ScipConfig::default()
+                    },
+                ) $(, $extra)*
+            ),
+            PolicyKind::LruK => $go(LruK::new(capacity) $(, $extra)*),
+            PolicyKind::S4Lru => $go(S4Lru::new(capacity) $(, $extra)*),
+            PolicyKind::SsLru => $go(SsLru::new(capacity) $(, $extra)*),
+            PolicyKind::Gdsf => $go(Gdsf::new(capacity) $(, $extra)*),
+            PolicyKind::Lhd => $go(Lhd::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Arc => $go(ArcPolicy::new(capacity) $(, $extra)*),
+            PolicyKind::LeCar => $go(LeCar::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Cacheus => $go(Cacheus::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Lrb => {
+                $go(Lrb::with_config(capacity, ctx.lrb_config(), seed) $(, $extra)*)
+            }
+            PolicyKind::GlCache => $go(GlCache::new(capacity) $(, $extra)*),
+            PolicyKind::TwoQ => $go(TwoQ::new(capacity) $(, $extra)*),
+            PolicyKind::TinyLfu => $go(TinyLfu::new(capacity) $(, $extra)*),
+            PolicyKind::AdaptSize => $go(AdaptSize::new(capacity, seed) $(, $extra)*),
+            PolicyKind::Belady => {
+                $go(BeladyPolicy::new(capacity, ctx.next_access.clone()) $(, $extra)*)
+            }
+            PolicyKind::LruKScip => {
+                $go(scip::enhance::lruk_scip(capacity, 2, seed) $(, $extra)*)
+            }
+            PolicyKind::LruKAscIp => {
+                $go(scip::enhance::lruk_ascip(capacity, 2) $(, $extra)*)
+            }
+            PolicyKind::LrbScip => {
+                $go(scip::enhance::lrb_scip(capacity, ctx.lrb_config(), seed) $(, $extra)*)
+            }
+            PolicyKind::LrbAscIp => {
+                $go(scip::enhance::lrb_ascip(capacity, ctx.lrb_config(), seed) $(, $extra)*)
+            }
+        }
+    }};
+}
+
 impl PolicyKind {
     /// The paper's eight insertion-policy baselines (Figure 8/9 order).
     pub const INSERTION_BASELINES: [PolicyKind; 8] = [
@@ -150,70 +240,47 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiate the policy at `capacity` bytes.
+    /// Instantiate the policy at `capacity` bytes, boxed for heterogeneous
+    /// collections. Hot sweep paths should prefer the monomorphized
+    /// [`PolicyKind::run_monomorphized`] family instead.
     pub fn build(self, capacity: u64, ctx: &TraceCtx) -> Box<dyn CachePolicy> {
-        let seed = ctx.seed;
-        match self {
-            PolicyKind::Lru => Box::new(Lru::new(capacity)),
-            PolicyKind::Lip => Box::new(InsertionCache::new(Lip, capacity, "LIP")),
-            PolicyKind::Bip => {
-                Box::new(InsertionCache::new(Bip::new(seed), capacity, "BIP"))
-            }
-            PolicyKind::Dip => {
-                Box::new(InsertionCache::new(Dip::new(seed), capacity, "DIP"))
-            }
-            PolicyKind::Pipp => Box::new(Pipp::new(capacity, seed)),
-            PolicyKind::Dta => {
-                Box::new(InsertionCache::new(Dta::new(1 << 15), capacity, "DTA"))
-            }
-            PolicyKind::Ship => {
-                Box::new(InsertionCache::new(Ship::new(), capacity, "SHiP"))
-            }
-            PolicyKind::Dgippr => Box::new(Dgippr::new(capacity, seed)),
-            PolicyKind::Daaip => {
-                Box::new(InsertionCache::new(Daaip::new(1 << 15), capacity, "DAAIP"))
-            }
-            PolicyKind::AscIp => Box::new(InsertionCache::new(
-                AscIp::default_for_cdn(),
-                capacity,
-                "ASC-IP",
-            )),
-            PolicyKind::Sci => Box::new(Sci::new(capacity, seed)),
-            PolicyKind::Scip => Box::new(Scip::with_config(
-                capacity,
-                ScipConfig {
-                    seed,
-                    update_interval: (ctx.requests / 40).max(2_000),
-                    ..ScipConfig::default()
-                },
-            )),
-            PolicyKind::LruK => Box::new(LruK::new(capacity)),
-            PolicyKind::S4Lru => Box::new(S4Lru::new(capacity)),
-            PolicyKind::SsLru => Box::new(SsLru::new(capacity)),
-            PolicyKind::Gdsf => Box::new(Gdsf::new(capacity)),
-            PolicyKind::Lhd => Box::new(Lhd::new(capacity, seed)),
-            PolicyKind::Arc => Box::new(ArcPolicy::new(capacity)),
-            PolicyKind::LeCar => Box::new(LeCar::new(capacity, seed)),
-            PolicyKind::Cacheus => Box::new(Cacheus::new(capacity, seed)),
-            PolicyKind::Lrb => {
-                Box::new(Lrb::with_config(capacity, ctx.lrb_config(), seed))
-            }
-            PolicyKind::GlCache => Box::new(GlCache::new(capacity)),
-            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
-            PolicyKind::TinyLfu => Box::new(TinyLfu::new(capacity)),
-            PolicyKind::AdaptSize => Box::new(AdaptSize::new(capacity, seed)),
-            PolicyKind::Belady => {
-                Box::new(BeladyPolicy::new(capacity, ctx.next_access.clone()))
-            }
-            PolicyKind::LruKScip => Box::new(scip::enhance::lruk_scip(capacity, 2, seed)),
-            PolicyKind::LruKAscIp => Box::new(scip::enhance::lruk_ascip(capacity, 2)),
-            PolicyKind::LrbScip => {
-                Box::new(scip::enhance::lrb_scip(capacity, ctx.lrb_config(), seed))
-            }
-            PolicyKind::LrbAscIp => {
-                Box::new(scip::enhance::lrb_ascip(capacity, ctx.lrb_config(), seed))
-            }
+        fn boxed<P: CachePolicy + 'static>(p: P) -> Box<dyn CachePolicy> {
+            Box::new(p)
         }
+        dispatch_policy!(self, capacity, ctx, boxed())
+    }
+
+    /// Replay `trace` through a freshly built policy with static dispatch:
+    /// one `match` per run selects the concrete type, then the whole
+    /// per-request loop monomorphizes.
+    pub fn run_monomorphized(
+        self,
+        capacity: u64,
+        trace: &[Request],
+        ctx: &TraceCtx,
+    ) -> RunMeasurement {
+        fn go<P: CachePolicy>(policy: P, label: &'static str, trace: &[Request]) -> RunMeasurement {
+            instrumented_replay(policy, label, trace.len(), trace.iter().copied())
+        }
+        dispatch_policy!(self, capacity, ctx, go(self.label(), trace))
+    }
+
+    /// [`PolicyKind::run_monomorphized`] over a structure-of-arrays trace
+    /// (the layout the sweep shares across workers).
+    pub fn run_monomorphized_columns(
+        self,
+        capacity: u64,
+        trace: &TraceColumns,
+        ctx: &TraceCtx,
+    ) -> RunMeasurement {
+        fn go<P: CachePolicy>(
+            policy: P,
+            label: &'static str,
+            trace: &TraceColumns,
+        ) -> RunMeasurement {
+            instrumented_replay(policy, label, trace.len(), trace.iter())
+        }
+        dispatch_policy!(self, capacity, ctx, go(self.label(), trace))
     }
 }
 
@@ -235,17 +302,22 @@ pub struct RunMeasurement {
     pub peak_memory_bytes: usize,
 }
 
-/// Replay `trace` through a freshly built `kind`, measuring quality and
-/// resource proxies.
-pub fn run_policy(kind: PolicyKind, capacity: u64, trace: &[Request], ctx: &TraceCtx) -> RunMeasurement {
-    let mut policy = kind.build(capacity, ctx);
+/// The instrumented replay loop behind every measurement: generic over
+/// the policy so concrete callers monomorphize, while `Box<dyn
+/// CachePolicy>` (via [`run_policy_dyn`]) keeps the virtual-dispatch
+/// reference path on the exact same loop.
+fn instrumented_replay<P, I>(mut policy: P, label: &str, n: usize, requests: I) -> RunMeasurement
+where
+    P: CachePolicy,
+    I: Iterator<Item = Request>,
+{
     let mut m = cdn_cache::MissRatio::new();
     let mut peak_mem = 0usize;
     // Sample memory every ~1k requests: memory_bytes() walks structures.
-    let mem_stride = (trace.len() / 512).max(1);
+    let mem_stride = (n / 512).max(1);
     let start = Instant::now();
-    for (i, r) in trace.iter().enumerate() {
-        if policy.on_request(r).is_hit() {
+    for (i, r) in requests.enumerate() {
+        if policy.on_request(&r).is_hit() {
             m.record_hit(r.size);
         } else {
             m.record_miss(r.size);
@@ -258,13 +330,42 @@ pub fn run_policy(kind: PolicyKind, capacity: u64, trace: &[Request], ctx: &Trac
     peak_mem = peak_mem.max(policy.memory_bytes());
     let secs = elapsed.as_secs_f64().max(1e-9);
     RunMeasurement {
-        policy: kind.label().to_string(),
+        policy: label.to_string(),
         miss_ratio: m.miss_ratio(),
         byte_miss_ratio: m.byte_miss_ratio(),
-        tps: trace.len() as f64 / secs,
-        ns_per_request: elapsed.as_nanos() as f64 / trace.len() as f64,
+        tps: n as f64 / secs,
+        ns_per_request: elapsed.as_nanos() as f64 / n.max(1) as f64,
         peak_memory_bytes: peak_mem,
     }
+}
+
+/// Replay `trace` through a freshly built `kind`, measuring quality and
+/// resource proxies. Statically dispatched (see
+/// [`PolicyKind::run_monomorphized`]).
+pub fn run_policy(
+    kind: PolicyKind,
+    capacity: u64,
+    trace: &[Request],
+    ctx: &TraceCtx,
+) -> RunMeasurement {
+    kind.run_monomorphized(capacity, trace, ctx)
+}
+
+/// [`run_policy`] forced through `Box<dyn CachePolicy>`: the per-request
+/// virtual-dispatch reference the throughput harness compares the
+/// monomorphized path against.
+pub fn run_policy_dyn(
+    kind: PolicyKind,
+    capacity: u64,
+    trace: &[Request],
+    ctx: &TraceCtx,
+) -> RunMeasurement {
+    instrumented_replay(
+        kind.build(capacity, ctx),
+        kind.label(),
+        trace.len(),
+        trace.iter().copied(),
+    )
 }
 
 #[cfg(test)]
@@ -319,6 +420,28 @@ mod tests {
             );
             assert!(r.tps > 0.0);
             assert!(r.peak_memory_bytes > 0, "{}", r.policy);
+        }
+    }
+
+    #[test]
+    fn mono_dyn_and_columns_agree() {
+        let reqs: Vec<(u64, u64)> = (0..4_000).map(|i| (i * 17 % 250, 1 + i % 30)).collect();
+        let trace = micro_trace(&reqs);
+        let cols = TraceColumns::from_requests(&trace);
+        let ctx = TraceCtx::new(&trace, 5);
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Dip,
+            PolicyKind::TinyLfu,
+            PolicyKind::Scip,
+        ] {
+            let mono = run_policy(kind, 900, &trace, &ctx);
+            let dynamic = run_policy_dyn(kind, 900, &trace, &ctx);
+            let columns = kind.run_monomorphized_columns(900, &cols, &ctx);
+            for other in [&dynamic, &columns] {
+                assert_eq!(mono.miss_ratio, other.miss_ratio, "{kind:?}");
+                assert_eq!(mono.byte_miss_ratio, other.byte_miss_ratio, "{kind:?}");
+            }
         }
     }
 

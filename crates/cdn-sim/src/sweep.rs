@@ -1,6 +1,25 @@
 //! Parallel execution of experiment grids.
+//!
+//! Lock-free executor: workers claim job indices from a single atomic
+//! cursor (one `fetch_add` per job) and write each result into that job's
+//! own pre-sized slot, so neither the work-distribution nor the
+//! completion path takes a lock. Results come back in input order. A
+//! panicking job aborts the whole sweep (propagated when the scope joins
+//! its workers).
 
-use crossbeam::thread;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One job's cell pair: the (taken-once) closure and its result.
+struct Slot<F, T> {
+    job: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<T>>,
+}
+
+// Safety: a slot index is handed out by `fetch_add` exactly once, so at
+// most one worker ever touches a given slot's cells; the parent thread
+// only reads results after `thread::scope` has joined every worker.
+unsafe impl<F: Send, T: Send> Sync for Slot<F, T> {}
 
 /// Run `jobs` closures on up to `available_parallelism` worker threads and
 /// collect results in input order. Panics in a job abort the sweep.
@@ -13,31 +32,32 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let mut results: Vec<Option<T>> = Vec::new();
-    results.resize_with(jobs.len(), || None);
-    {
-        let queue: parking_lot::Mutex<Vec<(usize, F)>> =
-            parking_lot::Mutex::new(jobs.into_iter().enumerate().rev().collect());
-        let results = parking_lot::Mutex::new(&mut results);
-        thread::scope(|s| {
-            for _ in 0..n_workers {
-                s.spawn(|_| loop {
-                    let job = queue.lock().pop();
-                    match job {
-                        Some((idx, f)) => {
-                            let out = f();
-                            results.lock()[idx] = Some(out);
-                        }
-                        None => break,
-                    }
-                });
-            }
-        })
-        .expect("sweep worker panicked");
-    }
-    results
+    let slots: Vec<Slot<F, T>> = jobs
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .map(|f| Slot {
+            job: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+        })
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= slots.len() {
+                    break;
+                }
+                let slot = &slots[idx];
+                // Safety: `idx` was claimed exactly once (see Slot).
+                let f = unsafe { (*slot.job.get()).take() }.expect("slot claimed twice");
+                let out = f();
+                unsafe { *slot.result.get() = Some(out) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.result.into_inner().expect("every job ran"))
         .collect()
 }
 
@@ -61,11 +81,37 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn job_panic_aborts_sweep() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0u32..8)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("job failure");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        parallel_runs(jobs);
+    }
+
+    #[test]
+    fn more_jobs_than_workers() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..1000)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_runs(jobs);
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[999], 1000);
+    }
+
+    #[test]
     fn actually_parallel_under_contention() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static PEAK: AtomicUsize = AtomicUsize::new(0);
         static LIVE: AtomicUsize = AtomicUsize::new(0);
-        let jobs: Vec<Box<dyn FnOnce() -> () + Send>> = (0..16)
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..16)
             .map(|_| {
                 Box::new(|| {
                     let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
@@ -77,7 +123,11 @@ mod tests {
             .collect();
         parallel_runs(jobs);
         // On any multi-core runner at least two jobs overlap.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
             assert!(PEAK.load(Ordering::SeqCst) >= 2);
         }
     }

@@ -148,9 +148,7 @@ mod tests {
         let mut rng = SimRng::new(5);
         for _ in 0..10 {
             let trace: Vec<_> = (0..2000)
-                .map(|t| {
-                    cdn_cache::Request::new(t, rng.u64_below(50), 1 + rng.u64_below(100))
-                })
+                .map(|t| cdn_cache::Request::new(t, rng.u64_below(50), 1 + rng.u64_below(100)))
                 .collect();
             let cap = 500;
             let belady = BeladyOracle::run(&trace, cap);
@@ -186,12 +184,7 @@ mod tests {
         // Exhaustively verify MIN is a lower bound on every possible online
         // eviction schedule for tiny unit-size traces: compare against the
         // best of all "evict one of the residents" decision trees.
-        fn best_hits(
-            trace: &[(u64, u64)],
-            i: usize,
-            cache: &mut Vec<u64>,
-            cap: usize,
-        ) -> u32 {
+        fn best_hits(trace: &[(u64, u64)], i: usize, cache: &mut Vec<u64>, cap: usize) -> u32 {
             if i == trace.len() {
                 return 0;
             }
@@ -219,8 +212,7 @@ mod tests {
 
         let mut rng = SimRng::new(11);
         for _ in 0..20 {
-            let pairs: Vec<(u64, u64)> =
-                (0..10).map(|_| (rng.u64_below(4), 1)).collect();
+            let pairs: Vec<(u64, u64)> = (0..10).map(|_| (rng.u64_below(4), 1)).collect();
             let t = micro_trace(&pairs);
             let belady_mr = BeladyOracle::run(&t, 2);
             let opt_hits = best_hits(&pairs, 0, &mut Vec::new(), 2);

@@ -199,9 +199,7 @@ impl TraceGenerator {
     fn advance_wall(&mut self) {
         let day_frac = self.wall_secs / 86_400.0;
         let rate = self.cfg.requests_per_sec
-            * (1.0
-                + self.cfg.diurnal_amplitude
-                    * (std::f64::consts::TAU * day_frac).sin());
+            * (1.0 + self.cfg.diurnal_amplitude * (std::f64::consts::TAU * day_frac).sin());
         self.wall_secs += 1.0 / rate.max(1e-9);
     }
 
@@ -357,8 +355,7 @@ mod tests {
             }
         }
         assert!(!counts.is_empty());
-        let mean =
-            counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        let mean = counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
         assert!(
             (mean - cfg.burst_len_mean).abs() < 1.5,
             "mean burst length {mean}"

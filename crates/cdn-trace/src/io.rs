@@ -13,8 +13,21 @@ use std::path::Path;
 
 use cdn_cache::Request;
 
+use crate::columns::TraceColumns;
+
 const MAGIC: &[u8; 4] = b"CDNT";
 const VERSION: u32 = 1;
+
+/// Bytes per on-disk record: `u64 id`, `u64 size`, `f64 wall_secs`.
+const RECORD_BYTES: usize = 24;
+
+/// Records decoded per bulk read (1.5 MiB of I/O per syscall batch).
+const CHUNK_RECORDS: usize = 64 * 1024;
+
+/// Cap on up-front allocation derived from the (untrusted) header count,
+/// so a corrupt count cannot OOM the reader; the vectors still grow to
+/// the real size if the file actually holds that many records.
+const PREALLOC_CAP_BYTES: usize = 64 << 20;
 
 /// Write a trace in the binary format.
 pub fn write_binary(path: &Path, trace: &[Request]) -> io::Result<()> {
@@ -30,9 +43,8 @@ pub fn write_binary(path: &Path, trace: &[Request]) -> io::Result<()> {
     w.flush()
 }
 
-/// Read a binary trace written by [`write_binary`].
-pub fn read_binary(path: &Path) -> io::Result<Vec<Request>> {
-    let mut r = BufReader::new(File::open(path)?);
+/// Validate the header and return the (untrusted) record count.
+fn read_header(r: &mut impl Read) -> io::Result<usize> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -49,23 +61,70 @@ pub fn read_binary(path: &Path) -> io::Result<Vec<Request>> {
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    let count = u64::from_le_bytes(buf8) as usize;
-    let mut trace = Vec::with_capacity(count);
-    for tick in 0..count {
-        r.read_exact(&mut buf8)?;
-        let id = u64::from_le_bytes(buf8);
-        r.read_exact(&mut buf8)?;
-        let size = u64::from_le_bytes(buf8);
-        r.read_exact(&mut buf8)?;
-        let wall_secs = f64::from_le_bytes(buf8);
+    Ok(u64::from_le_bytes(buf8) as usize)
+}
+
+/// Bulk-decode `count` records, feeding each to `push` as
+/// `(tick, id, size, wall_secs)`. Reads fixed-size chunks into one
+/// reusable buffer instead of three `read_exact` calls per record.
+fn decode_records(
+    r: &mut impl Read,
+    count: usize,
+    mut push: impl FnMut(u64, u64, u64, f64),
+) -> io::Result<()> {
+    let mut buf = vec![0u8; CHUNK_RECORDS.min(count.max(1)) * RECORD_BYTES];
+    let mut tick = 0usize;
+    while tick < count {
+        let n = (count - tick).min(CHUNK_RECORDS);
+        let bytes = &mut buf[..n * RECORD_BYTES];
+        r.read_exact(bytes)?;
+        for rec in bytes.chunks_exact(RECORD_BYTES) {
+            let id = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            let size = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+            let wall_secs = f64::from_le_bytes(rec[16..24].try_into().unwrap());
+            push(tick as u64, id, size, wall_secs);
+            tick += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Pre-allocation for `count` records of `record_size` in-memory bytes,
+/// capped at [`PREALLOC_CAP_BYTES`].
+fn capped_prealloc(count: usize, record_size: usize) -> usize {
+    count.min(PREALLOC_CAP_BYTES / record_size.max(1))
+}
+
+/// Read a binary trace written by [`write_binary`].
+pub fn read_binary(path: &Path) -> io::Result<Vec<Request>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let count = read_header(&mut r)?;
+    let mut trace = Vec::with_capacity(capped_prealloc(count, std::mem::size_of::<Request>()));
+    decode_records(&mut r, count, |tick, id, size, wall_secs| {
         trace.push(Request {
-            tick: tick as u64,
+            tick,
             id: id.into(),
             size,
             wall_secs,
         });
-    }
+    })?;
     Ok(trace)
+}
+
+/// Read a binary trace written by [`write_binary`] straight into
+/// structure-of-arrays form (no intermediate `Vec<Request>`).
+pub fn read_binary_columns(path: &Path) -> io::Result<TraceColumns> {
+    let mut r = BufReader::new(File::open(path)?);
+    let count = read_header(&mut r)?;
+    // 32 = the per-request total across the four columns.
+    let mut cols = TraceColumns::with_capacity(capped_prealloc(count, 32));
+    decode_records(&mut r, count, |tick, id, size, wall_secs| {
+        cols.ids.push(id.into());
+        cols.sizes.push(size);
+        cols.ticks.push(tick);
+        cols.wall_secs.push(wall_secs);
+    })?;
+    Ok(cols)
 }
 
 /// Write a trace as CSV with a header row.
@@ -83,10 +142,7 @@ pub fn read_csv(path: &Path) -> io::Result<Vec<Request>> {
     let r = BufReader::new(File::open(path)?);
     let mut trace = Vec::new();
     let bad = |line: usize, what: &str| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("line {line}: {what}"),
-        )
+        io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {what}"))
     };
     for (i, line) in r.lines().enumerate() {
         let line = line?;
@@ -166,6 +222,58 @@ mod tests {
             assert_eq!(a.tick, b.tick);
             assert!((a.wall_secs - b.wall_secs).abs() < 1e-9);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip_large_crosses_chunks() {
+        // > CHUNK_RECORDS so the bulk decoder takes several full chunks
+        // plus a partial tail.
+        let n = super::CHUNK_RECORDS as u64 * 2 + 1_234;
+        let t = TraceGenerator::generate(GeneratorConfig {
+            requests: n,
+            core_objects: 5_000,
+            ..GeneratorConfig::default()
+        });
+        let dir = std::env::temp_dir().join("cdn_trace_io_test_large");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("large.bin");
+        write_binary(&path, &t).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_columns_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("cdn_trace_io_test_cols");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        write_binary(&path, &t).unwrap();
+        let cols = read_binary_columns(&path).unwrap();
+        assert_eq!(cols.to_requests(), t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_count_fails_without_huge_alloc() {
+        // Header claims u64::MAX records but carries only one: the reader
+        // must cap its pre-allocation and fail with UnexpectedEof instead
+        // of trying to reserve ~400 EiB.
+        let dir = std::env::temp_dir().join("cdn_trace_io_test_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"CDNT");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; super::RECORD_BYTES]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        let err = read_binary_columns(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -143,29 +143,28 @@ pub fn label_trace(trace: &[Request], cache_bytes: u64) -> TraceLabels {
 
     // Close a residency: decide the ZRO/P-ZRO label of its defining event.
     // `evict_tick` of None means the residency survived to end-of-trace.
-    let close =
-        |meta: &cdn_cache::EntryMeta,
-         evict_tick: Option<u64>,
-         labels: &mut Vec<RequestLabel>,
-         summary: &mut LabelSummary| {
-            let reaccessed = match evict_tick {
-                Some(t) => last_req.get(&meta.id).is_some_and(|&last| last > t),
-                None => false,
-            };
-            if meta.hits == 0 {
-                labels[meta.inserted_tick as usize] = RequestLabel::MissZro { reaccessed };
-                summary.zro += 1;
-                if reaccessed {
-                    summary.azro += 1;
-                }
-            } else {
-                labels[meta.last_access as usize] = RequestLabel::HitPZro { reaccessed };
-                summary.pzro += 1;
-                if reaccessed {
-                    summary.apzro += 1;
-                }
-            }
+    let close = |meta: &cdn_cache::EntryMeta,
+                 evict_tick: Option<u64>,
+                 labels: &mut Vec<RequestLabel>,
+                 summary: &mut LabelSummary| {
+        let reaccessed = match evict_tick {
+            Some(t) => last_req.get(&meta.id).is_some_and(|&last| last > t),
+            None => false,
         };
+        if meta.hits == 0 {
+            labels[meta.inserted_tick as usize] = RequestLabel::MissZro { reaccessed };
+            summary.zro += 1;
+            if reaccessed {
+                summary.azro += 1;
+            }
+        } else {
+            labels[meta.last_access as usize] = RequestLabel::HitPZro { reaccessed };
+            summary.pzro += 1;
+            if reaccessed {
+                summary.apzro += 1;
+            }
+        }
+    };
 
     for r in trace {
         if cache.contains(r.id) {
@@ -436,6 +435,9 @@ mod tests {
         let z = oracle_replay(&t, &l, 3, OracleTreatment::Zro, 1.0);
         let p = oracle_replay(&t, &l, 3, OracleTreatment::PZro, 1.0);
         let b = oracle_replay(&t, &l, 3, OracleTreatment::Both, 1.0);
-        assert!(b <= z + 0.02 && b <= p + 0.02, "both {b}, zro {z}, pzro {p}");
+        assert!(
+            b <= z + 0.02 && b <= p + 0.02,
+            "both {b}, zro {z}, pzro {p}"
+        );
     }
 }

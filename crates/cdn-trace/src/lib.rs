@@ -9,6 +9,8 @@
 //! argument.
 //!
 //! Modules:
+//! - [`columns`]: structure-of-arrays trace storage shared across sweep
+//!   workers ([`TraceColumns`]).
 //! - [`zipf`]: exact finite-support Zipf rank sampling.
 //! - [`sizes`]: per-object size models (clamped lognormal + heavy tail).
 //! - [`gen`]: the trace generator engine (Zipf core, popularity drift,
@@ -21,6 +23,7 @@
 //! - [`belady`]: next-access precomputation and the Belady MIN lower bound.
 
 pub mod belady;
+pub mod columns;
 pub mod gen;
 pub mod io;
 pub mod label;
@@ -30,6 +33,7 @@ pub mod stats;
 pub mod zipf;
 
 pub use belady::{next_access_table, BeladyOracle, NO_NEXT};
+pub use columns::{SharedTrace, TraceColumns};
 pub use gen::{GeneratorConfig, TraceGenerator};
 pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
 pub use profiles::{Workload, WorkloadProfile};

@@ -203,7 +203,10 @@ mod tests {
         // Paper: 3.19 requests per unique object.
         assert!((2.4..4.2).contains(&ratio), "CDN-T req/uniq {ratio}");
         let mean_kb = s.mean_size_bytes() / 1024.0;
-        assert!((30.0..62.0).contains(&mean_kb), "CDN-T mean size {mean_kb} KB");
+        assert!(
+            (30.0..62.0).contains(&mean_kb),
+            "CDN-T mean size {mean_kb} KB"
+        );
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
         // Paper: 42.7.
         assert!((25.0..60.0).contains(&ratio), "CDN-W req/uniq {ratio}");
         let mean_kb = s.mean_size_bytes() / 1024.0;
-        assert!((20.0..55.0).contains(&mean_kb), "CDN-W mean size {mean_kb} KB");
+        assert!(
+            (20.0..55.0).contains(&mean_kb),
+            "CDN-W mean size {mean_kb} KB"
+        );
     }
 
     #[test]
@@ -223,7 +229,10 @@ mod tests {
         // Paper: 1.83.
         assert!((1.4..2.4).contains(&ratio), "CDN-A req/uniq {ratio}");
         let mean_kb = s.mean_size_bytes() / 1024.0;
-        assert!((20.0..45.0).contains(&mean_kb), "CDN-A mean size {mean_kb} KB");
+        assert!(
+            (20.0..45.0).contains(&mean_kb),
+            "CDN-A mean size {mean_kb} KB"
+        );
     }
 
     #[test]

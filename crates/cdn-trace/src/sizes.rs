@@ -83,9 +83,7 @@ impl SizeModel {
 
     /// Monte-Carlo mean of the model (for profile calibration and tests).
     pub fn empirical_mean(&self, samples: u64, seed: u64) -> f64 {
-        let sum: u128 = (0..samples)
-            .map(|i| self.size_of(i, seed) as u128)
-            .sum();
+        let sum: u128 = (0..samples).map(|i| self.size_of(i, seed) as u128).sum();
         sum as f64 / samples as f64
     }
 }

@@ -114,7 +114,7 @@ mod tests {
     fn empirical_matches_pmf() {
         let z = Zipf::new(50, 0.8);
         let mut rng = SimRng::new(7);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         let n = 200_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;

@@ -315,8 +315,7 @@ impl ScipCore {
             // ghosts (the host's own victims returning) say nothing about
             // admission and are just forgotten.
             if !from_hm {
-                self.omega_m[class] =
-                    Self::decay_arm(self.omega_m[class], false, lambda, 1.0);
+                self.omega_m[class] = Self::decay_arm(self.omega_m[class], false, lambda, 1.0);
                 if had_hits {
                     self.omega_p = Self::decay_arm(self.omega_p, false, lambda, 1.0);
                 }
@@ -419,7 +418,7 @@ impl ScipCore {
         if hit {
             self.window_hits += 1;
         }
-        if self.requests % self.cfg.update_interval == 0 {
+        if self.requests.is_multiple_of(self.cfg.update_interval) {
             let pi = if self.window_reqs == 0 {
                 0.0
             } else {
@@ -526,7 +525,12 @@ mod tests {
         for i in 0..200u64 {
             c.on_evict(victim(i, true, 0, i, i, i + 100));
         }
-        assert!(c.omega_m_for(10) < before, "ω_m {} -> {}", before, c.omega_m_for(10));
+        assert!(
+            c.omega_m_for(10) < before,
+            "ω_m {} -> {}",
+            before,
+            c.omega_m_for(10)
+        );
         assert!(c.traversal_estimate() > 0.0);
     }
 
@@ -584,7 +588,12 @@ mod tests {
             // Hit at t=10, evicted at t=400: promotion bought nothing.
             c.on_evict(victim(100 + i, true, 1, 0, 10, 400));
         }
-        assert!(c.omega_p() < p_before, "ω_p {} -> {}", p_before, c.omega_p());
+        assert!(
+            c.omega_p() < p_before,
+            "ω_p {} -> {}",
+            p_before,
+            c.omega_p()
+        );
     }
 
     #[test]
@@ -600,10 +609,14 @@ mod tests {
         let mut c = ScipCore::new(1000, ScipConfig::default());
         let class = size_class(10);
         c.omega_m[class] = 0.98;
-        let mru = (0..10_000).filter(|_| c.decide(10) == InsertPos::Mru).count();
+        let mru = (0..10_000)
+            .filter(|_| c.decide(10) == InsertPos::Mru)
+            .count();
         assert!(mru > 9_500, "mru picks {mru}");
         c.omega_m[class] = 0.02;
-        let mru = (0..10_000).filter(|_| c.decide(10) == InsertPos::Mru).count();
+        let mru = (0..10_000)
+            .filter(|_| c.decide(10) == InsertPos::Mru)
+            .count();
         assert!(mru < 500, "mru picks {mru}");
     }
 

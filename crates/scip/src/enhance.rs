@@ -21,8 +21,7 @@
 //! Victims chosen by the host itself populate `H_m`.
 
 use cdn_cache::{
-    AccessKind, CachePolicy, FxHashMap, InsertPos, ObjectId, PolicyStats, Request,
-    Tick,
+    AccessKind, CachePolicy, FxHashMap, InsertPos, ObjectId, PolicyStats, Request, Tick,
 };
 use cdn_policies::replacement::{Lrb, LruK};
 
@@ -518,7 +517,11 @@ pub fn lrb_ascip(
     cfg: cdn_policies::replacement::LrbConfig,
     seed: u64,
 ) -> Enhanced<Lrb, AscIpBrain> {
-    Enhanced::new(Lrb::with_config(u64::MAX, cfg, seed), AscIpBrain::new(), capacity)
+    Enhanced::new(
+        Lrb::with_config(u64::MAX, cfg, seed),
+        AscIpBrain::new(),
+        capacity,
+    )
 }
 
 #[cfg(test)]
@@ -599,9 +602,7 @@ mod tests {
         // rescue (H_l quick return → forced MRU) must converge to hits.
         let mut last_hit = false;
         for i in 0..50u64 {
-            last_hit = p
-                .on_request(&cdn_cache::Request::new(i, 7, 10))
-                .is_hit();
+            last_hit = p.on_request(&cdn_cache::Request::new(i, 7, 10)).is_hit();
         }
         assert!(last_hit, "object must end up cached and hitting");
     }

@@ -56,7 +56,7 @@ impl Scip {
         match self.core.decide(req.size) {
             InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
             InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
-        }
+        };
         self.stats.insertions += 1;
     }
 
@@ -83,23 +83,25 @@ impl CachePolicy for Scip {
     }
 
     fn on_request(&mut self, req: &Request) -> AccessKind {
-        let outcome = if self.cache.contains(req.id) {
-            // PROMOTE = REMOVE (no history write) + INSERT by SELECT.
-            let meta = self.cache.remove(req.id).expect("resident");
-            match self.core.decide_promotion(meta.hits + 1) {
+        let outcome = if let Some(h) = self.cache.lookup(req.id) {
+            // PROMOTE = REMOVE (no history write) + INSERT by SELECT,
+            // realised as an in-place move: one hash probe, no slab churn,
+            // identical queue order and metadata.
+            let hits = self.cache.get_at(h).hits;
+            match self.core.decide_promotion(hits + 1) {
                 InsertPos::Mru => {
-                    let mut m = meta;
+                    let m = self.cache.get_at_mut(h);
                     m.inserted_at_mru = true;
                     m.hits += 1;
                     m.last_access = req.tick;
-                    self.cache.insert_meta_mru(m);
+                    self.cache.promote_to_mru_at(h);
                 }
                 InsertPos::Lru => {
-                    let mut m = meta;
+                    let m = self.cache.get_at_mut(h);
                     m.inserted_at_mru = false;
                     m.hits += 1;
                     m.last_access = req.tick;
-                    self.cache.insert_meta_lru(m);
+                    self.cache.demote_to_lru_at(h);
                 }
             }
             AccessKind::Hit
@@ -191,13 +193,14 @@ impl CachePolicy for Sci {
     }
 
     fn on_request(&mut self, req: &Request) -> AccessKind {
-        let outcome = if self.cache.contains(req.id) {
-            // Algorithm 3 lines 3-5: hits re-enter at MRU unconditionally.
-            let mut meta = self.cache.remove(req.id).expect("resident");
+        let outcome = if let Some(h) = self.cache.lookup(req.id) {
+            // Algorithm 3 lines 3-5: hits re-enter at MRU unconditionally
+            // (in-place promotion: one hash probe, same queue order).
+            let meta = self.cache.get_at_mut(h);
             meta.inserted_at_mru = true;
             meta.hits += 1;
             meta.last_access = req.tick;
-            self.cache.insert_meta_mru(meta);
+            self.cache.promote_to_mru_at(h);
             AccessKind::Hit
         } else {
             let verdict = self.core.on_miss_lookup(req.id, req.tick);
@@ -217,13 +220,9 @@ impl CachePolicy for Sci {
                 }
                 let pos = verdict.unwrap_or_else(|| self.core.decide(req.size));
                 match pos {
-                    cdn_cache::InsertPos::Mru => {
-                        self.cache.insert_mru(req.id, req.size, req.tick)
-                    }
-                    cdn_cache::InsertPos::Lru => {
-                        self.cache.insert_lru(req.id, req.size, req.tick)
-                    }
-                }
+                    cdn_cache::InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
+                    cdn_cache::InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
+                };
                 self.stats.insertions += 1;
             }
             AccessKind::Miss

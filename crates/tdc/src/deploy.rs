@@ -112,9 +112,17 @@ fn phase_stats(buckets: &[Bucket], wall_span: f64) -> PhaseStats {
     let bytes: u64 = buckets.iter().map(|b| b.bto_bytes).sum();
     let lat: f64 = buckets.iter().map(|b| b.latency_sum_ms).sum();
     PhaseStats {
-        bto_ratio: if requests == 0 { 0.0 } else { bto as f64 / requests as f64 },
+        bto_ratio: if requests == 0 {
+            0.0
+        } else {
+            bto as f64 / requests as f64
+        },
         bto_gbps: bytes as f64 * 8.0 / wall_span.max(1e-9) / 1e9,
-        mean_latency_ms: if requests == 0 { 0.0 } else { lat / requests as f64 },
+        mean_latency_ms: if requests == 0 {
+            0.0
+        } else {
+            lat / requests as f64
+        },
     }
 }
 

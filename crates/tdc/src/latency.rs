@@ -81,9 +81,7 @@ mod tests {
     #[test]
     fn larger_objects_take_longer() {
         let m = LatencyModel::default();
-        assert!(
-            m.latency_ms(10_000_000, ServedBy::Origin) > m.latency_ms(1_000, ServedBy::Origin)
-        );
+        assert!(m.latency_ms(10_000_000, ServedBy::Origin) > m.latency_ms(1_000, ServedBy::Origin));
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl CachePolicy for SwitchableScip {
                 match pos {
                     InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
                     InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
-                }
+                };
                 self.stats.insertions += 1;
             }
             AccessKind::Miss

@@ -47,9 +47,7 @@ impl Tdc {
         assert!(cfg.oc_nodes > 0);
         Tdc {
             oc: (0..cfg.oc_nodes)
-                .map(|i| {
-                    SwitchableScip::new(cfg.oc_capacity, cfg.deploy_at, cfg.seed ^ i as u64)
-                })
+                .map(|i| SwitchableScip::new(cfg.oc_capacity, cfg.deploy_at, cfg.seed ^ i as u64))
                 .collect(),
             dc: SwitchableScip::new(cfg.dc_capacity, cfg.deploy_at, cfg.seed ^ 0xDC),
             latency,

@@ -23,7 +23,12 @@ fn main() {
         capacity as f64 / 1e6
     );
 
-    let mut policies = vec![PolicyKind::Belady, PolicyKind::Scip, PolicyKind::Sci, PolicyKind::Lru];
+    let mut policies = vec![
+        PolicyKind::Belady,
+        PolicyKind::Scip,
+        PolicyKind::Sci,
+        PolicyKind::Lru,
+    ];
     policies.extend(PolicyKind::INSERTION_BASELINES);
     policies.extend(PolicyKind::REPLACEMENT_BASELINES);
 

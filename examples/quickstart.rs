@@ -14,14 +14,20 @@ fn main() {
     let profile = Workload::CdnT.profile();
     let trace = TraceGenerator::generate(profile.config(200_000, 7));
     let stats = TraceStats::compute(&trace);
-    println!("workload: {} requests, {} unique objects, WSS {:.2} GB",
-        stats.total_requests, stats.unique_objects, stats.wss_gb());
+    println!(
+        "workload: {} requests, {} unique objects, WSS {:.2} GB",
+        stats.total_requests,
+        stats.unique_objects,
+        stats.wss_gb()
+    );
 
     // 2. Size the cache like the paper: 64 GB on a 1097 GB working set.
     let capacity = stats.cache_bytes_for_fraction(Workload::CdnT.paper_cache_fraction(64.0));
-    println!("cache: {:.1} MB ({:.2}% of WSS)\n",
+    println!(
+        "cache: {:.1} MB ({:.2}% of WSS)\n",
         capacity as f64 / 1e6,
-        capacity as f64 / stats.wss_bytes as f64 * 100.0);
+        capacity as f64 / stats.wss_bytes as f64 * 100.0
+    );
 
     // 3. Replay through LRU and SCIP.
     let mut lru = Lru::new(capacity);

@@ -31,9 +31,7 @@ fn main() {
     println!("TDC deployment study (SCIP deploys at the timeline midpoint)\n");
     println!("bucket  BTO-ratio  BTO-Gbps  latency(ms)");
     for (i, b) in report.buckets.iter().enumerate() {
-        let marker = if (b.start_secs..b.start_secs + report.bucket_secs)
-            .contains(&(span * 0.5))
-        {
+        let marker = if (b.start_secs..b.start_secs + report.bucket_secs).contains(&(span * 0.5)) {
             "  <- SCIP deployed"
         } else {
             ""
@@ -46,9 +44,17 @@ fn main() {
             b.mean_latency_ms()
         );
     }
-    println!("\nbefore: BTO {:.2}%, {:.3} Gbps, {:.1} ms",
-        report.before.bto_ratio * 100.0, report.before.bto_gbps, report.before.mean_latency_ms);
-    println!("after : BTO {:.2}%, {:.3} Gbps, {:.1} ms",
-        report.after.bto_ratio * 100.0, report.after.bto_gbps, report.after.mean_latency_ms);
+    println!(
+        "\nbefore: BTO {:.2}%, {:.3} Gbps, {:.1} ms",
+        report.before.bto_ratio * 100.0,
+        report.before.bto_gbps,
+        report.before.mean_latency_ms
+    );
+    println!(
+        "after : BTO {:.2}%, {:.3} Gbps, {:.1} ms",
+        report.after.bto_ratio * 100.0,
+        report.after.bto_gbps,
+        report.after.mean_latency_ms
+    );
     println!("\n(paper: miss 8.87%→6.59%, BTO traffic −25.7%, latency −26.1%)");
 }

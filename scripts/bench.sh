@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build the workspace in release mode and run the replay-engine
+# throughput harness. Writes BENCH_replay.json at the repo root.
+#
+# Knobs (env):
+#   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
+#   REPRO_SEED             trace seed (default 42)
+#   REPLAY_BENCH_OUT       output path (default BENCH_replay.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cdn-sim --bin replay_bench
+exec cargo run --release -q -p cdn-sim --bin replay_bench

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), and the
+# full workspace test suite. Run from anywhere; always executes at the
+# repo root. This is what CI should run on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "OK"

@@ -47,8 +47,16 @@ fn belady_lower_bounds_scip_and_lru() {
         let s = replay(&mut scip, &trace).miss_ratio();
         let mut lru = Lru::new(cap);
         let l = replay(&mut lru, &trace).miss_ratio();
-        assert!(belady <= s + 1e-9, "{}: belady {belady} vs scip {s}", w.name());
-        assert!(belady <= l + 1e-9, "{}: belady {belady} vs lru {l}", w.name());
+        assert!(
+            belady <= s + 1e-9,
+            "{}: belady {belady} vs scip {s}",
+            w.name()
+        );
+        assert!(
+            belady <= l + 1e-9,
+            "{}: belady {belady} vs lru {l}",
+            w.name()
+        );
     }
 }
 
