@@ -1,0 +1,205 @@
+//! Deterministic fault-injection registry (failpoints).
+//!
+//! Compiled only under the `fault-injection` feature; production builds
+//! carry zero overhead because every call site is `#[cfg]`-gated. Tests
+//! arm named *sites* with [`FaultRule`]s and the instrumented code asks
+//! [`check`] what should happen at `(site, key)` — typically a sweep job
+//! index or a trace chunk index. All rules are deterministic: explicit key
+//! sets, per-key attempt counters, or a seeded hash for probabilistic
+//! plans, so a failing schedule replays bit-identically.
+//!
+//! The registry is process-global (worker threads must observe the plan
+//! armed by the test thread). Tests that arm sites must serialise on a
+//! lock of their own and [`clear`] the registry when done.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// What a failpoint site should do for one `(site, key)` evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with this message (exercises panic-isolation paths).
+    Panic(String),
+    /// Return a site-interpreted error with this message.
+    Error(String),
+    /// Deliver a short read: the site should truncate its buffer to this
+    /// many bytes before decoding.
+    ShortRead(usize),
+    /// Flip one bit of the byte at this offset in the site's buffer.
+    CorruptByte(usize),
+}
+
+/// When a rule fires at an armed site.
+#[derive(Debug, Clone)]
+pub enum FaultRule {
+    /// Fire on exactly these keys, every time they are evaluated.
+    OnKeys(Vec<u64>, FaultAction),
+    /// Fire on the first `n` evaluations of each key, then stop — models a
+    /// transient failure that a bounded retry should absorb.
+    FirstAttempts(u32, FaultAction),
+    /// Fire on keys whose seeded hash lands under `millis`/1000 —
+    /// reproducible "random" fault plans without wall-clock entropy.
+    Seeded {
+        /// Plan seed; the same seed always selects the same keys.
+        seed: u64,
+        /// Firing probability in thousandths (0..=1000).
+        millis: u32,
+        /// Action taken when selected.
+        action: FaultAction,
+    },
+}
+
+#[derive(Default)]
+struct SiteState {
+    rule: Option<FaultRule>,
+    /// Evaluations so far per key (drives [`FaultRule::FirstAttempts`]).
+    seen: HashMap<u64, u32>,
+    /// Total number of times this site fired.
+    fired: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `site` with `rule`, replacing any previous rule and resetting its
+/// counters.
+pub fn arm(site: &str, rule: FaultRule) {
+    let mut reg = registry().lock().unwrap();
+    let state = reg.entry(site.to_string()).or_default();
+    *state = SiteState {
+        rule: Some(rule),
+        ..SiteState::default()
+    };
+}
+
+/// Disarm one site.
+pub fn disarm(site: &str) {
+    registry().lock().unwrap().remove(site);
+}
+
+/// Disarm every site (call at the end of each fault-injection test).
+pub fn clear() {
+    registry().lock().unwrap().clear();
+}
+
+/// Times `site` has fired since it was armed, 0 if not armed.
+pub fn fired(site: &str) -> u64 {
+    registry().lock().unwrap().get(site).map_or(0, |s| s.fired)
+}
+
+/// SplitMix64-style mix for the seeded rule: key selection depends only on
+/// `(seed, key)`, never on evaluation order or thread timing.
+fn mix(seed: u64, key: u64) -> u64 {
+    let mut z = seed ^ key.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluate `site` at `key`: `None` means proceed normally, `Some(action)`
+/// means the site must enact the injected fault. Each evaluation advances
+/// the per-key attempt counter, so retry loops naturally walk past a
+/// [`FaultRule::FirstAttempts`] rule.
+pub fn check(site: &str, key: u64) -> Option<FaultAction> {
+    let mut reg = registry().lock().unwrap();
+    let state = reg.get_mut(site)?;
+    let rule = state.rule.as_ref()?;
+    let attempt = state.seen.entry(key).or_insert(0);
+    *attempt += 1;
+    let action = match rule {
+        FaultRule::OnKeys(keys, action) if keys.contains(&key) => Some(action.clone()),
+        FaultRule::FirstAttempts(n, action) if *attempt <= *n => Some(action.clone()),
+        FaultRule::Seeded {
+            seed,
+            millis,
+            action,
+        } if mix(*seed, key) % 1000 < u64::from(*millis) => Some(action.clone()),
+        _ => None,
+    };
+    if action.is_some() {
+        state.fired += 1;
+    }
+    action
+}
+
+/// Evaluate `site` at `key` and panic if the armed action is
+/// [`FaultAction::Panic`]; other actions are ignored (sites that can only
+/// panic use this shorthand).
+pub fn maybe_panic(site: &str, key: u64) {
+    if let Some(FaultAction::Panic(msg)) = check(site, key) {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; serialise the tests in this module.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn on_keys_fires_only_on_listed_keys() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm(
+            "t.keys",
+            FaultRule::OnKeys(vec![2, 5], FaultAction::Panic("boom".into())),
+        );
+        assert_eq!(check("t.keys", 1), None);
+        assert_eq!(check("t.keys", 2), Some(FaultAction::Panic("boom".into())));
+        assert_eq!(check("t.keys", 5), Some(FaultAction::Panic("boom".into())));
+        assert_eq!(fired("t.keys"), 2);
+        clear();
+    }
+
+    #[test]
+    fn first_attempts_is_transient_per_key() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        arm(
+            "t.transient",
+            FaultRule::FirstAttempts(2, FaultAction::Error("flaky".into())),
+        );
+        for key in [7u64, 9] {
+            assert!(check("t.transient", key).is_some());
+            assert!(check("t.transient", key).is_some());
+            assert_eq!(check("t.transient", key), None, "third attempt clean");
+        }
+        clear();
+    }
+
+    #[test]
+    fn seeded_rule_is_deterministic() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        let plan = |seed: u64| -> Vec<u64> {
+            arm(
+                "t.seeded",
+                FaultRule::Seeded {
+                    seed,
+                    millis: 200,
+                    action: FaultAction::ShortRead(3),
+                },
+            );
+            (0..100)
+                .filter(|&k| check("t.seeded", k).is_some())
+                .collect()
+        };
+        let a = plan(42);
+        let b = plan(42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() < 100, "~20% of keys selected");
+        clear();
+    }
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _g = LOCK.lock().unwrap();
+        assert_eq!(check("t.nothing", 0), None);
+        maybe_panic("t.nothing", 0);
+    }
+}

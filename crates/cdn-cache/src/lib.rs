@@ -19,7 +19,12 @@
 //! - [`metrics`]: miss-ratio tracking, windowed hit rates and byte metrics.
 //! - [`policy`]: the `CachePolicy` trait that every replacement algorithm
 //!   and insertion policy in the workspace implements.
+//! - `fault` (feature `fault-injection`): a deterministic failpoint
+//!   registry shared by the trace reader and the sweep executor, so tests
+//!   can prove every recovery path actually recovers.
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod ghost;
 pub mod hash;
 pub mod list;

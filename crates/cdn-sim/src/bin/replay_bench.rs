@@ -8,14 +8,21 @@
 //! run from the repo root) so later PRs have a perf trajectory to defend.
 //!
 //! Knobs: `REPLAY_BENCH_REQUESTS` (default 2,000,000), `REPRO_SEED`,
-//! `REPLAY_BENCH_OUT` (output path).
+//! `REPLAY_BENCH_OUT` (output path), `REPLAY_BENCH_TRACE` (replay a
+//! `.bin`/`.csv` trace file instead of generating one — unreadable or
+//! corrupt files exit 1 with a structured error), `CDN_SIM_CHECKPOINT`
+//! (JSONL sidecar; cached serial measurements are reused on re-runs and
+//! the serial-vs-parallel comparison is reported as null).
 
+use std::path::Path;
+use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
+use cdn_cache::Request;
 use cdn_policies::{replay, replay_dyn};
 use cdn_sim::runner::run_policy_dyn;
-use cdn_sim::{parallel_runs, PolicyKind, RunMeasurement, TraceCtx};
+use cdn_sim::{parallel_runs, Checkpoint, PolicyKind, RunMeasurement, TraceCtx};
 use cdn_trace::{TraceColumns, TraceGenerator, TraceStats, Workload};
 
 /// The harness's fixed 8-policy sweep set: cheap and expensive, stateless
@@ -77,6 +84,27 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Load the trace named by `REPLAY_BENCH_TRACE`, exiting with a
+/// structured error on unreadable or corrupt files.
+fn load_trace_file(path_str: &str) -> Vec<Request> {
+    let path = Path::new(path_str);
+    let result = match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => cdn_trace::io::read_binary(path),
+        Some("csv") => cdn_trace::io::read_csv(path),
+        _ => {
+            eprintln!("error: REPLAY_BENCH_TRACE must end in .bin or .csv: {path_str}");
+            exit(2);
+        }
+    };
+    match result {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("error: failed to read trace {path_str}: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let requests: u64 = std::env::var("REPLAY_BENCH_REQUESTS")
         .ok()
@@ -87,14 +115,29 @@ fn main() {
         std::env::var("REPLAY_BENCH_OUT").unwrap_or_else(|_| "BENCH_replay.json".to_string());
     let workload = Workload::CdnT;
 
-    eprintln!("generating {requests} CDN-T requests (seed {seed})...");
     let gen_start = Instant::now();
-    let trace = TraceGenerator::generate(workload.profile().config(requests, seed));
+    let (trace, source) = match std::env::var("REPLAY_BENCH_TRACE") {
+        Ok(path) => {
+            eprintln!("loading trace {path}...");
+            let trace = load_trace_file(&path);
+            (trace, path)
+        }
+        Err(_) => {
+            eprintln!("generating {requests} CDN-T requests (seed {seed})...");
+            let trace = TraceGenerator::generate(workload.profile().config(requests, seed));
+            (trace, workload.name().to_string())
+        }
+    };
+    let requests = trace.len() as u64;
     let stats = TraceStats::compute(&trace);
     let cache_bytes = stats.cache_bytes_for_fraction(workload.paper_cache_fraction(64.0));
     let ctx = TraceCtx::new(&trace, seed);
     // Materialize the SoA columns once; every sweep job shares this Arc.
     let columns = Arc::new(TraceColumns::from_requests(&trace));
+    if let Err(e) = columns.validate() {
+        eprintln!("error: trace failed validation: {e}");
+        exit(1);
+    }
     eprintln!(
         "trace ready in {:.1}s ({} objects, cache {:.1} MiB)",
         gen_start.elapsed().as_secs_f64(),
@@ -102,10 +145,22 @@ fn main() {
         cache_bytes as f64 / (1 << 20) as f64
     );
 
-    // Serial per-policy measurements (monomorphized, SoA trace).
+    // Serial per-policy measurements (monomorphized, SoA trace). With a
+    // `CDN_SIM_CHECKPOINT` sidecar armed, cells measured by a previous
+    // (possibly crashed) run are reused instead of re-replayed.
+    let checkpoint = Checkpoint::from_env();
+    let trace_hash = columns.content_hash();
     let mut measurements: Vec<RunMeasurement> = Vec::new();
     let mut serial_secs = 0f64;
+    let mut cached = 0usize;
     for kind in POLICIES {
+        let fp = kind.fingerprint(cache_bytes, trace_hash, seed);
+        if let Some(m) = checkpoint.as_ref().and_then(|cp| cp.get(&fp)) {
+            eprintln!("{:>8}: reused from checkpoint", m.policy);
+            measurements.push(m);
+            cached += 1;
+            continue;
+        }
         let start = Instant::now();
         let m = kind.run_monomorphized_columns(cache_bytes, &columns, &ctx);
         serial_secs += start.elapsed().as_secs_f64();
@@ -116,6 +171,9 @@ fn main() {
             m.miss_ratio,
             m.peak_memory_bytes as f64 / (1 << 20) as f64
         );
+        if let Some(cp) = checkpoint.as_ref() {
+            cp.record(&fp, &m);
+        }
         measurements.push(m);
     }
 
@@ -160,14 +218,25 @@ fn main() {
     let sweep_start = Instant::now();
     let sweep_results = parallel_runs(jobs);
     let sweep_secs = sweep_start.elapsed().as_secs_f64().max(1e-9);
-    let sweep_speedup = serial_secs / sweep_secs;
     let sweep_rps = sweep_results.iter().map(|_| n as f64).sum::<f64>() / sweep_secs;
-    eprintln!(
-        "sweep: {} jobs on {workers} workers in {sweep_secs:.1}s \
-         ({sweep_speedup:.2}x vs serial {serial_secs:.1}s, {:.1} Mreq/s aggregate)",
-        POLICIES.len(),
-        sweep_rps / 1e6
-    );
+    // With checkpointed cells reused, `serial_secs` covers only the fresh
+    // subset and the serial-vs-parallel comparison would be meaningless.
+    let sweep_speedup = (cached == 0).then(|| serial_secs / sweep_secs);
+    match sweep_speedup {
+        Some(speedup) => eprintln!(
+            "sweep: {} jobs on {workers} workers in {sweep_secs:.1}s \
+             ({speedup:.2}x vs serial {serial_secs:.1}s, {:.1} Mreq/s aggregate)",
+            POLICIES.len(),
+            sweep_rps / 1e6
+        ),
+        None => eprintln!(
+            "sweep: {} jobs on {workers} workers in {sweep_secs:.1}s \
+             ({cached} serial cells from checkpoint, no serial baseline; \
+             {:.1} Mreq/s aggregate)",
+            POLICIES.len(),
+            sweep_rps / 1e6
+        ),
+    }
 
     let rss = peak_rss_bytes();
     let mut json = String::new();
@@ -175,10 +244,7 @@ fn main() {
     json.push_str("  \"schema\": \"replay_bench_v1\",\n");
     json.push_str(&format!("  \"requests\": {requests},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!(
-        "  \"workload\": \"{}\",\n",
-        json_escape(workload.name())
-    ));
+    json.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(&source)));
     json.push_str(&format!("  \"cache_bytes\": {cache_bytes},\n"));
     json.push_str(&format!(
         "  \"peak_rss_bytes\": {},\n",
@@ -203,16 +269,23 @@ fn main() {
         "  \"dispatch\": {{\"policy\": \"LRU\", \"mono_requests_per_sec\": {mono_rps:.1}, \
          \"dyn_requests_per_sec\": {dyn_rps:.1}, \"speedup\": {speedup:.3}}},\n"
     ));
+    let (serial_json, speedup_json) = match sweep_speedup {
+        Some(speedup) => (format!("{serial_secs:.3}"), format!("{speedup:.3}")),
+        None => ("null".to_string(), "null".to_string()),
+    };
     json.push_str(&format!(
         "  \"sweep\": {{\"jobs\": {}, \"workers\": {workers}, \
-         \"serial_secs\": {serial_secs:.3}, \"parallel_secs\": {sweep_secs:.3}, \
-         \"speedup\": {sweep_speedup:.3}, \
+         \"serial_secs\": {serial_json}, \"parallel_secs\": {sweep_secs:.3}, \
+         \"speedup\": {speedup_json}, \
          \"aggregate_requests_per_sec\": {sweep_rps:.1}}}\n",
         POLICIES.len()
     ));
     json.push_str("}\n");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_replay.json");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: failed to write {out_path}: {e}");
+        exit(1);
+    }
     println!("{json}");
     eprintln!("wrote {out_path}");
 

@@ -7,12 +7,22 @@
 //! The second argument is the cache size as a fraction of the trace's
 //! working-set size; remaining arguments are policy labels (default: a
 //! representative set). Accepts `.bin` and `.csv` traces.
+//!
+//! Unreadable or corrupt traces exit with status 1 and a structured
+//! [`cdn_trace::TraceError`] message. Policies run through the
+//! fault-tolerant sweep executor: a panicking policy prints a `FAIL` row
+//! instead of killing the whole replay, and setting `CDN_SIM_CHECKPOINT`
+//! to a sidecar path skips already-measured (policy, size, trace) cells
+//! on re-runs.
 
 use std::path::Path;
 use std::process::exit;
 
+use cdn_sim::checkpoint::run_checkpointed;
 use cdn_sim::runner::{run_policy, PolicyKind, TraceCtx};
-use cdn_trace::TraceStats;
+use cdn_sim::sweep::SweepConfig;
+use cdn_sim::Checkpoint;
+use cdn_trace::{TraceColumns, TraceStats};
 
 fn parse_policy(label: &str) -> Option<PolicyKind> {
     let all = [
@@ -71,9 +81,13 @@ fn main() {
         }
     }
     .unwrap_or_else(|e| {
-        eprintln!("read failed: {e}");
+        eprintln!("error: failed to read trace {}: {e}", path.display());
         exit(1);
     });
+    if let Err(e) = TraceColumns::from_requests(&trace).validate() {
+        eprintln!("error: trace {} failed validation: {e}", path.display());
+        exit(1);
+    }
     let stats = TraceStats::compute(&trace);
     let cap = stats.cache_bytes_for_fraction(fraction);
     println!("{stats}");
@@ -103,20 +117,51 @@ fn main() {
         ]
     };
 
-    let ctx = TraceCtx::new(&trace, 42);
+    let seed = 42u64;
+    let ctx = TraceCtx::new(&trace, seed);
+    let trace_hash = cdn_trace::trace_content_hash(&trace);
+    let checkpoint = Checkpoint::from_env();
+    let cells: Vec<_> = policies
+        .iter()
+        .map(|&kind| {
+            let trace = trace.clone();
+            let ctx = ctx.clone();
+            (kind.fingerprint(cap, trace_hash, seed), move || {
+                run_policy(kind, cap, &trace, &ctx)
+            })
+        })
+        .collect();
+    let report = run_checkpointed(cells, checkpoint.as_ref(), &SweepConfig::from_env());
+    let failed = !report.failures().is_empty();
+    if failed || report.cached() > 0 {
+        eprintln!("replay: {}", report.summary());
+    }
+
     println!(
         "{:<14} {:>9} {:>9} {:>10} {:>12}",
         "policy", "miss", "byte-miss", "ns/req", "peak-MB"
     );
-    for kind in policies {
-        let m = run_policy(kind, cap, &trace, &ctx);
-        println!(
-            "{:<14} {:>8.2}% {:>8.2}% {:>10.0} {:>12.1}",
-            m.policy,
-            m.miss_ratio * 100.0,
-            m.byte_miss_ratio * 100.0,
-            m.ns_per_request,
-            m.peak_memory_bytes as f64 / 1e6
-        );
+    for (kind, m) in policies.iter().zip(report.into_values()) {
+        match m {
+            Some(m) => println!(
+                "{:<14} {:>8.2}% {:>8.2}% {:>10.0} {:>12.1}",
+                m.policy,
+                m.miss_ratio * 100.0,
+                m.byte_miss_ratio * 100.0,
+                m.ns_per_request,
+                m.peak_memory_bytes as f64 / 1e6
+            ),
+            None => println!(
+                "{:<14} {:>9} {:>9} {:>10} {:>12}",
+                kind.label(),
+                "FAIL",
+                "FAIL",
+                "FAIL",
+                "FAIL"
+            ),
+        }
+    }
+    if failed {
+        exit(1);
     }
 }

@@ -11,8 +11,9 @@ use cdn_learning::{
 use cdn_trace::label::{label_trace, oracle_replay, OracleTreatment, RequestLabel};
 use cdn_trace::{TraceGenerator, TraceStats, Workload};
 
-use crate::runner::{run_policy, PolicyKind, TraceCtx};
-use crate::sweep::parallel_runs;
+use crate::checkpoint::{run_checkpointed, Checkpoint};
+use crate::runner::{run_policy, PolicyKind, RunMeasurement, TraceCtx};
+use crate::sweep::{parallel_runs, SweepConfig, SweepReport};
 use crate::table::{mb, pct, Table};
 
 /// Shared experiment inputs: one generated trace per workload.
@@ -393,6 +394,30 @@ pub fn fig6(bench: &Bench) -> (Table, Table) {
     (summary, series)
 }
 
+/// Run fingerprinted grid cells fault-tolerantly (checkpoint/resume from
+/// `CDN_SIM_CHECKPOINT`, retry/strictness from `CDN_SIM_RETRIES` /
+/// `CDN_SIM_STRICT`) and report what happened: the sweep completes even
+/// when individual cells panic, and those cells render as [`FAIL_CELL`].
+fn run_grid<F>(title: &str, cells: Vec<(String, F)>) -> Vec<Option<RunMeasurement>>
+where
+    F: FnMut() -> RunMeasurement + Send,
+{
+    let checkpoint = Checkpoint::from_env();
+    let report: SweepReport<RunMeasurement> =
+        run_checkpointed(cells, checkpoint.as_ref(), &SweepConfig::from_env());
+    let failures = report.failures();
+    if !failures.is_empty() || report.cached() > 0 {
+        eprintln!("{title}: {}", report.summary());
+        for (idx, msg) in &failures {
+            eprintln!("  cell {idx} failed: {msg}");
+        }
+    }
+    report.into_values()
+}
+
+/// Table text for a grid cell whose job panicked through all retries.
+const FAIL_CELL: &str = "FAIL";
+
 fn miss_ratio_grid(
     bench: &Bench,
     policies: &[PolicyKind],
@@ -403,28 +428,37 @@ fn miss_ratio_grid(
     header.extend(policies.iter().map(|p| p.label().to_string()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(title, &header_refs);
+    let hashes: Vec<u64> = bench
+        .traces
+        .iter()
+        .map(|(_, trace, _)| cdn_trace::trace_content_hash(trace))
+        .collect();
     for &gb in cache_gbs {
-        let jobs: Vec<_> = bench
+        let cells: Vec<_> = bench
             .traces
             .iter()
-            .flat_map(|(w, trace, stats)| {
+            .zip(&hashes)
+            .flat_map(|((w, trace, stats), &trace_hash)| {
                 let cap = bench.paper_cache_bytes(*w, stats, gb);
                 policies.iter().map(move |&kind| {
                     let trace = trace.clone();
                     let seed = kind as u64 ^ 0x5eed;
-                    move || {
+                    (kind.fingerprint(cap, trace_hash, seed), move || {
                         let ctx = TraceCtx::new(&trace, seed);
-                        run_policy(kind, cap, &trace, &ctx).miss_ratio
-                    }
+                        run_policy(kind, cap, &trace, &ctx)
+                    })
                 })
             })
             .collect();
-        let results = parallel_runs(jobs);
+        let results = run_grid(title, cells);
         let per_workload = policies.len();
         for (i, (w, _, _)) in bench.traces.iter().enumerate() {
             let mut cells = vec![w.name().to_string(), format!("{gb:.0}GB*")];
             for j in 0..per_workload {
-                cells.push(pct(results[i * per_workload + j]));
+                cells.push(match &results[i * per_workload + j] {
+                    Some(m) => pct(m.miss_ratio),
+                    None => FAIL_CELL.to_string(),
+                });
             }
             t.row(cells);
         }
@@ -459,14 +493,16 @@ fn resource_table(bench: &Bench, policies: &[PolicyKind], title: &str) -> Table 
     // Paper: resources measured on CDN-T at 64 GB.
     let (w, trace, stats) = &bench.traces[0];
     let cap = bench.paper_cache_bytes(*w, stats, 64.0);
-    let jobs: Vec<_> = policies
+    let trace_hash = cdn_trace::trace_content_hash(trace);
+    let cells: Vec<_> = policies
         .iter()
         .map(|&kind| {
             let trace = trace.clone();
-            move || {
-                let ctx = TraceCtx::new(&trace, kind as u64 ^ 0x5eed);
+            let seed = kind as u64 ^ 0x5eed;
+            (kind.fingerprint(cap, trace_hash, seed), move || {
+                let ctx = TraceCtx::new(&trace, seed);
                 run_policy(kind, cap, &trace, &ctx)
-            }
+            })
         })
         .collect();
     let mut t = Table::new(
@@ -479,14 +515,23 @@ fn resource_table(bench: &Bench, policies: &[PolicyKind], title: &str) -> Table 
             "TPS (K/s)",
         ],
     );
-    for m in parallel_runs(jobs) {
-        t.row(vec![
-            m.policy.clone(),
-            pct(m.miss_ratio),
-            format!("{:.0}", m.ns_per_request),
-            mb(m.peak_memory_bytes),
-            format!("{:.0}", m.tps / 1e3),
-        ]);
+    for (kind, result) in policies.iter().zip(run_grid(title, cells)) {
+        match result {
+            Some(m) => t.row(vec![
+                m.policy.clone(),
+                pct(m.miss_ratio),
+                format!("{:.0}", m.ns_per_request),
+                mb(m.peak_memory_bytes),
+                format!("{:.0}", m.tps / 1e3),
+            ]),
+            None => t.row(vec![
+                kind.label().to_string(),
+                FAIL_CELL.to_string(),
+                FAIL_CELL.to_string(),
+                FAIL_CELL.to_string(),
+                FAIL_CELL.to_string(),
+            ]),
+        };
     }
     t
 }
@@ -580,26 +625,36 @@ pub fn miss_curves(bench: &Bench) -> Table {
         "Extra — miss-ratio curves (cache as fraction of WSS)",
         &header_refs,
     );
+    let hashes: Vec<u64> = bench
+        .traces
+        .iter()
+        .map(|(_, trace, _)| cdn_trace::trace_content_hash(trace))
+        .collect();
     for &frac in &fractions {
-        let jobs: Vec<_> = bench
+        let cells: Vec<_> = bench
             .traces
             .iter()
-            .flat_map(|(_, trace, stats)| {
+            .zip(&hashes)
+            .flat_map(|((_, trace, stats), &trace_hash)| {
                 let cap = stats.cache_bytes_for_fraction(frac);
                 policies.iter().map(move |&kind| {
                     let trace = trace.clone();
-                    move || {
-                        let ctx = TraceCtx::new(&trace, kind as u64 ^ 0xC0FFEE);
-                        run_policy(kind, cap, &trace, &ctx).miss_ratio
-                    }
+                    let seed = kind as u64 ^ 0xC0FFEE;
+                    (kind.fingerprint(cap, trace_hash, seed), move || {
+                        let ctx = TraceCtx::new(&trace, seed);
+                        run_policy(kind, cap, &trace, &ctx)
+                    })
                 })
             })
             .collect();
-        let results = parallel_runs(jobs);
+        let results = run_grid("miss-ratio curves", cells);
         for (i, (w, _, _)) in bench.traces.iter().enumerate() {
             let mut cells = vec![w.name().to_string(), format!("{frac}")];
             for j in 0..policies.len() {
-                cells.push(pct(results[i * policies.len() + j]));
+                cells.push(match &results[i * policies.len() + j] {
+                    Some(m) => pct(m.miss_ratio),
+                    None => FAIL_CELL.to_string(),
+                });
             }
             t.row(cells);
         }

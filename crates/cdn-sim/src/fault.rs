@@ -1,0 +1,31 @@
+//! Fault-injection facade for simulator tests (feature `fault-injection`).
+//!
+//! Re-exports the process-global deterministic failpoint registry from
+//! `cdn_cache::fault` together with every site name the simulator stack
+//! instruments, so a test can arm any failure mode from one import:
+//!
+//! ```ignore
+//! use cdn_sim::fault::{self, FaultAction, FaultRule, FP_SWEEP_JOB};
+//! fault::arm(FP_SWEEP_JOB, FaultRule::OnKeys(vec![3, 17], FaultAction::Panic("injected".into())));
+//! // ... run the sweep; jobs 3 and 17 panic deterministically ...
+//! fault::clear();
+//! ```
+//!
+//! Armed sites are global to the process: tests that use the registry
+//! must serialise on a lock of their own and call [`clear`] when done.
+//!
+//! Instrumented sites:
+//!
+//! - [`FP_SWEEP_JOB`] (`sweep.job`, key = job index) — fires inside the
+//!   executor's isolation boundary, before each attempt of a job; a
+//!   `Panic` action exercises panic isolation, and a
+//!   `FaultRule::FirstAttempts` rule exercises the bounded-retry path.
+//! - [`FP_READ_CHUNK`] (`trace.read_chunk`, key = chunk index) — fires
+//!   after each binary trace chunk is read; `ShortRead` truncates the
+//!   chunk (→ `TraceError::TruncatedMidRecord`), `CorruptByte` flips a
+//!   payload bit (→ `TraceError::ChecksumMismatch` on v2).
+
+pub use cdn_cache::fault::{arm, check, clear, disarm, fired, maybe_panic, FaultAction, FaultRule};
+pub use cdn_trace::io::FP_READ_CHUNK;
+
+pub use crate::sweep::FP_SWEEP_JOB;

@@ -9,7 +9,15 @@
 //!   available as [`runner::run_policy_dyn`].
 //! - [`sweep`]: lock-free parallel execution of
 //!   {workload × policy × cache size} grids (atomic work distributor,
-//!   per-job disjoint result slots).
+//!   per-job disjoint result slots), with per-job panic isolation and
+//!   bounded retry ([`sweep::run_jobs`]) alongside the strict
+//!   abort-on-panic path ([`sweep::parallel_runs`]).
+//! - [`checkpoint`]: JSONL sidecar checkpoint/resume for sweeps, keyed
+//!   by stable job fingerprints (policy + cache size + trace content
+//!   hash + seed); set `CDN_SIM_CHECKPOINT` to enable for experiments.
+//! - `fault` (feature `fault-injection`): deterministic failpoints that
+//!   make sweep jobs panic and trace reads fail on demand, so tests can
+//!   prove the recovery paths.
 //! - [`table`]: figure-style table formatting + TSV dumps under
 //!   `results/`.
 //! - [`experiments`]: one function per paper table/figure; the `fig*` and
@@ -19,13 +27,17 @@
 //! (default 500 000 requests per trace) so the full suite runs on a laptop
 //! in minutes while keeping every ratio of the paper's setup.
 
+pub mod checkpoint;
 pub mod experiments;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod runner;
 pub mod sweep;
 pub mod table;
 
+pub use checkpoint::{job_fingerprint, run_checkpointed, Checkpoint};
 pub use runner::{run_policy, run_policy_dyn, PolicyKind, RunMeasurement, TraceCtx};
-pub use sweep::parallel_runs;
+pub use sweep::{parallel_runs, run_jobs, JobOutcome, SweepConfig, SweepReport};
 pub use table::Table;
 
 /// Requests per synthetic trace (override with `REPRO_REQUESTS`).

@@ -1,0 +1,141 @@
+//! Checksums and content hashing for trace integrity.
+//!
+//! Two distinct needs, two functions:
+//!
+//! - [`crc32`]: the IEEE 802.3 CRC (polynomial `0xEDB88320`), used by the
+//!   v2 binary trace format to detect any corrupted byte within a chunk.
+//!   Table-driven, one table per process, no dependencies.
+//! - [`fnv1a64`] / [`trace_content_hash`]: a cheap 64-bit content hash
+//!   used to fingerprint a trace for sweep checkpoints — two sweeps
+//!   resume against the same sidecar only if they replay byte-identical
+//!   request streams.
+
+use std::sync::OnceLock;
+
+use cdn_cache::Request;
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `bytes` (same polynomial as zlib/PNG/Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit over a byte stream fed incrementally.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a64(Self::OFFSET)
+    }
+
+    /// Fold `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64-bit of one byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// 64-bit content hash of a request stream: folds `id`, `size` and the
+/// bit pattern of `wall_secs` per record (ticks are positional and add no
+/// information). Matches [`crate::TraceColumns::content_hash`].
+pub fn trace_content_hash(trace: &[Request]) -> u64 {
+    let mut h = Fnv1a64::new();
+    for r in trace {
+        h.update(&r.id.0.to_le_bytes());
+        h.update(&r.size.to_le_bytes());
+        h.update(&r.wall_secs.to_bits().to_le_bytes());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_byte_change() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut changed = data.clone();
+            changed[i] ^= 0x40;
+            assert_ne!(crc32(&changed), base, "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a 64 of "a" per the reference implementation.
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn trace_hash_sensitive_to_every_field() {
+        let base = cdn_cache::object::micro_trace(&[(1, 10), (2, 20)]);
+        let h = trace_content_hash(&base);
+        let mut other_id = base.clone();
+        other_id[1].id = 3u64.into();
+        let mut other_size = base.clone();
+        other_size[0].size = 11;
+        let mut other_wall = base.clone();
+        other_wall[0].wall_secs += 0.5;
+        for t in [&other_id, &other_size, &other_wall] {
+            assert_ne!(trace_content_hash(t), h);
+        }
+        assert_eq!(trace_content_hash(&base), h);
+    }
+}

@@ -116,6 +116,50 @@ impl TraceColumns {
     pub fn into_shared(self) -> SharedTrace {
         Arc::new(self)
     }
+
+    /// Semantic integrity check over the decoded trace: column lengths
+    /// must agree, every record must have a nonzero size, ticks must be
+    /// strictly increasing and wall-clock timestamps finite and
+    /// non-decreasing. Run this after loading an untrusted trace — the
+    /// binary readers verify the *bytes* (checksums, framing), this
+    /// verifies the *values*.
+    pub fn validate(&self) -> Result<(), crate::io::TraceError> {
+        use crate::io::TraceError;
+        let n = self.ids.len();
+        if self.sizes.len() != n || self.ticks.len() != n || self.wall_secs.len() != n {
+            return Err(TraceError::NonMonotonicTime { tick: 0 });
+        }
+        for i in 0..n {
+            if self.sizes[i] == 0 {
+                return Err(TraceError::ZeroSizeRecord {
+                    tick: self.ticks[i],
+                });
+            }
+            if !self.wall_secs[i].is_finite()
+                || (i > 0
+                    && (self.ticks[i] <= self.ticks[i - 1]
+                        || self.wall_secs[i] < self.wall_secs[i - 1]))
+            {
+                return Err(TraceError::NonMonotonicTime {
+                    tick: self.ticks[i],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// 64-bit content hash over `(id, size, wall_secs)` of every record —
+    /// the trace component of a sweep checkpoint fingerprint. Equals
+    /// [`crate::checksum::trace_content_hash`] of the interleaved form.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::checksum::Fnv1a64::new();
+        for i in 0..self.len() {
+            h.update(&self.ids[i].0.to_le_bytes());
+            h.update(&self.sizes[i].to_le_bytes());
+            h.update(&self.wall_secs[i].to_bits().to_le_bytes());
+        }
+        h.finish()
+    }
 }
 
 impl From<&[Request]> for TraceColumns {
@@ -177,6 +221,55 @@ mod tests {
         let c = TraceColumns::with_capacity(16);
         assert_eq!(c.len(), 0);
         assert!(c.memory_bytes() >= 16 * 32);
+    }
+
+    #[test]
+    fn validate_accepts_generated_and_rejects_bad_values() {
+        let trace = TraceGenerator::generate(GeneratorConfig {
+            requests: 2_000,
+            core_objects: 300,
+            ..GeneratorConfig::default()
+        });
+        let cols = TraceColumns::from_requests(&trace);
+        cols.validate().unwrap();
+
+        let mut zero = cols.clone();
+        zero.sizes[17] = 0;
+        assert!(matches!(
+            zero.validate().unwrap_err(),
+            crate::io::TraceError::ZeroSizeRecord { tick: 17 }
+        ));
+
+        let mut backwards = cols.clone();
+        backwards.wall_secs[100] = backwards.wall_secs[99] - 1.0;
+        assert!(matches!(
+            backwards.validate().unwrap_err(),
+            crate::io::TraceError::NonMonotonicTime { tick: 100 }
+        ));
+
+        let mut dup_tick = cols.clone();
+        dup_tick.ticks[5] = dup_tick.ticks[4];
+        assert!(matches!(
+            dup_tick.validate().unwrap_err(),
+            crate::io::TraceError::NonMonotonicTime { .. }
+        ));
+
+        let mut ragged = cols;
+        ragged.sizes.pop();
+        assert!(ragged.validate().is_err());
+    }
+
+    #[test]
+    fn content_hash_matches_interleaved_and_detects_changes() {
+        let trace = cdn_cache::object::micro_trace(&[(1, 10), (2, 20), (3, 30)]);
+        let cols = TraceColumns::from_requests(&trace);
+        assert_eq!(
+            cols.content_hash(),
+            crate::checksum::trace_content_hash(&trace)
+        );
+        let mut other = cols.clone();
+        other.sizes[1] = 21;
+        assert_ne!(other.content_hash(), cols.content_hash());
     }
 
     #[test]

@@ -1,27 +1,48 @@
-//! Trace serialisation: a compact binary format plus CSV for interop.
+//! Trace serialisation: a corruption-detecting binary format plus CSV.
 //!
-//! Binary layout (little-endian): magic `CDNT`, `u32` version, `u64`
-//! request count, then per request `u64 id`, `u64 size`, `f64 wall_secs`.
-//! Ticks are implicit (records are stored in tick order).
+//! Two binary versions share the magic/version/count header (little-endian
+//! magic `CDNT`, `u32` version, `u64` request count; per record `u64 id`,
+//! `u64 size`, `f64 wall_secs`; ticks are implicit record positions):
+//!
+//! - **v1** — header then a flat record array. Still fully readable (and
+//!   writable via [`write_binary_v1`]) but offers no integrity protection
+//!   beyond the magic: truncation mid-record is detected, a flipped byte
+//!   is not.
+//! - **v2** (default, [`write_binary`]) — records are grouped into chunks
+//!   of up to [`CHUNK_RECORDS`]; each chunk is `u32 record-count`,
+//!   payload, `u32` IEEE CRC-32 of the payload. A footer (`u64` count
+//!   repeated + magic `CDNE`) closes the file, so *any* single corrupted
+//!   byte — header, payload, checksum or footer — and any truncation is
+//!   reported as a structured [`TraceError`] instead of a silent short
+//!   trace.
 //!
 //! The CSV flavour (`tick,id,size,wall_secs` with a header) matches what
 //! the LRB simulator's tooling consumes after a one-column rename.
+//!
+//! Under the `fault-injection` feature the read path evaluates the
+//! `trace.read_chunk` failpoint per chunk, letting tests deliver short
+//! reads and corrupted chunks deterministically (see `cdn_cache::fault`).
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use cdn_cache::Request;
 
+use crate::checksum::crc32;
 use crate::columns::TraceColumns;
 
 const MAGIC: &[u8; 4] = b"CDNT";
-const VERSION: u32 = 1;
+const END_MAGIC: &[u8; 4] = b"CDNE";
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 /// Bytes per on-disk record: `u64 id`, `u64 size`, `f64 wall_secs`.
 const RECORD_BYTES: usize = 24;
 
-/// Records decoded per bulk read (1.5 MiB of I/O per syscall batch).
+/// Records per v2 chunk and per bulk read (1.5 MiB of I/O per syscall
+/// batch); also the granularity of v2 corruption detection.
 const CHUNK_RECORDS: usize = 64 * 1024;
 
 /// Cap on up-front allocation derived from the (untrusted) header count,
@@ -29,64 +50,346 @@ const CHUNK_RECORDS: usize = 64 * 1024;
 /// the real size if the file actually holds that many records.
 const PREALLOC_CAP_BYTES: usize = 64 << 20;
 
-/// Write a trace in the binary format.
+/// Failpoint evaluated once per chunk read (key = chunk index).
+#[cfg(feature = "fault-injection")]
+pub const FP_READ_CHUNK: &str = "trace.read_chunk";
+
+/// Everything that can go wrong reading a trace, with enough structure
+/// for callers to distinguish "file missing" from "file lying".
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure (open, read, write).
+    Io(io::Error),
+    /// The file does not start with the `CDNT` magic.
+    BadMagic,
+    /// The header names a format version this reader does not speak.
+    UnsupportedVersion(u32),
+    /// The file ends in the middle of record `tick` (or its chunk
+    /// framing): the byte stream is shorter than the header promised.
+    TruncatedMidRecord {
+        /// Record index (= tick) at which the data ran out.
+        tick: u64,
+    },
+    /// A v2 chunk's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Zero-based chunk index.
+        chunk: usize,
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the payload actually read.
+        computed: u32,
+    },
+    /// A v2 chunk header disagrees with the record count the file header
+    /// implies for that chunk (a corrupted length field).
+    ChunkLengthMismatch {
+        /// Zero-based chunk index.
+        chunk: usize,
+        /// Records this chunk must hold given the header count.
+        expected: u32,
+        /// Records the chunk claims to hold.
+        actual: u32,
+    },
+    /// The v2 footer is missing, malformed, or repeats a different count
+    /// than the header (header/footer disagreement ⇒ one of them lies).
+    CountMismatch {
+        /// Count from the file header.
+        header: u64,
+        /// Count from the footer.
+        footer: u64,
+    },
+    /// A record claims zero size — no valid CDN request is empty
+    /// (reported by [`TraceColumns::validate`]).
+    ZeroSizeRecord {
+        /// Offending record index.
+        tick: u64,
+    },
+    /// Ticks or wall-clock timestamps go backwards (reported by
+    /// [`TraceColumns::validate`]).
+    NonMonotonicTime {
+        /// First offending record index.
+        tick: u64,
+    },
+    /// A CSV line failed to parse.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a CDNT trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::TruncatedMidRecord { tick } => {
+                write!(f, "trace truncated mid-record at tick {tick}")
+            }
+            TraceError::ChecksumMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {chunk} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            TraceError::ChunkLengthMismatch {
+                chunk,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "chunk {chunk} length field corrupt (expected {expected} records, claims {actual})"
+            ),
+            TraceError::CountMismatch { header, footer } => write!(
+                f,
+                "header/footer record counts disagree ({header} vs {footer})"
+            ),
+            TraceError::ZeroSizeRecord { tick } => {
+                write!(f, "zero-size record at tick {tick}")
+            }
+            TraceError::NonMonotonicTime { tick } => {
+                write!(f, "non-monotonic tick/wall-clock at tick {tick}")
+            }
+            TraceError::Csv { line, msg } => write!(f, "csv line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Read exactly `buf.len()` bytes; an early EOF becomes
+/// [`TraceError::TruncatedMidRecord`] at record index `tick`.
+fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8], tick: u64) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::TruncatedMidRecord { tick }
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+fn encode_record(out: &mut Vec<u8>, r: &Request) {
+    out.extend_from_slice(&r.id.0.to_le_bytes());
+    out.extend_from_slice(&r.size.to_le_bytes());
+    out.extend_from_slice(&r.wall_secs.to_le_bytes());
+}
+
+/// Write a trace in binary format **v2** (chunked, CRC-32 per chunk,
+/// length footer). This is the default writer; readers accept v1 and v2.
 pub fn write_binary(path: &Path, trace: &[Request]) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut payload = Vec::with_capacity(CHUNK_RECORDS.min(trace.len().max(1)) * RECORD_BYTES);
+    for chunk in trace.chunks(CHUNK_RECORDS) {
+        payload.clear();
+        for r in chunk {
+            encode_record(&mut payload, r);
+        }
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&crc32(&payload).to_le_bytes())?;
+    }
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    w.write_all(END_MAGIC)?;
+    w.flush()
+}
+
+/// Write a trace in legacy binary format **v1** (flat record array, no
+/// checksums). Kept so v1 fixtures can be produced and round-tripped
+/// bit-identically; new traces should use [`write_binary`].
+pub fn write_binary_v1(path: &Path, trace: &[Request]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut payload = Vec::with_capacity(RECORD_BYTES);
     for r in trace {
-        w.write_all(&r.id.0.to_le_bytes())?;
-        w.write_all(&r.size.to_le_bytes())?;
-        w.write_all(&r.wall_secs.to_le_bytes())?;
+        payload.clear();
+        encode_record(&mut payload, r);
+        w.write_all(&payload)?;
     }
     w.flush()
 }
 
-/// Validate the header and return the (untrusted) record count.
-fn read_header(r: &mut impl Read) -> io::Result<usize> {
+/// Validate the magic, read the version and the (untrusted) record count.
+fn read_header(r: &mut impl Read) -> Result<(u32, usize), TraceError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(TraceError::BadMagic);
     }
     let mut buf4 = [0u8; 4];
     r.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported version {version}"),
-        ));
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(TraceError::UnsupportedVersion(version));
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    Ok(u64::from_le_bytes(buf8) as usize)
+    Ok((version, u64::from_le_bytes(buf8) as usize))
 }
 
-/// Bulk-decode `count` records, feeding each to `push` as
-/// `(tick, id, size, wall_secs)`. Reads fixed-size chunks into one
-/// reusable buffer instead of three `read_exact` calls per record.
-fn decode_records(
+/// Decode one chunk payload, feeding each record to `push` as
+/// `(tick, id, size, wall_secs)`.
+fn decode_payload(bytes: &[u8], first_tick: usize, mut push: impl FnMut(u64, u64, u64, f64)) {
+    for (i, rec) in bytes.chunks_exact(RECORD_BYTES).enumerate() {
+        let id = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+        let size = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+        let wall_secs = f64::from_le_bytes(rec[16..24].try_into().unwrap());
+        push((first_tick + i) as u64, id, size, wall_secs);
+    }
+}
+
+/// Apply any armed `trace.read_chunk` fault to a freshly read chunk
+/// payload. Returns the (possibly shortened) payload length.
+#[cfg(feature = "fault-injection")]
+fn inject_chunk_fault(payload: &mut [u8], chunk: usize) -> Result<usize, TraceError> {
+    use cdn_cache::fault::{self, FaultAction};
+    match fault::check(FP_READ_CHUNK, chunk as u64) {
+        Some(FaultAction::ShortRead(n)) => Ok(n.min(payload.len())),
+        Some(FaultAction::CorruptByte(off)) => {
+            if let Some(b) = payload.get_mut(off % payload.len().max(1)) {
+                *b ^= 0x01;
+            }
+            Ok(payload.len())
+        }
+        Some(FaultAction::Error(msg)) => Err(TraceError::Io(io::Error::other(msg))),
+        Some(FaultAction::Panic(msg)) => panic!("{msg}"),
+        None => Ok(payload.len()),
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline]
+fn inject_chunk_fault(payload: &mut [u8], _chunk: usize) -> Result<usize, TraceError> {
+    Ok(payload.len())
+}
+
+/// Bulk-decode `count` v1 records (flat array, no framing). A short read
+/// anywhere is reported as truncation at the first missing record.
+fn decode_records_v1(
     r: &mut impl Read,
     count: usize,
     mut push: impl FnMut(u64, u64, u64, f64),
-) -> io::Result<()> {
+) -> Result<(), TraceError> {
     let mut buf = vec![0u8; CHUNK_RECORDS.min(count.max(1)) * RECORD_BYTES];
     let mut tick = 0usize;
+    let mut chunk = 0usize;
     while tick < count {
         let n = (count - tick).min(CHUNK_RECORDS);
         let bytes = &mut buf[..n * RECORD_BYTES];
-        r.read_exact(bytes)?;
-        for rec in bytes.chunks_exact(RECORD_BYTES) {
-            let id = u64::from_le_bytes(rec[0..8].try_into().unwrap());
-            let size = u64::from_le_bytes(rec[8..16].try_into().unwrap());
-            let wall_secs = f64::from_le_bytes(rec[16..24].try_into().unwrap());
-            push(tick as u64, id, size, wall_secs);
-            tick += 1;
+        read_exact_or_truncated(r, bytes, tick as u64)?;
+        let usable = inject_chunk_fault(bytes, chunk)?;
+        if usable < bytes.len() {
+            return Err(TraceError::TruncatedMidRecord {
+                tick: (tick + usable / RECORD_BYTES) as u64,
+            });
         }
+        decode_payload(bytes, tick, &mut push);
+        tick += n;
+        chunk += 1;
     }
     Ok(())
+}
+
+/// Decode `count` v2 records: verify each chunk's length field and CRC,
+/// then the footer. Every detectable corruption maps to a distinct
+/// [`TraceError`] variant.
+fn decode_records_v2(
+    r: &mut impl Read,
+    count: usize,
+    mut push: impl FnMut(u64, u64, u64, f64),
+) -> Result<(), TraceError> {
+    let mut buf = vec![0u8; CHUNK_RECORDS.min(count.max(1)) * RECORD_BYTES];
+    let mut tick = 0usize;
+    let mut chunk = 0usize;
+    while tick < count {
+        let expected = (count - tick).min(CHUNK_RECORDS) as u32;
+        let mut buf4 = [0u8; 4];
+        read_exact_or_truncated(r, &mut buf4, tick as u64)?;
+        let actual = u32::from_le_bytes(buf4);
+        if actual != expected {
+            return Err(TraceError::ChunkLengthMismatch {
+                chunk,
+                expected,
+                actual,
+            });
+        }
+        let bytes = &mut buf[..expected as usize * RECORD_BYTES];
+        read_exact_or_truncated(r, bytes, tick as u64)?;
+        read_exact_or_truncated(r, &mut buf4, (tick + expected as usize) as u64)?;
+        let stored = u32::from_le_bytes(buf4);
+        let usable = inject_chunk_fault(bytes, chunk)?;
+        if usable < bytes.len() {
+            return Err(TraceError::TruncatedMidRecord {
+                tick: (tick + usable / RECORD_BYTES) as u64,
+            });
+        }
+        let computed = crc32(bytes);
+        if computed != stored {
+            return Err(TraceError::ChecksumMismatch {
+                chunk,
+                stored,
+                computed,
+            });
+        }
+        decode_payload(bytes, tick, &mut push);
+        tick += expected as usize;
+        chunk += 1;
+    }
+    // Footer: repeated count + end magic.
+    let mut buf8 = [0u8; 8];
+    read_exact_or_truncated(r, &mut buf8, count as u64)?;
+    let footer = u64::from_le_bytes(buf8);
+    if footer != count as u64 {
+        return Err(TraceError::CountMismatch {
+            header: count as u64,
+            footer,
+        });
+    }
+    let mut magic = [0u8; 4];
+    read_exact_or_truncated(r, &mut magic, count as u64)?;
+    if &magic != END_MAGIC {
+        return Err(TraceError::CountMismatch {
+            header: count as u64,
+            footer,
+        });
+    }
+    Ok(())
+}
+
+fn decode_records(
+    r: &mut impl Read,
+    version: u32,
+    count: usize,
+    push: impl FnMut(u64, u64, u64, f64),
+) -> Result<(), TraceError> {
+    match version {
+        VERSION_V1 => decode_records_v1(r, count, push),
+        VERSION_V2 => decode_records_v2(r, count, push),
+        v => Err(TraceError::UnsupportedVersion(v)),
+    }
 }
 
 /// Pre-allocation for `count` records of `record_size` in-memory bytes,
@@ -95,12 +398,13 @@ fn capped_prealloc(count: usize, record_size: usize) -> usize {
     count.min(PREALLOC_CAP_BYTES / record_size.max(1))
 }
 
-/// Read a binary trace written by [`write_binary`].
-pub fn read_binary(path: &Path) -> io::Result<Vec<Request>> {
+/// Read a binary trace (v1 or v2) written by [`write_binary`] /
+/// [`write_binary_v1`].
+pub fn read_binary(path: &Path) -> Result<Vec<Request>, TraceError> {
     let mut r = BufReader::new(File::open(path)?);
-    let count = read_header(&mut r)?;
+    let (version, count) = read_header(&mut r)?;
     let mut trace = Vec::with_capacity(capped_prealloc(count, std::mem::size_of::<Request>()));
-    decode_records(&mut r, count, |tick, id, size, wall_secs| {
+    decode_records(&mut r, version, count, |tick, id, size, wall_secs| {
         trace.push(Request {
             tick,
             id: id.into(),
@@ -111,14 +415,14 @@ pub fn read_binary(path: &Path) -> io::Result<Vec<Request>> {
     Ok(trace)
 }
 
-/// Read a binary trace written by [`write_binary`] straight into
-/// structure-of-arrays form (no intermediate `Vec<Request>`).
-pub fn read_binary_columns(path: &Path) -> io::Result<TraceColumns> {
+/// Read a binary trace (v1 or v2) straight into structure-of-arrays form
+/// (no intermediate `Vec<Request>`).
+pub fn read_binary_columns(path: &Path) -> Result<TraceColumns, TraceError> {
     let mut r = BufReader::new(File::open(path)?);
-    let count = read_header(&mut r)?;
+    let (version, count) = read_header(&mut r)?;
     // 32 = the per-request total across the four columns.
     let mut cols = TraceColumns::with_capacity(capped_prealloc(count, 32));
-    decode_records(&mut r, count, |tick, id, size, wall_secs| {
+    decode_records(&mut r, version, count, |tick, id, size, wall_secs| {
         cols.ids.push(id.into());
         cols.sizes.push(size);
         cols.ticks.push(tick);
@@ -138,11 +442,12 @@ pub fn write_csv(path: &Path, trace: &[Request]) -> io::Result<()> {
 }
 
 /// Read a CSV trace written by [`write_csv`] (header required).
-pub fn read_csv(path: &Path) -> io::Result<Vec<Request>> {
+pub fn read_csv(path: &Path) -> Result<Vec<Request>, TraceError> {
     let r = BufReader::new(File::open(path)?);
     let mut trace = Vec::new();
-    let bad = |line: usize, what: &str| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {what}"))
+    let bad = |line: usize, what: &str| TraceError::Csv {
+        line,
+        msg: what.to_string(),
     };
     for (i, line) in r.lines().enumerate() {
         let line = line?;
@@ -195,10 +500,19 @@ mod tests {
         })
     }
 
-    #[test]
-    fn binary_roundtrip() {
-        let dir = std::env::temp_dir().join("cdn_trace_io_test_bin");
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
         std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Both binary writers, labeled, for version-parametrised tests.
+    type WriterFn = fn(&Path, &[Request]) -> io::Result<()>;
+    const WRITERS: [(&str, WriterFn); 2] = [("v2.bin", write_binary), ("v1.bin", write_binary_v1)];
+
+    #[test]
+    fn binary_roundtrip_v2() {
+        let dir = tmpdir("cdn_trace_io_test_bin");
         let path = dir.join("t.bin");
         let t = sample_trace();
         write_binary(&path, &t).unwrap();
@@ -208,9 +522,23 @@ mod tests {
     }
 
     #[test]
+    fn binary_roundtrip_v1_bit_identical() {
+        let dir = tmpdir("cdn_trace_io_test_v1");
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        let t = sample_trace();
+        write_binary_v1(&a, &t).unwrap();
+        let back = read_binary(&a).unwrap();
+        assert_eq!(t, back);
+        // Re-serialising the decoded trace reproduces the file exactly.
+        write_binary_v1(&b, &back).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn csv_roundtrip() {
-        let dir = std::env::temp_dir().join("cdn_trace_io_test_csv");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("cdn_trace_io_test_csv");
         let path = dir.join("t.csv");
         let t = sample_trace();
         write_csv(&path, &t).unwrap();
@@ -227,42 +555,102 @@ mod tests {
 
     #[test]
     fn binary_roundtrip_large_crosses_chunks() {
-        // > CHUNK_RECORDS so the bulk decoder takes several full chunks
-        // plus a partial tail.
+        // > CHUNK_RECORDS so both decoders take several full chunks plus a
+        // partial tail.
         let n = super::CHUNK_RECORDS as u64 * 2 + 1_234;
         let t = TraceGenerator::generate(GeneratorConfig {
             requests: n,
             core_objects: 5_000,
             ..GeneratorConfig::default()
         });
-        let dir = std::env::temp_dir().join("cdn_trace_io_test_large");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("large.bin");
-        write_binary(&path, &t).unwrap();
-        let back = read_binary(&path).unwrap();
-        assert_eq!(t, back);
+        let dir = tmpdir("cdn_trace_io_test_large");
+        for (name, write) in WRITERS {
+            let path = dir.join(name);
+            write(&path, &t).unwrap();
+            let back = read_binary(&path).unwrap();
+            assert_eq!(t, back, "{name}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn binary_columns_roundtrip() {
         let t = sample_trace();
-        let dir = std::env::temp_dir().join("cdn_trace_io_test_cols");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("cdn_trace_io_test_cols");
         let path = dir.join("t.bin");
         write_binary(&path, &t).unwrap();
         let cols = read_binary_columns(&path).unwrap();
         assert_eq!(cols.to_requests(), t);
+        cols.validate().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_mid_record_is_an_error_both_versions_both_readers() {
+        // Regression: a trace cut mid-record (not just a garbage header)
+        // must fail loudly from both `read_binary` and
+        // `read_binary_columns`, never yield a silent short trace.
+        let t = sample_trace();
+        let dir = tmpdir("cdn_trace_io_test_trunc");
+        for (name, write) in WRITERS {
+            let path = dir.join(name);
+            write(&path, &t).unwrap();
+            let full = std::fs::read(&path).unwrap();
+            // Cut inside record 100's bytes (offsets differ per version,
+            // both land mid-record well past the header).
+            let cut = full.len() - (t.len() / 2) * RECORD_BYTES - RECORD_BYTES / 2;
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = read_binary(&path).unwrap_err();
+            assert!(
+                matches!(err, TraceError::TruncatedMidRecord { .. }),
+                "{name}: {err}"
+            );
+            let err = read_binary_columns(&path).unwrap_err();
+            assert!(
+                matches!(err, TraceError::TruncatedMidRecord { .. }),
+                "{name}: {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_detects_any_single_byte_corruption() {
+        // Flip one bit of *every* byte of a small v2 file in turn: each
+        // variant must surface as some TraceError, never as a clean read
+        // of wrong data. Small trace: the sweep re-reads the file once
+        // per byte.
+        let t = TraceGenerator::generate(GeneratorConfig {
+            requests: 300,
+            core_objects: 100,
+            ..GeneratorConfig::default()
+        });
+        let dir = tmpdir("cdn_trace_io_test_flip");
+        let path = dir.join("t.bin");
+        write_binary(&path, &t).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        for i in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[i] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            match read_binary(&path) {
+                Err(_) => {}
+                Ok(back) => panic!(
+                    "flip at byte {i}/{} read cleanly ({} records)",
+                    pristine.len(),
+                    back.len()
+                ),
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_count_fails_without_huge_alloc() {
         // Header claims u64::MAX records but carries only one: the reader
-        // must cap its pre-allocation and fail with UnexpectedEof instead
-        // of trying to reserve ~400 EiB.
-        let dir = std::env::temp_dir().join("cdn_trace_io_test_corrupt");
-        std::fs::create_dir_all(&dir).unwrap();
+        // must cap its pre-allocation and fail with a structured error
+        // instead of trying to reserve ~400 EiB.
+        let dir = tmpdir("cdn_trace_io_test_corrupt");
         let path = dir.join("corrupt.bin");
         let mut bytes = Vec::new();
         bytes.extend_from_slice(b"CDNT");
@@ -271,22 +659,43 @@ mod tests {
         bytes.extend_from_slice(&[0u8; super::RECORD_BYTES]);
         std::fs::write(&path, &bytes).unwrap();
         let err = read_binary(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert!(
+            matches!(err, TraceError::TruncatedMidRecord { .. }),
+            "{err}"
+        );
         let err = read_binary_columns(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert!(
+            matches!(err, TraceError::TruncatedMidRecord { .. }),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn rejects_garbage() {
-        let dir = std::env::temp_dir().join("cdn_trace_io_test_bad");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("cdn_trace_io_test_bad");
         let path = dir.join("bad.bin");
         std::fs::write(&path, b"not a trace").unwrap();
-        assert!(read_binary(&path).is_err());
+        assert!(matches!(
+            read_binary(&path).unwrap_err(),
+            TraceError::BadMagic
+        ));
+        let future = dir.join("future.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"CDNT");
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&future, &bytes).unwrap();
+        assert!(matches!(
+            read_binary(&future).unwrap_err(),
+            TraceError::UnsupportedVersion(99)
+        ));
         let csv = dir.join("bad.csv");
         std::fs::write(&csv, "nope\n1,2\n").unwrap();
-        assert!(read_csv(&csv).is_err());
+        assert!(matches!(
+            read_csv(&csv).unwrap_err(),
+            TraceError::Csv { .. }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

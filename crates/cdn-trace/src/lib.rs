@@ -17,12 +17,17 @@
 //!   one-hit wonders, burst processes, diurnal wall clock).
 //! - [`profiles`]: CDN-T / CDN-W / CDN-A parameterisations.
 //! - [`stats`]: Table-1 style trace statistics.
-//! - [`io`]: binary + CSV trace serialisation.
+//! - [`io`]: binary + CSV trace serialisation (v2 adds per-chunk CRC-32
+//!   and a length footer; corruption surfaces as structured
+//!   [`TraceError`]s).
+//! - [`checksum`]: CRC-32 + FNV-1a content hashing behind trace
+//!   integrity and sweep checkpoint fingerprints.
 //! - [`label`]: offline ZRO / P-ZRO / A-ZRO / A-P-ZRO labeling by LRU
 //!   replay, and the oracle-placement replay behind Figure 3.
 //! - [`belady`]: next-access precomputation and the Belady MIN lower bound.
 
 pub mod belady;
+pub mod checksum;
 pub mod columns;
 pub mod gen;
 pub mod io;
@@ -33,8 +38,10 @@ pub mod stats;
 pub mod zipf;
 
 pub use belady::{next_access_table, BeladyOracle, NO_NEXT};
+pub use checksum::{crc32, trace_content_hash};
 pub use columns::{SharedTrace, TraceColumns};
 pub use gen::{GeneratorConfig, TraceGenerator};
+pub use io::TraceError;
 pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
 pub use profiles::{Workload, WorkloadProfile};
 pub use sizes::SizeModel;

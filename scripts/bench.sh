@@ -1,13 +1,44 @@
 #!/usr/bin/env bash
 # Build the workspace in release mode and run the replay-engine
-# throughput harness. Writes BENCH_replay.json at the repo root.
+# throughput harness. Writes BENCH_replay.json at the repo root; if a
+# previous BENCH_replay.json exists it is kept as *.prev.json and the
+# sweep aggregate throughput is compared against it. A missing baseline
+# (first run, fresh clone) is fine — the comparison is simply skipped.
 #
 # Knobs (env):
 #   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
 #   REPRO_SEED             trace seed (default 42)
 #   REPLAY_BENCH_OUT       output path (default BENCH_replay.json)
+#   REPLAY_BENCH_TRACE     replay a .bin/.csv trace file instead of
+#                          generating one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+OUT="${REPLAY_BENCH_OUT:-BENCH_replay.json}"
+BASELINE=""
+if [[ -f "$OUT" ]]; then
+    BASELINE="${OUT%.json}.prev.json"
+    cp "$OUT" "$BASELINE"
+    echo "baseline: previous $OUT saved as $BASELINE"
+else
+    echo "baseline: no previous $OUT — first run, skipping comparison"
+fi
+
 cargo build --release -p cdn-sim --bin replay_bench
-exec cargo run --release -q -p cdn-sim --bin replay_bench
+cargo run --release -q -p cdn-sim --bin replay_bench
+
+if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
+    extract() {
+        grep -o '"aggregate_requests_per_sec": [0-9.]*' "$1" | awk '{print $2}'
+    }
+    prev="$(extract "$BASELINE" || true)"
+    cur="$(extract "$OUT" || true)"
+    if [[ -n "$prev" && -n "$cur" ]]; then
+        awk -v p="$prev" -v c="$cur" 'BEGIN {
+            printf "sweep aggregate vs baseline: %.2f -> %.2f Mreq/s (%+.1f%%)\n",
+                p / 1e6, c / 1e6, (c - p) / p * 100
+        }'
+    else
+        echo "baseline present but not comparable; skipping comparison"
+    fi
+fi

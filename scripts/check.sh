@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Repo-wide hygiene gate: formatting, lints (warnings are errors), and the
-# full workspace test suite. Run from anywhere; always executes at the
-# repo root. This is what CI should run on every push.
+# full workspace test suite — then the same tests once more with the
+# fault-injection failpoints compiled in, so the recovery paths (panic
+# isolation, retry, checkpoint/resume, corrupt-trace detection) are proven
+# on every run. Run from anywhere; always executes at the repo root. This
+# is what CI should run on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,5 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> cargo clippy --features fault-injection (-D warnings)"
+cargo clippy -p cdn-sim --all-targets --features fault-injection -- -D warnings
+
+echo "==> cargo test --features fault-injection"
+cargo test -q -p cdn-cache --features fault-injection
+cargo test -q -p cdn-trace --features fault-injection
+cargo test -q -p cdn-sim --features fault-injection
 
 echo "OK"
