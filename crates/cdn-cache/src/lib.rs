@@ -38,7 +38,7 @@ pub mod segq;
 pub use ghost::GhostList;
 pub use hash::{FxHashMap, FxHashSet};
 pub use list::{Handle, LinkedSlab};
-pub use metrics::{IntervalStats, MetricsRecorder, MissRatio};
+pub use metrics::{IntervalStats, LatencyHistogram, MetricsRecorder, MissRatio};
 pub use object::{ObjectId, Request, Tick};
 pub use policy::{AccessKind, CachePolicy, InsertPos, PolicyStats};
 pub use queue::{EntryMeta, EvictedEntry, LruQueue};

@@ -14,6 +14,8 @@
 //!   at most the record being written.
 //! - Loading skips corrupt or truncated lines (the crash case) instead of
 //!   refusing the whole sidecar; skipped lines are counted.
+//! - A resume that appends after a torn tail starts a fresh line first,
+//!   so the fragment can never merge with (and contaminate) a new record.
 //! - Fingerprints include the trace's content hash, so a sidecar from a
 //!   different trace, seed or cache size can never poison a resume.
 //!
@@ -136,6 +138,14 @@ impl Checkpoint {
     /// immediately) and remember it in memory. Append failures are
     /// reported to stderr but never fail the sweep — a broken sidecar
     /// must not cost the computed result.
+    ///
+    /// Crash-safety contract: each record is written and flushed as one
+    /// `\n`-terminated line, so a crash tears at most the line being
+    /// appended. If the sidecar's tail is such a torn line (no trailing
+    /// newline), the first append of the next run starts a fresh line
+    /// rather than extending the fragment — otherwise the fragment and
+    /// the new record would merge into one line whose first-occurrence
+    /// field parsing could resurrect stale values from the fragment.
     pub fn record(&self, fingerprint: &str, m: &RunMeasurement) {
         self.done
             .lock()
@@ -143,12 +153,23 @@ impl Checkpoint {
             .insert(fingerprint.to_string(), m.clone());
         let mut guard = self.writer.lock().unwrap();
         if guard.is_none() {
+            let torn_tail = std::fs::read(&self.path)
+                .map(|b| !b.is_empty() && b.last() != Some(&b'\n'))
+                .unwrap_or(false);
             match OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(&self.path)
             {
-                Ok(f) => *guard = Some(BufWriter::new(f)),
+                Ok(f) => {
+                    let mut w = BufWriter::new(f);
+                    if torn_tail {
+                        // Quarantine the fragment on its own line; the
+                        // loader will skip it as corrupt.
+                        let _ = writeln!(w);
+                    }
+                    *guard = Some(w);
+                }
                 Err(e) => {
                     eprintln!("checkpoint {}: cannot append ({e})", self.path.display());
                     return;
@@ -354,6 +375,71 @@ mod tests {
         assert_eq!(ckpt.len(), 1);
         assert_eq!(ckpt.skipped_lines(), 2);
         assert!(ckpt.get("A|cap=1|trace=2|seed=3").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The crash-safety contract end to end: a sidecar whose last line
+    /// was torn mid-append (the crash case — appends flush per line, so
+    /// only the in-flight record can be damaged) resumes cleanly. The
+    /// torn cell is recomputed and re-appended; intact cells stay
+    /// cached; a third run caches everything.
+    #[test]
+    fn truncated_mid_line_resume_recomputes_only_the_torn_cell() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path = tmpfile("truncate_resume.jsonl");
+        std::fs::remove_file(&path).ok();
+
+        let fps: Vec<String> = (0..3)
+            .map(|i| job_fingerprint("SCIP", i, 0xCD, 9))
+            .collect();
+        {
+            let ckpt = Checkpoint::open(&path).unwrap();
+            for (i, fp) in fps.iter().enumerate() {
+                ckpt.record(fp, &m("SCIP", i as f64 / 10.0));
+            }
+        }
+        // Crash: the final append is torn partway through the line.
+        let bytes = std::fs::read(&path).unwrap();
+        let torn_at = bytes.len() - 17;
+        std::fs::write(&path, &bytes[..torn_at]).unwrap();
+
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.len(), 2, "two intact records survive");
+        assert_eq!(ckpt.skipped_lines(), 1, "the torn tail is skipped");
+
+        let ran = AtomicUsize::new(0);
+        let cells: Vec<(String, _)> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, fp)| {
+                let ran = &ran;
+                (fp.clone(), move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    m("SCIP", i as f64 / 10.0)
+                })
+            })
+            .collect();
+        let report = run_checkpointed(cells, Some(&ckpt), &SweepConfig::default());
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "only the torn cell re-runs");
+        assert_eq!(report.cached(), 2);
+        assert!(report.failures().is_empty());
+
+        // The recomputed record was re-appended on a fresh line (the
+        // torn fragment stays quarantined on its own): a fresh open
+        // caches all three, and nothing executes.
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.len(), 3);
+        assert_eq!(ckpt.skipped_lines(), 1, "torn fragment still skipped");
+        let cells: Vec<(String, _)> = fps
+            .iter()
+            .map(|fp| {
+                (fp.clone(), move || -> RunMeasurement {
+                    panic!("must not run")
+                })
+            })
+            .collect();
+        let report = run_checkpointed(cells, Some(&ckpt), &SweepConfig::default());
+        assert_eq!(report.cached(), 3);
         std::fs::remove_file(&path).ok();
     }
 

@@ -394,6 +394,292 @@ pub fn fig6(bench: &Bench) -> (Table, Table) {
     (summary, series)
 }
 
+/// Wall-clock span chaos replays dilate their trace to. Generated traces
+/// compress a diurnal cycle into a few seconds; resilience budgets
+/// (timeouts, breaker cooldowns) are wall-time, so fault windows must
+/// last long enough — seconds to tens of seconds — to bite.
+const CHAOS_SPAN_SECS: f64 = 600.0;
+
+/// One `(schedule × SCIP arm)` cell of the Figure 6 chaos study —
+/// whole-timeline aggregates plus the resilience event counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCell {
+    /// Fault schedule name (`calm`, `origin-brownout`, `oc-churn`).
+    pub schedule: String,
+    /// Whether SCIP was deployed (from tick 0) or LRU ran throughout.
+    pub scip: bool,
+    /// Whole-timeline BTO (miss) ratio.
+    pub bto_ratio: f64,
+    /// Whole-timeline mean BTO bandwidth, Gbps.
+    pub bto_gbps: f64,
+    /// Fraction of requests answered (fresh or stale).
+    pub availability: f64,
+    /// Mean user latency, ms.
+    pub mean_latency_ms: f64,
+    /// Median user latency, ms.
+    pub p50_ms: f64,
+    /// Tail latencies, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile, ms.
+    pub p999_ms: f64,
+    /// Degradation/recovery event counts.
+    pub counters: tdc::ResilienceCounters,
+}
+
+/// Output of [`fig6_chaos`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosStudy {
+    /// One cell per `(schedule, scip)` arm, in a fixed order.
+    pub cells: Vec<ChaosCell>,
+    /// Whether the calm resilient replay was bit-identical to the plain
+    /// serving path (buckets and latency histograms) — the no-overhead
+    /// gate the `fig6_chaos` binary enforces.
+    pub calm_matches_plain: bool,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Seed of the trace and every schedule.
+    pub seed: u64,
+}
+
+impl ChaosStudy {
+    /// All calm arms served every request.
+    pub fn calm_fully_available(&self) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| c.schedule == "calm")
+            .all(|c| c.availability == 1.0)
+    }
+
+    /// Render as a [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 6 under chaos — SCIP vs LRU across fault schedules",
+            &[
+                "schedule",
+                "policy",
+                "BTO-ratio",
+                "BTO-Gbps",
+                "avail",
+                "mean_ms",
+                "p50_ms",
+                "p99_ms",
+                "p999_ms",
+                "stale",
+                "trips",
+                "failovers",
+                "coalesced",
+            ],
+        );
+        for c in &self.cells {
+            t.row(vec![
+                c.schedule.clone(),
+                if c.scip { "SCIP" } else { "LRU" }.into(),
+                pct(c.bto_ratio),
+                format!("{:.3}", c.bto_gbps),
+                pct(c.availability),
+                format!("{:.1}", c.mean_latency_ms),
+                format!("{:.1}", c.p50_ms),
+                format!("{:.1}", c.p99_ms),
+                format!("{:.1}", c.p999_ms),
+                c.counters.stale_serves.to_string(),
+                c.counters.breaker_trips.to_string(),
+                c.counters.failovers.to_string(),
+                c.counters.coalesced.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Render as a GitHub-flavored markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# Figure 6 under chaos\n\n");
+        s.push_str(&format!(
+            "{} requests, seed {}, trace dilated to a {:.0} s span. \
+             Calm replay bit-identical to the plain path: **{}**.\n\n",
+            self.requests, self.seed, CHAOS_SPAN_SECS, self.calm_matches_plain
+        ));
+        s.push_str(
+            "| schedule | policy | BTO ratio | BTO Gbps | availability | mean ms | p50 | p99 | p99.9 | stale | trips | failovers | coalesced |\n\
+             |---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for c in &self.cells {
+            s.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {} | {} | {} | {} |\n",
+                c.schedule,
+                if c.scip { "SCIP" } else { "LRU" },
+                pct(c.bto_ratio),
+                c.bto_gbps,
+                pct(c.availability),
+                c.mean_latency_ms,
+                c.p50_ms,
+                c.p99_ms,
+                c.p999_ms,
+                c.counters.stale_serves,
+                c.counters.breaker_trips,
+                c.counters.failovers,
+                c.counters.coalesced,
+            ));
+        }
+        s
+    }
+
+    /// Deterministic JSON: same study → byte-identical output (floats use
+    /// Rust's shortest-roundtrip `Display`, key order is fixed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!(
+            "  \"calm_matches_plain\": {},\n",
+            self.calm_matches_plain
+        ));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let k = &c.counters;
+            s.push_str(&format!(
+                "    {{\"schedule\": \"{}\", \"scip\": {}, \"bto_ratio\": {}, \"bto_gbps\": {}, \
+                 \"availability\": {}, \"mean_latency_ms\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+                 \"p999_ms\": {}, \"counters\": {{\"retries\": {}, \"timeouts\": {}, \"hedges\": {}, \
+                 \"hedge_wins\": {}, \"stale_serves\": {}, \"failures\": {}, \"coalesced\": {}, \
+                 \"origin_fetches\": {}, \"breaker_trips\": {}, \"breaker_fast_fails\": {}, \
+                 \"failovers\": {}, \"node_resets\": {}}}}}{}\n",
+                c.schedule,
+                c.scip,
+                c.bto_ratio,
+                c.bto_gbps,
+                c.availability,
+                c.mean_latency_ms,
+                c.p50_ms,
+                c.p99_ms,
+                c.p999_ms,
+                k.retries,
+                k.timeouts,
+                k.hedges,
+                k.hedge_wins,
+                k.stale_serves,
+                k.failures,
+                k.coalesced,
+                k.origin_fetches,
+                k.breaker_trips,
+                k.breaker_fast_fails,
+                k.failovers,
+                k.node_resets,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Whole-timeline aggregates of a deployment report.
+fn chaos_cell(schedule: &str, scip: bool, report: &tdc::DeploymentReport) -> ChaosCell {
+    let requests: u64 = report.buckets.iter().map(|b| b.requests).sum();
+    let bto: u64 = report.buckets.iter().map(|b| b.bto_requests).sum();
+    let bytes: u64 = report.buckets.iter().map(|b| b.bto_bytes).sum();
+    let lat: f64 = report.buckets.iter().map(|b| b.latency_sum_ms).sum();
+    let span = report.buckets.len() as f64 * report.bucket_secs;
+    let mut hist = report.hist_before.clone();
+    hist.merge(&report.hist_after);
+    ChaosCell {
+        schedule: schedule.to_string(),
+        scip,
+        bto_ratio: if requests == 0 {
+            0.0
+        } else {
+            bto as f64 / requests as f64
+        },
+        bto_gbps: bytes as f64 * 8.0 / span.max(1e-9) / 1e9,
+        availability: report.availability(),
+        mean_latency_ms: if requests == 0 {
+            0.0
+        } else {
+            lat / requests as f64
+        },
+        p50_ms: hist.p50_ms(),
+        p99_ms: hist.p99_ms(),
+        p999_ms: hist.p999_ms(),
+        counters: report.counters,
+    }
+}
+
+/// Figure 6 under chaos: replay the TDC timeline through the resilient
+/// serving path under three fault schedules (calm, origin brownout, OC
+/// churn), with SCIP deployed from tick 0 vs never (LRU). Also runs the
+/// calm timeline through the *plain* path and records whether the
+/// resilient replay was bit-identical — the machinery must be free when
+/// nothing fails.
+pub fn fig6_chaos(requests: u64, seed: u64) -> ChaosStudy {
+    let raw = TraceGenerator::generate(Workload::CdnT.profile().config(requests, seed));
+    let stats = TraceStats::compute(&raw);
+    let raw_span = raw.last().map(|r| r.wall_secs).unwrap_or(1.0);
+    let trace = tdc::fault::dilate_wall_clock(&raw, CHAOS_SPAN_SECS / raw_span.max(1e-9));
+    let span = trace.last().map(|r| r.wall_secs).unwrap_or(1.0);
+
+    let base = tdc::DeploymentConfig {
+        tdc: tdc::TdcConfig {
+            oc_nodes: 4,
+            oc_capacity: stats.cache_bytes_for_fraction(0.01),
+            dc_capacity: stats.cache_bytes_for_fraction(0.05),
+            deploy_at: u64::MAX,
+            seed,
+        },
+        latency: tdc::LatencyModel::default(),
+        deploy_fraction: 0.0,
+        bucket_secs: (span / 48.0).max(1e-6),
+    };
+    let res = tdc::ResilienceConfig::default();
+    let schedules = [
+        ("calm", tdc::FaultSchedule::calm()),
+        (
+            "origin-brownout",
+            tdc::FaultSchedule::origin_brownout(span, seed),
+        ),
+        (
+            "oc-churn",
+            tdc::FaultSchedule::oc_churn(span, base.tdc.oc_nodes, seed),
+        ),
+    ];
+
+    let mut cells = Vec::new();
+    let mut calm_scip_report = None;
+    for (name, schedule) in &schedules {
+        for scip in [true, false] {
+            let cfg = tdc::DeploymentConfig {
+                // SCIP from the first request vs never (plain LRU): a
+                // deploy fraction past the end of the trace never fires.
+                deploy_fraction: if scip { 0.0 } else { 2.0 },
+                ..base
+            };
+            let report = tdc::run_deployment_resilient(&trace, cfg, schedule.clone(), res)
+                .expect("chaos config is valid");
+            cells.push(chaos_cell(name, scip, &report));
+            if *name == "calm" && scip {
+                calm_scip_report = Some(report);
+            }
+        }
+    }
+
+    // The no-overhead gate: under calm, the resilient path must replay
+    // bit-identically to the plain path.
+    let calm = calm_scip_report.expect("calm arm ran");
+    let plain = tdc::run_deployment(&trace, base);
+    let calm_matches_plain = plain.buckets == calm.buckets
+        && plain.hist_before == calm.hist_before
+        && plain.hist_after == calm.hist_after
+        && plain.before == calm.before
+        && plain.after == calm.after;
+
+    ChaosStudy {
+        cells,
+        calm_matches_plain,
+        requests,
+        seed,
+    }
+}
+
 /// Run fingerprinted grid cells fault-tolerantly (checkpoint/resume from
 /// `CDN_SIM_CHECKPOINT`, retry/strictness from `CDN_SIM_RETRIES` /
 /// `CDN_SIM_STRICT`) and report what happened: the sweep completes even

@@ -49,14 +49,30 @@ impl LatencyModel {
     /// User-perceived latency of a request of `size` bytes served by the
     /// given layer, in milliseconds.
     pub fn latency_ms(&self, size: u64, served: ServedBy) -> f64 {
+        self.latency_ms_scaled(size, served, 1.0, 1.0, 1.0)
+    }
+
+    /// [`Self::latency_ms`] with each leg's RTT multiplied by a fault-spike
+    /// factor (`1.0` = nominal). With all factors at `1.0` this is
+    /// bit-identical to the unscaled model (`x * 1.0 == x` for every
+    /// non-NaN `x`, and the summation order is unchanged) — the calm-path
+    /// equivalence the resilience tests pin down relies on this.
+    pub fn latency_ms_scaled(
+        &self,
+        size: u64,
+        served: ServedBy,
+        f_oc: f64,
+        f_dc: f64,
+        f_origin: f64,
+    ) -> f64 {
         let transfer_edge = size as f64 / self.edge_bw;
         match served {
-            ServedBy::Oc => self.oc_rtt_ms + transfer_edge,
-            ServedBy::Dc => self.oc_rtt_ms + self.dc_rtt_ms + transfer_edge,
+            ServedBy::Oc => self.oc_rtt_ms * f_oc + transfer_edge,
+            ServedBy::Dc => self.oc_rtt_ms * f_oc + self.dc_rtt_ms * f_dc + transfer_edge,
             ServedBy::Origin => {
-                self.oc_rtt_ms
-                    + self.dc_rtt_ms
-                    + self.origin_rtt_ms
+                self.oc_rtt_ms * f_oc
+                    + self.dc_rtt_ms * f_dc
+                    + self.origin_rtt_ms * f_origin
                     + transfer_edge
                     + size as f64 / self.origin_bw
             }
@@ -89,5 +105,32 @@ mod tests {
         let m = LatencyModel::default();
         assert!((m.latency_ms(0, ServedBy::Oc) - 15.0).abs() < 1e-12);
         assert!((m.latency_ms(0, ServedBy::Origin) - 260.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_factors_are_bit_identical_to_unscaled() {
+        let m = LatencyModel::default();
+        for size in [0u64, 1, 999, 1_000_000, u64::MAX >> 20] {
+            for served in [ServedBy::Oc, ServedBy::Dc, ServedBy::Origin] {
+                assert_eq!(
+                    m.latency_ms(size, served).to_bits(),
+                    m.latency_ms_scaled(size, served, 1.0, 1.0, 1.0).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spike_factors_scale_only_their_leg() {
+        let m = LatencyModel::default();
+        let size = 10_000;
+        // Origin-leg spike leaves OC-served latency alone.
+        assert_eq!(
+            m.latency_ms(size, ServedBy::Oc),
+            m.latency_ms_scaled(size, ServedBy::Oc, 1.0, 1.0, 8.0)
+        );
+        // ...but slows an origin-served request by 7×200ms.
+        let spiked = m.latency_ms_scaled(size, ServedBy::Origin, 1.0, 1.0, 8.0);
+        assert!((spiked - m.latency_ms(size, ServedBy::Origin) - 7.0 * 200.0).abs() < 1e-9);
     }
 }

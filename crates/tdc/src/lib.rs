@@ -19,11 +19,17 @@
 //! LRU's insertion policy with SCIP" in the real system (§5.1).
 
 pub mod deploy;
+pub mod fault;
 pub mod latency;
+pub mod resilience;
 pub mod switchable;
 pub mod system;
 
-pub use deploy::{run_deployment, DeploymentConfig, DeploymentReport};
+pub use deploy::{run_deployment, run_deployment_resilient, DeploymentConfig, DeploymentReport};
+pub use fault::{FaultSchedule, LatencySpike, NodeCrash, SpikeTarget, Window};
 pub use latency::{LatencyModel, ServedBy};
+pub use resilience::{
+    BreakerState, CircuitBreaker, ResilienceConfig, ResilienceCounters, ResilientTdc, ServeOutcome,
+};
 pub use switchable::SwitchableScip;
-pub use system::{Tdc, TdcConfig};
+pub use system::{ConfigError, Tdc, TdcConfig};

@@ -8,7 +8,9 @@
 //! the bandit starts with a realistic view of eviction outcomes the moment
 //! it takes over.
 
-use cdn_cache::{AccessKind, CachePolicy, InsertPos, LruQueue, PolicyStats, Request, Tick};
+use cdn_cache::{
+    AccessKind, CachePolicy, InsertPos, LruQueue, ObjectId, PolicyStats, Request, Tick,
+};
 use scip::core::VictimInfo;
 use scip::{ScipConfig, ScipCore};
 
@@ -20,6 +22,10 @@ pub struct SwitchableScip {
     /// Tick at which SCIP takes over placement decisions.
     pub deploy_at: Tick,
     stats: PolicyStats,
+    /// When set, evicted `(id, size)` pairs accumulate for the caller to
+    /// drain — the resilience layer feeds them into its serve-stale store.
+    record_evictions: bool,
+    pending_evictions: Vec<(ObjectId, u64)>,
 }
 
 impl SwitchableScip {
@@ -36,6 +42,8 @@ impl SwitchableScip {
             ),
             deploy_at,
             stats: PolicyStats::default(),
+            record_evictions: false,
+            pending_evictions: Vec::new(),
         }
     }
 
@@ -46,6 +54,29 @@ impl SwitchableScip {
     /// The SCIP engine (diagnostics).
     pub fn core(&self) -> &ScipCore {
         &self.core
+    }
+
+    /// Is `id` currently resident? Read-only: unlike
+    /// [`CachePolicy::on_request`] this neither promotes nor inserts, so
+    /// peeking first and replaying the real access after is side-effect
+    /// equivalent to the single blind access the plain path makes.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.cache.contains(id)
+    }
+
+    /// Start (or stop) accumulating evicted `(id, size)` pairs for
+    /// [`Self::take_evictions`]. Off by default: the plain serving path
+    /// pays nothing for the mechanism.
+    pub fn set_record_evictions(&mut self, on: bool) {
+        self.record_evictions = on;
+        if !on {
+            self.pending_evictions.clear();
+        }
+    }
+
+    /// Drain the evictions recorded since the last call.
+    pub fn take_evictions(&mut self) -> Vec<(ObjectId, u64)> {
+        std::mem::take(&mut self.pending_evictions)
     }
 }
 
@@ -81,6 +112,9 @@ impl CachePolicy for SwitchableScip {
             if self.cache.admissible(req.size) {
                 while self.cache.needs_eviction_for(req.size) {
                     let v = self.cache.evict_lru().expect("nonempty");
+                    if self.record_evictions {
+                        self.pending_evictions.push((v.id, v.size));
+                    }
                     self.core.on_evict(VictimInfo {
                         id: v.id,
                         size: v.size,

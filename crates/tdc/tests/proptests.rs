@@ -1,0 +1,60 @@
+//! Property-based tests for the latency model: monotonicity in object
+//! size per tier, and the OC ≤ DC ≤ origin tier ordering, over sampled
+//! model parameterizations.
+
+use proptest::prelude::*;
+use tdc::{LatencyModel, ServedBy};
+
+/// A physically plausible latency model: positive RTTs and bandwidths.
+fn model() -> impl Strategy<Value = LatencyModel> {
+    (
+        0.1..200.0f64,
+        0.1..200.0f64,
+        0.1..500.0f64,
+        100.0..50_000.0f64,
+        50.0..10_000.0f64,
+    )
+        .prop_map(|(oc, dc, origin, edge_bw, origin_bw)| LatencyModel {
+            oc_rtt_ms: oc,
+            dc_rtt_ms: dc,
+            origin_rtt_ms: origin,
+            edge_bw,
+            origin_bw,
+        })
+}
+
+proptest! {
+    /// Bigger objects never finish faster, whichever tier serves them.
+    #[test]
+    fn latency_is_monotone_in_size(
+        m in model(),
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000_000,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for served in [ServedBy::Oc, ServedBy::Dc, ServedBy::Origin] {
+            prop_assert!(m.latency_ms(lo, served) <= m.latency_ms(hi, served));
+        }
+    }
+
+    /// Deeper layers are never faster: OC ≤ DC ≤ origin for any size.
+    #[test]
+    fn tiers_order_oc_dc_origin(m in model(), size in 0u64..1_000_000_000) {
+        let oc = m.latency_ms(size, ServedBy::Oc);
+        let dc = m.latency_ms(size, ServedBy::Dc);
+        let origin = m.latency_ms(size, ServedBy::Origin);
+        prop_assert!(oc <= dc && dc <= origin);
+    }
+
+    /// Unit spike factors leave the scaled model bit-identical to the
+    /// plain one for arbitrary parameterizations, not just the default.
+    #[test]
+    fn unit_spikes_are_identity(m in model(), size in 0u64..1_000_000_000) {
+        for served in [ServedBy::Oc, ServedBy::Dc, ServedBy::Origin] {
+            prop_assert_eq!(
+                m.latency_ms(size, served).to_bits(),
+                m.latency_ms_scaled(size, served, 1.0, 1.0, 1.0).to_bits()
+            );
+        }
+    }
+}

@@ -19,10 +19,16 @@ cargo test --workspace -q
 
 echo "==> cargo clippy --features fault-injection (-D warnings)"
 cargo clippy -p cdn-sim --all-targets --features fault-injection -- -D warnings
+cargo clippy -p tdc --all-targets --features fault-injection -- -D warnings
 
 echo "==> cargo test --features fault-injection"
 cargo test -q -p cdn-cache --features fault-injection
 cargo test -q -p cdn-trace --features fault-injection
 cargo test -q -p cdn-sim --features fault-injection
+cargo test -q -p tdc --features fault-injection
+
+echo "==> fig6_chaos calm gate (exits nonzero if calm != plain path)"
+TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
+    cargo run --release -q -p cdn-sim --bin fig6_chaos
 
 echo "OK"
