@@ -91,21 +91,26 @@ impl GhostList {
             self.delete(entry.id);
             return;
         }
+        // Account the new entry's bytes only after tail entries have been
+        // dropped to make room, so the ledger never transiently exceeds
+        // `u64` range even with budgets near `u64::MAX` (the tail loop can
+        // never pop the new entry itself: it sits at the head, and a
+        // single-entry list always fits because `size <= capacity`).
         if let Some(&h) = self.map.get(&entry.id) {
             let old = self.list.get(h).size;
-            self.used = self.used - old + entry.size;
+            self.used -= old;
             *self.list.get_mut(h) = entry;
             self.list.move_to_front(h);
         } else {
-            self.used += entry.size;
             let h = self.list.push_front(entry);
             self.map.insert(entry.id, h);
         }
-        while self.used > self.capacity_bytes {
-            let victim = self.list.pop_back().expect("used > 0 implies nonempty");
+        while self.used.saturating_add(entry.size) > self.capacity_bytes {
+            let victim = self.list.pop_back().expect("over budget implies nonempty");
             self.map.remove(&victim.id);
             self.used -= victim.size;
         }
+        self.used += entry.size;
     }
 
     /// Forget an object (the paper's `DELETE`), returning its entry if it
@@ -134,6 +139,46 @@ impl GhostList {
         self.list.clear();
         self.map.clear();
         self.used = 0;
+    }
+
+    /// Structural invariant walk (O(n)): list consistency (via
+    /// [`LinkedSlab::audit`]), ledger == Σ tracked sizes (summed in u128),
+    /// ledger within the byte budget, and map/list agreement. Returns a
+    /// description of the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        self.list.audit()?;
+        let mut sum: u128 = 0;
+        let mut n = 0usize;
+        for e in self.list.iter() {
+            let h = self
+                .map
+                .get(&e.id)
+                .ok_or_else(|| format!("ghost: listed entry {} missing from map", e.id.0))?;
+            if self.list.get(*h).id != e.id {
+                return Err(format!(
+                    "ghost: map handle for {} resolves elsewhere",
+                    e.id.0
+                ));
+            }
+            sum += e.size as u128;
+            n += 1;
+        }
+        if n != self.map.len() {
+            return Err(format!(
+                "ghost: list has {n} entries, map has {}",
+                self.map.len()
+            ));
+        }
+        if sum != self.used as u128 {
+            return Err(format!("ghost: ledger used={} but Σsizes={sum}", self.used));
+        }
+        if self.used > self.capacity_bytes {
+            return Err(format!(
+                "ghost: used={} exceeds budget={}",
+                self.used, self.capacity_bytes
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -17,6 +17,10 @@
 //! - [`ghost`]: FIFO ghost (history) lists holding metadata of evicted
 //!   objects under a byte budget — the `H_m`/`H_l` of the paper.
 //! - [`metrics`]: miss-ratio tracking, windowed hit rates and byte metrics.
+//! - [`model`]: deliberately naive reference implementations of the above
+//!   structures (Vec + linear scans + u128 ledgers) for differential
+//!   testing; every structure also exposes an O(n) `audit()` invariant
+//!   walk, called from hot paths when built with `--features audit`.
 //! - [`policy`]: the `CachePolicy` trait that every replacement algorithm
 //!   and insertion policy in the workspace implements.
 //! - `fault` (feature `fault-injection`): a deterministic failpoint
@@ -29,18 +33,20 @@ pub mod ghost;
 pub mod hash;
 pub mod list;
 pub mod metrics;
+pub mod model;
 pub mod object;
 pub mod policy;
 pub mod queue;
 pub mod rng;
 pub mod segq;
 
-pub use ghost::GhostList;
+pub use ghost::{GhostEntry, GhostList};
 pub use hash::{FxHashMap, FxHashSet};
 pub use list::{Handle, LinkedSlab};
 pub use metrics::{IntervalStats, LatencyHistogram, MetricsRecorder, MissRatio};
+pub use model::{ModelGhost, ModelLru, ModelLruPolicy, ModelSegQ};
 pub use object::{ObjectId, Request, Tick};
-pub use policy::{AccessKind, CachePolicy, InsertPos, PolicyStats};
+pub use policy::{AccessKind, CachePolicy, InsertPos, PolicyStats, RejectReason};
 pub use queue::{EntryMeta, EvictedEntry, LruQueue};
 pub use rng::SimRng;
 pub use segq::SegmentedQueue;

@@ -344,6 +344,59 @@ impl<T> LinkedSlab<T> {
         self.tail = NIL;
         self.len = 0;
     }
+
+    /// Structural invariant walk (O(n)). Checks that the chain from `head`
+    /// is doubly-linked consistently (`node.prev` of each node points at its
+    /// actual predecessor), terminates at `tail`, visits exactly `len` live
+    /// nodes without cycling, and that every free-list slot is dead and
+    /// disjoint from the chain. Returns a description of the first violated
+    /// invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        let mut seen = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            if seen > self.nodes.len() {
+                return Err("list: cycle detected walking head→tail".into());
+            }
+            let n = &self.nodes[cur as usize];
+            if n.value.is_none() {
+                return Err(format!("list: chained node {cur} holds no value"));
+            }
+            if n.prev != prev {
+                return Err(format!(
+                    "list: node {cur} has prev={} but predecessor is {prev}",
+                    n.prev
+                ));
+            }
+            prev = cur;
+            cur = n.next;
+            seen += 1;
+        }
+        if prev != self.tail {
+            return Err(format!(
+                "list: walk ended at {prev} but tail is {}",
+                self.tail
+            ));
+        }
+        if seen != self.len {
+            return Err(format!("list: walked {seen} nodes but len is {}", self.len));
+        }
+        for &f in &self.free {
+            if self.nodes[f as usize].value.is_some() {
+                return Err(format!("list: free slot {f} holds a live value"));
+            }
+        }
+        if self.len + self.free.len() != self.nodes.len() {
+            return Err(format!(
+                "list: {} live + {} free != {} slots",
+                self.len,
+                self.free.len(),
+                self.nodes.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Front-to-back iterator over a [`LinkedSlab`].

@@ -15,6 +15,15 @@ pub enum InsertPos {
     Lru,
 }
 
+/// Why a request was rejected without touching cache state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// `req.size > capacity`: the object can never fit, so admitting it
+    /// would evict the whole cache for nothing. No insertion, no eviction,
+    /// no ghost/history write.
+    TooLarge,
+}
+
 /// Outcome of a single request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
@@ -22,12 +31,21 @@ pub enum AccessKind {
     Hit,
     /// Object was not resident (and was fetched/inserted if admissible).
     Miss,
+    /// Object was not resident and the policy refused to consider it.
+    /// Counts as a miss for hit-ratio purposes ([`AccessKind::is_hit`] is
+    /// false) but guarantees cache state was left untouched.
+    Rejected(RejectReason),
 }
 
 impl AccessKind {
     /// True for [`AccessKind::Hit`].
     pub fn is_hit(self) -> bool {
         matches!(self, AccessKind::Hit)
+    }
+
+    /// True for [`AccessKind::Rejected`].
+    pub fn is_rejected(self) -> bool {
+        matches!(self, AccessKind::Rejected(_))
     }
 }
 
@@ -100,6 +118,9 @@ mod tests {
     fn access_kind_helpers() {
         assert!(AccessKind::Hit.is_hit());
         assert!(!AccessKind::Miss.is_hit());
+        assert!(!AccessKind::Rejected(RejectReason::TooLarge).is_hit());
+        assert!(AccessKind::Rejected(RejectReason::TooLarge).is_rejected());
+        assert!(!AccessKind::Miss.is_rejected());
     }
 
     #[test]

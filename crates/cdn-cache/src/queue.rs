@@ -116,9 +116,11 @@ impl LruQueue {
         self.list.get_mut(h)
     }
 
-    /// Whether inserting `size` bytes would require evictions.
+    /// Whether inserting `size` bytes would require evictions. Saturating:
+    /// adversarial sizes near `u64::MAX` must report "needs eviction", not
+    /// wrap around and report free space.
     pub fn needs_eviction_for(&self, size: u64) -> bool {
-        self.used + size > self.capacity
+        self.used.saturating_add(size) > self.capacity
     }
 
     /// Whether an object of `size` bytes can ever fit.
@@ -145,7 +147,10 @@ impl LruQueue {
     #[inline]
     pub fn insert_mru(&mut self, id: ObjectId, size: u64, tick: Tick) -> Handle {
         debug_assert!(!self.contains(id), "insert of resident object {id}");
-        debug_assert!(self.used + size <= self.capacity, "insert overflows");
+        debug_assert!(
+            self.used.saturating_add(size) <= self.capacity,
+            "insert overflows"
+        );
         let h = self.list.push_front(Self::make_meta(id, size, tick, true));
         self.map.insert(id, h);
         self.used += size;
@@ -157,7 +162,10 @@ impl LruQueue {
     #[inline]
     pub fn insert_lru(&mut self, id: ObjectId, size: u64, tick: Tick) -> Handle {
         debug_assert!(!self.contains(id), "insert of resident object {id}");
-        debug_assert!(self.used + size <= self.capacity, "insert overflows");
+        debug_assert!(
+            self.used.saturating_add(size) <= self.capacity,
+            "insert overflows"
+        );
         let h = self.list.push_back(Self::make_meta(id, size, tick, false));
         self.map.insert(id, h);
         self.used += size;
@@ -169,7 +177,10 @@ impl LruQueue {
     /// of a [`crate::SegmentedQueue`]).
     pub fn insert_meta_mru(&mut self, meta: EntryMeta) {
         debug_assert!(!self.contains(meta.id), "insert of resident object");
-        debug_assert!(self.used + meta.size <= self.capacity, "insert overflows");
+        debug_assert!(
+            self.used.saturating_add(meta.size) <= self.capacity,
+            "insert overflows"
+        );
         let id = meta.id;
         let size = meta.size;
         let h = self.list.push_front(meta);
@@ -181,7 +192,10 @@ impl LruQueue {
     /// [`LruQueue::insert_meta_mru`]).
     pub fn insert_meta_lru(&mut self, meta: EntryMeta) {
         debug_assert!(!self.contains(meta.id), "insert of resident object");
-        debug_assert!(self.used + meta.size <= self.capacity, "insert overflows");
+        debug_assert!(
+            self.used.saturating_add(meta.size) <= self.capacity,
+            "insert overflows"
+        );
         let id = meta.id;
         let size = meta.size;
         let h = self.list.push_back(meta);
@@ -292,6 +306,64 @@ impl LruQueue {
         self.list.clear();
         self.map.clear();
         self.used = 0;
+    }
+
+    /// Resize the byte budget. Shrinking evicts from the LRU end until the
+    /// queue fits again; the victims are returned oldest-first. Growing
+    /// never evicts.
+    pub fn set_capacity(&mut self, capacity: u64) -> Vec<EvictedEntry> {
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.used > self.capacity {
+            match self.evict_lru() {
+                Some(v) => evicted.push(v),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Structural invariant walk (O(n)). Checks, in order:
+    ///
+    /// - the intrusive list is doubly-linked consistently (via
+    ///   [`LinkedSlab::audit`]);
+    /// - `used_bytes()` equals the sum of resident entry sizes (computed in
+    ///   u128 so the audit itself cannot overflow);
+    /// - `used_bytes() <= capacity()`;
+    /// - the id→handle map and the list describe the same resident set.
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        self.list.audit()?;
+        let mut sum: u128 = 0;
+        let mut n = 0usize;
+        for m in self.list.iter() {
+            let h = self
+                .map
+                .get(&m.id)
+                .ok_or_else(|| format!("lru: listed entry {} missing from map", m.id.0))?;
+            if self.list.get(*h).id != m.id {
+                return Err(format!("lru: map handle for {} resolves elsewhere", m.id.0));
+            }
+            sum += m.size as u128;
+            n += 1;
+        }
+        if n != self.map.len() {
+            return Err(format!(
+                "lru: list has {n} entries, map has {}",
+                self.map.len()
+            ));
+        }
+        if sum != self.used as u128 {
+            return Err(format!("lru: ledger used={} but Σsizes={sum}", self.used));
+        }
+        if self.used > self.capacity {
+            return Err(format!(
+                "lru: used={} exceeds capacity={}",
+                self.used, self.capacity
+            ));
+        }
+        Ok(())
     }
 }
 

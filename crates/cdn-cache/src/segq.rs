@@ -74,9 +74,13 @@ impl SegmentedQueue {
         self.total_capacity
     }
 
-    /// Bytes resident across all segments.
+    /// Bytes resident across all segments. Saturating: mid-insert the queue
+    /// can transiently hold up to capacity + one object, which must not
+    /// wrap for capacities near `u64::MAX`.
     pub fn used_bytes(&self) -> u64 {
-        self.segments.iter().map(|s| s.used_bytes()).sum()
+        self.segments
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.used_bytes()))
     }
 
     /// Objects resident across all segments.
@@ -216,6 +220,50 @@ impl SegmentedQueue {
     /// Iterate all entries in global recency order (most protected first).
     pub fn iter_global(&self) -> impl Iterator<Item = &EntryMeta> {
         self.segments.iter().rev().flat_map(|s| s.iter())
+    }
+
+    /// Structural invariant walk (O(n)). Checks each segment's internal
+    /// consistency (via [`LruQueue::audit`]), that `seg_of` and the segment
+    /// queues describe the same resident set with matching indices, and
+    /// that the total resident bytes (summed in u128) fit the queue's
+    /// capacity. Per-segment byte *budgets* are deliberately not checked:
+    /// [`SegmentedQueue::promote_one_global`] overfills them by design and
+    /// the next insert rebalances.
+    pub fn audit(&self) -> Result<(), String> {
+        let mut sum: u128 = 0;
+        let mut n = 0usize;
+        for (i, seg) in self.segments.iter().enumerate() {
+            seg.audit().map_err(|e| format!("segq seg {i}: {e}"))?;
+            for m in seg.iter() {
+                match self.seg_of.get(&m.id) {
+                    None => {
+                        return Err(format!("segq: resident {} missing from seg_of", m.id.0));
+                    }
+                    Some(&s) if s as usize != i => {
+                        return Err(format!(
+                            "segq: {} resident in seg {i} but seg_of says {s}",
+                            m.id.0
+                        ));
+                    }
+                    _ => {}
+                }
+                sum += m.size as u128;
+                n += 1;
+            }
+        }
+        if n != self.seg_of.len() {
+            return Err(format!(
+                "segq: segments hold {n} entries, seg_of has {}",
+                self.seg_of.len()
+            ));
+        }
+        if sum > self.total_capacity as u128 {
+            return Err(format!(
+                "segq: Σsizes={sum} exceeds capacity={}",
+                self.total_capacity
+            ));
+        }
+        Ok(())
     }
 
     /// Approximate metadata footprint.

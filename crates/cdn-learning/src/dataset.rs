@@ -1,6 +1,58 @@
 //! Feature matrices, normalisation, splits and metrics.
 
+use std::fmt;
+
 use cdn_cache::SimRng;
+
+/// Structured errors for dataset construction and evaluation.
+///
+/// These replace the panics that used to guard user-reachable paths: a
+/// caller feeding ragged feature rows or a bad split fraction gets a
+/// typed error to report, not an abort inside the library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearnError {
+    /// A feature row's length disagrees with the dataset's dimensionality.
+    RaggedRow {
+        /// Expected feature count (from the first row).
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// A label outside `{0, 1}` (NaN included).
+    BadLabel(f64),
+    /// An operation that needs at least one sample got an empty set.
+    EmptyDataset,
+    /// A split fraction outside `[0, 1]` (NaN included).
+    BadFraction(f64),
+    /// Feature matrix and label vector lengths disagree.
+    LengthMismatch {
+        /// Number of feature rows.
+        x: usize,
+        /// Number of labels.
+        y: usize,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::RaggedRow { expected, got } => {
+                write!(
+                    f,
+                    "ragged feature row: expected {expected} features, got {got}"
+                )
+            }
+            LearnError::BadLabel(l) => write!(f, "label {l} is not a binary 0/1 label"),
+            LearnError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            LearnError::BadFraction(v) => write!(f, "split fraction {v} is outside [0, 1]"),
+            LearnError::LengthMismatch { x, y } => {
+                write!(f, "feature/label length mismatch: {x} rows vs {y} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
 
 /// A dense binary-classification dataset (row-major features).
 #[derive(Debug, Clone, Default)]
@@ -18,13 +70,24 @@ impl Dataset {
     }
 
     /// Append one labelled sample.
-    pub fn push(&mut self, features: Vec<f64>, label: f64) {
-        debug_assert!(label == 0.0 || label == 1.0, "binary labels only");
+    ///
+    /// Rejects labels outside `{0, 1}` and feature rows whose length
+    /// disagrees with the first row's; the dataset is unchanged on error.
+    pub fn push(&mut self, features: Vec<f64>, label: f64) -> Result<(), LearnError> {
+        if label != 0.0 && label != 1.0 {
+            return Err(LearnError::BadLabel(label));
+        }
         if let Some(first) = self.x.first() {
-            debug_assert_eq!(first.len(), features.len(), "ragged features");
+            if first.len() != features.len() {
+                return Err(LearnError::RaggedRow {
+                    expected: first.len(),
+                    got: features.len(),
+                });
+            }
         }
         self.x.push(features);
         self.y.push(label);
+        Ok(())
     }
 
     /// Number of samples.
@@ -54,10 +117,12 @@ impl Dataset {
     /// Split into (train, test) by time order: the first `train_frac` of
     /// samples train, the rest test. Temporal splits match how a cache
     /// would actually deploy a model (no lookahead leakage).
-    pub fn temporal_split(&self, train_frac: f64) -> (Dataset, Dataset) {
-        assert!((0.0..=1.0).contains(&train_frac));
+    pub fn temporal_split(&self, train_frac: f64) -> Result<(Dataset, Dataset), LearnError> {
+        if !(0.0..=1.0).contains(&train_frac) {
+            return Err(LearnError::BadFraction(train_frac));
+        }
         let cut = (self.len() as f64 * train_frac) as usize;
-        (
+        Ok((
             Dataset {
                 x: self.x[..cut].to_vec(),
                 y: self.y[..cut].to_vec(),
@@ -66,7 +131,7 @@ impl Dataset {
                 x: self.x[cut..].to_vec(),
                 y: self.y[cut..].to_vec(),
             },
-        )
+        ))
     }
 
     /// Downsample the majority class so classes are balanced (the paper
@@ -100,9 +165,19 @@ pub struct Normalizer {
 
 impl Normalizer {
     /// Fit means and standard deviations on `x`.
-    pub fn fit(x: &[Vec<f64>]) -> Self {
-        assert!(!x.is_empty(), "cannot fit a normalizer on no data");
+    ///
+    /// Errors on an empty matrix or ragged rows instead of panicking.
+    pub fn fit(x: &[Vec<f64>]) -> Result<Self, LearnError> {
+        if x.is_empty() {
+            return Err(LearnError::EmptyDataset);
+        }
         let dim = x[0].len();
+        if let Some(bad) = x.iter().find(|r| r.len() != dim) {
+            return Err(LearnError::RaggedRow {
+                expected: dim,
+                got: bad.len(),
+            });
+        }
         let n = x.len() as f64;
         let mut mean = vec![0.0; dim];
         for row in x {
@@ -131,7 +206,7 @@ impl Normalizer {
                 }
             })
             .collect();
-        Normalizer { mean, std }
+        Ok(Normalizer { mean, std })
     }
 
     /// Normalise a single row in place.
@@ -150,17 +225,29 @@ impl Normalizer {
 }
 
 /// Classification accuracy of a scoring function thresholded at 0.5.
-pub fn accuracy<F: Fn(&[f64]) -> f64>(x: &[Vec<f64>], y: &[f64], score: F) -> f64 {
-    assert_eq!(x.len(), y.len());
+///
+/// Errors when features and labels disagree in length; an empty set scores
+/// 0.0 (no decisions were correct because none were made).
+pub fn accuracy<F: Fn(&[f64]) -> f64>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    score: F,
+) -> Result<f64, LearnError> {
+    if x.len() != y.len() {
+        return Err(LearnError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
+    }
     if x.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let correct = x
         .iter()
         .zip(y)
         .filter(|(row, &label)| (score(row) >= 0.5) == (label == 1.0))
         .count();
-    correct as f64 / x.len() as f64
+    Ok(correct as f64 / x.len() as f64)
 }
 
 #[cfg(test)]
@@ -170,7 +257,8 @@ mod tests {
     fn toy() -> Dataset {
         let mut d = Dataset::new();
         for i in 0..10 {
-            d.push(vec![i as f64, 1.0], if i < 3 { 1.0 } else { 0.0 });
+            d.push(vec![i as f64, 1.0], if i < 3 { 1.0 } else { 0.0 })
+                .unwrap();
         }
         d
     }
@@ -186,7 +274,7 @@ mod tests {
     #[test]
     fn temporal_split_preserves_order() {
         let d = toy();
-        let (tr, te) = d.temporal_split(0.7);
+        let (tr, te) = d.temporal_split(0.7).unwrap();
         assert_eq!(tr.len(), 7);
         assert_eq!(te.len(), 3);
         assert_eq!(te.x[0][0], 7.0);
@@ -204,7 +292,7 @@ mod tests {
     #[test]
     fn normalizer_zero_mean_unit_std() {
         let d = toy();
-        let norm = Normalizer::fit(&d.x);
+        let norm = Normalizer::fit(&d.x).unwrap();
         let mut x = d.x.clone();
         norm.apply_all(&mut x);
         let n = x.len() as f64;
@@ -222,9 +310,50 @@ mod tests {
     fn accuracy_counts() {
         let x = vec![vec![0.0], vec![1.0], vec![2.0]];
         let y = vec![0.0, 1.0, 1.0];
-        let acc = accuracy(&x, &y, |r| if r[0] > 0.5 { 1.0 } else { 0.0 });
+        let acc = accuracy(&x, &y, |r| if r[0] > 0.5 { 1.0 } else { 0.0 }).unwrap();
         assert!((acc - 1.0).abs() < 1e-12);
-        let acc = accuracy(&x, &y, |_| 1.0);
+        let acc = accuracy(&x, &y, |_| 1.0).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structured_errors_not_panics() {
+        let mut d = toy();
+        assert_eq!(
+            d.push(vec![1.0], 0.0),
+            Err(LearnError::RaggedRow {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(d.push(vec![1.0, 2.0], 0.5), Err(LearnError::BadLabel(0.5)));
+        assert!(matches!(
+            d.push(vec![1.0, 2.0], f64::NAN),
+            Err(LearnError::BadLabel(l)) if l.is_nan()
+        ));
+        assert_eq!(d.len(), 10, "failed pushes must not mutate");
+        assert!(matches!(
+            d.temporal_split(1.5),
+            Err(LearnError::BadFraction(v)) if v == 1.5
+        ));
+        assert!(d.temporal_split(f64::NAN).is_err());
+        assert!(matches!(
+            Normalizer::fit(&[]),
+            Err(LearnError::EmptyDataset)
+        ));
+        assert_eq!(
+            Normalizer::fit(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err(),
+            LearnError::RaggedRow {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            accuracy(&[vec![1.0]], &[], |_| 0.0),
+            Err(LearnError::LengthMismatch { x: 1, y: 0 })
+        );
+        // Errors render with context for binaries to report.
+        let msg = LearnError::EmptyDataset.to_string();
+        assert!(msg.contains("non-empty"), "{msg}");
     }
 }

@@ -278,7 +278,7 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|r| f64::from(r[0] > 0.6)).collect();
         let mut m = Gbdt::new(GbdtParams::default());
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.97, "accuracy {acc}");
     }
 
@@ -300,7 +300,7 @@ mod tests {
             ..GbdtParams::default()
         });
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.9, "accuracy {acc}");
     }
 

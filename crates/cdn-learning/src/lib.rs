@@ -25,7 +25,7 @@ pub mod mab;
 pub mod mlp;
 pub mod svm;
 
-pub use dataset::{accuracy, Dataset, Normalizer};
+pub use dataset::{accuracy, Dataset, LearnError, Normalizer};
 pub use gbdt::{Gbdt, GbdtParams};
 pub use linreg::LinReg;
 pub use logreg::LogReg;

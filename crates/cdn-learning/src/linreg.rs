@@ -100,7 +100,7 @@ mod tests {
         let (x, y) = separable(2000, 3);
         let mut m = LinReg::new(2);
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.93, "accuracy {acc}");
     }
 

@@ -86,7 +86,7 @@ mod tests {
         }
         let mut m = LogReg::new(2);
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

@@ -54,7 +54,9 @@ impl ContextualBandit {
         self.boundaries = (0..dim)
             .map(|f| {
                 let mut vals: Vec<f64> = x.iter().map(|r| r[f]).collect();
-                vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                // total_cmp tolerates NaN features (they sort last) instead
+                // of panicking mid-fit on adversarial input.
+                vals.sort_unstable_by(f64::total_cmp);
                 (1..self.buckets)
                     .map(|q| vals[q * (vals.len() - 1) / self.buckets])
                     .collect()
@@ -78,6 +80,13 @@ impl ContextualBandit {
         let wrong = usize::from(!label);
         w[wrong] *= (-self.lambda).exp();
         let sum = w[0] + w[1];
+        // A non-finite or vanished sum (λ set to ±∞/NaN, or extreme
+        // penalties underflowing both arms) would otherwise poison every
+        // later renormalisation of this context; reset to uniform instead.
+        if !sum.is_finite() || sum <= 0.0 {
+            *w = [0.5, 0.5];
+            return;
+        }
         w[0] = (w[0] / sum).clamp(self.floor, 1.0 - self.floor);
         w[1] = 1.0 - w[0];
     }
@@ -134,7 +143,7 @@ mod tests {
         }
         let mut m = ContextualBandit::new(8);
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.85, "accuracy {acc}");
     }
 
@@ -173,6 +182,32 @@ mod tests {
     fn unseen_context_is_uniform() {
         let m = ContextualBandit::new(4);
         assert_eq!(m.predict_score(&[]), 0.5);
+    }
+
+    #[test]
+    fn degenerate_lambda_cannot_poison_weights() {
+        // λ = ∞ makes e^{-λ} = 0: both arms can hit exactly 0 and the old
+        // renormalisation divided by 0. NaN λ is worse: it propagates into
+        // the stored weights forever. Both must stay finite and normalised.
+        for bad_lambda in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut m = ContextualBandit::new(2);
+            m.fit_boundaries(&[vec![0.0], vec![1.0]]);
+            m.lambda = bad_lambda;
+            for i in 0..100 {
+                m.update(&[0.7], i % 2 == 0);
+                let arms = m.arms(&[0.7]);
+                assert!(
+                    arms[0].weight.is_finite() && arms[1].weight.is_finite(),
+                    "λ={bad_lambda}: weights {arms:?}"
+                );
+                let sum = arms[0].weight + arms[1].weight;
+                assert!((sum - 1.0).abs() < 1e-9, "λ={bad_lambda}: sum {sum}");
+            }
+        }
+        // NaN features must not panic boundary fitting either.
+        let mut m = ContextualBandit::new(4);
+        m.fit(&[vec![f64::NAN], vec![1.0], vec![2.0]], &[0.0, 1.0, 0.0]);
+        assert!(m.predict_score(&[1.5]).is_finite());
     }
 
     #[test]

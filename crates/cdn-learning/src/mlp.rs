@@ -135,7 +135,7 @@ mod tests {
         let mut m = Mlp::with_hidden(2, 32);
         m.epochs = 60;
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.9, "XOR accuracy {acc}");
     }
 
@@ -151,7 +151,7 @@ mod tests {
         }
         let mut m = Mlp::new(1);
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

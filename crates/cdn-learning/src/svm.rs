@@ -95,7 +95,7 @@ mod tests {
         }
         let mut m = LinearSvm::new(2);
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.93, "accuracy {acc}");
     }
 
@@ -123,7 +123,7 @@ mod tests {
         }
         let mut m = LinearSvm::new(1);
         m.fit(&x, &y);
-        let acc = accuracy(&x, &y, |r| m.predict_score(r));
+        let acc = accuracy(&x, &y, |r| m.predict_score(r)).unwrap();
         assert!(acc > 0.85, "accuracy {acc}");
     }
 }

@@ -12,6 +12,7 @@
 //! AdaptSize's behaviour (small objects favoured, threshold tracks the
 //! workload) at a fraction of the original solver's complexity.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, FxHashMap, LruQueue, ObjectId, PolicyStats, Request, SimRng,
 };
@@ -111,7 +112,7 @@ impl CachePolicy for AdaptSize {
             return AccessKind::Hit;
         }
         if !self.cache.admissible(req.size) {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         // Probabilistic size-aware admission.
         let p_admit = (-(req.size as f64) / self.c).exp();

@@ -9,6 +9,7 @@
 //! frequency estimate tracks a sliding sample window.
 
 use cdn_cache::hash::mix64;
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, LruQueue, ObjectId, PolicyStats, Request};
 
 /// 4-bit count-min sketch with periodic halving.
@@ -119,7 +120,9 @@ impl TinyLfu {
             let candidate = self.window.evict_lru().expect("over budget");
             // Make room in main, dueling candidate vs victims.
             let mut admitted = true;
-            while self.main.used_bytes() + candidate.size > self.capacity - self.window_budget {
+            while self.main.used_bytes().saturating_add(candidate.size)
+                > self.capacity - self.window_budget
+            {
                 let victim = match self.main.peek_lru() {
                     Some(v) => *v,
                     None => break,
@@ -163,11 +166,11 @@ impl CachePolicy for TinyLfu {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         // New arrivals always enter the window (burst absorption), then
         // duel for main admission on window overflow.
-        while self.used() + req.size > self.capacity {
+        while self.used().saturating_add(req.size) > self.capacity {
             if self.window.evict_lru().is_none() {
                 self.main.evict_lru();
             }

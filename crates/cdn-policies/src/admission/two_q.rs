@@ -6,6 +6,7 @@
 //! answer to the ZRO problem.
 
 use cdn_cache::ghost::GhostEntry;
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, GhostList, LruQueue, PolicyStats, Request};
 
 /// 2Q with byte-budgeted regions.
@@ -44,7 +45,7 @@ impl TwoQ {
     /// Free space: drain over-budget probation first (FIFO → A1out), then
     /// the main queue's LRU end.
     fn reclaim(&mut self, incoming: u64, tick: u64) {
-        while self.used() + incoming > self.capacity {
+        while self.used().saturating_add(incoming) > self.capacity {
             let from_a1in = self.a1in.used_bytes() > self.a1in_budget || self.am.is_empty();
             if from_a1in {
                 let v = self.a1in.evict_lru().expect("probation nonempty");
@@ -82,7 +83,7 @@ impl CachePolicy for TwoQ {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         self.reclaim(req.size, req.tick);
         if self.a1out.delete(req.id).is_some() {

@@ -11,6 +11,7 @@
 //! half, refills by uniform crossover and mutates. The periodic evaluation
 //! machinery is what gives DGIPPR its elevated CPU cost in Figure 9(a).
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, PolicyStats, Request, SegmentedQueue, SimRng};
 
 const N_SEGMENTS: usize = 8;
@@ -179,7 +180,7 @@ impl CachePolicy for Dgippr {
             self.fitness[self.current].0 += 1;
             AccessKind::Hit
         } else if req.size > self.q.capacity() {
-            AccessKind::Miss
+            AccessKind::Rejected(RejectReason::TooLarge)
         } else {
             let evicted = self
                 .q

@@ -27,6 +27,7 @@ pub use dta::Dta;
 pub use pipp::Pipp;
 pub use ship::Ship;
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, EntryMeta, InsertPos, LruQueue, PolicyStats, Request, Tick,
 };
@@ -125,10 +126,12 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
                 PromoteAction::ToLru => self.cache.demote_to_lru_at(h),
                 PromoteAction::Stay => {}
             }
+            #[cfg(feature = "audit")]
+            self.cache.audit().expect("insertion-cache invariants");
             return AccessKind::Hit;
         }
         if !self.cache.admissible(req.size) {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         let decision = self.decider.on_miss(req, &self.cache);
         while self.cache.needs_eviction_for(req.size) {
@@ -144,6 +147,8 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
             self.cache.get_at_mut(h).tag = decision.tag;
         }
         self.stats.insertions += 1;
+        #[cfg(feature = "audit")]
+        self.cache.audit().expect("insertion-cache invariants");
         AccessKind::Miss
     }
 

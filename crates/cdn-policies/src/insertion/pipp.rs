@@ -13,6 +13,7 @@
 //! Positions are realised with an 8-segment [`SegmentedQueue`]; inserting
 //! into segment `k` is an O(1) stand-in for "insert at fraction k/8".
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, PolicyStats, Request, SegmentedQueue, SimRng};
 
 const N_SEGMENTS: usize = 8;
@@ -65,7 +66,7 @@ impl CachePolicy for Pipp {
             return AccessKind::Hit;
         }
         if req.size > self.q.capacity() {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         let evicted = self.q.insert(self.insert_seg, req.id, req.size, req.tick);
         self.stats.evictions += evicted.len() as u64;

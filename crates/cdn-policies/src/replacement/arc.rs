@@ -7,6 +7,7 @@
 //! byte budget T1 is allowed to occupy.
 
 use cdn_cache::ghost::GhostEntry;
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, GhostList, LruQueue, PolicyStats, Request};
 
 /// Adaptive replacement cache.
@@ -45,7 +46,13 @@ impl Arc {
 
     /// Evict from T1 or T2 according to `p` until `incoming` fits.
     fn replace(&mut self, incoming: u64, from_b2: bool) {
-        while self.t1.used_bytes() + self.t2.used_bytes() + incoming > self.capacity {
+        while self
+            .t1
+            .used_bytes()
+            .saturating_add(self.t2.used_bytes())
+            .saturating_add(incoming)
+            > self.capacity
+        {
             let prefer_t1 = !self.t1.is_empty()
                 && (self.t1.used_bytes() > self.p
                     || (from_b2 && self.t1.used_bytes() >= self.p)
@@ -86,7 +93,7 @@ impl CachePolicy for Arc {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         // Case II: ghost hit in B1 → grow p.
         if self.b1.contains(req.id) {

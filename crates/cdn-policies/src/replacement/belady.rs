@@ -3,6 +3,7 @@
 
 use std::sync::Arc as StdArc;
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, PolicyStats, Request};
 use cdn_trace::belady::BeladyOracle;
 
@@ -38,6 +39,10 @@ impl CachePolicy for BeladyPolicy {
         let na = self.next[req.tick as usize];
         if self.oracle.access(req, na) {
             AccessKind::Hit
+        } else if req.size > self.capacity {
+            // Uniform oversized contract: the oracle's bypass of a
+            // can-never-fit object is a rejection, not an ordinary miss.
+            AccessKind::Rejected(RejectReason::TooLarge)
         } else {
             self.stats.insertions += 1;
             AccessKind::Miss

@@ -16,6 +16,7 @@
 use std::collections::BTreeSet;
 
 use cdn_cache::ghost::GhostEntry;
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, FxHashMap, GhostList, ObjectId, PolicyStats, Request, SegmentedQueue,
     SimRng, Tick,
@@ -153,7 +154,7 @@ impl CachePolicy for Cacheus {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         let mut restored_freq = 0;
         if let Some(e) = self.h_lru.delete(req.id) {
@@ -163,7 +164,7 @@ impl CachePolicy for Cacheus {
             self.penalise(false);
             restored_freq = e.tag;
         }
-        while self.recency.used_bytes() + req.size > self.capacity {
+        while self.recency.used_bytes().saturating_add(req.size) > self.capacity {
             self.evict_one();
         }
         // New objects start in probation (segment 0).

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request};
 
 use super::OrdF64;
@@ -75,9 +76,9 @@ impl CachePolicy for Gdsf {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
-        while self.used + req.size > self.capacity {
+        while self.used.saturating_add(req.size) > self.capacity {
             let &(OrdF64(h), victim) = self.queue.iter().next().expect("over capacity");
             self.queue.remove(&(OrdF64(h), victim));
             let e = self.entries.remove(&victim).expect("indexed");

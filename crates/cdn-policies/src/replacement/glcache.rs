@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request, Tick};
 use cdn_learning::{Gbdt, GbdtParams};
 
@@ -232,9 +233,9 @@ impl CachePolicy for GlCache {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
-        while self.used + req.size > self.capacity {
+        while self.used.saturating_add(req.size) > self.capacity {
             self.evict_some(req.tick);
         }
         let gid = self.current_group(req.tick);

@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 
 use cdn_cache::ghost::GhostEntry;
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, FxHashMap, GhostList, LruQueue, ObjectId, PolicyStats, Request,
     SimRng, Tick,
@@ -117,7 +118,7 @@ impl CachePolicy for LeCar {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         // Regret updates from ghost hits.
         let mut restored_freq = 0;
@@ -128,7 +129,7 @@ impl CachePolicy for LeCar {
             self.penalise(false);
             restored_freq = e.tag;
         }
-        while self.recency.used_bytes() + req.size > self.capacity {
+        while self.recency.used_bytes().saturating_add(req.size) > self.capacity {
             self.evict_one();
         }
         self.recency.insert_mru(req.id, req.size, req.tick);

@@ -8,6 +8,7 @@
 //! periodically, which reproduces LHD's adaptivity without its full
 //! conditional-probability machinery.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request, SimRng, Tick};
 
 const SIZE_BUCKETS: usize = 32;
@@ -141,9 +142,9 @@ impl CachePolicy for Lhd {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
-        while self.used + req.size > self.capacity {
+        while self.used.saturating_add(req.size) > self.capacity {
             self.evict_one(req.tick);
         }
         self.resident.insert(

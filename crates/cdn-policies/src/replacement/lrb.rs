@@ -20,6 +20,7 @@
 //!   candidate with the oldest last access is evicted (LRU-flavoured
 //!   bootstrap).
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request, SimRng, Tick};
 use cdn_learning::{Gbdt, GbdtParams};
 
@@ -340,9 +341,9 @@ impl CachePolicy for Lrb {
         }
         self.label_pending(req.id, req.tick);
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
-        while self.used + req.size > self.capacity {
+        while self.used.saturating_add(req.size) > self.capacity {
             self.evict_one(req.tick);
         }
         self.resident.insert(

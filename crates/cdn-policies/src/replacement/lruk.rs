@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request, Tick};
 
 /// Eviction key: `(band, time)` — band 0 = fewer than K references
@@ -169,9 +170,9 @@ impl CachePolicy for LruK {
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
-        while self.used + req.size > self.capacity {
+        while self.used.saturating_add(req.size) > self.capacity {
             self.evict_one();
         }
         let hist = self.history.get(&req.id).expect("just recorded").clone();

@@ -5,6 +5,7 @@
 //! in segment `i` moves the object to the head of segment `min(i+1, 3)`,
 //! overflow cascades downward and segment 0 evicts.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, PolicyStats, Request, SegmentedQueue};
 
 /// Segmented LRU with 4 levels.
@@ -43,7 +44,7 @@ impl CachePolicy for S4Lru {
             return AccessKind::Hit;
         }
         if req.size > self.q.capacity() {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         let evicted = self.q.insert(0, req.id, req.size, req.tick);
         self.stats.evictions += evicted.len() as u64;

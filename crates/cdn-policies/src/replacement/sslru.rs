@@ -8,6 +8,7 @@
 //! that captures the paper's "smart" segment steering. Hits climb segments
 //! exactly as in S4LRU.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request, SegmentedQueue, Tick,
 };
@@ -95,7 +96,7 @@ impl CachePolicy for SsLru {
             return AccessKind::Hit;
         }
         if req.size > self.q.capacity() {
-            return AccessKind::Miss;
+            return AccessKind::Rejected(RejectReason::TooLarge);
         }
         let (freq, gap) = self.observe(req.id, req.tick);
         let x = features(req.size, freq, gap);

@@ -1,8 +1,8 @@
 //! Run the SCIP design-choice ablations (beyond the paper).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::ablations(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::ablations(&bench), "ablations");
     t.print();
-    let p = t.save_tsv("ablations").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("ablations"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

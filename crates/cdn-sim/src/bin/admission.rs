@@ -1,8 +1,11 @@
 //! Run the beyond-paper admission-family comparison.
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::admission_comparison(&bench);
+    let t = cdn_sim::or_die(
+        cdn_sim::experiments::admission_comparison(&bench),
+        "admission_comparison",
+    );
     t.print();
-    let p = t.save_tsv("admission").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("admission"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

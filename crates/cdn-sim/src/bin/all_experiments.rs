@@ -6,30 +6,36 @@ fn main() {
         "running all experiments at {} requests/trace (REPRO_REQUESTS to change)",
         bench.requests
     );
-    let t = exp::table1(&bench);
+    let t = cdn_sim::or_die(exp::table1(&bench), "table1");
     t.print();
-    t.save_tsv("table1").unwrap();
+    cdn_sim::or_die(t.save_tsv("table1"), "writing table1 TSV");
     for (name, table) in [
-        ("fig1", exp::fig1(&bench)),
-        ("fig3", exp::fig3(&bench)),
-        ("fig4", exp::fig4(&bench)),
-        ("fig7", exp::fig7(&bench)),
-        ("fig8", exp::fig8(&bench)),
-        ("fig9", exp::fig9(&bench)),
-        ("fig10", exp::fig10(&bench)),
-        ("fig11", exp::fig11(&bench)),
-        ("fig12", exp::fig12(&bench)),
-        ("ablations", exp::ablations(&bench)),
-        ("admission", exp::admission_comparison(&bench)),
+        ("fig1", cdn_sim::or_die(exp::fig1(&bench), "fig1")),
+        ("fig3", cdn_sim::or_die(exp::fig3(&bench), "fig3")),
+        ("fig4", cdn_sim::or_die(exp::fig4(&bench), "fig4")),
+        ("fig7", cdn_sim::or_die(exp::fig7(&bench), "fig7")),
+        ("fig8", cdn_sim::or_die(exp::fig8(&bench), "fig8")),
+        ("fig9", cdn_sim::or_die(exp::fig9(&bench), "fig9")),
+        ("fig10", cdn_sim::or_die(exp::fig10(&bench), "fig10")),
+        ("fig11", cdn_sim::or_die(exp::fig11(&bench), "fig11")),
+        ("fig12", cdn_sim::or_die(exp::fig12(&bench), "fig12")),
+        (
+            "ablations",
+            cdn_sim::or_die(exp::ablations(&bench), "ablations"),
+        ),
+        (
+            "admission",
+            cdn_sim::or_die(exp::admission_comparison(&bench), "admission"),
+        ),
     ] {
         println!();
         table.print();
-        table.save_tsv(name).unwrap();
+        cdn_sim::or_die(table.save_tsv(name), "writing results TSV");
     }
-    let (summary, series) = exp::fig6(&bench);
+    let (summary, series) = cdn_sim::or_die(exp::fig6(&bench), "fig6");
     println!();
     summary.print();
-    summary.save_tsv("fig6_summary").unwrap();
-    series.save_tsv("fig6_series").unwrap();
+    cdn_sim::or_die(summary.save_tsv("fig6_summary"), "writing results TSV");
+    cdn_sim::or_die(series.save_tsv("fig6_series"), "writing results TSV");
     eprintln!("all tables saved under results/");
 }

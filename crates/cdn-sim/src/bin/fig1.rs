@@ -1,8 +1,8 @@
 //! Regenerate Figure 1 (ZRO/P-ZRO structure under LRU).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig1(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig1(&bench), "fig1");
     t.print();
-    let p = t.save_tsv("fig1").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig1"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

@@ -1,8 +1,8 @@
 //! Regenerate Figure 10 (SCIP vs replacement algorithms).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig10(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig10(&bench), "fig10");
     t.print();
-    let p = t.save_tsv("fig10").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig10"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

@@ -1,8 +1,8 @@
 //! Regenerate Figure 11 (resource use of replacement algorithms).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig11(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig11(&bench), "fig11");
     t.print();
-    let p = t.save_tsv("fig11").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig11"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

@@ -1,8 +1,8 @@
 //! Regenerate Figure 12 (SCIP as an enhancement layer).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig12(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig12(&bench), "fig12");
     t.print();
-    let p = t.save_tsv("fig12").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig12"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

@@ -1,8 +1,8 @@
 //! Regenerate Figure 3 (oracle placement curves).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig3(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig3(&bench), "fig3");
     t.print();
-    let p = t.save_tsv("fig3").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig3"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

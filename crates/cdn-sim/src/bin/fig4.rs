@@ -1,8 +1,8 @@
 //! Regenerate Figure 4 (model decision accuracy).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig4(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig4(&bench), "fig4");
     t.print();
-    let p = t.save_tsv("fig4").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig4"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

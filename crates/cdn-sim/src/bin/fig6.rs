@@ -1,11 +1,11 @@
 //! Regenerate Figure 6 (TDC deployment study).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let (summary, series) = cdn_sim::experiments::fig6(&bench);
+    let (summary, series) = cdn_sim::or_die(cdn_sim::experiments::fig6(&bench), "fig6");
     summary.print();
     println!();
     series.print();
-    summary.save_tsv("fig6_summary").expect("write results");
-    let p = series.save_tsv("fig6_series").expect("write results");
+    cdn_sim::or_die(summary.save_tsv("fig6_summary"), "writing results TSV");
+    let p = cdn_sim::or_die(series.save_tsv("fig6_series"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

@@ -23,16 +23,16 @@ fn main() {
     let seed = env_u64("TDC_CHAOS_SEED", cdn_sim::default_seed());
     let study = cdn_sim::experiments::fig6_chaos(requests, seed);
 
-    let table = study.table();
+    let table = cdn_sim::or_die(study.table(), "rendering chaos table");
     table.print();
-    let tsv = table.save_tsv("fig6_chaos").expect("write results");
+    let tsv = cdn_sim::or_die(table.save_tsv("fig6_chaos"), "writing results TSV");
 
     let dir = cdn_sim::table::results_dir();
-    fs::create_dir_all(&dir).expect("create results dir");
+    cdn_sim::or_die(fs::create_dir_all(&dir), "creating results dir");
     let md = dir.join("fig6_chaos.md");
-    fs::write(&md, study.to_markdown()).expect("write markdown");
+    cdn_sim::or_die(fs::write(&md, study.to_markdown()), "writing markdown");
     let json = dir.join("fig6_chaos.json");
-    fs::write(&json, study.to_json()).expect("write json");
+    cdn_sim::or_die(fs::write(&json, study.to_json()), "writing json");
     eprintln!(
         "saved {}, {} and {}",
         tsv.display(),

@@ -1,8 +1,8 @@
 //! Regenerate Figure 7 (SCIP vs SCI).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig7(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig7(&bench), "fig7");
     t.print();
-    let p = t.save_tsv("fig7").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig7"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

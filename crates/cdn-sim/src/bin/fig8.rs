@@ -1,8 +1,8 @@
 //! Regenerate Figure 8 (SCIP vs insertion policies).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig8(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig8(&bench), "fig8");
     t.print();
-    let p = t.save_tsv("fig8").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig8"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

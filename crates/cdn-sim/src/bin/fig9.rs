@@ -1,8 +1,8 @@
 //! Regenerate Figure 9 (resource use of insertion policies).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::fig9(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::fig9(&bench), "fig9");
     t.print();
-    let p = t.save_tsv("fig9").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("fig9"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

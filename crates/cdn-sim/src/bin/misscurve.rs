@@ -1,8 +1,8 @@
 //! Generate miss-ratio curves for the headline policies.
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::miss_curves(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::miss_curves(&bench), "miss_curves");
     t.print();
-    let p = t.save_tsv("misscurve").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("misscurve"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

@@ -1,7 +1,10 @@
 //! Seed-sensitivity check of the headline SCIP-vs-LRU result.
 fn main() {
-    let t = cdn_sim::experiments::seed_variance(cdn_sim::default_requests());
+    let t = cdn_sim::or_die(
+        cdn_sim::experiments::seed_variance(cdn_sim::default_requests()),
+        "seed variance",
+    );
     t.print();
-    let p = t.save_tsv("seeds").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("seeds"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

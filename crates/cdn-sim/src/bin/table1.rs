@@ -1,8 +1,8 @@
 //! Regenerate Table 1 (workload summary).
 fn main() {
     let bench = cdn_sim::experiments::Bench::default_scale();
-    let t = cdn_sim::experiments::table1(&bench);
+    let t = cdn_sim::or_die(cdn_sim::experiments::table1(&bench), "table1");
     t.print();
-    let p = t.save_tsv("table1").expect("write results");
+    let p = cdn_sim::or_die(t.save_tsv("table1"), "writing results TSV");
     eprintln!("saved {}", p.display());
 }

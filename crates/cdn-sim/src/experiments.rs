@@ -11,10 +11,44 @@ use cdn_learning::{
 use cdn_trace::label::{label_trace, oracle_replay, OracleTreatment, RequestLabel};
 use cdn_trace::{TraceGenerator, TraceStats, Workload};
 
+use cdn_learning::LearnError;
+
 use crate::checkpoint::{run_checkpointed, Checkpoint};
 use crate::runner::{run_policy, PolicyKind, RunMeasurement, TraceCtx};
 use crate::sweep::{parallel_runs, SweepConfig, SweepReport};
-use crate::table::{mb, pct, Table};
+use crate::table::{mb, pct, Table, TableError};
+
+/// Anything that can go wrong while building an experiment table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// Table shape violation (ragged row).
+    Table(TableError),
+    /// Dataset/metric failure in a learning experiment.
+    Learn(LearnError),
+}
+
+impl From<TableError> for ExperimentError {
+    fn from(e: TableError) -> Self {
+        ExperimentError::Table(e)
+    }
+}
+
+impl From<LearnError> for ExperimentError {
+    fn from(e: LearnError) -> Self {
+        ExperimentError::Learn(e)
+    }
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Table(e) => write!(f, "table error: {e}"),
+            ExperimentError::Learn(e) => write!(f, "learning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
 
 /// Shared experiment inputs: one generated trace per workload.
 pub struct Bench {
@@ -57,7 +91,7 @@ impl Bench {
 }
 
 /// Table 1: workload summary statistics.
-pub fn table1(bench: &Bench) -> Table {
+pub fn table1(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Table 1 — summary of workloads",
         &["metric", "CDN-T", "CDN-W", "CDN-A"],
@@ -99,14 +133,14 @@ pub fn table1(bench: &Bench) -> Table {
     for (name, f) in rows {
         let mut cells = vec![name.to_string()];
         cells.extend(fmt(&*f));
-        t.row(cells);
+        t.row(cells)?;
     }
-    t
+    Ok(t)
 }
 
 /// Figure 1: ZRO/A-ZRO/P-ZRO/A-P-ZRO percentages and achievable miss-ratio
 /// reductions under LRU at cache sizes A-D (0.5/1/5/10 % of the WSS).
-pub fn fig1(bench: &Bench) -> Table {
+pub fn fig1(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Figure 1 — ZRO / P-ZRO structure under LRU (cache = fraction of WSS X)",
         &[
@@ -159,14 +193,14 @@ pub fn fig1(bench: &Bench) -> Table {
         })
         .collect();
     for row in parallel_runs(jobs) {
-        t.row(row);
+        t.row(row)?;
     }
-    t
+    Ok(t)
 }
 
 /// Figure 3: miss ratio when the first x % of labeled ZROs / P-ZROs / both
 /// are placed at the LRU position (LRU replay, 1 % of WSS cache).
-pub fn fig3(bench: &Bench) -> Table {
+pub fn fig3(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Figure 3 — theoretical miss ratio vs fraction of treated objects (cache = 1%X)",
         &["workload", "treated%", "ZRO@LRU", "P-ZRO@LRU", "both@LRU"],
@@ -200,16 +234,16 @@ pub fn fig3(bench: &Bench) -> Table {
         .collect();
     for rows in parallel_runs(jobs) {
         for row in rows {
-            t.row(row);
+            t.row(row)?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// Build the Figure-4 classification datasets from a labeled replay:
 /// online features (log size, log frequency-so-far, log recency gap) and
 /// three tasks (ZRO on misses, P-ZRO on hits, both on all requests).
-fn fig4_datasets(trace: &[Request], cache_bytes: u64) -> [Dataset; 3] {
+fn fig4_datasets(trace: &[Request], cache_bytes: u64) -> Result<[Dataset; 3], LearnError> {
     let labels = label_trace(trace, cache_bytes);
     let mut freq: FxHashMap<ObjectId, (u32, u64)> = FxHashMap::default();
     let mut zro_ds = Dataset::new();
@@ -227,31 +261,31 @@ fn fig4_datasets(trace: &[Request], cache_bytes: u64) -> [Dataset; 3] {
         entry.1 = r.tick;
         match labels.labels[r.tick as usize] {
             RequestLabel::MissReused => {
-                zro_ds.push(feats.clone(), 0.0);
-                both_ds.push(feats, 0.0);
+                zro_ds.push(feats.clone(), 0.0)?;
+                both_ds.push(feats, 0.0)?;
             }
             RequestLabel::MissZro { .. } => {
-                zro_ds.push(feats.clone(), 1.0);
-                both_ds.push(feats, 1.0);
+                zro_ds.push(feats.clone(), 1.0)?;
+                both_ds.push(feats, 1.0)?;
             }
             RequestLabel::HitReused => {
-                pzro_ds.push(feats.clone(), 0.0);
-                both_ds.push(feats, 0.0);
+                pzro_ds.push(feats.clone(), 0.0)?;
+                both_ds.push(feats, 0.0)?;
             }
             RequestLabel::HitPZro { .. } => {
-                pzro_ds.push(feats.clone(), 1.0);
-                both_ds.push(feats, 1.0);
+                pzro_ds.push(feats.clone(), 1.0)?;
+                both_ds.push(feats, 1.0)?;
             }
             RequestLabel::Inadmissible => {}
         }
     }
-    [zro_ds, pzro_ds, both_ds]
+    Ok([zro_ds, pzro_ds, both_ds])
 }
 
-fn eval_model(name: &str, ds: &Dataset, seed: u64) -> (String, f64) {
-    let (train_raw, test_raw) = ds.temporal_split(0.7);
+fn eval_model(name: &str, ds: &Dataset, seed: u64) -> Result<(String, f64), LearnError> {
+    let (train_raw, test_raw) = ds.temporal_split(0.7)?;
     if train_raw.is_empty() || test_raw.is_empty() {
-        return (name.to_string(), f64::NAN);
+        return Ok((name.to_string(), f64::NAN));
     }
     let mut rng = cdn_cache::SimRng::new(seed);
     // Balance both splits so 50 % accuracy = chance, as a "decision
@@ -259,14 +293,14 @@ fn eval_model(name: &str, ds: &Dataset, seed: u64) -> (String, f64) {
     let mut train = train_raw.balanced(&mut rng);
     let test = test_raw.balanced(&mut rng);
     if train.is_empty() || test.is_empty() {
-        return (name.to_string(), f64::NAN);
+        return Ok((name.to_string(), f64::NAN));
     }
     const CAP: usize = 30_000;
     if train.len() > CAP {
         train.x.truncate(CAP);
         train.y.truncate(CAP);
     }
-    let norm = Normalizer::fit(&train.x);
+    let norm = Normalizer::fit(&train.x)?;
     let mut train_x = train.x.clone();
     norm.apply_all(&mut train_x);
     let mut test_x = test.x.clone();
@@ -283,13 +317,13 @@ fn eval_model(name: &str, ds: &Dataset, seed: u64) -> (String, f64) {
         other => panic!("unknown model {other}"),
     };
     model.fit(&train_x, &train.y);
-    let acc = accuracy(&test_x, &test.y, |row| model.predict_score(row));
-    (name.to_string(), acc)
+    let acc = accuracy(&test_x, &test.y, |row| model.predict_score(row))?;
+    Ok((name.to_string(), acc))
 }
 
 /// Figure 4: decision accuracy of six model families on ZRO, P-ZRO and
 /// combined identification (cache = 1 % of WSS).
-pub fn fig4(bench: &Bench) -> Table {
+pub fn fig4(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Figure 4 — decision accuracy identifying ZRO / P-ZRO / both (balanced test sets)",
         &[
@@ -305,14 +339,14 @@ pub fn fig4(bench: &Bench) -> Table {
             let cap = stats.cache_bytes_for_fraction(0.01);
             let w = *w;
             let seed = bench.seed;
-            move || {
-                let datasets = fig4_datasets(&trace, cap);
+            move || -> Result<Vec<Vec<String>>, LearnError> {
+                let datasets = fig4_datasets(&trace, cap)?;
                 let tasks = ["ZRO", "P-ZRO", "both"];
                 let mut rows = Vec::new();
                 for (task, ds) in tasks.iter().zip(&datasets) {
                     let mut cells = vec![w.name().to_string(), task.to_string()];
                     for m in MODELS {
-                        let (_, acc) = eval_model(m, ds, seed);
+                        let (_, acc) = eval_model(m, ds, seed)?;
                         cells.push(if acc.is_nan() {
                             "n/a".to_string()
                         } else {
@@ -321,21 +355,21 @@ pub fn fig4(bench: &Bench) -> Table {
                     }
                     rows.push(cells);
                 }
-                rows
+                Ok(rows)
             }
         })
         .collect();
     for rows in parallel_runs(jobs) {
-        for row in rows {
-            t.row(row);
+        for row in rows? {
+            t.row(row)?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// Figure 6: the TDC deployment study (BTO bandwidth/ratio and latency,
 /// before vs after SCIP).
-pub fn fig6(bench: &Bench) -> (Table, Table) {
+pub fn fig6(bench: &Bench) -> Result<(Table, Table), ExperimentError> {
     // Use the CDN-T analog (TDC's own traffic).
     let (w, trace, stats) = &bench.traces[0];
     assert_eq!(*w, Workload::CdnT);
@@ -365,7 +399,7 @@ pub fn fig6(bench: &Bench) -> (Table, Table) {
             format!("{:.3}", b.bto_gbps(report.bucket_secs)),
             pct(b.bto_ratio()),
             format!("{:.1}", b.mean_latency_ms()),
-        ]);
+        ])?;
     }
 
     let mut summary = Table::new(
@@ -378,20 +412,20 @@ pub fn fig6(bench: &Bench) -> (Table, Table) {
         pct(report.before.bto_ratio),
         pct(report.after.bto_ratio),
         rel(report.before.bto_ratio, report.after.bto_ratio),
-    ]);
+    ])?;
     summary.row(vec![
         "BTO bandwidth (Gbps)".into(),
         format!("{:.3}", report.before.bto_gbps),
         format!("{:.3}", report.after.bto_gbps),
         rel(report.before.bto_gbps, report.after.bto_gbps),
-    ]);
+    ])?;
     summary.row(vec![
         "mean latency (ms)".into(),
         format!("{:.1}", report.before.mean_latency_ms),
         format!("{:.1}", report.after.mean_latency_ms),
         rel(report.before.mean_latency_ms, report.after.mean_latency_ms),
-    ]);
-    (summary, series)
+    ])?;
+    Ok((summary, series))
 }
 
 /// Wall-clock span chaos replays dilate their trace to. Generated traces
@@ -451,7 +485,7 @@ impl ChaosStudy {
     }
 
     /// Render as a [`Table`].
-    pub fn table(&self) -> Table {
+    pub fn table(&self) -> Result<Table, TableError> {
         let mut t = Table::new(
             "Figure 6 under chaos — SCIP vs LRU across fault schedules",
             &[
@@ -485,9 +519,9 @@ impl ChaosStudy {
                 c.counters.breaker_trips.to_string(),
                 c.counters.failovers.to_string(),
                 c.counters.coalesced.to_string(),
-            ]);
+            ])?;
         }
-        t
+        Ok(t)
     }
 
     /// Render as a GitHub-flavored markdown document.
@@ -709,7 +743,7 @@ fn miss_ratio_grid(
     policies: &[PolicyKind],
     cache_gbs: &[f64],
     title: &str,
-) -> Table {
+) -> Result<Table, ExperimentError> {
     let mut header = vec!["workload".to_string(), "cache".to_string()];
     header.extend(policies.iter().map(|p| p.label().to_string()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -746,14 +780,14 @@ fn miss_ratio_grid(
                     None => FAIL_CELL.to_string(),
                 });
             }
-            t.row(cells);
+            t.row(cells)?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// Figure 7: SCIP vs SCI miss ratios at the paper's three cache points.
-pub fn fig7(bench: &Bench) -> Table {
+pub fn fig7(bench: &Bench) -> Result<Table, ExperimentError> {
     miss_ratio_grid(
         bench,
         &[PolicyKind::Sci, PolicyKind::Scip],
@@ -764,7 +798,7 @@ pub fn fig7(bench: &Bench) -> Table {
 
 /// Figure 8: SCIP vs the eight insertion policies and Belady, at the
 /// paper's 64/128/256 GB points.
-pub fn fig8(bench: &Bench) -> Table {
+pub fn fig8(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut policies = vec![PolicyKind::Belady, PolicyKind::Scip, PolicyKind::Lru];
     policies.extend(PolicyKind::INSERTION_BASELINES);
     miss_ratio_grid(
@@ -775,7 +809,11 @@ pub fn fig8(bench: &Bench) -> Table {
     )
 }
 
-fn resource_table(bench: &Bench, policies: &[PolicyKind], title: &str) -> Table {
+fn resource_table(
+    bench: &Bench,
+    policies: &[PolicyKind],
+    title: &str,
+) -> Result<Table, ExperimentError> {
     // Paper: resources measured on CDN-T at 64 GB.
     let (w, trace, stats) = &bench.traces[0];
     let cap = bench.paper_cache_bytes(*w, stats, 64.0);
@@ -809,21 +847,21 @@ fn resource_table(bench: &Bench, policies: &[PolicyKind], title: &str) -> Table 
                 format!("{:.0}", m.ns_per_request),
                 mb(m.peak_memory_bytes),
                 format!("{:.0}", m.tps / 1e3),
-            ]),
+            ])?,
             None => t.row(vec![
                 kind.label().to_string(),
                 FAIL_CELL.to_string(),
                 FAIL_CELL.to_string(),
                 FAIL_CELL.to_string(),
                 FAIL_CELL.to_string(),
-            ]),
+            ])?,
         };
     }
-    t
+    Ok(t)
 }
 
 /// Figure 9: CPU/memory/TPS of SCIP vs insertion policies on CDN-T.
-pub fn fig9(bench: &Bench) -> Table {
+pub fn fig9(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut policies = vec![PolicyKind::Belady, PolicyKind::Scip, PolicyKind::Lru];
     policies.extend(PolicyKind::INSERTION_BASELINES);
     resource_table(
@@ -834,7 +872,7 @@ pub fn fig9(bench: &Bench) -> Table {
 }
 
 /// Figure 10: SCIP vs the eight replacement algorithms.
-pub fn fig10(bench: &Bench) -> Table {
+pub fn fig10(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut policies = vec![PolicyKind::Belady, PolicyKind::Scip, PolicyKind::Lru];
     policies.extend(PolicyKind::REPLACEMENT_BASELINES);
     miss_ratio_grid(
@@ -846,7 +884,7 @@ pub fn fig10(bench: &Bench) -> Table {
 }
 
 /// Figure 11: CPU/memory/TPS of SCIP vs replacement algorithms on CDN-T.
-pub fn fig11(bench: &Bench) -> Table {
+pub fn fig11(bench: &Bench) -> Result<Table, ExperimentError> {
     let mut policies = vec![PolicyKind::Belady, PolicyKind::Scip, PolicyKind::Lru];
     policies.extend(PolicyKind::REPLACEMENT_BASELINES);
     resource_table(
@@ -857,7 +895,7 @@ pub fn fig11(bench: &Bench) -> Table {
 }
 
 /// Figure 12: enhancing LRU-K and LRB with SCIP (vs ASC-IP reference).
-pub fn fig12(bench: &Bench) -> Table {
+pub fn fig12(bench: &Bench) -> Result<Table, ExperimentError> {
     miss_ratio_grid(
         bench,
         &[
@@ -875,7 +913,7 @@ pub fn fig12(bench: &Bench) -> Table {
 
 /// Beyond the paper: SCIP vs the §7 admission family (2Q, TinyLFU,
 /// AdaptSize) — the front-door answers to the same ZRO problem.
-pub fn admission_comparison(bench: &Bench) -> Table {
+pub fn admission_comparison(bench: &Bench) -> Result<Table, ExperimentError> {
     miss_ratio_grid(
         bench,
         &[
@@ -894,7 +932,7 @@ pub fn admission_comparison(bench: &Bench) -> Table {
 /// Beyond the paper: full miss-ratio curves (cache size sweep from 0.5 %
 /// to 25 % of the WSS) for the headline policies — the classic
 /// miss-ratio-curve view the paper's per-point bars summarise.
-pub fn miss_curves(bench: &Bench) -> Table {
+pub fn miss_curves(bench: &Bench) -> Result<Table, ExperimentError> {
     let policies = [
         PolicyKind::Belady,
         PolicyKind::Scip,
@@ -942,15 +980,15 @@ pub fn miss_curves(bench: &Bench) -> Table {
                     None => FAIL_CELL.to_string(),
                 });
             }
-            t.row(cells);
+            t.row(cells)?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// Beyond the paper: seed sensitivity — the headline SCIP-vs-LRU delta
 /// across independent trace seeds (mean ± spread), on CDN-T at 64GB*.
-pub fn seed_variance(requests: u64) -> Table {
+pub fn seed_variance(requests: u64) -> Result<Table, ExperimentError> {
     let seeds = [11u64, 23, 37, 59, 71];
     let jobs: Vec<_> = seeds
         .iter()
@@ -979,7 +1017,7 @@ pub fn seed_variance(requests: u64) -> Table {
             pct(lru),
             pct(scip),
             format!("{:+.2}", (lru - scip) * 100.0),
-        ]);
+        ])?;
     }
     let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
     let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
@@ -988,13 +1026,13 @@ pub fn seed_variance(requests: u64) -> Table {
         String::new(),
         String::new(),
         format!("{mean:+.2}±{:.2}", var.sqrt()),
-    ]);
-    t
+    ])?;
+    Ok(t)
 }
 
 /// Ablations beyond the paper: fixed vs adaptive λ, history budget,
 /// update interval and unlearn threshold, on CDN-T at 64 GB*.
-pub fn ablations(bench: &Bench) -> Table {
+pub fn ablations(bench: &Bench) -> Result<Table, ExperimentError> {
     use scip::{Scip, ScipConfig};
     let (w, trace, stats) = &bench.traces[0];
     let cap = bench.paper_cache_bytes(*w, stats, 64.0);
@@ -1072,9 +1110,9 @@ pub fn ablations(bench: &Bench) -> Table {
         &["variant", "miss_ratio"],
     );
     for (name, mr) in parallel_runs(jobs) {
-        t.row(vec![name, pct(mr)]);
+        t.row(vec![name, pct(mr)])?;
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -1088,21 +1126,21 @@ mod tests {
     #[test]
     fn table1_has_all_rows() {
         let b = tiny_bench();
-        let t = table1(&b);
+        let t = table1(&b).unwrap();
         assert_eq!(t.len(), 7);
     }
 
     #[test]
     fn fig3_monotone_in_treated_fraction() {
         let b = tiny_bench();
-        let t = fig3(&b);
+        let t = fig3(&b).unwrap();
         assert_eq!(t.len(), 15); // 3 workloads × 5 fractions
     }
 
     #[test]
     fn fig4_produces_accuracy_for_all_models() {
         let b = Bench::generate(20_000, 11);
-        let t = fig4(&b);
+        let t = fig4(&b).unwrap();
         assert_eq!(t.len(), 9); // 3 workloads × 3 tasks
         let body = t.render();
         assert!(!body.contains("NaN"));
@@ -1111,14 +1149,14 @@ mod tests {
     #[test]
     fn fig7_grid_shape() {
         let b = tiny_bench();
-        let t = fig7(&b);
+        let t = fig7(&b).unwrap();
         assert_eq!(t.len(), 9); // 3 sizes × 3 workloads
     }
 
     #[test]
     fn fig12_grid_shape() {
         let b = tiny_bench();
-        let t = fig12(&b);
+        let t = fig12(&b).unwrap();
         assert_eq!(t.len(), 3);
     }
 }

@@ -36,9 +36,25 @@ pub mod sweep;
 pub mod table;
 
 pub use checkpoint::{job_fingerprint, run_checkpointed, Checkpoint};
+pub use experiments::ExperimentError;
 pub use runner::{run_policy, run_policy_dyn, PolicyKind, RunMeasurement, TraceCtx};
 pub use sweep::{parallel_runs, run_jobs, JobOutcome, SweepConfig, SweepReport};
-pub use table::Table;
+pub use table::{Table, TableError};
+
+/// Unwrap a fallible step in a binary, exiting nonzero with context.
+///
+/// The library crates return structured errors instead of panicking; the
+/// `fig*` binaries funnel those through here so a failure prints
+/// `error: <what>: <cause>` on stderr and exits with status 1.
+pub fn or_die<T, E: std::fmt::Display>(res: Result<T, E>, what: &str) -> T {
+    match res {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// Requests per synthetic trace (override with `REPRO_REQUESTS`).
 pub fn default_requests() -> u64 {

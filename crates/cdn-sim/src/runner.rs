@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cdn_cache::{CachePolicy, Request};
+use cdn_cache::{AccessKind, CachePolicy, Request};
 use cdn_policies::admission::{AdaptSize, TinyLfu, TwoQ};
 use cdn_policies::insertion::{
     deciders::{Bip, Lip},
@@ -179,6 +179,43 @@ macro_rules! dispatch_policy {
 }
 
 impl PolicyKind {
+    /// Every buildable algorithm, in declaration order — the sweep the
+    /// robustness harness drives adversarial and degenerate traces
+    /// through. Keep in sync with the enum (the `all_is_exhaustive` test
+    /// rebuilds each entry and checks for duplicates).
+    pub const ALL: [PolicyKind; 30] = [
+        PolicyKind::Lru,
+        PolicyKind::Lip,
+        PolicyKind::Bip,
+        PolicyKind::Dip,
+        PolicyKind::Pipp,
+        PolicyKind::Dta,
+        PolicyKind::Ship,
+        PolicyKind::Dgippr,
+        PolicyKind::Daaip,
+        PolicyKind::AscIp,
+        PolicyKind::Sci,
+        PolicyKind::Scip,
+        PolicyKind::LruK,
+        PolicyKind::S4Lru,
+        PolicyKind::SsLru,
+        PolicyKind::Gdsf,
+        PolicyKind::Lhd,
+        PolicyKind::Arc,
+        PolicyKind::LeCar,
+        PolicyKind::Cacheus,
+        PolicyKind::Lrb,
+        PolicyKind::GlCache,
+        PolicyKind::TwoQ,
+        PolicyKind::TinyLfu,
+        PolicyKind::AdaptSize,
+        PolicyKind::Belady,
+        PolicyKind::LruKScip,
+        PolicyKind::LruKAscIp,
+        PolicyKind::LrbScip,
+        PolicyKind::LrbAscIp,
+    ];
+
     /// The paper's eight insertion-policy baselines (Figure 8/9 order).
     pub const INSERTION_BASELINES: [PolicyKind; 8] = [
         PolicyKind::Lip,
@@ -270,6 +307,30 @@ impl PolicyKind {
             instrumented_replay(policy, label, trace.len(), trace.iter().copied())
         }
         dispatch_policy!(self, capacity, ctx, go(self.label(), trace))
+    }
+
+    /// Replay `trace` with static dispatch, invoking `observe` after every
+    /// request with `(index, request, outcome, used_bytes, capacity)`.
+    ///
+    /// This is the hook the model-check suite drives adversarial traces
+    /// through: the observer can assert per-step invariants (occupancy ≤
+    /// capacity, oversized ⇒ [`AccessKind::Rejected`], …) against any
+    /// [`PolicyKind`] without each test reimplementing dispatch.
+    pub fn run_with_observer<F>(self, capacity: u64, trace: &[Request], ctx: &TraceCtx, observe: F)
+    where
+        F: FnMut(usize, &Request, AccessKind, u64, u64),
+    {
+        fn go<P: CachePolicy, F: FnMut(usize, &Request, AccessKind, u64, u64)>(
+            mut policy: P,
+            trace: &[Request],
+            mut observe: F,
+        ) {
+            for (i, req) in trace.iter().enumerate() {
+                let outcome = policy.on_request(req);
+                observe(i, req, outcome, policy.used_bytes(), policy.capacity());
+            }
+        }
+        dispatch_policy!(self, capacity, ctx, go(trace, observe))
     }
 
     /// [`PolicyKind::run_monomorphized`] over a structure-of-arrays trace
@@ -381,43 +442,37 @@ mod tests {
     use cdn_cache::object::micro_trace;
 
     #[test]
+    fn all_is_exhaustive() {
+        // ALL must hold every distinct variant exactly once: labels are
+        // unique per variant, so 30 distinct labels ⇒ 30 distinct kinds.
+        let mut labels: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PolicyKind::ALL.len(), "duplicate in ALL");
+    }
+
+    #[test]
+    fn run_with_observer_sees_every_request() {
+        let reqs: Vec<(u64, u64)> = (0..500).map(|i| (i * 3 % 40, 1 + i % 9)).collect();
+        let trace = micro_trace(&reqs);
+        let ctx = TraceCtx::new(&trace, 3);
+        let mut seen = 0usize;
+        PolicyKind::Lru.run_with_observer(100, &trace, &ctx, |i, req, outcome, used, cap| {
+            assert_eq!(i, seen);
+            assert_eq!(req.id, trace[seen].id);
+            assert!(used <= cap, "occupancy over capacity");
+            assert!(outcome.is_hit() || !outcome.is_hit()); // exhaustive enum read
+            seen += 1;
+        });
+        assert_eq!(seen, trace.len());
+    }
+
+    #[test]
     fn every_policy_builds_and_runs() {
         let reqs: Vec<(u64, u64)> = (0..3_000).map(|i| (i * 7 % 200, 1 + i % 50)).collect();
         let trace = micro_trace(&reqs);
         let ctx = TraceCtx::new(&trace, 1);
-        let all = [
-            PolicyKind::Lru,
-            PolicyKind::Lip,
-            PolicyKind::Bip,
-            PolicyKind::Dip,
-            PolicyKind::Pipp,
-            PolicyKind::Dta,
-            PolicyKind::Ship,
-            PolicyKind::Dgippr,
-            PolicyKind::Daaip,
-            PolicyKind::AscIp,
-            PolicyKind::Sci,
-            PolicyKind::Scip,
-            PolicyKind::LruK,
-            PolicyKind::S4Lru,
-            PolicyKind::SsLru,
-            PolicyKind::Gdsf,
-            PolicyKind::Lhd,
-            PolicyKind::Arc,
-            PolicyKind::LeCar,
-            PolicyKind::Cacheus,
-            PolicyKind::Lrb,
-            PolicyKind::GlCache,
-            PolicyKind::TwoQ,
-            PolicyKind::TinyLfu,
-            PolicyKind::AdaptSize,
-            PolicyKind::Belady,
-            PolicyKind::LruKScip,
-            PolicyKind::LruKAscIp,
-            PolicyKind::LrbScip,
-            PolicyKind::LrbAscIp,
-        ];
-        for kind in all {
+        for kind in PolicyKind::ALL {
             let r = run_policy(kind, 1_000, &trace, &ctx);
             assert!(
                 (0.0..=1.0).contains(&r.miss_ratio),

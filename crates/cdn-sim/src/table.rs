@@ -1,9 +1,41 @@
 //! Figure-style table formatting and TSV persistence.
 
+use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Structured error for table construction (no panics on bad input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row's cell count disagrees with the header width.
+    RaggedRow {
+        /// Number of header columns.
+        expected: usize,
+        /// Number of cells in the offending row.
+        got: usize,
+        /// The table's title, for error context.
+        table: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedRow {
+                expected,
+                got,
+                table,
+            } => write!(
+                f,
+                "ragged row in table {table:?}: expected {expected} cells, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
 
 /// A simple column-aligned table with a title, printable and dumpable.
 #[derive(Debug, Clone)]
@@ -23,10 +55,18 @@ impl Table {
         }
     }
 
-    /// Append a row (must match the header width).
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "ragged row");
+    /// Append a row; errors (leaving the table unchanged) when the cell
+    /// count does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> Result<(), TableError> {
+        if cells.len() != self.header.len() {
+            return Err(TableError::RaggedRow {
+                expected: self.header.len(),
+                got: cells.len(),
+                table: self.title.clone(),
+            });
+        }
         self.rows.push(cells);
+        Ok(())
     }
 
     /// Number of data rows.
@@ -119,8 +159,8 @@ mod tests {
     #[test]
     fn render_aligns_columns() {
         let mut t = Table::new("demo", &["policy", "mr"]);
-        t.row(vec!["LRU".into(), "0.50".into()]);
-        t.row(vec!["SCIP-long-name".into(), "0.40".into()]);
+        t.row(vec!["LRU".into(), "0.50".into()]).unwrap();
+        t.row(vec!["SCIP-long-name".into(), "0.40".into()]).unwrap();
         let s = t.render();
         assert!(s.contains("## demo"));
         assert!(s.contains("SCIP-long-name"));
@@ -129,16 +169,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_rows_rejected() {
+    fn ragged_rows_are_errors_not_panics() {
         let mut t = Table::new("demo", &["a", "b"]);
-        t.row(vec!["only-one".into()]);
+        let err = t.row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::RaggedRow {
+                expected: 2,
+                got: 1,
+                table: "demo".into()
+            }
+        );
+        assert!(err.to_string().contains("expected 2 cells"));
+        assert!(t.is_empty(), "failed row must not be stored");
     }
 
     #[test]
     fn tsv_roundtrip() {
         let mut t = Table::new("demo", &["a", "b"]);
-        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["1".into(), "2".into()]).unwrap();
         let path = t.save_tsv("test_table_demo").unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("a\tb"));

@@ -72,7 +72,7 @@ impl BeladyOracle {
         // Evict farthest-future objects until the new one fits, but never
         // evict an object whose next access is *sooner* than the incoming
         // one's (keeping those dominates admitting the newcomer).
-        while self.used + req.size > self.capacity {
+        while self.used.saturating_add(req.size) > self.capacity {
             let &(far_next, victim) = self.by_next.iter().next_back().expect("over capacity");
             if far_next <= next_access {
                 // Everything resident is more urgent: bypass the newcomer.

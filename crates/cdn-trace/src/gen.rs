@@ -273,6 +273,96 @@ impl Iterator for TraceGenerator {
     }
 }
 
+/// Named degenerate traces for robustness testing, parameterised by the
+/// byte capacity the replaying cache will use.
+///
+/// Each entry stresses a boundary real CDN traces hit but Zipf-shaped
+/// generators rarely produce: an empty trace, a single hot object, an
+/// all-unique ZRO storm (every request a compulsory miss — the workload
+/// that starves SCIP's ghost lists), one key hammered forever, objects
+/// exactly as large as the cache, objects strictly larger (up to
+/// `u64::MAX`), zero-byte objects, and a mix that interleaves all of the
+/// above with duplicate keys. Sizes are fixed per id, matching the
+/// generator's contract.
+pub fn degenerate_corpus(capacity: u64) -> Vec<(&'static str, Vec<Request>)> {
+    let req = |tick: u64, id: u64, size: u64| Request {
+        tick,
+        id: id.into(),
+        size,
+        wall_secs: tick as f64 * 1e-3,
+    };
+    let mut corpus: Vec<(&'static str, Vec<Request>)> = Vec::new();
+
+    corpus.push(("empty", Vec::new()));
+
+    corpus.push((
+        "single-object",
+        (0..200).map(|t| req(t, 1, capacity / 2 + 1)).collect(),
+    ));
+
+    // Every request a brand-new id: nothing ever re-referenced, every
+    // ghost entry wasted — the zero-reuse storm of the paper's ZRO story.
+    corpus.push((
+        "zro-storm-all-unique",
+        (0..10_000).map(|t| req(t, t + 10, 1 + t % 97)).collect(),
+    ));
+
+    corpus.push((
+        "all-same-key",
+        (0..10_000).map(|t| req(t, 42, 1 + capacity / 8)).collect(),
+    ));
+
+    // Objects exactly as large as the cache: admissible, but every insert
+    // evicts everything else.
+    corpus.push((
+        "max-size",
+        (0..100).map(|t| req(t, 100 + t % 3, capacity)).collect(),
+    ));
+
+    // Strictly larger than the cache, up to u64::MAX: must be uniformly
+    // Rejected(TooLarge) and must never wrap the size ledger.
+    corpus.push((
+        "oversized",
+        (0..100)
+            .map(|t| {
+                let size = match t % 3 {
+                    0 => capacity.saturating_add(1),
+                    1 => u64::MAX / 2,
+                    _ => u64::MAX,
+                };
+                req(t, 200 + t % 3, size)
+            })
+            .collect(),
+    ));
+
+    corpus.push((
+        "zero-size",
+        (0..5_000).map(|t| req(t, 300 + t % 7, 0)).collect(),
+    ));
+
+    // Everything at once: duplicates, zero sizes, boundary sizes and
+    // oversized ids interleaved so rejections land mid-stream.
+    corpus.push((
+        "mixed-adversarial",
+        (0..5_000)
+            .map(|t| {
+                let (id, size) = match t % 6 {
+                    0 => (400, 0),
+                    1 => (401, 1),
+                    2 => (402, capacity),
+                    3 => (403, capacity.saturating_add(1)),
+                    4 => (404, u64::MAX),
+                    // Size derived from the id so repeats keep their size.
+                    _ => (405 + t % 11, 1 + (405 + t % 11) % 13),
+                };
+                req(t, id, size)
+            })
+            .collect(),
+    ));
+
+    corpus
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +483,38 @@ mod tests {
         assert_eq!(g.size_hint(), (50_000, Some(50_000)));
         g.next();
         assert_eq!(g.size_hint(), (49_999, Some(49_999)));
+    }
+
+    #[test]
+    fn degenerate_corpus_is_well_formed() {
+        let cap = 1_000u64;
+        let corpus = degenerate_corpus(cap);
+        let mut names: Vec<&str> = corpus.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "duplicate trace names");
+        assert!(
+            corpus.iter().any(|(_, t)| t.is_empty()),
+            "empty trace present"
+        );
+        for (name, trace) in &corpus {
+            let mut sizes: FxHashMap<u64, u64> = FxHashMap::default();
+            for (i, r) in trace.iter().enumerate() {
+                assert_eq!(r.tick, i as u64, "{name}: ticks must be dense");
+                let prev = sizes.insert(r.id.0, r.size);
+                assert!(
+                    prev.is_none() || prev == Some(r.size),
+                    "{name}: id {} changed size",
+                    r.id.0
+                );
+            }
+        }
+        let oversized = corpus
+            .iter()
+            .find(|(n, _)| *n == "oversized")
+            .map(|(_, t)| t)
+            .unwrap();
+        assert!(oversized.iter().all(|r| r.size > cap));
+        assert!(oversized.iter().any(|r| r.size == u64::MAX));
     }
 }

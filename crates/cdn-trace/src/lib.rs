@@ -40,7 +40,7 @@ pub mod zipf;
 pub use belady::{next_access_table, BeladyOracle, NO_NEXT};
 pub use checksum::{crc32, trace_content_hash};
 pub use columns::{SharedTrace, TraceColumns};
-pub use gen::{GeneratorConfig, TraceGenerator};
+pub use gen::{degenerate_corpus, GeneratorConfig, TraceGenerator};
 pub use io::TraceError;
 pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
 pub use profiles::{Workload, WorkloadProfile};

@@ -137,7 +137,17 @@ impl UpdateLr {
     }
 
     /// One Algorithm-2 step with the window's average hit rate `Π_t`.
+    ///
+    /// Hardened against degenerate windows: a non-finite or out-of-range
+    /// `Π_t` is treated as 0 (a window with no observable hit rate), and
+    /// the resulting `λ` is re-validated — a poisoned gradient can never
+    /// drive `λ` to 0, NaN or infinity.
     pub fn update(&mut self, pi_t: f64) {
+        let pi_t = if pi_t.is_finite() {
+            pi_t.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let delta = pi_t - self.pi_prev; // Δ_t = Π_t − Π_{t−i}
         let grad_denom = self.lambda - self.lambda_prev; // δ_t = λ_{t−i} − λ_{t−2i}
         let new_lambda;
@@ -157,7 +167,14 @@ impl UpdateLr {
             }
         }
         self.lambda_prev = self.lambda;
-        self.lambda = new_lambda;
+        // Belt-and-braces: the branch clamps above keep finite values in
+        // range already (the clamp here is a no-op for them); a non-finite
+        // result keeps the previous λ instead of poisoning the climb.
+        self.lambda = if new_lambda.is_finite() {
+            new_lambda.clamp(LAMBDA_MIN, LAMBDA_MAX)
+        } else {
+            self.lambda
+        };
         if self.unlearn_count >= self.unlearn_threshold {
             // Random restart (gradient-based stochastic hill climbing).
             self.unlearn_count = 0;
@@ -291,7 +308,14 @@ impl ScipCore {
         } else {
             b *= decay;
         }
-        Self::clamp_omega(a / (a + b))
+        let renorm = a / (a + b);
+        if renorm.is_finite() {
+            Self::clamp_omega(renorm)
+        } else {
+            // Degenerate normalisation (both arms underflowed to 0): keep
+            // the previous weight rather than poisoning the pair.
+            Self::clamp_omega(w_first)
+        }
     }
 
     /// Algorithm 1 lines 6-13 + gap-tested §3.2 judgement: on a miss,
@@ -428,6 +452,44 @@ impl ScipCore {
             self.window_hits = 0;
             self.window_reqs = 0;
         }
+    }
+
+    /// Invariant walk over the engine's learned state and history lists.
+    /// Checks, in order:
+    ///
+    /// - every per-class `ω_m` is finite and inside `[OMEGA_FLOOR,
+    ///   1 − OMEGA_FLOOR]`, so `ω_m + ω_l = 1` holds exactly and both arms
+    ///   stay explorable;
+    /// - `ω_p` obeys the same bounds;
+    /// - `λ` is finite and inside `[LAMBDA_MIN, LAMBDA_MAX]`;
+    /// - the traversal estimate is finite and non-negative;
+    /// - `H_m` and `H_l` pass their structural audits (doubly-linked
+    ///   consistency, ledger == Σ sizes, ledger within budget).
+    ///
+    /// O(|H_m| + |H_l|). Returns the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        for (class, &w) in self.omega_m.iter().enumerate() {
+            if !w.is_finite() || !(OMEGA_FLOOR..=1.0 - OMEGA_FLOOR).contains(&w) {
+                return Err(format!("scip: omega_m[{class}] = {w} out of bounds"));
+            }
+        }
+        let p = self.omega_p;
+        if !p.is_finite() || !(OMEGA_FLOOR..=1.0 - OMEGA_FLOOR).contains(&p) {
+            return Err(format!("scip: omega_p = {p} out of bounds"));
+        }
+        let l = self.lr.lambda();
+        if !l.is_finite() || !(LAMBDA_MIN..=LAMBDA_MAX).contains(&l) {
+            return Err(format!("scip: lambda = {l} out of bounds"));
+        }
+        if !self.traversal_est.is_finite() || self.traversal_est < 0.0 {
+            return Err(format!(
+                "scip: traversal estimate = {} invalid",
+                self.traversal_est
+            ));
+        }
+        self.h_m.audit().map_err(|e| format!("scip H_m: {e}"))?;
+        self.h_l.audit().map_err(|e| format!("scip H_l: {e}"))?;
+        Ok(())
     }
 
     /// Metadata footprint (history lists + per-class weights).

@@ -20,6 +20,7 @@
 //! *fight* the host's eviction intelligence instead of complementing it).
 //! Victims chosen by the host itself populate `H_m`.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, FxHashMap, InsertPos, ObjectId, PolicyStats, Request, Tick,
 };
@@ -346,7 +347,7 @@ impl<C: EvictionCore, B: PlacementBrain> Enhanced<C, B> {
     }
 
     fn evict_for(&mut self, size: u64, tick: Tick) {
-        while self.core.used_bytes() + size > self.capacity {
+        while self.core.used_bytes().saturating_add(size) > self.capacity {
             let (id, vsize) = self
                 .core
                 .evict_victim(tick)
@@ -409,36 +410,36 @@ impl<C: EvictionCore, B: PlacementBrain> CachePolicy for Enhanced<C, B> {
                 }
             }
             AccessKind::Hit
+        } else if req.size > self.capacity {
+            AccessKind::Rejected(RejectReason::TooLarge)
         } else {
             self.brain.on_miss_lookup(req.id, req.tick);
-            if req.size <= self.capacity {
-                match self.brain.decide_miss(req) {
-                    InsertPos::Mru => {
-                        self.evict_for(req.size, req.tick);
-                        self.residency.insert(
-                            req.id,
-                            Residency {
-                                hits: 0,
-                                inserted_tick: req.tick,
-                                last_access: req.tick,
-                            },
-                        );
-                        self.core.admit(req);
-                        self.stats.insertions += 1;
-                    }
-                    InsertPos::Lru => {
-                        // ZRO suspected: bypass = LRU-position placement.
-                        self.record_demotion(
-                            req.id,
-                            req.size,
-                            req.tick,
-                            Residency {
-                                hits: 0,
-                                inserted_tick: req.tick,
-                                last_access: req.tick,
-                            },
-                        );
-                    }
+            match self.brain.decide_miss(req) {
+                InsertPos::Mru => {
+                    self.evict_for(req.size, req.tick);
+                    self.residency.insert(
+                        req.id,
+                        Residency {
+                            hits: 0,
+                            inserted_tick: req.tick,
+                            last_access: req.tick,
+                        },
+                    );
+                    self.core.admit(req);
+                    self.stats.insertions += 1;
+                }
+                InsertPos::Lru => {
+                    // ZRO suspected: bypass = LRU-position placement.
+                    self.record_demotion(
+                        req.id,
+                        req.size,
+                        req.tick,
+                        Residency {
+                            hits: 0,
+                            inserted_tick: req.tick,
+                            last_access: req.tick,
+                        },
+                    );
                 }
             }
             AccessKind::Miss

@@ -1,5 +1,6 @@
 //! Algorithm 1 (SCIP) and Algorithm 3 (SCI) on the LRU victim policy.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, InsertPos, LruQueue, PolicyStats, Request};
 
 use crate::core::{ScipConfig, ScipCore, VictimInfo};
@@ -50,6 +51,15 @@ impl Scip {
     /// The queue (tests).
     pub fn queue(&self) -> &LruQueue {
         &self.cache
+    }
+
+    /// Full invariant walk: queue structure + ledger (see
+    /// [`LruQueue::audit`]) and the SCIP learned state + history lists
+    /// (see [`ScipCore::audit`]). Called on every request when built with
+    /// `--features audit`.
+    pub fn audit(&self) -> Result<(), String> {
+        self.cache.audit()?;
+        self.core.audit()
     }
 
     fn insert_by_select(&mut self, req: &Request) {
@@ -105,27 +115,31 @@ impl CachePolicy for Scip {
                 }
             }
             AccessKind::Hit
+        } else if !self.cache.admissible(req.size) {
+            // Oversized: rejected before the history lookup so neither the
+            // ghost lists nor the weights see the hopeless object.
+            AccessKind::Rejected(RejectReason::TooLarge)
         } else {
             let verdict = self.core.on_miss_lookup(req.id, req.tick);
-            if self.cache.admissible(req.size) {
-                self.evict_for(req.size, req.tick);
-                match verdict {
-                    // §3.2 judgement: the object's own history decides.
-                    Some(InsertPos::Mru) => {
-                        self.cache.insert_mru(req.id, req.size, req.tick);
-                        self.stats.insertions += 1;
-                    }
-                    Some(InsertPos::Lru) => {
-                        self.cache.insert_lru(req.id, req.size, req.tick);
-                        self.stats.insertions += 1;
-                    }
-                    // No history: bimodal SELECT on the learned weights.
-                    None => self.insert_by_select(req),
+            self.evict_for(req.size, req.tick);
+            match verdict {
+                // §3.2 judgement: the object's own history decides.
+                Some(InsertPos::Mru) => {
+                    self.cache.insert_mru(req.id, req.size, req.tick);
+                    self.stats.insertions += 1;
                 }
+                Some(InsertPos::Lru) => {
+                    self.cache.insert_lru(req.id, req.size, req.tick);
+                    self.stats.insertions += 1;
+                }
+                // No history: bimodal SELECT on the learned weights.
+                None => self.insert_by_select(req),
             }
             AccessKind::Miss
         };
         self.core.on_request_end(outcome.is_hit());
+        #[cfg(feature = "audit")]
+        self.audit().expect("SCIP invariants");
         outcome
     }
 
@@ -202,32 +216,37 @@ impl CachePolicy for Sci {
             meta.last_access = req.tick;
             self.cache.promote_to_mru_at(h);
             AccessKind::Hit
+        } else if !self.cache.admissible(req.size) {
+            AccessKind::Rejected(RejectReason::TooLarge)
         } else {
             let verdict = self.core.on_miss_lookup(req.id, req.tick);
-            if self.cache.admissible(req.size) {
-                while self.cache.needs_eviction_for(req.size) {
-                    let v = self.cache.evict_lru().expect("nonempty");
-                    self.core.on_evict(VictimInfo {
-                        id: v.id,
-                        size: v.size,
-                        tick: req.tick,
-                        inserted_at_mru: v.inserted_at_mru,
-                        hits: v.hits,
-                        last_access: v.last_access,
-                        inserted_tick: v.inserted_tick,
-                    });
-                    self.stats.evictions += 1;
-                }
-                let pos = verdict.unwrap_or_else(|| self.core.decide(req.size));
-                match pos {
-                    cdn_cache::InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
-                    cdn_cache::InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
-                };
-                self.stats.insertions += 1;
+            while self.cache.needs_eviction_for(req.size) {
+                let v = self.cache.evict_lru().expect("nonempty");
+                self.core.on_evict(VictimInfo {
+                    id: v.id,
+                    size: v.size,
+                    tick: req.tick,
+                    inserted_at_mru: v.inserted_at_mru,
+                    hits: v.hits,
+                    last_access: v.last_access,
+                    inserted_tick: v.inserted_tick,
+                });
+                self.stats.evictions += 1;
             }
+            let pos = verdict.unwrap_or_else(|| self.core.decide(req.size));
+            match pos {
+                cdn_cache::InsertPos::Mru => self.cache.insert_mru(req.id, req.size, req.tick),
+                cdn_cache::InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
+            };
+            self.stats.insertions += 1;
             AccessKind::Miss
         };
         self.core.on_request_end(outcome.is_hit());
+        #[cfg(feature = "audit")]
+        {
+            self.cache.audit().expect("SCI queue invariants");
+            self.core.audit().expect("SCI core invariants");
+        }
         outcome
     }
 

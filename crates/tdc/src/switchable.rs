@@ -8,6 +8,7 @@
 //! the bandit starts with a realistic view of eviction outcomes the moment
 //! it takes over.
 
+use cdn_cache::policy::RejectReason;
 use cdn_cache::{
     AccessKind, CachePolicy, InsertPos, LruQueue, ObjectId, PolicyStats, Request, Tick,
 };
@@ -107,9 +108,11 @@ impl CachePolicy for SwitchableScip {
                 }
             }
             AccessKind::Hit
+        } else if !self.cache.admissible(req.size) {
+            AccessKind::Rejected(RejectReason::TooLarge)
         } else {
             let verdict = self.core.on_miss_lookup(req.id, req.tick);
-            if self.cache.admissible(req.size) {
+            {
                 while self.cache.needs_eviction_for(req.size) {
                     let v = self.cache.evict_lru().expect("nonempty");
                     if self.record_evictions {

@@ -3,8 +3,10 @@
 # full workspace test suite — then the same tests once more with the
 # fault-injection failpoints compiled in, so the recovery paths (panic
 # isolation, retry, checkpoint/resume, corrupt-trace detection) are proven
-# on every run. Run from anywhere; always executes at the repo root. This
-# is what CI should run on every push.
+# on every run, and the model-based differential harness once more with
+# per-request invariant audits compiled in (`--features audit`; the test
+# profile already builds with overflow-checks). Run from anywhere; always
+# executes at the repo root. This is what CI should run on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,12 @@ cargo test -q -p cdn-cache --features fault-injection
 cargo test -q -p cdn-trace --features fault-injection
 cargo test -q -p cdn-sim --features fault-injection
 cargo test -q -p tdc --features fault-injection
+
+echo "==> cargo clippy --features audit (-D warnings)"
+cargo clippy -p cdn-sim --all-targets --features audit -- -D warnings
+
+echo "==> model-based differential harness --features audit"
+cargo test -q -p cdn-sim --features audit --test model_check
 
 echo "==> fig6_chaos calm gate (exits nonzero if calm != plain path)"
 TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \

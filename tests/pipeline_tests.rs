@@ -43,9 +43,9 @@ fn simulator_grid_smoke() {
 #[test]
 fn experiment_tables_generate_and_save() {
     let bench = cdn_sim::experiments::Bench::generate(20_000, 77);
-    let t1 = cdn_sim::experiments::table1(&bench);
+    let t1 = cdn_sim::experiments::table1(&bench).unwrap();
     assert!(!t1.is_empty());
-    let f7 = cdn_sim::experiments::fig7(&bench);
+    let f7 = cdn_sim::experiments::fig7(&bench).unwrap();
     assert_eq!(f7.len(), 9);
     let path = f7.save_tsv("pipeline_test_fig7").unwrap();
     assert!(path.exists());
@@ -105,16 +105,16 @@ fn figure4_models_beat_chance_on_zro_task() {
         e.0 += 1;
         e.1 = r.tick;
         match labels.labels[r.tick as usize] {
-            RequestLabel::MissReused => ds.push(feats, 0.0),
-            RequestLabel::MissZro { .. } => ds.push(feats, 1.0),
+            RequestLabel::MissReused => ds.push(feats, 0.0).unwrap(),
+            RequestLabel::MissZro { .. } => ds.push(feats, 1.0).unwrap(),
             _ => {}
         }
     }
-    let (train, test) = ds.temporal_split(0.7);
+    let (train, test) = ds.temporal_split(0.7).unwrap();
     let mut rng = cdn_cache::SimRng::new(5);
     let train = train.balanced(&mut rng);
     let test = test.balanced(&mut rng);
-    let norm = Normalizer::fit(&train.x);
+    let norm = Normalizer::fit(&train.x).unwrap();
     let mut tx = train.x.clone();
     norm.apply_all(&mut tx);
     let mut sx = test.x.clone();
@@ -122,11 +122,11 @@ fn figure4_models_beat_chance_on_zro_task() {
 
     let mut gbm = Gbdt::new(GbdtParams::default());
     gbm.fit(&tx, &train.y);
-    let gbm_acc = accuracy(&sx, &test.y, |r| gbm.predict_score(r));
+    let gbm_acc = accuracy(&sx, &test.y, |r| gbm.predict_score(r)).unwrap();
     assert!(gbm_acc > 0.6, "GBM accuracy {gbm_acc}");
 
     let mut mab = ContextualBandit::new(8);
     mab.fit(&tx, &train.y);
-    let mab_acc = accuracy(&sx, &test.y, |r| mab.predict_score(r));
+    let mab_acc = accuracy(&sx, &test.y, |r| mab.predict_score(r)).unwrap();
     assert!(mab_acc > 0.55, "MAB accuracy {mab_acc}");
 }
