@@ -9,7 +9,7 @@
 //! The same structure serves as the ghost list of DIP's set-dueling
 //! monitors, ARC's B1/B2, and LeCaR/CACHEUS history queues.
 
-use crate::hash::FxHashMap;
+use crate::index::FusedIndex;
 use crate::list::{Handle, LinkedSlab};
 use crate::object::{ObjectId, Tick};
 
@@ -33,7 +33,7 @@ pub struct GhostEntry {
 #[derive(Debug, Clone)]
 pub struct GhostList {
     list: LinkedSlab<GhostEntry>,
-    map: FxHashMap<ObjectId, Handle>,
+    map: FusedIndex,
     capacity_bytes: u64,
     used: u64,
 }
@@ -43,7 +43,7 @@ impl GhostList {
     pub fn new(capacity_bytes: u64) -> Self {
         GhostList {
             list: LinkedSlab::new(),
-            map: FxHashMap::default(),
+            map: FusedIndex::new(),
             capacity_bytes,
             used: 0,
         }
@@ -71,12 +71,13 @@ impl GhostList {
 
     /// True if `id` is tracked.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.map.contains_key(&id)
+        self.map.contains(id.0)
     }
 
     /// Shared access to a tracked entry.
     pub fn get(&self, id: ObjectId) -> Option<&GhostEntry> {
-        self.map.get(&id).map(|&h| self.list.get(h))
+        let h = Handle::unpack(self.map.get(id.0)?);
+        Some(self.list.get(h))
     }
 
     /// Record an eviction (the paper's `ADD`): insert at the head, dropping
@@ -96,18 +97,18 @@ impl GhostList {
         // `u64` range even with budgets near `u64::MAX` (the tail loop can
         // never pop the new entry itself: it sits at the head, and a
         // single-entry list always fits because `size <= capacity`).
-        if let Some(&h) = self.map.get(&entry.id) {
+        if let Some(h) = self.map.get(entry.id.0).map(Handle::unpack) {
             let old = self.list.get(h).size;
             self.used -= old;
             *self.list.get_mut(h) = entry;
             self.list.move_to_front(h);
         } else {
             let h = self.list.push_front(entry);
-            self.map.insert(entry.id, h);
+            self.map.insert(entry.id.0, h.pack());
         }
         while self.used.saturating_add(entry.size) > self.capacity_bytes {
             let victim = self.list.pop_back().expect("over budget implies nonempty");
-            self.map.remove(&victim.id);
+            self.map.remove(victim.id.0);
             self.used -= victim.size;
         }
         self.used += entry.size;
@@ -116,7 +117,7 @@ impl GhostList {
     /// Forget an object (the paper's `DELETE`), returning its entry if it
     /// was tracked.
     pub fn delete(&mut self, id: ObjectId) -> Option<GhostEntry> {
-        let h = self.map.remove(&id)?;
+        let h = Handle::unpack(self.map.remove(id.0)?);
         let e = self.list.remove(h);
         self.used -= e.size;
         Some(e)
@@ -127,11 +128,10 @@ impl GhostList {
         self.list.iter()
     }
 
-    /// Approximate metadata footprint in bytes.
+    /// True metadata footprint in bytes: structure-of-arrays slab plus the
+    /// fused index's bucket array.
     pub fn memory_bytes(&self) -> usize {
-        self.list.memory_bytes()
-            + self.map.capacity()
-                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<Handle>() + 8)
+        self.list.memory_bytes() + self.map.memory_bytes()
     }
 
     /// Forget everything.
@@ -152,9 +152,10 @@ impl GhostList {
         for e in self.list.iter() {
             let h = self
                 .map
-                .get(&e.id)
+                .get(e.id.0)
+                .map(Handle::unpack)
                 .ok_or_else(|| format!("ghost: listed entry {} missing from map", e.id.0))?;
-            if self.list.get(*h).id != e.id {
+            if self.list.get(h).id != e.id {
                 return Err(format!(
                     "ghost: map handle for {} resolves elsewhere",
                     e.id.0
@@ -163,6 +164,7 @@ impl GhostList {
             sum += e.size as u128;
             n += 1;
         }
+        self.map.audit().map_err(|e| format!("ghost: {e}"))?;
         if n != self.map.len() {
             return Err(format!(
                 "ghost: list has {n} entries, map has {}",

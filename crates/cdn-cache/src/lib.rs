@@ -8,8 +8,14 @@
 //! - [`hash`]: an Fx-style hasher and map/set aliases for integer-keyed
 //!   metadata tables (hot path of every policy).
 //! - [`object`]: object identifiers, request records and logical time.
+//! - [`index`]: a fused open-addressing id→handle table (fibonacci probe,
+//!   backward-shift deletion) whose buckets hold key and payload inline —
+//!   one probe sequence resolves residency, no hashmap-then-slab chase.
+//! - [`prefetch`]: a safe software-prefetch shim (`_mm_prefetch` on
+//!   x86_64, no-op elsewhere) used by eviction loops and batched replay.
 //! - [`list`]: a slab-backed intrusive doubly-linked list with stable
-//!   handles — the O(1) backbone of every queue-based policy.
+//!   handles — the O(1) backbone of every queue-based policy. Stored
+//!   structure-of-arrays: link words separate from values.
 //! - [`queue`]: a byte-budgeted LRU queue with MRU/LRU bimodal insertion,
 //!   per-entry policy tags, and tail eviction.
 //! - [`segq`]: a segmented queue (stack of LRU queues with overflow) used by
@@ -31,17 +37,20 @@
 pub mod fault;
 pub mod ghost;
 pub mod hash;
+pub mod index;
 pub mod list;
 pub mod metrics;
 pub mod model;
 pub mod object;
 pub mod policy;
+pub mod prefetch;
 pub mod queue;
 pub mod rng;
 pub mod segq;
 
 pub use ghost::{GhostEntry, GhostList};
 pub use hash::{FxHashMap, FxHashSet};
+pub use index::FusedIndex;
 pub use list::{Handle, LinkedSlab};
 pub use metrics::{IntervalStats, LatencyHistogram, MetricsRecorder, MissRatio};
 pub use model::{ModelGhost, ModelLru, ModelLruPolicy, ModelSegQ};

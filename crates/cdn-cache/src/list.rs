@@ -4,9 +4,18 @@
 //! remove-from-middle and move-to-front. `std::collections::LinkedList`
 //! cannot remove interior nodes through a handle, and per-node `Box`
 //! allocation would dominate simulation time; this list instead stores
-//! nodes contiguously in a slab (`Vec`) and hands out generation-checked
+//! nodes contiguously in a slab and hands out generation-checked
 //! [`Handle`]s, so stale handles are detected rather than corrupting the
 //! structure.
+//!
+//! The slab is laid out structure-of-arrays: the link words
+//! (`prev`/`next`/`generation`, 12 bytes) live in one dense array and the
+//! values in another, so reorder operations (`move_to_front`,
+//! `promote_one`) touch only the link array — three nodes fit a cache
+//! line — and never drag the payload bytes through the cache. Liveness is
+//! encoded in the generation's parity (even = live, odd = free), and free
+//! slots chain intrusively through their `next` link, so there is no
+//! side allocation and no per-node `Option` discriminant.
 
 const NIL: u32 = u32::MAX;
 
@@ -14,41 +23,74 @@ const NIL: u32 = u32::MAX;
 /// slot bumps the generation so stale handles never alias a new node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Handle {
-    idx: u32,
-    generation: u32,
+    pub(crate) idx: u32,
+    pub(crate) generation: u32,
 }
 
-#[derive(Debug, Clone)]
-struct Node<T> {
-    value: Option<T>,
+impl Handle {
+    /// Pack into a single word (`generation << 32 | idx`) for storage in a
+    /// [`crate::FusedIndex`] payload. Never collides with
+    /// [`crate::index::EMPTY_PAYLOAD`]: slab indices are `< u32::MAX`.
+    #[inline(always)]
+    pub(crate) fn pack(self) -> u64 {
+        (self.generation as u64) << 32 | self.idx as u64
+    }
+
+    /// Inverse of [`Handle::pack`].
+    #[inline(always)]
+    pub(crate) fn unpack(word: u64) -> Handle {
+        Handle {
+            idx: word as u32,
+            generation: (word >> 32) as u32,
+        }
+    }
+}
+
+/// Link words of one slab node: 12 bytes, so a 64-byte cache line covers
+/// five nodes' worth of reorder traffic.
+#[derive(Debug, Clone, Copy)]
+struct Link {
     prev: u32,
     next: u32,
+    /// Even = slot live, odd = slot free. Handles are only minted for live
+    /// slots, so generation equality alone proves liveness to `check`.
     generation: u32,
 }
 
-/// Doubly-linked list over a slab. Front = MRU end, back = LRU end by the
-/// conventions used throughout this workspace.
+const _: () = assert!(std::mem::size_of::<Link>() == 12);
+
+/// Doubly-linked list over a structure-of-arrays slab. Front = MRU end,
+/// back = LRU end by the conventions used throughout this workspace.
+///
+/// `T: Copy` is required so freed slots can simply leave their stale value
+/// in place (never readable again: the generation check rejects stale
+/// handles) instead of paying an `Option` discriminant per node.
 #[derive(Debug, Clone)]
 pub struct LinkedSlab<T> {
-    nodes: Vec<Node<T>>,
-    free: Vec<u32>,
+    links: Vec<Link>,
+    values: Vec<T>,
+    /// Head of the intrusive free chain (through `Link::next`).
+    free_head: u32,
+    free_len: usize,
     head: u32,
     tail: u32,
     len: usize,
 }
 
-impl<T> Default for LinkedSlab<T> {
+impl<T: Copy> Default for LinkedSlab<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> LinkedSlab<T> {
+impl<T: Copy> LinkedSlab<T> {
     /// Empty list.
     pub fn new() -> Self {
         LinkedSlab {
-            nodes: Vec::new(),
-            free: Vec::new(),
+            links: Vec::new(),
+            values: Vec::new(),
+            free_head: NIL,
+            free_len: 0,
             head: NIL,
             tail: NIL,
             len: 0,
@@ -58,8 +100,10 @@ impl<T> LinkedSlab<T> {
     /// Empty list with room for `cap` nodes before reallocating.
     pub fn with_capacity(cap: usize) -> Self {
         LinkedSlab {
-            nodes: Vec::with_capacity(cap),
-            free: Vec::new(),
+            links: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+            free_head: NIL,
+            free_len: 0,
             head: NIL,
             tail: NIL,
             len: 0,
@@ -76,46 +120,60 @@ impl<T> LinkedSlab<T> {
         self.len == 0
     }
 
-    /// Approximate heap footprint of the slab (for policy memory accounting).
+    /// True heap footprint of the slab (for policy memory accounting).
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node<T>>()
-            + self.free.capacity() * std::mem::size_of::<u32>()
+        self.links.capacity() * std::mem::size_of::<Link>()
+            + self.values.capacity() * std::mem::size_of::<T>()
     }
 
     fn alloc(&mut self, value: T) -> u32 {
-        if let Some(idx) = self.free.pop() {
-            let node = &mut self.nodes[idx as usize];
-            debug_assert!(node.value.is_none());
-            node.value = Some(value);
-            node.prev = NIL;
-            node.next = NIL;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let link = &mut self.links[idx as usize];
+            debug_assert!(link.generation % 2 == 1, "free slot with live parity");
+            self.free_head = link.next;
+            self.free_len -= 1;
+            link.generation = link.generation.wrapping_add(1); // odd → even: live
+            link.prev = NIL;
+            link.next = NIL;
+            self.values[idx as usize] = value;
             idx
         } else {
-            let idx = self.nodes.len() as u32;
+            let idx = self.links.len() as u32;
             assert!(idx < NIL, "LinkedSlab overflow");
-            self.nodes.push(Node {
-                value: Some(value),
+            self.links.push(Link {
                 prev: NIL,
                 next: NIL,
                 generation: 0,
             });
+            self.values.push(value);
             idx
         }
+    }
+
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        let link = &mut self.links[idx as usize];
+        link.generation = link.generation.wrapping_add(1); // even → odd: free
+        link.next = self.free_head;
+        self.free_head = idx;
+        self.free_len += 1;
     }
 
     #[inline]
     fn handle(&self, idx: u32) -> Handle {
         Handle {
             idx,
-            generation: self.nodes[idx as usize].generation,
+            generation: self.links[idx as usize].generation,
         }
     }
 
     #[inline]
     fn check(&self, h: Handle) -> u32 {
-        let node = &self.nodes[h.idx as usize];
+        // Handles are only minted with even (live) generations, so a bare
+        // equality test also proves the slot has not been freed since.
         assert!(
-            node.generation == h.generation && node.value.is_some(),
+            self.links[h.idx as usize].generation == h.generation,
             "stale LinkedSlab handle"
         );
         h.idx
@@ -123,18 +181,17 @@ impl<T> LinkedSlab<T> {
 
     /// True if `h` still refers to a live node.
     pub fn is_valid(&self, h: Handle) -> bool {
-        (h.idx as usize) < self.nodes.len() && {
-            let node = &self.nodes[h.idx as usize];
-            node.generation == h.generation && node.value.is_some()
-        }
+        (h.idx as usize) < self.links.len()
+            && self.links[h.idx as usize].generation == h.generation
+            && h.generation.is_multiple_of(2)
     }
 
     /// Insert at the front (MRU end). O(1).
     pub fn push_front(&mut self, value: T) -> Handle {
         let idx = self.alloc(value);
-        self.nodes[idx as usize].next = self.head;
+        self.links[idx as usize].next = self.head;
         if self.head != NIL {
-            self.nodes[self.head as usize].prev = idx;
+            self.links[self.head as usize].prev = idx;
         } else {
             self.tail = idx;
         }
@@ -146,9 +203,9 @@ impl<T> LinkedSlab<T> {
     /// Insert at the back (LRU end). O(1).
     pub fn push_back(&mut self, value: T) -> Handle {
         let idx = self.alloc(value);
-        self.nodes[idx as usize].prev = self.tail;
+        self.links[idx as usize].prev = self.tail;
         if self.tail != NIL {
-            self.nodes[self.tail as usize].next = idx;
+            self.links[self.tail as usize].next = idx;
         } else {
             self.head = idx;
         }
@@ -160,15 +217,15 @@ impl<T> LinkedSlab<T> {
     /// Insert immediately before the node at `h`. O(1).
     pub fn insert_before(&mut self, h: Handle, value: T) -> Handle {
         let at = self.check(h);
-        let prev = self.nodes[at as usize].prev;
+        let prev = self.links[at as usize].prev;
         if prev == NIL {
             return self.push_front(value);
         }
         let idx = self.alloc(value);
-        self.nodes[idx as usize].prev = prev;
-        self.nodes[idx as usize].next = at;
-        self.nodes[prev as usize].next = idx;
-        self.nodes[at as usize].prev = idx;
+        self.links[idx as usize].prev = prev;
+        self.links[idx as usize].next = at;
+        self.links[prev as usize].next = idx;
+        self.links[at as usize].prev = idx;
         self.len += 1;
         self.handle(idx)
     }
@@ -176,32 +233,29 @@ impl<T> LinkedSlab<T> {
     /// Insert immediately after the node at `h`. O(1).
     pub fn insert_after(&mut self, h: Handle, value: T) -> Handle {
         let at = self.check(h);
-        let next = self.nodes[at as usize].next;
+        let next = self.links[at as usize].next;
         if next == NIL {
             return self.push_back(value);
         }
         let idx = self.alloc(value);
-        self.nodes[idx as usize].prev = at;
-        self.nodes[idx as usize].next = next;
-        self.nodes[at as usize].next = idx;
-        self.nodes[next as usize].prev = idx;
+        self.links[idx as usize].prev = at;
+        self.links[idx as usize].next = next;
+        self.links[at as usize].next = idx;
+        self.links[next as usize].prev = idx;
         self.len += 1;
         self.handle(idx)
     }
 
     #[inline]
     fn unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let n = &self.nodes[idx as usize];
-            (n.prev, n.next)
-        };
+        let Link { prev, next, .. } = self.links[idx as usize];
         if prev != NIL {
-            self.nodes[prev as usize].next = next;
+            self.links[prev as usize].next = next;
         } else {
             self.head = next;
         }
         if next != NIL {
-            self.nodes[next as usize].prev = prev;
+            self.links[next as usize].prev = prev;
         } else {
             self.tail = prev;
         }
@@ -211,10 +265,8 @@ impl<T> LinkedSlab<T> {
     pub fn remove(&mut self, h: Handle) -> T {
         let idx = self.check(h);
         self.unlink(idx);
-        let node = &mut self.nodes[idx as usize];
-        let value = node.value.take().expect("checked live");
-        node.generation = node.generation.wrapping_add(1);
-        self.free.push(idx);
+        let value = self.values[idx as usize];
+        self.release(idx);
         self.len -= 1;
         value
     }
@@ -244,10 +296,10 @@ impl<T> LinkedSlab<T> {
             return;
         }
         self.unlink(idx);
-        self.nodes[idx as usize].prev = NIL;
-        self.nodes[idx as usize].next = self.head;
+        self.links[idx as usize].prev = NIL;
+        self.links[idx as usize].next = self.head;
         if self.head != NIL {
-            self.nodes[self.head as usize].prev = idx;
+            self.links[self.head as usize].prev = idx;
         } else {
             self.tail = idx;
         }
@@ -261,10 +313,10 @@ impl<T> LinkedSlab<T> {
             return;
         }
         self.unlink(idx);
-        self.nodes[idx as usize].next = NIL;
-        self.nodes[idx as usize].prev = self.tail;
+        self.links[idx as usize].next = NIL;
+        self.links[idx as usize].prev = self.tail;
         if self.tail != NIL {
-            self.nodes[self.tail as usize].next = idx;
+            self.links[self.tail as usize].next = idx;
         } else {
             self.head = idx;
         }
@@ -275,18 +327,18 @@ impl<T> LinkedSlab<T> {
     /// No-op if already at the front.
     pub fn promote_one(&mut self, h: Handle) {
         let idx = self.check(h);
-        let prev = self.nodes[idx as usize].prev;
+        let prev = self.links[idx as usize].prev;
         if prev == NIL {
             return;
         }
         // Unlink idx and re-insert before prev.
         self.unlink(idx);
-        let prev_prev = self.nodes[prev as usize].prev;
-        self.nodes[idx as usize].prev = prev_prev;
-        self.nodes[idx as usize].next = prev;
-        self.nodes[prev as usize].prev = idx;
+        let prev_prev = self.links[prev as usize].prev;
+        self.links[idx as usize].prev = prev_prev;
+        self.links[idx as usize].next = prev;
+        self.links[prev as usize].prev = idx;
         if prev_prev != NIL {
-            self.nodes[prev_prev as usize].next = idx;
+            self.links[prev_prev as usize].next = idx;
         } else {
             self.head = idx;
         }
@@ -305,27 +357,27 @@ impl<T> LinkedSlab<T> {
     /// Handle of the node after `h` (toward the back).
     pub fn next(&self, h: Handle) -> Option<Handle> {
         let idx = self.check(h);
-        let next = self.nodes[idx as usize].next;
+        let next = self.links[idx as usize].next;
         (next != NIL).then(|| self.handle(next))
     }
 
     /// Handle of the node before `h` (toward the front).
     pub fn prev(&self, h: Handle) -> Option<Handle> {
         let idx = self.check(h);
-        let prev = self.nodes[idx as usize].prev;
+        let prev = self.links[idx as usize].prev;
         (prev != NIL).then(|| self.handle(prev))
     }
 
     /// Shared access to the value at `h`.
     pub fn get(&self, h: Handle) -> &T {
         let idx = self.check(h);
-        self.nodes[idx as usize].value.as_ref().expect("checked")
+        &self.values[idx as usize]
     }
 
     /// Mutable access to the value at `h`.
     pub fn get_mut(&mut self, h: Handle) -> &mut T {
         let idx = self.check(h);
-        self.nodes[idx as usize].value.as_mut().expect("checked")
+        &mut self.values[idx as usize]
     }
 
     /// Iterate front→back.
@@ -338,39 +390,41 @@ impl<T> LinkedSlab<T> {
 
     /// Drop all nodes.
     pub fn clear(&mut self) {
-        self.nodes.clear();
-        self.free.clear();
+        self.links.clear();
+        self.values.clear();
+        self.free_head = NIL;
+        self.free_len = 0;
         self.head = NIL;
         self.tail = NIL;
         self.len = 0;
     }
 
     /// Structural invariant walk (O(n)). Checks that the chain from `head`
-    /// is doubly-linked consistently (`node.prev` of each node points at its
+    /// is doubly-linked consistently (`prev` of each node points at its
     /// actual predecessor), terminates at `tail`, visits exactly `len` live
-    /// nodes without cycling, and that every free-list slot is dead and
-    /// disjoint from the chain. Returns a description of the first violated
-    /// invariant.
+    /// nodes without cycling, and that the free chain holds exactly the
+    /// remaining slots with free (odd) parity. Returns a description of the
+    /// first violated invariant.
     pub fn audit(&self) -> Result<(), String> {
         let mut seen = 0usize;
         let mut prev = NIL;
         let mut cur = self.head;
         while cur != NIL {
-            if seen > self.nodes.len() {
+            if seen > self.links.len() {
                 return Err("list: cycle detected walking head→tail".into());
             }
-            let n = &self.nodes[cur as usize];
-            if n.value.is_none() {
-                return Err(format!("list: chained node {cur} holds no value"));
+            let l = &self.links[cur as usize];
+            if !l.generation.is_multiple_of(2) {
+                return Err(format!("list: chained node {cur} has free parity"));
             }
-            if n.prev != prev {
+            if l.prev != prev {
                 return Err(format!(
                     "list: node {cur} has prev={} but predecessor is {prev}",
-                    n.prev
+                    l.prev
                 ));
             }
             prev = cur;
-            cur = n.next;
+            cur = l.next;
             seen += 1;
         }
         if prev != self.tail {
@@ -382,17 +436,37 @@ impl<T> LinkedSlab<T> {
         if seen != self.len {
             return Err(format!("list: walked {seen} nodes but len is {}", self.len));
         }
-        for &f in &self.free {
-            if self.nodes[f as usize].value.is_some() {
-                return Err(format!("list: free slot {f} holds a live value"));
+        let mut free_seen = 0usize;
+        let mut f = self.free_head;
+        while f != NIL {
+            if free_seen > self.links.len() {
+                return Err("list: cycle detected walking free chain".into());
             }
+            if self.links[f as usize].generation.is_multiple_of(2) {
+                return Err(format!("list: free slot {f} has live parity"));
+            }
+            f = self.links[f as usize].next;
+            free_seen += 1;
         }
-        if self.len + self.free.len() != self.nodes.len() {
+        if free_seen != self.free_len {
+            return Err(format!(
+                "list: free chain has {free_seen} slots but free_len is {}",
+                self.free_len
+            ));
+        }
+        if self.len + self.free_len != self.links.len() {
             return Err(format!(
                 "list: {} live + {} free != {} slots",
                 self.len,
-                self.free.len(),
-                self.nodes.len()
+                self.free_len,
+                self.links.len()
+            ));
+        }
+        if self.links.len() != self.values.len() {
+            return Err(format!(
+                "list: {} link words but {} values",
+                self.links.len(),
+                self.values.len()
             ));
         }
         Ok(())
@@ -405,16 +479,16 @@ pub struct Iter<'a, T> {
     cur: u32,
 }
 
-impl<'a, T> Iterator for Iter<'a, T> {
+impl<'a, T: Copy> Iterator for Iter<'a, T> {
     type Item = &'a T;
 
     fn next(&mut self) -> Option<&'a T> {
         if self.cur == NIL {
             return None;
         }
-        let node = &self.list.nodes[self.cur as usize];
-        self.cur = node.next;
-        node.value.as_ref()
+        let idx = self.cur as usize;
+        self.cur = self.list.links[idx].next;
+        Some(&self.list.values[idx])
     }
 }
 
@@ -422,8 +496,8 @@ impl<'a, T> Iterator for Iter<'a, T> {
 mod tests {
     use super::*;
 
-    fn collect<T: Clone>(l: &LinkedSlab<T>) -> Vec<T> {
-        l.iter().cloned().collect()
+    fn collect<T: Copy>(l: &LinkedSlab<T>) -> Vec<T> {
+        l.iter().copied().collect()
     }
 
     #[test]
@@ -576,5 +650,32 @@ mod tests {
         assert_eq!(l.front(), None);
         l.push_back(9);
         assert_eq!(collect(&l), vec![9]);
+    }
+
+    #[test]
+    fn free_chain_reuses_lifo_and_audits() {
+        let mut l = LinkedSlab::new();
+        let hs: Vec<_> = (0..8).map(|i| l.push_back(i)).collect();
+        for &h in &hs[2..6] {
+            l.remove(h);
+        }
+        l.audit().unwrap();
+        let before = l.memory_bytes();
+        for i in 10..14 {
+            l.push_back(i);
+        }
+        l.audit().unwrap();
+        assert_eq!(l.len(), 8);
+        // All four freed slots were reused: no slab growth.
+        assert_eq!(l.memory_bytes(), before);
+    }
+
+    #[test]
+    fn handle_pack_roundtrip() {
+        let h = Handle {
+            idx: 12345,
+            generation: 678,
+        };
+        assert_eq!(Handle::unpack(h.pack()), h);
     }
 }

@@ -4,7 +4,7 @@
 //! by the simulator. The trait is object-safe so the simulator can sweep
 //! heterogeneous policy sets (`Box<dyn CachePolicy>`).
 
-use crate::object::Request;
+use crate::object::{ObjectId, Request};
 
 /// Where an object is (re-)inserted in the recency queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +87,13 @@ pub trait CachePolicy {
 
     /// Aggregate counters.
     fn stats(&self) -> PolicyStats;
+
+    /// Hint that `id` will be requested a few steps from now. Policies
+    /// backed by a fused index pull the relevant bucket toward L1 so the
+    /// eventual lookup probe starts warm; the default is a no-op, so
+    /// correctness never depends on this being called (or implemented).
+    #[inline]
+    fn prefetch_hint(&self, _id: ObjectId) {}
 }
 
 impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
@@ -107,6 +114,9 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
     }
     fn stats(&self) -> PolicyStats {
         (**self).stats()
+    }
+    fn prefetch_hint(&self, id: ObjectId) {
+        (**self).prefetch_hint(id)
     }
 }
 

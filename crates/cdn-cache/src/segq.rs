@@ -9,7 +9,7 @@
 //! The *global* recency order is the concatenation
 //! `seg[n-1] (MRU→LRU) ++ ... ++ seg[0] (MRU→LRU)`.
 
-use crate::hash::FxHashMap;
+use crate::index::FusedIndex;
 use crate::object::{ObjectId, Tick};
 use crate::queue::{EntryMeta, EvictedEntry, LruQueue};
 
@@ -19,7 +19,9 @@ pub struct SegmentedQueue {
     /// Index 0 = eviction end.
     segments: Vec<LruQueue>,
     budgets: Vec<u64>,
-    seg_of: FxHashMap<ObjectId, u8>,
+    /// id → segment index, stored in a fused open-addressing table
+    /// (segment indices are ≤ 255, far from the empty sentinel).
+    seg_of: FusedIndex,
     total_capacity: u64,
 }
 
@@ -53,7 +55,7 @@ impl SegmentedQueue {
             // themselves, because cascade demotion transiently overfills.
             segments: fractions.iter().map(|_| LruQueue::new(u64::MAX)).collect(),
             budgets,
-            seg_of: FxHashMap::default(),
+            seg_of: FusedIndex::new(),
             total_capacity,
         }
     }
@@ -95,24 +97,34 @@ impl SegmentedQueue {
 
     /// True if `id` is resident (in any segment).
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.seg_of.contains_key(&id)
+        self.seg_of.contains(id.0)
+    }
+
+    /// Pull the segment-index bucket for `id` toward L1 ahead of a lookup
+    /// a few requests from now (batched replay).
+    #[inline]
+    pub fn prefetch_lookup(&self, id: ObjectId) {
+        self.seg_of.prefetch(id.0);
     }
 
     /// Segment currently holding `id`.
     pub fn segment_of(&self, id: ObjectId) -> Option<usize> {
-        self.seg_of.get(&id).map(|&s| s as usize)
+        self.seg_of.get(id.0).map(|s| s as usize)
     }
 
     /// Entry metadata of a resident object.
-    pub fn get(&self, id: ObjectId) -> Option<&EntryMeta> {
-        let seg = *self.seg_of.get(&id)?;
+    pub fn get(&self, id: ObjectId) -> Option<EntryMeta> {
+        let seg = self.seg_of.get(id.0)?;
         self.segments[seg as usize].get(id)
     }
 
-    /// Mutable entry metadata of a resident object.
-    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut EntryMeta> {
-        let seg = *self.seg_of.get(&id)?;
-        self.segments[seg as usize].get_mut(id)
+    /// Record a hit on a resident object: bump hit count and last-access
+    /// without moving it (the segment queues' hot arrays absorb the
+    /// write).
+    pub fn record_hit(&mut self, id: ObjectId, tick: Tick) {
+        if let Some(seg) = self.seg_of.get(id.0) {
+            self.segments[seg as usize].record_hit(id, tick);
+        }
     }
 
     /// Cascade overflow from segment `from` downward; evictions from
@@ -124,10 +136,10 @@ impl SegmentedQueue {
                     .evict_lru()
                     .expect("overfull segment is nonempty");
                 if i == 0 {
-                    self.seg_of.remove(&victim.id);
+                    self.seg_of.remove(victim.id.0);
                     evicted.push(victim);
                 } else {
-                    self.seg_of.insert(victim.id, (i - 1) as u8);
+                    self.seg_of.insert(victim.id.0, (i - 1) as u64);
                     self.segments[i - 1].insert_meta_mru(victim);
                 }
             }
@@ -143,7 +155,7 @@ impl SegmentedQueue {
         assert!(seg < self.segments.len());
         debug_assert!(!self.contains(id), "insert of resident object {id}");
         self.segments[seg].insert_mru(id, size, tick);
-        self.seg_of.insert(id, seg as u8);
+        self.seg_of.insert(id.0, seg as u64);
         let mut evicted = Vec::new();
         // Rebalance from the very top: boundary-crossing promotions may
         // have left upper segments transiently over budget.
@@ -161,12 +173,12 @@ impl SegmentedQueue {
         tick: Tick,
     ) -> Vec<EvictedEntry> {
         assert!(target_seg < self.segments.len());
-        let cur = *self.seg_of.get(&id).expect("hit on non-resident object") as usize;
+        let cur = self.seg_of.get(id.0).expect("hit on non-resident object") as usize;
         self.segments[cur].record_hit(id, tick);
         let mut meta = self.segments[cur].remove(id).expect("resident");
         meta.inserted_at_mru = true;
         self.segments[target_seg].insert_meta_mru(meta);
-        self.seg_of.insert(id, target_seg as u8);
+        self.seg_of.insert(id.0, target_seg as u64);
         let mut evicted = Vec::new();
         self.rebalance(self.segments.len() - 1, &mut evicted);
         evicted
@@ -175,7 +187,7 @@ impl SegmentedQueue {
     /// Move the object one position toward the global MRU end. Crossing a
     /// segment boundary moves it to the LRU position of the segment above.
     pub fn promote_one_global(&mut self, id: ObjectId) {
-        let Some(&seg) = self.seg_of.get(&id) else {
+        let Some(seg) = self.seg_of.get(id.0) else {
             return;
         };
         let seg = seg as usize;
@@ -184,7 +196,7 @@ impl SegmentedQueue {
             if seg + 1 < self.segments.len() {
                 let meta = self.segments[seg].remove(id).expect("resident");
                 self.segments[seg + 1].insert_meta_lru(meta);
-                self.seg_of.insert(id, (seg + 1) as u8);
+                self.seg_of.insert(id.0, (seg + 1) as u64);
                 // Note: byte budgets are intentionally not rebalanced here;
                 // promote-by-one must not evict. The next insert rebalances.
             }
@@ -195,7 +207,7 @@ impl SegmentedQueue {
 
     /// Remove a resident object without recording an eviction.
     pub fn remove(&mut self, id: ObjectId) -> Option<EntryMeta> {
-        let seg = self.seg_of.remove(&id)? as usize;
+        let seg = self.seg_of.remove(id.0)? as usize;
         self.segments[seg].remove(id)
     }
 
@@ -205,7 +217,7 @@ impl SegmentedQueue {
         for seg in 0..self.segments.len() {
             if !self.segments[seg].is_empty() {
                 let victim = self.segments[seg].evict_lru().expect("nonempty");
-                self.seg_of.remove(&victim.id);
+                self.seg_of.remove(victim.id.0);
                 return Some(victim);
             }
         }
@@ -213,12 +225,12 @@ impl SegmentedQueue {
     }
 
     /// Iterate a segment's entries MRU→LRU.
-    pub fn iter_segment(&self, seg: usize) -> impl Iterator<Item = &EntryMeta> {
+    pub fn iter_segment(&self, seg: usize) -> impl Iterator<Item = EntryMeta> + '_ {
         self.segments[seg].iter()
     }
 
     /// Iterate all entries in global recency order (most protected first).
-    pub fn iter_global(&self) -> impl Iterator<Item = &EntryMeta> {
+    pub fn iter_global(&self) -> impl Iterator<Item = EntryMeta> + '_ {
         self.segments.iter().rev().flat_map(|s| s.iter())
     }
 
@@ -235,11 +247,11 @@ impl SegmentedQueue {
         for (i, seg) in self.segments.iter().enumerate() {
             seg.audit().map_err(|e| format!("segq seg {i}: {e}"))?;
             for m in seg.iter() {
-                match self.seg_of.get(&m.id) {
+                match self.seg_of.get(m.id.0) {
                     None => {
                         return Err(format!("segq: resident {} missing from seg_of", m.id.0));
                     }
-                    Some(&s) if s as usize != i => {
+                    Some(s) if s as usize != i => {
                         return Err(format!(
                             "segq: {} resident in seg {i} but seg_of says {s}",
                             m.id.0
@@ -251,6 +263,7 @@ impl SegmentedQueue {
                 n += 1;
             }
         }
+        self.seg_of.audit().map_err(|e| format!("segq: {e}"))?;
         if n != self.seg_of.len() {
             return Err(format!(
                 "segq: segments hold {n} entries, seg_of has {}",
@@ -266,13 +279,14 @@ impl SegmentedQueue {
         Ok(())
     }
 
-    /// Approximate metadata footprint.
+    /// True metadata footprint: per-segment hot/cold arrays and index
+    /// tables plus the global segment-index table.
     pub fn memory_bytes(&self) -> usize {
         self.segments
             .iter()
             .map(|s| s.memory_bytes())
             .sum::<usize>()
-            + self.seg_of.capacity() * (std::mem::size_of::<ObjectId>() + 2 + 8)
+            + self.seg_of.memory_bytes()
     }
 }
 

@@ -147,6 +147,11 @@ impl CachePolicy for AdaptSize {
             ..self.stats
         }
     }
+
+    #[inline]
+    fn prefetch_hint(&self, id: ObjectId) {
+        self.cache.prefetch_lookup(id);
+    }
 }
 
 #[cfg(test)]

@@ -124,7 +124,7 @@ impl TinyLfu {
                 > self.capacity - self.window_budget
             {
                 let victim = match self.main.peek_lru() {
-                    Some(v) => *v,
+                    Some(v) => v,
                     None => break,
                 };
                 if self.sketch.estimate(candidate.id) > self.sketch.estimate(victim.id) {
@@ -200,6 +200,12 @@ impl CachePolicy for TinyLfu {
             resident_bytes: self.used(),
             ..self.stats
         }
+    }
+
+    #[inline]
+    fn prefetch_hint(&self, id: ObjectId) {
+        self.window.prefetch_lookup(id);
+        self.main.prefetch_lookup(id);
     }
 }
 

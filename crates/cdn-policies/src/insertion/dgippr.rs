@@ -213,6 +213,11 @@ impl CachePolicy for Dgippr {
             ..self.stats
         }
     }
+
+    #[inline]
+    fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
+        self.q.prefetch_lookup(id);
+    }
 }
 
 #[cfg(test)]

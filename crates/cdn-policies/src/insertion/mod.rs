@@ -119,7 +119,7 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
         // handle. This loop dominates replay throughput.
         if let Some(h) = self.cache.lookup(req.id) {
             self.cache.record_hit_at(h, req.tick);
-            let meta = *self.cache.get_at(h);
+            let meta = self.cache.get_at(h);
             match self.decider.on_hit(req, &meta, &self.cache) {
                 PromoteAction::ToMru => self.cache.promote_to_mru_at(h),
                 PromoteAction::OneStep => self.cache.promote_one_at(h),
@@ -144,7 +144,7 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
             InsertPos::Lru => self.cache.insert_lru(req.id, req.size, req.tick),
         };
         if decision.tag != 0 {
-            self.cache.get_at_mut(h).tag = decision.tag;
+            self.cache.set_tag_at(h, decision.tag);
         }
         self.stats.insertions += 1;
         #[cfg(feature = "audit")]
@@ -170,6 +170,11 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
             resident_bytes: self.cache.used_bytes(),
             ..self.stats
         }
+    }
+
+    #[inline]
+    fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
+        self.cache.prefetch_lookup(id);
     }
 }
 

@@ -56,10 +56,7 @@ impl CachePolicy for Pipp {
 
     fn on_request(&mut self, req: &Request) -> AccessKind {
         if self.q.contains(req.id) {
-            if let Some(m) = self.q.get_mut(req.id) {
-                m.hits += 1;
-                m.last_access = req.tick;
-            }
+            self.q.record_hit(req.id, req.tick);
             if self.rng.chance(self.p_prom) {
                 self.q.promote_one_global(req.id);
             }
@@ -92,6 +89,11 @@ impl CachePolicy for Pipp {
             resident_bytes: self.q.used_bytes(),
             ..self.stats
         }
+    }
+
+    #[inline]
+    fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
+        self.q.prefetch_lookup(id);
     }
 }
 

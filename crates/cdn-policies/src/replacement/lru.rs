@@ -49,6 +49,11 @@ impl CachePolicy for Lru {
     fn stats(&self) -> PolicyStats {
         self.inner.stats()
     }
+
+    #[inline]
+    fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
+        self.inner.prefetch_hint(id);
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,11 @@ impl CachePolicy for S4Lru {
             ..self.stats
         }
     }
+
+    #[inline]
+    fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
+        self.q.prefetch_lookup(id);
+    }
 }
 
 #[cfg(test)]

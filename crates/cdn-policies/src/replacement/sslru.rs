@@ -137,6 +137,11 @@ impl CachePolicy for SsLru {
             ..self.stats
         }
     }
+
+    #[inline]
+    fn prefetch_hint(&self, id: ObjectId) {
+        self.q.prefetch_lookup(id);
+    }
 }
 
 #[cfg(test)]

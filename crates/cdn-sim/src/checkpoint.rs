@@ -192,14 +192,15 @@ fn json_escape(s: &str) -> String {
 fn encode_record(fingerprint: &str, m: &RunMeasurement) -> String {
     format!(
         "{{\"fp\":\"{}\",\"policy\":\"{}\",\"miss_ratio\":{},\"byte_miss_ratio\":{},\
-         \"tps\":{},\"ns_per_request\":{},\"peak_memory_bytes\":{}}}",
+         \"tps\":{},\"ns_per_request\":{},\"peak_memory_bytes\":{},\"resident_objects\":{}}}",
         json_escape(fingerprint),
         json_escape(&m.policy),
         m.miss_ratio,
         m.byte_miss_ratio,
         m.tps,
         m.ns_per_request,
-        m.peak_memory_bytes
+        m.peak_memory_bytes,
+        m.resident_objects
     )
 }
 
@@ -253,6 +254,10 @@ fn parse_record(line: &str) -> Option<(String, RunMeasurement)> {
         tps: json_num_field(line, "tps")?,
         ns_per_request: json_num_field(line, "ns_per_request")?,
         peak_memory_bytes: json_num_field(line, "peak_memory_bytes")? as usize,
+        // Absent in sidecars written before the field existed; 0 keeps
+        // those cells loadable (a missing density is better than a
+        // discarded measurement).
+        resident_objects: json_num_field(line, "resident_objects").unwrap_or(0.0) as usize,
     };
     Some((fp, m))
 }
@@ -324,6 +329,7 @@ mod tests {
             tps: 1e6,
             ns_per_request: 100.0,
             peak_memory_bytes: 4096,
+            resident_objects: 16,
         }
     }
 

@@ -37,6 +37,7 @@ fn measurement(mr: f64) -> RunMeasurement {
         tps: 1e6,
         ns_per_request: 100.0,
         peak_memory_bytes: 1 << 12,
+        resident_objects: 8,
     }
 }
 

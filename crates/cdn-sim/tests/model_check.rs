@@ -60,16 +60,16 @@ fn assert_lru_equiv(real: &LruQueue, model: &ModelLru, step: usize) {
     );
     assert_eq!(real.len(), model.len(), "len @ step {step}");
     // Full order + metadata equality, MRU first.
-    let got: Vec<_> = real.iter().copied().collect();
+    let got: Vec<_> = real.iter().collect();
     let want: Vec<_> = model.iter().copied().collect();
     assert_eq!(got, want, "queue order/metadata diverged @ step {step}");
     assert_eq!(
-        real.peek_lru().copied(),
+        real.peek_lru(),
         model.peek_lru().copied(),
         "peek_lru @ step {step}"
     );
     assert_eq!(
-        real.peek_mru().copied(),
+        real.peek_mru(),
         model.peek_mru().copied(),
         "peek_mru @ step {step}"
     );
@@ -87,7 +87,7 @@ fn differential_lru_queue_vs_model() {
         for step in 0..12_000usize {
             let id = pick_id(&mut rng);
             let tick = step as u64;
-            match rng.u64_below(10) {
+            match rng.u64_below(11) {
                 0 | 1 => {
                     // Insert (skipping duplicates exactly like callers must).
                     let size = adversarial_size(&mut rng, real.capacity());
@@ -154,12 +154,44 @@ fn differential_lru_queue_vs_model() {
                     let b = model.set_capacity(new_cap);
                     assert_eq!(a, b, "set_capacity({new_cap}) evictions @ step {step}");
                 }
+                9 => {
+                    // Burst-insert a block of fresh ids well outside the
+                    // 64-id universe, forcing the fused index to grow
+                    // (and rehash) mid-sequence, then tear the block back
+                    // down — either one key at a time (mass backward-shift
+                    // deletion) or all at once (rebuild from zero).
+                    let base = 1_000_000 + (step as u64) * 4096;
+                    let burst = 64 + rng.u64_below(192);
+                    for d in 0..burst {
+                        let bid = ObjectId::from(base + d);
+                        if real.admissible(1) {
+                            while real.needs_eviction_for(1) {
+                                assert_eq!(
+                                    real.evict_lru(),
+                                    model.evict_lru(),
+                                    "burst evict @ step {step}"
+                                );
+                            }
+                            real.insert_mru(bid, 1, tick);
+                            model.insert_mru(bid, 1, tick);
+                        }
+                    }
+                    if rng.chance(0.5) {
+                        for d in 0..burst {
+                            let bid = ObjectId::from(base + d);
+                            assert_eq!(
+                                real.remove(bid),
+                                model.remove(bid),
+                                "burst drain @ step {step}"
+                            );
+                        }
+                    } else {
+                        real.clear();
+                        model.clear();
+                    }
+                }
                 _ => {
-                    assert_eq!(
-                        real.get(id).copied(),
-                        model.get(id).copied(),
-                        "get @ step {step}"
-                    );
+                    assert_eq!(real.get(id), model.get(id).copied(), "get @ step {step}");
                 }
             }
             assert_lru_equiv(&real, &model, step);
@@ -266,7 +298,7 @@ fn differential_segq_vs_model() {
             real.audit().unwrap_or_else(|e| panic!("step {step}: {e}"));
             assert_eq!(real.used_bytes(), model.used_bytes(), "used @ step {step}");
             assert_eq!(real.len(), model.len(), "len @ step {step}");
-            let got: Vec<_> = real.iter_global().copied().collect();
+            let got: Vec<_> = real.iter_global().collect();
             let want: Vec<_> = model.iter_global().copied().collect();
             assert_eq!(got, want, "global order diverged @ step {step}");
         }

@@ -187,7 +187,7 @@ pub fn label_trace(trace: &[Request], cache_bytes: u64) -> TraceLabels {
         }
     }
     // Close residencies still open at end of trace.
-    let residents: Vec<cdn_cache::EntryMeta> = cache.iter().copied().collect();
+    let residents: Vec<cdn_cache::EntryMeta> = cache.iter().collect();
     for meta in residents {
         close(&meta, None, &mut labels, &mut summary);
     }

@@ -1,7 +1,7 @@
 //! Algorithm 1 (SCIP) and Algorithm 3 (SCI) on the LRU victim policy.
 
 use cdn_cache::policy::RejectReason;
-use cdn_cache::{AccessKind, CachePolicy, InsertPos, LruQueue, PolicyStats, Request};
+use cdn_cache::{AccessKind, CachePolicy, InsertPos, LruQueue, ObjectId, PolicyStats, Request};
 
 use crate::core::{ScipConfig, ScipCore, VictimInfo};
 
@@ -97,20 +97,14 @@ impl CachePolicy for Scip {
             // PROMOTE = REMOVE (no history write) + INSERT by SELECT,
             // realised as an in-place move: one hash probe, no slab churn,
             // identical queue order and metadata.
-            let hits = self.cache.get_at(h).hits;
+            let hits = self.cache.hits_at(h);
             match self.core.decide_promotion(hits + 1) {
                 InsertPos::Mru => {
-                    let m = self.cache.get_at_mut(h);
-                    m.inserted_at_mru = true;
-                    m.hits += 1;
-                    m.last_access = req.tick;
+                    self.cache.record_promotion_at(h, true, req.tick);
                     self.cache.promote_to_mru_at(h);
                 }
                 InsertPos::Lru => {
-                    let m = self.cache.get_at_mut(h);
-                    m.inserted_at_mru = false;
-                    m.hits += 1;
-                    m.last_access = req.tick;
+                    self.cache.record_promotion_at(h, false, req.tick);
                     self.cache.demote_to_lru_at(h);
                 }
             }
@@ -162,6 +156,11 @@ impl CachePolicy for Scip {
             ..self.stats
         }
     }
+
+    #[inline]
+    fn prefetch_hint(&self, id: ObjectId) {
+        self.cache.prefetch_lookup(id);
+    }
 }
 
 /// SCI: Algorithm 3 — SCIP without the promotion half. Hits always go to
@@ -210,10 +209,7 @@ impl CachePolicy for Sci {
         let outcome = if let Some(h) = self.cache.lookup(req.id) {
             // Algorithm 3 lines 3-5: hits re-enter at MRU unconditionally
             // (in-place promotion: one hash probe, same queue order).
-            let meta = self.cache.get_at_mut(h);
-            meta.inserted_at_mru = true;
-            meta.hits += 1;
-            meta.last_access = req.tick;
+            self.cache.record_promotion_at(h, true, req.tick);
             self.cache.promote_to_mru_at(h);
             AccessKind::Hit
         } else if !self.cache.admissible(req.size) {
@@ -268,6 +264,11 @@ impl CachePolicy for Sci {
             resident_bytes: self.cache.used_bytes(),
             ..self.stats
         }
+    }
+
+    #[inline]
+    fn prefetch_hint(&self, id: ObjectId) {
+        self.cache.prefetch_lookup(id);
     }
 }
 

@@ -5,16 +5,30 @@
 # sweep aggregate throughput is compared against it. A missing baseline
 # (first run, fresh clone) is fine — the comparison is simply skipped.
 #
+# Usage:
+#   scripts/bench.sh          measure and report (never fails on perf)
+#   scripts/bench.sh --gate   additionally FAIL (exit 1) if any policy's
+#                             requests/sec regressed more than 10% vs the
+#                             committed baseline
+#
 # Knobs (env):
 #   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
 #   REPRO_SEED             trace seed (default 42)
 #   REPLAY_BENCH_OUT       output path (default BENCH_replay.json)
 #   REPLAY_BENCH_TRACE     replay a .bin/.csv trace file instead of
 #                          generating one
+#   BENCH_GATE_TOLERANCE   allowed fractional regression in --gate mode
+#                          (default 0.10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+GATE=0
+if [[ "${1:-}" == "--gate" ]]; then
+    GATE=1
+fi
+
 OUT="${REPLAY_BENCH_OUT:-BENCH_replay.json}"
+TOLERANCE="${BENCH_GATE_TOLERANCE:-0.10}"
 BASELINE=""
 if [[ -f "$OUT" ]]; then
     BASELINE="${OUT%.json}.prev.json"
@@ -22,6 +36,10 @@ if [[ -f "$OUT" ]]; then
     echo "baseline: previous $OUT saved as $BASELINE"
 else
     echo "baseline: no previous $OUT — first run, skipping comparison"
+    if [[ "$GATE" == 1 ]]; then
+        echo "--gate: no committed baseline to gate against; measuring only"
+        GATE=0
+    fi
 fi
 
 cargo build --release -p cdn-sim --bin replay_bench
@@ -40,5 +58,39 @@ if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
         }'
     else
         echo "baseline present but not comparable; skipping comparison"
+    fi
+
+    if [[ "$GATE" == 1 ]]; then
+        # Per-policy gate: each "policy" row carries requests_per_sec;
+        # pair baseline and current rows by policy name and fail on any
+        # regression beyond the tolerance. Rows are one JSON object per
+        # line, machine-written by replay_bench.
+        per_policy() {
+            grep -o '{"policy": "[^"]*", "requests_per_sec": [0-9.]*' "$1" |
+                sed 's/{"policy": "//; s/", "requests_per_sec": / /'
+        }
+        gate_rc=0
+        while read -r policy prev_rps; do
+            cur_rps="$(per_policy "$OUT" | awk -v p="$policy" '$1 == p {print $2}')"
+            if [[ -z "$cur_rps" ]]; then
+                echo "--gate: $policy missing from current run; skipping"
+                continue
+            fi
+            if ! awk -v p="$prev_rps" -v c="$cur_rps" -v tol="$TOLERANCE" \
+                'BEGIN { exit !(c >= p * (1 - tol)) }'; then
+                awk -v pol="$policy" -v p="$prev_rps" -v c="$cur_rps" 'BEGIN {
+                    printf "--gate: FAIL %s regressed %.2f -> %.2f Mreq/s (%+.1f%%)\n",
+                        pol, p / 1e6, c / 1e6, (c - p) / p * 100
+                }'
+                gate_rc=1
+            fi
+        done < <(per_policy "$BASELINE")
+        if [[ "$gate_rc" != 0 ]]; then
+            awk -v tol="$TOLERANCE" 'BEGIN {
+                printf "--gate: throughput regression beyond %.0f%% tolerance\n", tol * 100
+            }'
+            exit 1
+        fi
+        echo "--gate: all policies within tolerance"
     fi
 fi

@@ -35,8 +35,18 @@ cargo clippy -p cdn-sim --all-targets --features audit -- -D warnings
 echo "==> model-based differential harness --features audit"
 cargo test -q -p cdn-sim --features audit --test model_check
 
+echo "==> golden outcome streams --features audit (bit-identical policies)"
+cargo test -q -p cdn-sim --features audit --test golden_outcomes
+
 echo "==> fig6_chaos calm gate (exits nonzero if calm != plain path)"
 TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
     cargo run --release -q -p cdn-sim --bin fig6_chaos
+
+# Entry-layout size budgets (hot node <= 32 B etc.) are const-asserted in
+# cdn-cache (index.rs/list.rs/queue.rs), so every build above already
+# enforces them; a layout regression fails compilation, not this script.
+echo "==> replay_bench smoke (50k requests, throw-away output)"
+REPLAY_BENCH_REQUESTS=50000 REPLAY_BENCH_OUT="$(mktemp /tmp/bench_smoke.XXXXXX.json)" \
+    cargo run --release -q -p cdn-sim --bin replay_bench >/dev/null
 
 echo "OK"
