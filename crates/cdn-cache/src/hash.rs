@@ -79,6 +79,41 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// 2^64 / φ — the fibonacci-hashing multiplier. One `wrapping_mul` by
+/// this constant spreads sequential keys across the *high* bits, which is
+/// exactly what multiply-shift range reduction consumes.
+pub const FIB_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deterministic key→shard mapping shared by the trace partitioner and
+/// (later) the sharded daemon: [`mix64`] the key, then multiply-shift
+/// the hash onto `[0, shards)`.
+///
+/// Properties the sharded replay engine depends on:
+/// - **stateless + deterministic**: the same key always lands on the same
+///   shard for a given shard count, on every thread and every run;
+/// - **no power-of-two requirement**: multiply-shift range reduction works
+///   for any `shards ≥ 1` without a division on the hot path;
+/// - **uniform**: sequential object ids (the generator's common case)
+///   spread evenly because the mix randomises the high bits;
+/// - **independent of the index hash**: the shard function must NOT be the
+///   fibonacci product the fused index derives home slots from. Sharding
+///   on the top bits of `key · FIB_MUL` hands each shard exactly the keys
+///   whose home slots fall in one contiguous `1/shards` slice of its
+///   index — one table-spanning probe cluster and an ~18× per-request
+///   slowdown (measured; see DESIGN.md §15). [`mix64`] is a full-avalanche
+///   finaliser with no bit in common with the fibonacci multiply, so a
+///   shard's keys still cover its index's whole bucket range.
+///
+/// # Panics
+/// If `shards` is zero.
+#[inline]
+pub fn key_shard(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "key_shard: shard count must be >= 1");
+    let h = mix64(key);
+    // Multiply-shift: (h / 2^64) * shards, computed in 128-bit.
+    ((h as u128 * shards as u128) >> 64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +150,65 @@ mod tests {
         let mut b = FxHasher::default();
         b.write(&[1, 2, 4]);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn key_shard_is_deterministic_and_in_range() {
+        for shards in 1..=9usize {
+            for key in [0u64, 1, 2, 1000, u64::MAX, u64::MAX / 2] {
+                let s = key_shard(key, shards);
+                assert!(s < shards, "key {key} -> shard {s} of {shards}");
+                assert_eq!(s, key_shard(key, shards), "must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn key_shard_spreads_sequential_ids() {
+        // Sequential ids are the trace generator's id space; fibonacci
+        // hashing must not funnel them into a few shards.
+        for shards in [2usize, 3, 4, 7, 8] {
+            let mut counts = vec![0u32; shards];
+            let n = 80_000u64;
+            for key in 0..n {
+                counts[key_shard(key, shards)] += 1;
+            }
+            let expected = n as i64 / shards as i64;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as i64 - expected).abs() < expected / 5,
+                    "shard {s}/{shards}: {c} vs expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn key_shard_rejects_zero_shards() {
+        key_shard(1, 0);
+    }
+
+    #[test]
+    fn shard_keys_cover_index_home_slots() {
+        // Regression: one shard's keys must still spread over the whole
+        // fibonacci home-slot range the fused index probes. When sharding
+        // reused the index's own hash, shard 0 of 4 owned exactly the keys
+        // homing into the first quarter of every table — a table-spanning
+        // probe cluster and an ~18x replay slowdown.
+        let buckets = 1u64 << 10;
+        let mut seen = vec![false; buckets as usize];
+        for key in 0..200_000u64 {
+            if key_shard(key, 4) == 0 {
+                let home = key.wrapping_mul(FIB_MUL) >> (64 - 10);
+                seen[home as usize] = true;
+            }
+        }
+        let covered = seen.iter().filter(|&&b| b).count() as u64;
+        assert!(
+            covered > buckets * 9 / 10,
+            "shard 0 keys cover only {covered}/{buckets} home slots"
+        );
     }
 
     #[test]

@@ -49,13 +49,14 @@ pub mod rng;
 pub mod segq;
 
 pub use ghost::{GhostEntry, GhostList};
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{key_shard, FxHashMap, FxHashSet};
 pub use index::FusedIndex;
 pub use list::{Handle, LinkedSlab};
 pub use metrics::{IntervalStats, LatencyHistogram, MetricsRecorder, MissRatio};
 pub use model::{ModelGhost, ModelLru, ModelLruPolicy, ModelSegQ};
 pub use object::{ObjectId, Request, Tick};
 pub use policy::{AccessKind, CachePolicy, InsertPos, PolicyStats, RejectReason};
+pub use prefetch::llc_bytes;
 pub use queue::{EntryMeta, EvictedEntry, LruQueue};
 pub use rng::SimRng;
 pub use segq::SegmentedQueue;

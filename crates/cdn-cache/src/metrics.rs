@@ -92,6 +92,24 @@ impl MissRatio {
         self.miss_bytes
     }
 
+    /// Bytes served from cache.
+    pub fn hit_bytes(&self) -> u64 {
+        self.hit_bytes
+    }
+
+    /// Fold another tracker's cumulative counters into this one — the
+    /// aggregation step of sharded replay, where each shard owns a private
+    /// tracker and the merged ledgers must equal a single tracker fed every
+    /// request. Saturating, like the recording paths. Window state (`Π_t`)
+    /// is deliberately not merged: it is per-policy-instance learning
+    /// state, meaningless across shards.
+    pub fn absorb(&mut self, other: &MissRatio) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.hit_bytes = self.hit_bytes.saturating_add(other.hit_bytes);
+        self.miss_bytes = self.miss_bytes.saturating_add(other.miss_bytes);
+    }
+
     /// Hit rate of the current window (`Π` of Algorithm 2), then reset the
     /// window. Returns 0 for an empty window.
     pub fn take_window_hit_rate(&mut self) -> f64 {

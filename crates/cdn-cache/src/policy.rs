@@ -94,6 +94,19 @@ pub trait CachePolicy {
     /// correctness never depends on this being called (or implemented).
     #[inline]
     fn prefetch_hint(&self, _id: ObjectId) {}
+
+    /// Batch probe entry point: hint every id in `ids` at once. The
+    /// software-pipelined replay loop uses this to prime its first
+    /// lookahead window, and a sharded daemon can warm a whole dequeued
+    /// request batch before touching any entry. Like
+    /// [`CachePolicy::prefetch_hint`], purely advisory — no state changes,
+    /// no effect on outcomes.
+    #[inline]
+    fn prefetch_batch(&self, ids: &[ObjectId]) {
+        for &id in ids {
+            self.prefetch_hint(id);
+        }
+    }
 }
 
 impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
@@ -117,6 +130,9 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
     }
     fn prefetch_hint(&self, id: ObjectId) {
         (**self).prefetch_hint(id)
+    }
+    fn prefetch_batch(&self, ids: &[ObjectId]) {
+        (**self).prefetch_batch(ids)
     }
 }
 

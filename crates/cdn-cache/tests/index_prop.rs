@@ -234,3 +234,72 @@ fn index_microbench() {
     }
     run!("fxhashmap", map, get, remove, insert);
 }
+
+/// Not a property test: a same-binary, interleaved A-B timing of the two
+/// hit-path idioms on `LruQueue` — the triple probe
+/// (`contains` → `record_hit` → `promote_to_mru`, three index lookups)
+/// that TinyLFU shipped with through PR 5, against the handle-based
+/// single probe (`lookup` → `record_hit_at` → `promote_to_mru_at`) that
+/// replaced it. Interleaving A and B each round cancels slow load drift
+/// on a shared box, which whole-bench before/after numbers cannot
+/// (ignored by default; run with `--release -- --ignored --nocapture`).
+#[test]
+#[ignore]
+fn hit_path_probe_count_microbench() {
+    use cdn_cache::LruQueue;
+    const RESIDENTS: u64 = 50_000;
+    const OPS: u64 = 4_000_000;
+    const ROUNDS: usize = 5;
+
+    fn mix(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    let fresh = || {
+        let mut q = LruQueue::new(u64::MAX);
+        for k in 0..RESIDENTS {
+            q.insert_mru(cdn_cache::ObjectId(k), 1, k);
+        }
+        q
+    };
+    let mut best_triple = f64::MAX;
+    let mut best_single = f64::MAX;
+    for round in 0..ROUNDS {
+        for side in 0..2 {
+            // Alternate which side goes first each round.
+            let triple_side = (round + side) % 2 == 0;
+            let mut q = fresh();
+            let start = std::time::Instant::now();
+            let mut hits = 0u64;
+            for i in 0..OPS {
+                let id = cdn_cache::ObjectId(mix(i) % RESIDENTS);
+                if triple_side {
+                    if q.contains(id) {
+                        q.record_hit(id, i);
+                        q.promote_to_mru(id);
+                        hits += 1;
+                    }
+                } else if let Some(h) = q.lookup(id) {
+                    q.record_hit_at(h, i);
+                    q.promote_to_mru_at(h);
+                    hits += 1;
+                }
+            }
+            let ns = start.elapsed().as_nanos() as f64 / OPS as f64;
+            assert_eq!(hits, OPS);
+            if triple_side {
+                best_triple = best_triple.min(ns);
+            } else {
+                best_single = best_single.min(ns);
+            }
+        }
+    }
+    eprintln!(
+        "hit path: triple-probe {best_triple:.1} ns/hit vs single-probe \
+         {best_single:.1} ns/hit ({:.2}x)",
+        best_triple / best_single
+    );
+}

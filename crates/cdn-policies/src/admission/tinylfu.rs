@@ -118,6 +118,9 @@ impl TinyLfu {
     fn rebalance(&mut self, tick: u64) {
         while self.window.used_bytes() > self.window_budget {
             let candidate = self.window.evict_lru().expect("over budget");
+            // The candidate's estimate is loop-invariant across the duel
+            // (evictions don't touch the sketch); hoist the 4-lane probe.
+            let candidate_freq = self.sketch.estimate(candidate.id);
             // Make room in main, dueling candidate vs victims.
             let mut admitted = true;
             while self.main.used_bytes().saturating_add(candidate.size)
@@ -127,7 +130,7 @@ impl TinyLfu {
                     Some(v) => v,
                     None => break,
                 };
-                if self.sketch.estimate(candidate.id) > self.sketch.estimate(victim.id) {
+                if candidate_freq > self.sketch.estimate(victim.id) {
                     self.main.evict_lru();
                     self.stats.evictions += 1;
                 } else {
@@ -155,14 +158,19 @@ impl CachePolicy for TinyLfu {
 
     fn on_request(&mut self, req: &Request) -> AccessKind {
         self.sketch.increment(req.id);
-        if self.window.contains(req.id) {
-            self.window.record_hit(req.id, req.tick);
-            self.window.promote_to_mru(req.id);
+        // Single-probe hit paths: one index lookup yields a handle that
+        // drives the hit bookkeeping and the MRU move. The previous
+        // contains → record_hit → promote_to_mru sequence probed the same
+        // fused-index bucket three times per hit (the post-PR-5 regression
+        // this recovers; see DESIGN.md §15).
+        if let Some(h) = self.window.lookup(req.id) {
+            self.window.record_hit_at(h, req.tick);
+            self.window.promote_to_mru_at(h);
             return AccessKind::Hit;
         }
-        if self.main.contains(req.id) {
-            self.main.record_hit(req.id, req.tick);
-            self.main.promote_to_mru(req.id);
+        if let Some(h) = self.main.lookup(req.id) {
+            self.main.record_hit_at(h, req.tick);
+            self.main.promote_to_mru_at(h);
             return AccessKind::Hit;
         }
         if req.size > self.capacity {

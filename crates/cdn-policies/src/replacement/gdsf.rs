@@ -5,8 +5,28 @@
 //! `L` the inflation value — the priority of the last evicted object. The
 //! object with minimal `H` is evicted, which favours small, frequently
 //! accessed, recently touched objects without timestamps.
+//!
+//! ## Lazy rekeying
+//!
+//! The min-tracking structure is a binary min-heap with *deferred* key
+//! updates, not an ordered set. A hit only rewrites the entry's priority
+//! in the hash map — O(1), no tree surgery — leaving the heap's copy
+//! stale. Staleness is one-sided: priorities only grow (frequency
+//! increments, inflation is non-decreasing), so a heap key is always ≤
+//! the entry's current priority. Eviction pops the heap minimum and
+//! checks it against the map: stale copies are re-pushed at their current
+//! priority and the pop retries. When an up-to-date copy surfaces, every
+//! remaining heap key (and hence every current priority) is ≥ it — it is
+//! the true minimum, with ties broken by object id exactly as the ordered
+//! set version broke them. The heap holds exactly one entry per resident
+//! object (pop either evicts or re-pushes), so memory stays O(residents)
+//! with no compaction pass. This replaced a `BTreeSet` remove+insert per
+//! hit that made GDSF the slowest policy in the workspace at 514
+//! ns/request; behaviour is bit-identical (pinned by the golden
+//! recordings).
 
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use cdn_cache::policy::RejectReason;
 use cdn_cache::{AccessKind, CachePolicy, FxHashMap, ObjectId, PolicyStats, Request};
@@ -27,7 +47,9 @@ pub struct Gdsf {
     used: u64,
     inflation: f64,
     entries: FxHashMap<ObjectId, Entry>,
-    queue: BTreeSet<(OrdF64, ObjectId)>,
+    /// Min-heap over `(priority, id)` with lazily updated keys: one entry
+    /// per resident object, possibly at an outdated (lower) priority.
+    heap: BinaryHeap<Reverse<(OrdF64, ObjectId)>>,
     stats: PolicyStats,
 }
 
@@ -39,7 +61,7 @@ impl Gdsf {
             used: 0,
             inflation: 0.0,
             entries: FxHashMap::default(),
-            queue: BTreeSet::new(),
+            heap: BinaryHeap::new(),
             stats: PolicyStats::default(),
         }
     }
@@ -52,6 +74,26 @@ impl Gdsf {
     pub fn inflation(&self) -> f64 {
         self.inflation
     }
+
+    /// Pop the resident object with minimal current `(priority, id)`,
+    /// skipping (and refreshing) stale heap keys.
+    fn pop_min(&mut self) -> (f64, ObjectId, Entry) {
+        loop {
+            let Reverse((OrdF64(h), victim)) = self.heap.pop().expect("over capacity");
+            let e = *self.entries.get(&victim).expect("heap and entries agree");
+            if e.priority != h {
+                // Stale key from before a hit bumped this entry; its
+                // current priority is strictly higher. Re-push at the
+                // current key and retry — the next up-to-date pop is the
+                // true minimum.
+                debug_assert!(e.priority > h, "priorities only grow");
+                self.heap.push(Reverse((OrdF64(e.priority), victim)));
+                continue;
+            }
+            self.entries.remove(&victim);
+            return (h, victim, e);
+        }
+    }
 }
 
 impl CachePolicy for Gdsf {
@@ -60,28 +102,19 @@ impl CachePolicy for Gdsf {
     }
 
     fn on_request(&mut self, req: &Request) -> AccessKind {
-        if let Some(&e) = self.entries.get(&req.id) {
-            self.queue.remove(&(OrdF64(e.priority), req.id));
-            let freq = e.freq + 1;
-            let priority = self.priority(freq, e.size);
-            self.entries.insert(
-                req.id,
-                Entry {
-                    size: e.size,
-                    freq,
-                    priority,
-                },
-            );
-            self.queue.insert((OrdF64(priority), req.id));
+        let inflation = self.inflation;
+        if let Some(e) = self.entries.get_mut(&req.id) {
+            // Hit path is a single map probe: the heap keeps its stale
+            // (lower) key and learns the new one lazily at eviction time.
+            e.freq += 1;
+            e.priority = inflation + e.freq as f64 / e.size.max(1) as f64;
             return AccessKind::Hit;
         }
         if req.size > self.capacity {
             return AccessKind::Rejected(RejectReason::TooLarge);
         }
         while self.used.saturating_add(req.size) > self.capacity {
-            let &(OrdF64(h), victim) = self.queue.iter().next().expect("over capacity");
-            self.queue.remove(&(OrdF64(h), victim));
-            let e = self.entries.remove(&victim).expect("indexed");
+            let (h, _victim, e) = self.pop_min();
             self.used -= e.size;
             self.inflation = h; // L := H of the evicted object
             self.stats.evictions += 1;
@@ -95,7 +128,7 @@ impl CachePolicy for Gdsf {
                 priority,
             },
         );
-        self.queue.insert((OrdF64(priority), req.id));
+        self.heap.push(Reverse((OrdF64(priority), req.id)));
         self.used += req.size;
         self.stats.insertions += 1;
         AccessKind::Miss
@@ -111,7 +144,7 @@ impl CachePolicy for Gdsf {
 
     fn memory_bytes(&self) -> usize {
         self.entries.capacity() * (8 + std::mem::size_of::<Entry>() + 8)
-            + self.queue.len() * (std::mem::size_of::<(OrdF64, ObjectId)>() * 2)
+            + self.heap.len() * std::mem::size_of::<Reverse<(OrdF64, ObjectId)>>()
     }
 
     fn stats(&self) -> PolicyStats {
@@ -196,7 +229,86 @@ mod tests {
         for r in &t {
             p.on_request(r);
             assert!(p.used_bytes() <= 200);
-            assert_eq!(p.queue.len(), p.entries.len());
+            // Lazy-rekey invariant: exactly one heap key per resident
+            // object (stale or fresh), never an orphan for an evicted one.
+            assert_eq!(p.heap.len(), p.entries.len());
         }
+    }
+
+    #[test]
+    fn lazy_heap_matches_ordered_set_reference() {
+        // Differential check against a straightforward BTreeSet
+        // implementation of the same eviction rule (the pre-optimization
+        // structure): identical outcome streams and identical inflation
+        // trajectory over an eviction-heavy adversarial mix.
+        use std::collections::BTreeSet;
+        let mut reqs: Vec<(u64, u64)> = Vec::new();
+        for i in 0..6_000u64 {
+            // Hot set rehit often (stale-key churn), cold stream forces
+            // evictions, occasional giants force multi-evictions.
+            reqs.push(match i % 7 {
+                0..=2 => (i % 5, 3 + i % 4),
+                3 | 4 => (1_000 + i, 10 + i % 50),
+                5 => (i % 40, 1),
+                _ => (2_000 + i, 90),
+            });
+        }
+        let t = micro_trace(&reqs);
+
+        let mut fast = Gdsf::new(300);
+        // Reference: map + ordered set, rekeyed eagerly on every hit.
+        let mut ref_entries: std::collections::HashMap<ObjectId, Entry> = Default::default();
+        let mut ref_queue: BTreeSet<(OrdF64, ObjectId)> = BTreeSet::new();
+        let mut ref_used = 0u64;
+        let mut ref_inflation = 0f64;
+        for r in &t {
+            let got = fast.on_request(r);
+            let want = if let Some(&e) = ref_entries.get(&r.id) {
+                ref_queue.remove(&(OrdF64(e.priority), r.id));
+                let freq = e.freq + 1;
+                let priority = ref_inflation + freq as f64 / e.size.max(1) as f64;
+                ref_entries.insert(
+                    r.id,
+                    Entry {
+                        size: e.size,
+                        freq,
+                        priority,
+                    },
+                );
+                ref_queue.insert((OrdF64(priority), r.id));
+                AccessKind::Hit
+            } else if r.size > 300 {
+                AccessKind::Rejected(RejectReason::TooLarge)
+            } else {
+                while ref_used.saturating_add(r.size) > 300 {
+                    let &(OrdF64(h), victim) = ref_queue.iter().next().expect("over capacity");
+                    ref_queue.remove(&(OrdF64(h), victim));
+                    let e = ref_entries.remove(&victim).expect("indexed");
+                    ref_used -= e.size;
+                    ref_inflation = h;
+                }
+                let priority = ref_inflation + 1.0 / r.size.max(1) as f64;
+                ref_entries.insert(
+                    r.id,
+                    Entry {
+                        size: r.size,
+                        freq: 1,
+                        priority,
+                    },
+                );
+                ref_queue.insert((OrdF64(priority), r.id));
+                ref_used += r.size;
+                AccessKind::Miss
+            };
+            assert_eq!(got, want, "outcome diverged at tick {}", r.tick);
+            assert_eq!(fast.inflation().to_bits(), ref_inflation.to_bits());
+            assert_eq!(fast.used_bytes(), ref_used);
+        }
+        // Residency sets must be identical at the end, not just counts.
+        let mut fast_ids: Vec<u64> = fast.entries.keys().map(|id| id.0).collect();
+        let mut ref_ids: Vec<u64> = ref_entries.keys().map(|id| id.0).collect();
+        fast_ids.sort_unstable();
+        ref_ids.sort_unstable();
+        assert_eq!(fast_ids, ref_ids);
     }
 }

@@ -3,27 +3,36 @@
 //! Replays a CDN-T-profile trace through a fixed policy set and reports,
 //! per policy: requests/sec, ns/request, miss ratio and peak
 //! policy-metadata bytes — plus the monomorphized-vs-`dyn` dispatch
-//! speedup on LRU and the parallel-sweep scaling across all policies.
-//! Results go to stdout and to `BENCH_replay.json` (working directory;
-//! run from the repo root) so later PRs have a perf trajectory to defend.
+//! speedup on LRU, the parallel-sweep scaling across all policies, the
+//! sharded-replay scaling curve (`shard_scaling`) and the pipelined-batch
+//! configuration (`batching`). Results go to stdout and to
+//! `BENCH_replay.json` (working directory; run from the repo root) so
+//! later PRs have a perf trajectory to defend.
 //!
 //! Knobs: `REPLAY_BENCH_REQUESTS` (default 2,000,000), `REPRO_SEED`,
 //! `REPLAY_BENCH_OUT` (output path), `REPLAY_BENCH_TRACE` (replay a
 //! `.bin`/`.csv` trace file instead of generating one — unreadable or
-//! corrupt files exit 1 with a structured error), `CDN_SIM_CHECKPOINT`
-//! (JSONL sidecar; cached serial measurements are reused on re-runs and
-//! the serial-vs-parallel comparison is reported as null).
+//! corrupt files exit 1 with a structured error), `REPLAY_SHARDS`
+//! (comma-separated shard counts for the scaling section, default
+//! `1,2,4,8`), `REPLAY_PREFETCH_DIST` (pipelined lookahead: unset/`auto`
+//! = footprint-vs-LLC heuristic, `0` = off, `K` = fixed depth),
+//! `CDN_SIM_CHECKPOINT` (JSONL sidecar; cached serial measurements are
+//! reused on re-runs and the serial-vs-parallel comparison is reported as
+//! null).
 
 use std::path::Path;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
-use cdn_cache::Request;
+use cdn_cache::{llc_bytes, Request};
 use cdn_policies::{replay, replay_dyn};
 use cdn_sim::runner::run_policy_dyn;
-use cdn_sim::{parallel_runs, Checkpoint, PolicyKind, RunMeasurement, TraceCtx};
-use cdn_trace::{TraceColumns, TraceGenerator, TraceStats, Workload};
+use cdn_sim::{
+    parallel_runs, peak_rss_bytes, run_sharded, run_sharded_serial, BatchMode, Checkpoint,
+    PolicyKind, RunMeasurement, TraceCtx, AUTO_PREFETCH_DIST,
+};
+use cdn_trace::{partition_columns, TraceColumns, TraceGenerator, TraceStats, Workload};
 
 /// The harness's fixed 8-policy sweep set: cheap and expensive, stateless
 /// and learned, so scaling is measured over heterogeneous job lengths.
@@ -38,13 +47,36 @@ const POLICIES: [PolicyKind; 8] = [
     PolicyKind::Scip,
 ];
 
-/// Peak resident set size of this process in bytes (`VmHWM`), if the
-/// platform exposes it.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+/// Shard counts for the scaling section (`REPLAY_SHARDS`, comma-separated,
+/// default `1,2,4,8`). Zero or unparsable entries are dropped.
+fn shard_counts_from_env() -> Vec<usize> {
+    let raw = std::env::var("REPLAY_SHARDS").unwrap_or_else(|_| "1,2,4,8".to_string());
+    let counts: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    if counts.is_empty() {
+        vec![1, 2, 4, 8]
+    } else {
+        counts
+    }
+}
+
+/// One (policy × shard count) point on the scaling curve.
+struct ShardPoint {
+    policy: &'static str,
+    shards: usize,
+    aggregate_rps: f64,
+    /// `serial wall / threaded wall` — `None` on a single-core machine,
+    /// where "speedup" from time-sliced threads is scheduling noise, not
+    /// parallelism. Suppressed, never fabricated.
+    speedup: Option<f64>,
+    /// `speedup / min(shards, cores)` — fraction of the ideal.
+    efficiency: Option<f64>,
+    ideal: usize,
+    imbalance: f64,
+    aggregate_miss_ratio: f64,
 }
 
 /// Best requests/sec for two alternatives measured back-to-back `reps`
@@ -313,6 +345,93 @@ fn main() {
         ),
     }
 
+    // Sharded-replay scaling: partition the trace by key, replay one
+    // policy instance per shard on dedicated threads, and compare the
+    // threaded wall time against the serial per-partition reference (the
+    // decomposition the aggregate is proven exactly equal to in
+    // tests/shard_check.rs). LRU is the headline (cheapest per-request
+    // work, so it stresses the threading overheads hardest); SCIP rides
+    // along as the paper's policy.
+    let batch_mode = BatchMode::from_env();
+    let shard_counts = shard_counts_from_env();
+    let mut shard_points: Vec<ShardPoint> = Vec::new();
+    for &n in &shard_counts {
+        let sharded = partition_columns(&columns, n);
+        for kind in [PolicyKind::Lru, PolicyKind::Scip] {
+            let threaded = run_sharded(kind, cache_bytes, &sharded, seed, batch_mode);
+            let serial = run_sharded_serial(kind, cache_bytes, &sharded, seed, batch_mode);
+            let ideal = n.min(cores);
+            let speedup = (cores > 1).then(|| serial.wall_secs / threaded.wall_secs.max(1e-9));
+            let point = ShardPoint {
+                policy: kind.label(),
+                shards: n,
+                aggregate_rps: threaded.aggregate_tps(),
+                speedup,
+                efficiency: speedup.map(|s| s / ideal as f64),
+                ideal,
+                imbalance: sharded.imbalance(),
+                aggregate_miss_ratio: threaded.aggregate.miss_ratio(),
+            };
+            match point.speedup {
+                Some(s) => eprintln!(
+                    "shards {n} [{}]: {:>6.2} Mreq/s aggregate, {s:.2}x vs serial \
+                     (ideal {}x, efficiency {:.0}%), imbalance {:.2}",
+                    point.policy,
+                    point.aggregate_rps / 1e6,
+                    point.ideal,
+                    point.efficiency.unwrap_or(0.0) * 100.0,
+                    point.imbalance
+                ),
+                None => eprintln!(
+                    "shards {n} [{}]: {:>6.2} Mreq/s aggregate \
+                     (single-core machine, threaded speedup suppressed), imbalance {:.2}",
+                    point.policy,
+                    point.aggregate_rps / 1e6,
+                    point.imbalance
+                ),
+            }
+            shard_points.push(point);
+        }
+    }
+    if cores == 1 {
+        eprintln!(
+            "shard scaling: 1 core available — per-shard threads are \
+             time-sliced, so no parallel speedup is claimed on this machine"
+        );
+    } else if let Some(&max_shards) = shard_counts.iter().max() {
+        if max_shards > cores {
+            eprintln!(
+                "shard scaling: shard counts above {cores} cores are \
+                 time-sliced; their degradation is reported, not hidden"
+            );
+        }
+    }
+
+    // Pipelined-batching configuration actually in effect for the replays
+    // above: resolved mode, lookahead depth, and the footprint-vs-LLC
+    // numbers the auto heuristic compares.
+    let llc = llc_bytes();
+    let lru_peak = measurements
+        .iter()
+        .find(|m| m.policy == "LRU")
+        .map_or(0, |m| m.peak_memory_bytes);
+    let (mode_name, depth) = match batch_mode {
+        BatchMode::Off => ("off", 0),
+        BatchMode::Fixed(k) => ("fixed", k),
+        BatchMode::Auto => ("auto", AUTO_PREFETCH_DIST),
+    };
+    eprintln!(
+        "batching: mode {mode_name} depth {depth}, LLC {:.1} MiB, \
+         LRU index footprint {:.1} MiB ({})",
+        llc as f64 / (1 << 20) as f64,
+        lru_peak as f64 / (1 << 20) as f64,
+        if lru_peak > llc {
+            "exceeds LLC: auto mode engages lookahead"
+        } else {
+            "fits LLC: auto mode stays unbatched"
+        }
+    );
+
     // Before/after vs the committed file this run replaces.
     if !baseline.is_empty() {
         eprintln!("before/after vs committed {out_path}:");
@@ -348,10 +467,12 @@ fn main() {
         }
     }
 
+    // Process-wide peak RSS, read after every threaded section (sweep and
+    // shard scaling) has joined so the high-water mark covers them.
     let rss = peak_rss_bytes();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"replay_bench_v2\",\n");
+    json.push_str("  \"schema\": \"replay_bench_v3\",\n");
     json.push_str(&format!("  \"requests\": {requests},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(&source)));
@@ -395,6 +516,46 @@ fn main() {
          \"speedup\": {speedup_json}, \
          \"aggregate_requests_per_sec\": {sweep_rps:.1}}},\n",
         POLICIES.len()
+    ));
+    // Shard-scaling rows, one JSON object per line (grep-friendly for the
+    // bench.sh gate). Speedup/efficiency are null where no parallelism
+    // exists to claim.
+    json.push_str("  \"shard_scaling\": {\n");
+    json.push_str(&format!("    \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "    \"batch_mode\": \"{mode_name}\", \"lookahead\": {depth},\n"
+    ));
+    let scaling_note = if cores == 1 {
+        "\"single-core runner: threaded speedup suppressed, not fabricated\""
+    } else {
+        "null"
+    };
+    json.push_str(&format!("    \"note\": {scaling_note},\n"));
+    json.push_str("    \"points\": [\n");
+    for (i, p) in shard_points.iter().enumerate() {
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
+        json.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"shards\": {}, \
+             \"aggregate_requests_per_sec\": {:.1}, \"speedup_vs_serial\": {}, \
+             \"efficiency\": {}, \"ideal_speedup\": {}, \"imbalance\": {:.4}, \
+             \"aggregate_miss_ratio\": {:.6}}}{}\n",
+            json_escape(p.policy),
+            p.shards,
+            p.aggregate_rps,
+            opt(p.speedup),
+            opt(p.efficiency),
+            p.ideal,
+            p.imbalance,
+            p.aggregate_miss_ratio,
+            if i + 1 < shard_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str(&format!(
+        "  \"batching\": {{\"mode\": \"{mode_name}\", \"lookahead\": {depth}, \
+         \"llc_bytes\": {llc}, \"lru_peak_policy_bytes\": {lru_peak}, \
+         \"auto_engages\": {}}},\n",
+        lru_peak > llc
     ));
     json.push_str("  \"baseline_comparison\": ");
     if baseline.is_empty() {

@@ -192,7 +192,8 @@ fn json_escape(s: &str) -> String {
 fn encode_record(fingerprint: &str, m: &RunMeasurement) -> String {
     format!(
         "{{\"fp\":\"{}\",\"policy\":\"{}\",\"miss_ratio\":{},\"byte_miss_ratio\":{},\
-         \"tps\":{},\"ns_per_request\":{},\"peak_memory_bytes\":{},\"resident_objects\":{}}}",
+         \"tps\":{},\"ns_per_request\":{},\"peak_memory_bytes\":{},\"resident_objects\":{},\
+         \"hits\":{},\"misses\":{},\"hit_bytes\":{},\"miss_bytes\":{}}}",
         json_escape(fingerprint),
         json_escape(&m.policy),
         m.miss_ratio,
@@ -200,7 +201,11 @@ fn encode_record(fingerprint: &str, m: &RunMeasurement) -> String {
         m.tps,
         m.ns_per_request,
         m.peak_memory_bytes,
-        m.resident_objects
+        m.resident_objects,
+        m.hits,
+        m.misses,
+        m.hit_bytes,
+        m.miss_bytes
     )
 }
 
@@ -258,6 +263,13 @@ fn parse_record(line: &str) -> Option<(String, RunMeasurement)> {
         // those cells loadable (a missing density is better than a
         // discarded measurement).
         resident_objects: json_num_field(line, "resident_objects").unwrap_or(0.0) as usize,
+        // Ledger counters: also absent in pre-v3 sidecars. Restored cells
+        // with zero ledgers are fine for the bench (which reports ratios)
+        // but are never used as a sharded-equality reference.
+        hits: json_num_field(line, "hits").unwrap_or(0.0) as u64,
+        misses: json_num_field(line, "misses").unwrap_or(0.0) as u64,
+        hit_bytes: json_num_field(line, "hit_bytes").unwrap_or(0.0) as u64,
+        miss_bytes: json_num_field(line, "miss_bytes").unwrap_or(0.0) as u64,
     };
     Some((fp, m))
 }
@@ -330,6 +342,10 @@ mod tests {
             ns_per_request: 100.0,
             peak_memory_bytes: 4096,
             resident_objects: 16,
+            hits: 300,
+            misses: 100,
+            hit_bytes: 3_000,
+            miss_bytes: 1_000,
         }
     }
 

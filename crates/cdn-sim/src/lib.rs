@@ -32,14 +32,44 @@ pub mod experiments;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod runner;
+pub mod shard;
 pub mod sweep;
 pub mod table;
 
 pub use checkpoint::{job_fingerprint, run_checkpointed, Checkpoint};
 pub use experiments::ExperimentError;
-pub use runner::{run_policy, run_policy_dyn, PolicyKind, RunMeasurement, TraceCtx};
+pub use runner::{
+    run_policy, run_policy_dyn, BatchMode, PolicyKind, RunMeasurement, TraceCtx, AUTO_PREFETCH_DIST,
+};
+pub use shard::{run_sharded, run_sharded_serial, AggregateMeasurement, ShardedRunReport};
 pub use sweep::{parallel_runs, run_jobs, JobOutcome, SweepConfig, SweepReport};
 pub use table::{Table, TableError};
+
+/// Peak resident set size of this *process* in bytes, if the platform
+/// exposes it.
+///
+/// Reads `VmHWM` from `/proc/self/status` — the kernel's process-wide
+/// high-water mark, which includes every thread's stack and all
+/// shard-replay allocations (RSS is a property of the address space, not
+/// of any one thread). Taking the max with the current `VmRSS` guards
+/// against the brief window where a just-grown mapping is visible in
+/// `VmRSS` before the HWM line is refreshed. Call this at the *end* of a
+/// run, after multi-threaded sections have joined, so the reported peak
+/// covers them.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let field = |key: &str| -> Option<u64> {
+        let line = status.lines().find(|l| l.starts_with(key))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    };
+    let hwm = field("VmHWM:");
+    let rss = field("VmRSS:");
+    match (hwm, rss) {
+        (Some(h), Some(r)) => Some(h.max(r)),
+        (h, r) => h.or(r),
+    }
+}
 
 /// Unwrap a fallible step in a binary, exiting nonzero with context.
 ///

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cdn_cache::{AccessKind, CachePolicy, Request};
+use cdn_cache::{AccessKind, CachePolicy, ObjectId, Request};
 use cdn_policies::admission::{AdaptSize, TinyLfu, TwoQ};
 use cdn_policies::insertion::{
     deciders::{Bip, Lip},
@@ -296,7 +296,8 @@ impl PolicyKind {
 
     /// Replay `trace` through a freshly built policy with static dispatch:
     /// one `match` per run selects the concrete type, then the whole
-    /// per-request loop monomorphizes.
+    /// per-request loop monomorphizes. Pipelining follows
+    /// [`BatchMode::from_env`].
     pub fn run_monomorphized(
         self,
         capacity: u64,
@@ -304,7 +305,7 @@ impl PolicyKind {
         ctx: &TraceCtx,
     ) -> RunMeasurement {
         fn go<P: CachePolicy>(policy: P, label: &'static str, trace: &[Request]) -> RunMeasurement {
-            instrumented_replay(policy, label, trace.len(), trace.iter().copied())
+            instrumented_replay(policy, label, trace, BatchMode::from_env())
         }
         dispatch_policy!(self, capacity, ctx, go(self.label(), trace))
     }
@@ -334,21 +335,76 @@ impl PolicyKind {
     }
 
     /// [`PolicyKind::run_monomorphized`] over a structure-of-arrays trace
-    /// (the layout the sweep shares across workers).
+    /// (the layout the sweep shares across workers). Pipelining follows
+    /// [`BatchMode::from_env`].
     pub fn run_monomorphized_columns(
         self,
         capacity: u64,
         trace: &TraceColumns,
         ctx: &TraceCtx,
     ) -> RunMeasurement {
+        self.replay_batched(capacity, trace, ctx, BatchMode::from_env())
+    }
+
+    /// The batched replay entry point: replay a structure-of-arrays trace
+    /// with an explicit [`BatchMode`] (callers that must not consult the
+    /// environment — bench sections, identity tests — pass the mode
+    /// directly).
+    pub fn replay_batched(
+        self,
+        capacity: u64,
+        trace: &TraceColumns,
+        ctx: &TraceCtx,
+        mode: BatchMode,
+    ) -> RunMeasurement {
         fn go<P: CachePolicy>(
             policy: P,
             label: &'static str,
             trace: &TraceColumns,
+            mode: BatchMode,
         ) -> RunMeasurement {
-            instrumented_replay(policy, label, trace.len(), trace.iter())
+            instrumented_replay(policy, label, trace, mode)
         }
-        dispatch_policy!(self, capacity, ctx, go(self.label(), trace))
+        dispatch_policy!(self, capacity, ctx, go(self.label(), trace, mode))
+    }
+
+    /// [`PolicyKind::run_with_observer`] through the software-pipelined
+    /// loop at a fixed lookahead. Exists so the batched-identity suite can
+    /// compare outcome streams against the straight loop for every policy
+    /// — hints must never change behaviour.
+    pub fn run_with_observer_batched<F>(
+        self,
+        capacity: u64,
+        trace: &[Request],
+        ctx: &TraceCtx,
+        lookahead: usize,
+        observe: F,
+    ) where
+        F: FnMut(usize, &Request, AccessKind, u64, u64),
+    {
+        fn go<P: CachePolicy, F: FnMut(usize, &Request, AccessKind, u64, u64)>(
+            mut policy: P,
+            trace: &[Request],
+            lookahead: usize,
+            mut observe: F,
+        ) {
+            let lookahead = lookahead.min(MAX_PREFETCH_DIST);
+            let source = trace;
+            if lookahead > 0 {
+                prime_window(&policy, &source, 0, lookahead);
+            }
+            for (i, req) in trace.iter().enumerate() {
+                if lookahead > 0 {
+                    let ahead = i + lookahead;
+                    if ahead < RequestSource::len(&source) {
+                        policy.prefetch_hint(RequestSource::id(&source, ahead));
+                    }
+                }
+                let outcome = policy.on_request(req);
+                observe(i, req, outcome, policy.used_bytes(), policy.capacity());
+            }
+        }
+        dispatch_policy!(self, capacity, ctx, go(trace, lookahead, observe))
     }
 }
 
@@ -372,22 +428,136 @@ pub struct RunMeasurement {
     /// set). Divides into `peak_memory_bytes` for a bytes-per-resident-
     /// object density figure.
     pub resident_objects: usize,
+    /// Raw hit count — the exact ledger behind `miss_ratio`, kept so
+    /// sharded aggregates can be proven *exactly* equal to a serial
+    /// per-partition reference (float ratios would only be approximately
+    /// comparable).
+    pub hits: u64,
+    /// Raw miss count (rejections included, as in `miss_ratio`).
+    pub misses: u64,
+    /// Bytes served from cache.
+    pub hit_bytes: u64,
+    /// Bytes that missed (back-to-origin traffic).
+    pub miss_bytes: u64,
 }
 
-/// Lookahead distance of the batched replay loop: while request `i` is
-/// being processed, the index bucket for request `i + K` is prefetched via
-/// [`CachePolicy::prefetch_hint`]. Set `REPLAY_PREFETCH_DIST=K` to enable;
-/// the default is 0 (straight-line loop). Batching pays only when the
-/// fused index outgrows the last-level cache — for working sets whose
-/// index fits in L2/L3 there is no DRAM latency to hide and the ring adds
-/// pure dispatch cost (measured ~20 ns/request on the 2M CDN-T trace,
-/// where the 1 MiB LRU index is L2-resident).
-fn replay_prefetch_distance() -> usize {
-    std::env::var("REPLAY_PREFETCH_DIST")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(0)
-        .min(64)
+impl RunMeasurement {
+    /// Total requests this measurement covers.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// How the replay loop decides its software-pipelining lookahead.
+///
+/// With lookahead `K`, the loop issues a [`CachePolicy::prefetch_hint`]
+/// for request `i + K` while processing request `i`, so the index-bucket
+/// DRAM miss of a future probe overlaps policy work instead of
+/// serialising behind it. Hints are advisory: outcomes are bit-identical
+/// to the straight loop at every depth (pinned by
+/// `tests/batched_identity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Straight-line loop, no hints.
+    Off,
+    /// Always pipeline at this depth (clamped to [`MAX_PREFETCH_DIST`]).
+    Fixed(usize),
+    /// Start straight-line; switch to [`AUTO_PREFETCH_DIST`] mid-replay
+    /// once the policy's metadata footprint exceeds the LLC
+    /// ([`cdn_cache::llc_bytes`]). An L2/L3-resident index has no DRAM
+    /// latency to hide — there the hint is pure dispatch cost (PR 5
+    /// measured ~20 ns/request for the old always-on ring) — but once the
+    /// index spills to DRAM the overlap wins.
+    Auto,
+}
+
+/// Pipeline depth the [`BatchMode::Auto`] heuristic engages.
+pub const AUTO_PREFETCH_DIST: usize = 8;
+/// Hard cap on the pipeline depth (beyond this, hinted lines are evicted
+/// again before their probe arrives).
+pub const MAX_PREFETCH_DIST: usize = 64;
+
+impl BatchMode {
+    /// Resolve from `REPLAY_PREFETCH_DIST`: unset or `auto` → [`Auto`],
+    /// `0` → [`Off`], `K` → [`Fixed`]`(K)`.
+    ///
+    /// [`Auto`]: BatchMode::Auto
+    /// [`Off`]: BatchMode::Off
+    /// [`Fixed`]: BatchMode::Fixed
+    pub fn from_env() -> BatchMode {
+        match std::env::var("REPLAY_PREFETCH_DIST") {
+            Err(_) => BatchMode::Auto,
+            Ok(v) => {
+                let v = v.trim();
+                if v.is_empty() || v.eq_ignore_ascii_case("auto") {
+                    BatchMode::Auto
+                } else {
+                    match v.parse::<usize>() {
+                        Ok(0) => BatchMode::Off,
+                        Ok(k) => BatchMode::Fixed(k),
+                        Err(_) => BatchMode::Auto,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Initial lookahead for this mode.
+    fn initial_lookahead(self) -> usize {
+        match self {
+            BatchMode::Off | BatchMode::Auto => 0,
+            BatchMode::Fixed(k) => k.min(MAX_PREFETCH_DIST),
+        }
+    }
+}
+
+/// Anything the replay loop can stream requests out of by index — the
+/// interleaved `&[Request]` layout and the structure-of-arrays
+/// [`TraceColumns`] both qualify. Indexed access (rather than an
+/// iterator) is what lets the pipelined loop peek at the id of request
+/// `i + K` without buffering `K` pending requests in a ring.
+pub trait RequestSource {
+    /// Requests available.
+    fn len(&self) -> usize;
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Reassemble request `i`.
+    fn get(&self, i: usize) -> Request;
+    /// Object id of request `i` (the only field the lookahead needs — on
+    /// the SoA layout this touches just the id column).
+    fn id(&self, i: usize) -> ObjectId;
+}
+
+impl RequestSource for &[Request] {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    #[inline]
+    fn get(&self, i: usize) -> Request {
+        self[i]
+    }
+    #[inline]
+    fn id(&self, i: usize) -> ObjectId {
+        self[i].id
+    }
+}
+
+impl RequestSource for &TraceColumns {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    #[inline]
+    fn get(&self, i: usize) -> Request {
+        (**self).get(i)
+    }
+    #[inline]
+    fn id(&self, i: usize) -> ObjectId {
+        self.ids[i]
+    }
 }
 
 /// The instrumented replay loop behind every measurement: generic over
@@ -395,58 +565,58 @@ fn replay_prefetch_distance() -> usize {
 /// CachePolicy>` (via [`run_policy_dyn`]) keeps the virtual-dispatch
 /// reference path on the exact same loop.
 ///
-/// With a nonzero lookahead, requests flow through a ring of `K` pending
-/// slots: each incoming request issues a prefetch hint for its index
-/// bucket, then waits `K` iterations before being processed, by which
-/// point the bucket line is (hopefully) in L1. Ordering and outcomes are
-/// identical to the straight loop — only memory-system timing changes.
-fn instrumented_replay<P, I>(mut policy: P, label: &str, n: usize, requests: I) -> RunMeasurement
+/// Software pipelining: with lookahead `K`, the loop primes the first
+/// window with one [`CachePolicy::prefetch_batch`] call, then sustains a
+/// constant distance — hint `i + K`, process `i` — by direct indexing
+/// into the source (no pending ring, no per-request queue traffic).
+/// Ordering and outcomes are identical to the straight loop; only
+/// memory-system timing changes. Under [`BatchMode::Auto`] the loop
+/// starts straight-line and engages the pipeline at the first metadata
+/// sample whose footprint exceeds the LLC.
+fn instrumented_replay<P, S>(
+    mut policy: P,
+    label: &str,
+    source: S,
+    mode: BatchMode,
+) -> RunMeasurement
 where
     P: CachePolicy,
-    I: Iterator<Item = Request>,
+    S: RequestSource,
 {
+    let n = source.len();
     let mut m = cdn_cache::MissRatio::new();
     let mut peak_mem = 0usize;
     // Sample memory every ~1k requests: memory_bytes() walks structures.
     let mem_stride = (n / 512).max(1);
-    let lookahead = replay_prefetch_distance();
+    let llc = cdn_cache::llc_bytes();
+    let mut lookahead = mode.initial_lookahead();
+    if lookahead > 0 {
+        prime_window(&policy, &source, 0, lookahead);
+    }
     let start = Instant::now();
-    if lookahead == 0 {
-        for (i, r) in requests.enumerate() {
-            if policy.on_request(&r).is_hit() {
-                m.record_hit(r.size);
-            } else {
-                m.record_miss(r.size);
-            }
-            if i.is_multiple_of(mem_stride) {
-                peak_mem = peak_mem.max(policy.memory_bytes());
+    for i in 0..n {
+        if lookahead > 0 {
+            let ahead = i + lookahead;
+            if ahead < n {
+                policy.prefetch_hint(source.id(ahead));
             }
         }
-    } else {
-        let mut pending: std::collections::VecDeque<Request> =
-            std::collections::VecDeque::with_capacity(lookahead + 1);
-        let mut i = 0usize;
-        let mut process = |policy: &mut P, r: Request, m: &mut cdn_cache::MissRatio| {
-            if policy.on_request(&r).is_hit() {
-                m.record_hit(r.size);
-            } else {
-                m.record_miss(r.size);
-            }
-            if i.is_multiple_of(mem_stride) {
-                peak_mem = peak_mem.max(policy.memory_bytes());
-            }
-            i += 1;
-        };
-        for r in requests {
-            policy.prefetch_hint(r.id);
-            pending.push_back(r);
-            if pending.len() > lookahead {
-                let due = pending.pop_front().expect("ring non-empty");
-                process(&mut policy, due, &mut m);
-            }
+        let r = source.get(i);
+        if policy.on_request(&r).is_hit() {
+            m.record_hit(r.size);
+        } else {
+            m.record_miss(r.size);
         }
-        while let Some(due) = pending.pop_front() {
-            process(&mut policy, due, &mut m);
+        if i.is_multiple_of(mem_stride) {
+            let mem = policy.memory_bytes();
+            peak_mem = peak_mem.max(mem);
+            if mode == BatchMode::Auto && lookahead == 0 && mem > llc {
+                // Index footprint has outgrown the LLC: probes now miss to
+                // DRAM, so overlapping them starts paying. Engage the
+                // pipeline and prime the window at the current position.
+                lookahead = AUTO_PREFETCH_DIST;
+                prime_window(&policy, &source, i + 1, lookahead);
+            }
         }
     }
     let elapsed = start.elapsed();
@@ -460,7 +630,25 @@ where
         ns_per_request: elapsed.as_nanos() as f64 / n.max(1) as f64,
         peak_memory_bytes: peak_mem,
         resident_objects: policy.stats().resident_objects,
+        hits: m.hits(),
+        misses: m.misses(),
+        hit_bytes: m.hit_bytes(),
+        miss_bytes: m.miss_bytes(),
     }
+}
+
+/// Prime the pipeline: batch-hint the ids of requests
+/// `[from, from + lookahead)` so the steady-state loop never probes a
+/// cold bucket for its first `lookahead` requests.
+fn prime_window<P: CachePolicy, S: RequestSource>(
+    policy: &P,
+    source: &S,
+    from: usize,
+    lookahead: usize,
+) {
+    let end = (from + lookahead).min(source.len());
+    let ids: Vec<ObjectId> = (from..end).map(|i| source.id(i)).collect();
+    policy.prefetch_batch(&ids);
 }
 
 /// Replay `trace` through a freshly built `kind`, measuring quality and
@@ -487,8 +675,8 @@ pub fn run_policy_dyn(
     instrumented_replay(
         kind.build(capacity, ctx),
         kind.label(),
-        trace.len(),
-        trace.iter().copied(),
+        trace,
+        BatchMode::from_env(),
     )
 }
 

@@ -1,0 +1,280 @@
+//! Sharded multi-core replay: one policy instance per key partition,
+//! replayed on dedicated threads, aggregated at the end.
+//!
+//! The unit of parallelism is the shard, not the request: each shard owns
+//! a private [`cdn_sim::PolicyKind`](crate::PolicyKind) instance and
+//! replays its order-preserving partition (built by
+//! [`cdn_trace::partition_columns`]) with zero cross-thread communication.
+//! The merge is pure arithmetic over per-shard ledgers, so the threaded
+//! aggregate is *provably* equal to replaying each partition serially —
+//! [`run_sharded`] and [`run_sharded_serial`] produce identical
+//! [`AggregateMeasurement`]s (exact `u64` equality, property-tested in
+//! `tests/shard_check.rs`).
+//!
+//! What sharding changes, honestly: each shard manages `capacity / N`
+//! bytes over *its keys only*, so the aggregate miss ratio is not the
+//! unsharded instance's miss ratio — hot keys can no longer displace cold
+//! keys on other shards. Both numbers are real; the bench reports them
+//! side by side (DESIGN.md §15).
+
+use std::time::Instant;
+
+use cdn_trace::{ShardedTrace, TraceColumns};
+
+use crate::runner::{BatchMode, RunMeasurement, TraceCtx};
+use crate::PolicyKind;
+
+/// Ledger-level aggregate of a sharded replay — the exact counters, not
+/// ratios, so equality against a reference decomposition is bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AggregateMeasurement {
+    /// Requests across all shards.
+    pub requests: u64,
+    /// Hits across all shards.
+    pub hits: u64,
+    /// Misses (rejections included) across all shards.
+    pub misses: u64,
+    /// Bytes served from cache across all shards.
+    pub hit_bytes: u64,
+    /// Bytes missed to origin across all shards.
+    pub miss_bytes: u64,
+    /// Sum of per-shard peak policy-metadata bytes.
+    pub peak_memory_bytes: usize,
+    /// Sum of per-shard resident objects at end of replay.
+    pub resident_objects: usize,
+}
+
+impl AggregateMeasurement {
+    /// Object miss ratio of the merged ledger.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.requests as f64
+        }
+    }
+
+    /// Byte miss ratio of the merged ledger.
+    pub fn byte_miss_ratio(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.miss_bytes as f64 / total as f64
+        }
+    }
+
+    fn absorb(&mut self, m: &RunMeasurement) {
+        self.requests += m.requests();
+        self.hits += m.hits;
+        self.misses += m.misses;
+        self.hit_bytes += m.hit_bytes;
+        self.miss_bytes += m.miss_bytes;
+        self.peak_memory_bytes += m.peak_memory_bytes;
+        self.resident_objects += m.resident_objects;
+    }
+}
+
+/// Result of replaying a [`ShardedTrace`] (threaded or serial reference).
+#[derive(Debug, Clone)]
+pub struct ShardedRunReport {
+    /// Per-shard measurements, indexed by shard.
+    pub per_shard: Vec<RunMeasurement>,
+    /// Merged ledgers (exactly the sum of `per_shard`).
+    pub aggregate: AggregateMeasurement,
+    /// Wall-clock seconds of the replay region: threaded span for
+    /// [`run_sharded`], sum of per-shard replays for
+    /// [`run_sharded_serial`]. Context building (next-access tables) is
+    /// excluded from both — it is a per-shard preprocessing pass, not
+    /// replay.
+    pub wall_secs: f64,
+}
+
+impl ShardedRunReport {
+    /// Aggregate requests per wall-clock second over the replay region.
+    pub fn aggregate_tps(&self) -> f64 {
+        self.aggregate.requests as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Shard columns re-ticked to local positions `0..len`, plus their replay
+/// contexts — both built outside the timed region (preprocessing, not
+/// replay).
+///
+/// The partitioner preserves original global ticks (it is a faithful
+/// subsequence extractor), but replay contexts index next-access tables
+/// positionally and [`cdn_policies::replacement::BeladyPolicy`] requires
+/// `req.tick` to be that position. Localizing is a monotone renumbering
+/// within each shard, so relative request order — the thing cache
+/// outcomes depend on — is untouched, and both the threaded and serial
+/// paths see the identical localized stream.
+fn localized_shards(sharded: &ShardedTrace, seed: u64) -> Vec<(TraceColumns, TraceCtx)> {
+    sharded
+        .shards
+        .iter()
+        .map(|cols| {
+            let mut local = cols.clone();
+            for (i, t) in local.ticks.iter_mut().enumerate() {
+                *t = i as u64;
+            }
+            let requests = local.to_requests();
+            let ctx = TraceCtx::new(&requests, seed);
+            (local, ctx)
+        })
+        .collect()
+}
+
+fn replay_one(
+    kind: PolicyKind,
+    per_shard_capacity: u64,
+    cols: &TraceColumns,
+    ctx: &TraceCtx,
+    mode: BatchMode,
+) -> RunMeasurement {
+    kind.replay_batched(per_shard_capacity, cols, ctx, mode)
+}
+
+fn merge(per_shard: Vec<RunMeasurement>, wall_secs: f64) -> ShardedRunReport {
+    let mut aggregate = AggregateMeasurement::default();
+    for m in &per_shard {
+        aggregate.absorb(m);
+    }
+    ShardedRunReport {
+        per_shard,
+        aggregate,
+        wall_secs,
+    }
+}
+
+/// Replay every shard on its own dedicated thread (one thread per shard,
+/// even above `available_parallelism` — the OS time-slices and the bench
+/// reports the degradation honestly rather than hiding it).
+///
+/// `total_capacity` is split evenly: each shard's policy instance manages
+/// `total_capacity / shards` bytes. Replays are independent and
+/// deterministic, so the aggregate equals [`run_sharded_serial`] exactly.
+pub fn run_sharded(
+    kind: PolicyKind,
+    total_capacity: u64,
+    sharded: &ShardedTrace,
+    seed: u64,
+    mode: BatchMode,
+) -> ShardedRunReport {
+    let n = sharded.shard_count();
+    assert!(n > 0, "run_sharded: no shards");
+    let per_shard_capacity = (total_capacity / n as u64).max(1);
+    let prepared = localized_shards(sharded, seed);
+    let start = Instant::now();
+    let per_shard: Vec<RunMeasurement> = std::thread::scope(|s| {
+        let handles: Vec<_> = prepared
+            .iter()
+            .map(|(cols, ctx)| {
+                s.spawn(move || replay_one(kind, per_shard_capacity, cols, ctx, mode))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard replay thread panicked"))
+            .collect()
+    });
+    merge(per_shard, start.elapsed().as_secs_f64())
+}
+
+/// The reference decomposition: replay each partition serially on the
+/// calling thread, identical per-shard work, summed wall time. This is
+/// what the sharded aggregate is proven equal against, and the serial
+/// baseline of the scaling curve.
+pub fn run_sharded_serial(
+    kind: PolicyKind,
+    total_capacity: u64,
+    sharded: &ShardedTrace,
+    seed: u64,
+    mode: BatchMode,
+) -> ShardedRunReport {
+    let n = sharded.shard_count();
+    assert!(n > 0, "run_sharded_serial: no shards");
+    let per_shard_capacity = (total_capacity / n as u64).max(1);
+    let prepared = localized_shards(sharded, seed);
+    let mut wall = 0f64;
+    let per_shard: Vec<RunMeasurement> = prepared
+        .iter()
+        .map(|(cols, ctx)| {
+            let start = Instant::now();
+            let m = replay_one(kind, per_shard_capacity, cols, ctx, mode);
+            wall += start.elapsed().as_secs_f64();
+            m
+        })
+        .collect();
+    merge(per_shard, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_trace::partition_columns;
+
+    fn sample_sharded(n: usize) -> ShardedTrace {
+        let reqs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i * 13 % 700, 1 + i % 40)).collect();
+        let trace = cdn_cache::object::micro_trace(&reqs);
+        partition_columns(&TraceColumns::from_requests(&trace), n)
+    }
+
+    #[test]
+    fn threaded_equals_serial_exactly() {
+        for shards in [1usize, 2, 3, 4] {
+            let sharded = sample_sharded(shards);
+            for kind in [PolicyKind::Lru, PolicyKind::Scip] {
+                let threaded = run_sharded(kind, 4_000, &sharded, 7, BatchMode::Off);
+                let serial = run_sharded_serial(kind, 4_000, &sharded, 7, BatchMode::Off);
+                assert_eq!(
+                    threaded.aggregate, serial.aggregate,
+                    "{kind:?} at {shards} shards"
+                );
+                for (t, s) in threaded.per_shard.iter().zip(&serial.per_shard) {
+                    assert_eq!(t.hits, s.hits);
+                    assert_eq!(t.misses, s.misses);
+                    assert_eq!(t.hit_bytes, s.hit_bytes);
+                    assert_eq!(t.miss_bytes, s.miss_bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mode_does_not_change_aggregates() {
+        let sharded = sample_sharded(2);
+        let plain = run_sharded(PolicyKind::Lru, 4_000, &sharded, 7, BatchMode::Off);
+        let batched = run_sharded(PolicyKind::Lru, 4_000, &sharded, 7, BatchMode::Fixed(8));
+        assert_eq!(plain.aggregate, batched.aggregate);
+    }
+
+    #[test]
+    fn aggregate_covers_every_request() {
+        let sharded = sample_sharded(4);
+        let report = run_sharded(PolicyKind::Lru, 4_000, &sharded, 7, BatchMode::Off);
+        assert_eq!(report.aggregate.requests, sharded.total_requests());
+        assert_eq!(
+            report.aggregate.hits + report.aggregate.misses,
+            report.aggregate.requests
+        );
+        assert!(report.aggregate_tps() > 0.0);
+        let ratio = report.aggregate.miss_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn one_shard_matches_unsharded_replay() {
+        // With a single shard the partition is the whole trace and the
+        // aggregate must equal a plain instrumented replay at the same
+        // capacity.
+        let sharded = sample_sharded(1);
+        let report = run_sharded(PolicyKind::Lru, 4_000, &sharded, 7, BatchMode::Off);
+        let trace = sharded.shards[0].to_requests();
+        let ctx = TraceCtx::new(&trace, 7);
+        let plain = PolicyKind::Lru.run_monomorphized_columns(4_000, &sharded.shards[0], &ctx);
+        assert_eq!(report.aggregate.hits, plain.hits);
+        assert_eq!(report.aggregate.misses, plain.misses);
+        assert_eq!(report.aggregate.hit_bytes, plain.hit_bytes);
+        assert_eq!(report.aggregate.miss_bytes, plain.miss_bytes);
+    }
+}

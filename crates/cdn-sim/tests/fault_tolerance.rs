@@ -38,6 +38,10 @@ fn measurement(mr: f64) -> RunMeasurement {
         ns_per_request: 100.0,
         peak_memory_bytes: 1 << 12,
         resident_objects: 8,
+        hits: 300,
+        misses: 100,
+        hit_bytes: 3_000,
+        miss_bytes: 1_000,
     }
 }
 

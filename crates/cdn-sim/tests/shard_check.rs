@@ -1,0 +1,181 @@
+//! Sharded-replay exactness: the threaded aggregate must equal the serial
+//! per-partition reference on arbitrary streams (property test), and a
+//! committed golden recording pins the 2-shard ledgers of every policy so
+//! a behaviour drift in partitioning, capacity splitting, or the merge
+//! arithmetic cannot land silently.
+//!
+//! Regenerate the recording (only on an intentional behaviour change):
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cdn-sim --test shard_check
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cdn_sim::{run_sharded, run_sharded_serial, BatchMode, PolicyKind};
+use cdn_trace::{partition_columns, TraceColumns};
+use proptest::prelude::*;
+
+const SEED: u64 = 5;
+
+fn sharded_from(pairs: &[(u64, u64)], shards: usize) -> cdn_trace::ShardedTrace {
+    let trace: Vec<cdn_cache::Request> = pairs
+        .iter()
+        .enumerate()
+        .map(|(t, &(id, size))| cdn_cache::Request::new(t as u64, id, size))
+        .collect();
+    partition_columns(&TraceColumns::from_requests(&trace), shards)
+}
+
+proptest! {
+    // Replays are slow relative to generator-style properties; a smaller
+    // case count still exercises shard counts × stream shapes broadly.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Threaded and serial sharded replays agree on every ledger counter,
+    /// per shard and in aggregate, for arbitrary streams and shard counts.
+    #[test]
+    fn threaded_aggregate_equals_serial_reference(
+        pairs in proptest::collection::vec((0u64..150, 1u64..80), 1..800),
+        shards in 1usize..6,
+        cap in 200u64..5000,
+    ) {
+        let sharded = sharded_from(&pairs, shards);
+        for kind in [PolicyKind::Lru, PolicyKind::Scip, PolicyKind::TinyLfu] {
+            let threaded = run_sharded(kind, cap, &sharded, SEED, BatchMode::Off);
+            let serial = run_sharded_serial(kind, cap, &sharded, SEED, BatchMode::Off);
+            prop_assert_eq!(
+                threaded.aggregate, serial.aggregate,
+                "{:?}: threaded and serial sharded aggregates diverged", kind
+            );
+            for (s, (t, r)) in threaded.per_shard.iter().zip(&serial.per_shard).enumerate() {
+                prop_assert_eq!(t.hits, r.hits, "{:?} shard {} hits", kind, s);
+                prop_assert_eq!(t.misses, r.misses, "{:?} shard {} misses", kind, s);
+                prop_assert_eq!(t.hit_bytes, r.hit_bytes, "{:?} shard {} hit_bytes", kind, s);
+                prop_assert_eq!(t.miss_bytes, r.miss_bytes, "{:?} shard {} miss_bytes", kind, s);
+            }
+            // The merge is plain summation — re-derive it independently.
+            let hits: u64 = threaded.per_shard.iter().map(|m| m.hits).sum();
+            let misses: u64 = threaded.per_shard.iter().map(|m| m.misses).sum();
+            prop_assert_eq!(threaded.aggregate.hits, hits);
+            prop_assert_eq!(threaded.aggregate.misses, misses);
+            prop_assert_eq!(threaded.aggregate.requests, hits + misses);
+        }
+    }
+
+    /// Batching is advisory: lookahead hints never change any ledger.
+    #[test]
+    fn batched_sharded_ledgers_identical(
+        pairs in proptest::collection::vec((0u64..100, 1u64..60), 1..500),
+        shards in 1usize..5,
+    ) {
+        let sharded = sharded_from(&pairs, shards);
+        let plain = run_sharded(PolicyKind::Scip, 1500, &sharded, SEED, BatchMode::Off);
+        let batched = run_sharded(PolicyKind::Scip, 1500, &sharded, SEED, BatchMode::Fixed(8));
+        prop_assert_eq!(plain.aggregate, batched.aggregate);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden 2-shard recording: every policy's aggregate ledger on a fixed
+// Zipf-flavoured trace, committed to tests/data/golden_shards_v1.txt.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_SHARDS: usize = 2;
+const GOLDEN_CAPACITY: u64 = 1 << 14;
+
+fn golden_trace() -> cdn_trace::ShardedTrace {
+    // Deterministic skewed mix: a hot core, a mid tier, and a one-hit
+    // tail, with sizes varying so byte ledgers differ from object ledgers.
+    let mut pairs = Vec::with_capacity(40_000);
+    for i in 0..40_000u64 {
+        pairs.push(match i % 10 {
+            0..=4 => (i * 31 % 64, 200 + i % 300),
+            5..=7 => (1_000 + i * 17 % 2_000, 50 + i % 900),
+            _ => (100_000 + i, 1 + i % 2_000),
+        });
+    }
+    sharded_from(&pairs, GOLDEN_SHARDS)
+}
+
+fn data_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("golden_shards_v1.txt")
+}
+
+/// `policy -> (hits, misses, hit_bytes, miss_bytes)` aggregate ledgers.
+fn compute_all() -> BTreeMap<String, (u64, u64, u64, u64)> {
+    let sharded = golden_trace();
+    let mut out = BTreeMap::new();
+    for kind in PolicyKind::ALL {
+        let report = run_sharded(kind, GOLDEN_CAPACITY, &sharded, SEED, BatchMode::Off);
+        let a = report.aggregate;
+        out.insert(
+            kind.label().to_string(),
+            (a.hits, a.misses, a.hit_bytes, a.miss_bytes),
+        );
+    }
+    out
+}
+
+fn parse_recordings(text: &str) -> BTreeMap<String, (u64, u64, u64, u64)> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let policy = parts.next().expect("policy field");
+        let mut num = || -> u64 {
+            parts
+                .next()
+                .unwrap_or_else(|| panic!("malformed golden line: {line:?}"))
+                .parse()
+                .unwrap_or_else(|e| panic!("bad number in {line:?}: {e}"))
+        };
+        map.insert(policy.to_string(), (num(), num(), num(), num()));
+    }
+    map
+}
+
+#[test]
+fn two_shard_ledgers_match_recordings() {
+    let actual = compute_all();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        let mut text = String::from(
+            "# Golden 2-shard aggregate ledgers: <policy> <hits> <misses> <hit_bytes> <miss_bytes>\n\
+             # capacity 1<<14 split over 2 shards, TraceCtx seed 5, fixed skewed trace.\n\
+             # Regenerate: UPDATE_GOLDEN=1 cargo test -p cdn-sim --test shard_check\n",
+        );
+        for (policy, (h, m, hb, mb)) in &actual {
+            writeln!(text, "{policy} {h} {m} {hb} {mb}").unwrap();
+        }
+        std::fs::write(data_path(), text).expect("write golden file");
+        return;
+    }
+
+    let expected = parse_recordings(
+        &std::fs::read_to_string(data_path()).expect("golden shard recordings missing"),
+    );
+    assert_eq!(expected.len(), actual.len(), "policy count drifted");
+    let mut diverged = Vec::new();
+    for (policy, ledger) in &actual {
+        match expected.get(policy) {
+            Some(want) if want == ledger => {}
+            Some(want) => diverged.push(format!("{policy}: recorded {want:?}, got {ledger:?}")),
+            None => diverged.push(format!("{policy}: no recording")),
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "{} sharded ledger(s) diverged:\n{}",
+        diverged.len(),
+        diverged.join("\n")
+    );
+}

@@ -11,6 +11,9 @@
 //! Modules:
 //! - [`columns`]: structure-of-arrays trace storage shared across sweep
 //!   workers ([`TraceColumns`]).
+//! - [`shard`]: key-partitioning of a trace into per-shard column sets
+//!   (fibonacci key→shard mapping shared with the cache layer), feeding
+//!   the sharded replay engine.
 //! - [`zipf`]: exact finite-support Zipf rank sampling.
 //! - [`sizes`]: per-object size models (clamped lognormal + heavy tail).
 //! - [`gen`]: the trace generator engine (Zipf core, popularity drift,
@@ -33,6 +36,7 @@ pub mod gen;
 pub mod io;
 pub mod label;
 pub mod profiles;
+pub mod shard;
 pub mod sizes;
 pub mod stats;
 pub mod zipf;
@@ -44,6 +48,7 @@ pub use gen::{degenerate_corpus, GeneratorConfig, TraceGenerator};
 pub use io::TraceError;
 pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
 pub use profiles::{Workload, WorkloadProfile};
+pub use shard::{partition_columns, ShardStats, ShardedTrace};
 pub use sizes::SizeModel;
 pub use stats::TraceStats;
 pub use zipf::Zipf;

@@ -6,10 +6,15 @@
 # (first run, fresh clone) is fine — the comparison is simply skipped.
 #
 # Usage:
-#   scripts/bench.sh          measure and report (never fails on perf)
-#   scripts/bench.sh --gate   additionally FAIL (exit 1) if any policy's
-#                             requests/sec regressed more than 10% vs the
-#                             committed baseline
+#   scripts/bench.sh              measure and report (never fails on perf)
+#   scripts/bench.sh --gate       additionally FAIL (exit 1) if any
+#                                 policy's requests/sec — or any
+#                                 (policy × shard count) aggregate —
+#                                 regressed more than 10% vs the committed
+#                                 baseline
+#   scripts/bench.sh --shards N   shard counts for the scaling section
+#                                 (comma list, e.g. 1,2,4; sets
+#                                 REPLAY_SHARDS). Composable with --gate.
 #
 # Knobs (env):
 #   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
@@ -17,15 +22,37 @@
 #   REPLAY_BENCH_OUT       output path (default BENCH_replay.json)
 #   REPLAY_BENCH_TRACE     replay a .bin/.csv trace file instead of
 #                          generating one
+#   REPLAY_SHARDS          shard counts for the scaling curve
+#                          (default 1,2,4,8)
+#   REPLAY_PREFETCH_DIST   pipelined lookahead: unset/auto = heuristic,
+#                          0 = off, K = fixed depth
 #   BENCH_GATE_TOLERANCE   allowed fractional regression in --gate mode
-#                          (default 0.10)
+#                          (default 0.10); shared by the per-policy and
+#                          per-shard gates
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GATE=0
-if [[ "${1:-}" == "--gate" ]]; then
-    GATE=1
-fi
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --gate)
+            GATE=1
+            shift
+            ;;
+        --shards)
+            if [[ -z "${2:-}" ]]; then
+                echo "error: --shards needs a count (or comma list)" >&2
+                exit 2
+            fi
+            export REPLAY_SHARDS="$2"
+            shift 2
+            ;;
+        *)
+            echo "error: unknown argument: $1" >&2
+            exit 2
+            ;;
+    esac
+done
 
 OUT="${REPLAY_BENCH_OUT:-BENCH_replay.json}"
 TOLERANCE="${BENCH_GATE_TOLERANCE:-0.10}"
@@ -85,12 +112,36 @@ if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
                 gate_rc=1
             fi
         done < <(per_policy "$BASELINE")
+        # Per-shard gate: shard_scaling points carry one JSON object per
+        # line keyed by (policy, shards); pair them by that key and apply
+        # the same tolerance to the aggregate throughput. Baselines
+        # without a shard_scaling section (pre-v3) simply contribute no
+        # rows here.
+        per_shard() {
+            grep -o '{"policy": "[^"]*", "shards": [0-9]*, "aggregate_requests_per_sec": [0-9.]*' "$1" |
+                sed 's/{"policy": "//; s/", "shards": /\//; s/, "aggregate_requests_per_sec": / /'
+        }
+        while read -r key prev_rps; do
+            cur_rps="$(per_shard "$OUT" | awk -v k="$key" '$1 == k {print $2}')"
+            if [[ -z "$cur_rps" ]]; then
+                echo "--gate: shard point $key missing from current run; skipping"
+                continue
+            fi
+            if ! awk -v p="$prev_rps" -v c="$cur_rps" -v tol="$TOLERANCE" \
+                'BEGIN { exit !(c >= p * (1 - tol)) }'; then
+                awk -v pol="$key" -v p="$prev_rps" -v c="$cur_rps" 'BEGIN {
+                    printf "--gate: FAIL shard point %s regressed %.2f -> %.2f Mreq/s (%+.1f%%)\n",
+                        pol, p / 1e6, c / 1e6, (c - p) / p * 100
+                }'
+                gate_rc=1
+            fi
+        done < <(per_shard "$BASELINE")
         if [[ "$gate_rc" != 0 ]]; then
             awk -v tol="$TOLERANCE" 'BEGIN {
                 printf "--gate: throughput regression beyond %.0f%% tolerance\n", tol * 100
             }'
             exit 1
         fi
-        echo "--gate: all policies within tolerance"
+        echo "--gate: all policies and shard points within tolerance"
     fi
 fi

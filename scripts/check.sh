@@ -38,6 +38,13 @@ cargo test -q -p cdn-sim --features audit --test model_check
 echo "==> golden outcome streams --features audit (bit-identical policies)"
 cargo test -q -p cdn-sim --features audit --test golden_outcomes
 
+echo "==> sharded-replay exactness (partition proptests + threaded==serial + goldens)"
+cargo test -q -p cdn-trace --test shard_prop
+cargo test -q -p cdn-sim --features audit --test shard_check
+
+echo "==> pipelined-batch identity --features audit (hints never change outcomes)"
+cargo test -q -p cdn-sim --features audit --test batched_identity
+
 echo "==> fig6_chaos calm gate (exits nonzero if calm != plain path)"
 TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
     cargo run --release -q -p cdn-sim --bin fig6_chaos
@@ -45,8 +52,9 @@ TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
 # Entry-layout size budgets (hot node <= 32 B etc.) are const-asserted in
 # cdn-cache (index.rs/list.rs/queue.rs), so every build above already
 # enforces them; a layout regression fails compilation, not this script.
-echo "==> replay_bench smoke (50k requests, throw-away output)"
-REPLAY_BENCH_REQUESTS=50000 REPLAY_BENCH_OUT="$(mktemp /tmp/bench_smoke.XXXXXX.json)" \
+echo "==> replay_bench smoke (50k requests, 2-shard scaling, throw-away output)"
+REPLAY_BENCH_REQUESTS=50000 REPLAY_SHARDS=1,2 \
+    REPLAY_BENCH_OUT="$(mktemp /tmp/bench_smoke.XXXXXX.json)" \
     cargo run --release -q -p cdn-sim --bin replay_bench >/dev/null
 
 echo "OK"
