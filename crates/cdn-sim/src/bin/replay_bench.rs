@@ -472,7 +472,7 @@ fn main() {
     let rss = peak_rss_bytes();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"replay_bench_v3\",\n");
+    json.push_str("  \"schema\": \"replay_bench_v4\",\n");
     json.push_str(&format!("  \"requests\": {requests},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(&source)));
@@ -522,6 +522,14 @@ fn main() {
     // exists to claim.
     json.push_str("  \"shard_scaling\": {\n");
     json.push_str(&format!("    \"cores\": {cores},\n"));
+    // What was *asked for*, independent of what the machine could grant:
+    // on a 1-core runner every speedup below is null, and without this
+    // field the file would not even record that shard counts were swept.
+    let requested: Vec<String> = shard_counts.iter().map(|n| n.to_string()).collect();
+    json.push_str(&format!(
+        "    \"requested_shards\": [{}],\n",
+        requested.join(", ")
+    ));
     json.push_str(&format!(
         "    \"batch_mode\": \"{mode_name}\", \"lookahead\": {depth},\n"
     ));

@@ -1,0 +1,121 @@
+//! The daemon binary: generate (or size from) a CDN-T workload, serve it
+//! through a supervised sharded daemon, drain, and print the per-shard
+//! stats snapshot. This is the in-process serving shape — there is no
+//! network listener; the deterministic client harness plays the role of
+//! the frontend, which keeps every run reproducible.
+//!
+//! Knobs (see the README knob table): `CDND_SHARDS`, `CDND_CAPACITY_MB`,
+//! `CDND_QUEUE_CAP`, `CDND_WORKER_BATCH`, `CDND_SEED`,
+//! `CDND_BACKOFF_BASE_MS`, `CDND_BACKOFF_MAX_MS`, `CDND_STORM_THRESHOLD`,
+//! `CDND_STORM_WINDOW_MS`, plus `CDND_REQUESTS` (default `REPRO_REQUESTS`
+//! or 200k) and `CDND_POLICY` (a `PolicyKind` label, default `SCIP`).
+
+use std::time::{Duration, Instant};
+
+use cdn_sim::PolicyKind;
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+use cdnd::{feed, Daemon, DaemonConfig, FeedMode, ShardPlan};
+
+fn env_u64(key: &str, fallback: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
+}
+
+fn policy_from_env() -> PolicyKind {
+    let name = std::env::var("CDND_POLICY").unwrap_or_else(|_| "SCIP".to_string());
+    match PolicyKind::ALL
+        .iter()
+        .find(|k| k.label().eq_ignore_ascii_case(&name))
+    {
+        Some(&kind) => kind,
+        None => {
+            eprintln!("error: unknown CDND_POLICY `{name}`; known labels:");
+            for kind in PolicyKind::ALL {
+                eprintln!("  {}", kind.label());
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let requests = env_u64("CDND_REQUESTS", env_u64("REPRO_REQUESTS", 200_000));
+    let kind = policy_from_env();
+    let mut cfg = DaemonConfig::default().overlay_env();
+    let seed = cfg.seed;
+    eprintln!("generating {requests} CDN-T requests (seed {seed})...");
+    let trace = TraceGenerator::generate(Workload::CdnT.profile().config(requests, seed));
+    let stats = TraceStats::compute(&trace);
+    if std::env::var("CDND_CAPACITY_MB").is_err() {
+        cfg.total_capacity =
+            stats.cache_bytes_for_fraction(Workload::CdnT.paper_cache_fraction(64.0));
+    }
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+    eprintln!(
+        "cdnd: {} shards x {:.1} MiB, queue {}, batch {}, policy {}",
+        cfg.shards,
+        cfg.per_shard_capacity() as f64 / (1 << 20) as f64,
+        cfg.queue_capacity,
+        cfg.worker_batch,
+        kind.label()
+    );
+
+    let daemon = match Daemon::spawn(cfg.clone(), plan.factory(kind)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: invalid daemon config: {e}");
+            std::process::exit(2);
+        }
+    };
+    let start = Instant::now();
+    let report = feed(
+        &daemon,
+        &trace,
+        FeedMode::FailFast {
+            push_timeout: Duration::from_secs(30),
+        },
+    );
+    let final_stats = daemon.shutdown();
+    let wall = start.elapsed().as_secs_f64();
+
+    println!(
+        "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>8}",
+        "shard",
+        "enqueued",
+        "processed",
+        "shed",
+        "lost",
+        "hits",
+        "misses",
+        "peak_q",
+        "resident",
+        "state"
+    );
+    for (i, s) in final_stats.shards.iter().enumerate() {
+        println!(
+            "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>8?}",
+            i,
+            s.enqueued,
+            s.processed,
+            s.shed,
+            s.lost,
+            s.hits,
+            s.misses,
+            s.peak_depth,
+            s.resident_objects,
+            s.state
+        );
+    }
+    let served = final_stats.total_processed();
+    let hits: u64 = final_stats.shards.iter().map(|s| s.hits).sum();
+    println!(
+        "served {served} of {} in {wall:.2}s ({:.2} Mreq/s), miss ratio {:.4}, \
+         availability {:.4}",
+        trace.len(),
+        served as f64 / wall.max(1e-9) / 1e6,
+        1.0 - hits as f64 / served.max(1) as f64,
+        report.overall_availability()
+    );
+}

@@ -1,0 +1,188 @@
+//! Daemon serving-throughput bench: replay a CDN-T workload through the
+//! supervised daemon at several shard counts and report requests/sec
+//! end-to-end (submit → ring → worker → ledger), next to the library's
+//! serial sharded-replay reference. Writes `BENCH_daemon.json` (schema
+//! `daemon_bench_v1`) with one JSON row per (policy × shards) point so
+//! `scripts/bench.sh --daemon` can gate regressions by grep.
+//!
+//! Single-core honesty (the PR 6 convention, extended here): when
+//! `available_parallelism` is 1, the daemon-vs-serial speedup is
+//! suppressed (`null`) and an explicit note plus the `requested_shards`
+//! list is recorded — never a fabricated speedup from time-sliced
+//! threads.
+//!
+//! Knobs: `CDND_BENCH_REQUESTS` (default 500k), `CDND_BENCH_SHARDS`
+//! (comma-separated, default `1,2,4`), `CDND_BENCH_OUT` (output path).
+
+use std::time::{Duration, Instant};
+
+use cdn_sim::PolicyKind;
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+use cdnd::{feed, ledger_diff, Daemon, DaemonConfig, FeedMode, ShardPlan};
+
+const POLICIES: [PolicyKind; 2] = [PolicyKind::Lru, PolicyKind::Scip];
+
+fn env_u64(key: &str, fallback: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
+}
+
+fn shard_counts_from_env() -> Vec<usize> {
+    let raw = std::env::var("CDND_BENCH_SHARDS").unwrap_or_else(|_| "1,2,4".to_string());
+    let counts: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    if counts.is_empty() {
+        vec![1, 2, 4]
+    } else {
+        counts
+    }
+}
+
+struct Point {
+    policy: &'static str,
+    shards: usize,
+    daemon_rps: f64,
+    serial_rps: f64,
+    /// `daemon rps / serial reference rps` — None on a single-core
+    /// machine, where the comparison is scheduling noise.
+    speedup: Option<f64>,
+    aggregate_miss_ratio: f64,
+}
+
+fn main() {
+    let requests = env_u64("CDND_BENCH_REQUESTS", 500_000);
+    let seed = cdn_sim::default_seed();
+    let out_path =
+        std::env::var("CDND_BENCH_OUT").unwrap_or_else(|_| "BENCH_daemon.json".to_string());
+    let shard_counts = shard_counts_from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
+
+    eprintln!("generating {requests} CDN-T requests (seed {seed})...");
+    let trace = TraceGenerator::generate(Workload::CdnT.profile().config(requests, seed));
+    let n = trace.len();
+    let stats = TraceStats::compute(&trace);
+    let cache_bytes = stats.cache_bytes_for_fraction(Workload::CdnT.paper_cache_fraction(64.0));
+
+    let mut points: Vec<Point> = Vec::new();
+    for &shards in &shard_counts {
+        let plan = ShardPlan::build(&trace, shards, seed);
+        for kind in POLICIES {
+            let reference = plan.reference(kind, cache_bytes);
+            let cfg = DaemonConfig {
+                shards,
+                total_capacity: cache_bytes,
+                queue_capacity: 4_096,
+                worker_batch: 64,
+                seed,
+                ..DaemonConfig::default()
+            };
+            let daemon = Daemon::spawn(cfg, plan.factory(kind)).expect("spawn bench daemon");
+            let start = Instant::now();
+            feed(
+                &daemon,
+                &trace,
+                FeedMode::FailFast {
+                    push_timeout: Duration::from_secs(60),
+                },
+            );
+            let final_stats = daemon.shutdown();
+            let wall = start.elapsed().as_secs_f64().max(1e-9);
+            // The bench is only meaningful if the daemon did the same
+            // work as the reference — enforce exactness, don't assume it.
+            for (shard, (snap, m)) in final_stats
+                .shards
+                .iter()
+                .zip(&reference.per_shard)
+                .enumerate()
+            {
+                if let Some(diff) = ledger_diff(shard, snap, m) {
+                    eprintln!("FAIL: {} at {shards} shards: {diff}", kind.label());
+                    std::process::exit(1);
+                }
+            }
+            let daemon_rps = n as f64 / wall;
+            let serial_rps = n as f64 / reference.wall_secs.max(1e-9);
+            let point = Point {
+                policy: kind.label(),
+                shards,
+                daemon_rps,
+                serial_rps,
+                speedup: (cores > 1).then(|| daemon_rps / serial_rps),
+                aggregate_miss_ratio: reference.aggregate.miss_ratio(),
+            };
+            match point.speedup {
+                Some(s) => eprintln!(
+                    "shards {shards} [{}]: daemon {:.2} Mreq/s vs serial {:.2} Mreq/s ({s:.2}x)",
+                    point.policy,
+                    daemon_rps / 1e6,
+                    serial_rps / 1e6
+                ),
+                None => eprintln!(
+                    "shards {shards} [{}]: daemon {:.2} Mreq/s (single-core machine, \
+                     daemon-vs-serial speedup suppressed; serial {:.2} Mreq/s)",
+                    point.policy,
+                    daemon_rps / 1e6,
+                    serial_rps / 1e6
+                ),
+            }
+            points.push(point);
+        }
+    }
+    if cores == 1 {
+        eprintln!(
+            "daemon scaling: 1 core available — shard workers are time-sliced, \
+             so no parallel speedup is claimed on this machine"
+        );
+    }
+
+    let requested: Vec<String> = shard_counts.iter().map(|s| s.to_string()).collect();
+    let note = if cores == 1 {
+        "\"single-core runner: daemon speedup suppressed, not fabricated\""
+    } else {
+        "null"
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"daemon_bench_v1\",\n");
+    json.push_str(&format!("  \"requests\": {n},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"cache_bytes\": {cache_bytes},\n"));
+    json.push_str("  \"shard_scaling\": {\n");
+    json.push_str(&format!("    \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "    \"requested_shards\": [{}],\n",
+        requested.join(", ")
+    ));
+    json.push_str(&format!("    \"note\": {note},\n"));
+    json.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let speedup = p.speedup.map_or("null".to_string(), |s| format!("{s:.3}"));
+        json.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"shards\": {}, \
+             \"daemon_requests_per_sec\": {:.1}, \"serial_requests_per_sec\": {:.1}, \
+             \"speedup_vs_serial\": {}, \"aggregate_miss_ratio\": {:.6}}}{}\n",
+            p.policy,
+            p.shards,
+            p.daemon_rps,
+            p.serial_rps,
+            speedup,
+            p.aggregate_miss_ratio,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

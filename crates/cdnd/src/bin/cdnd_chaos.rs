@@ -1,0 +1,450 @@
+//! Daemon chaos harness: replay a `cdn-trace` workload through a 4-shard
+//! `cdnd` daemon under a calm schedule and (with `--features
+//! fault-injection`) a deterministic kill schedule, then gate on
+//! availability and ledger exactness.
+//!
+//! The kill schedule is deterministic by construction, not by timing
+//! luck: the restart backoff is set far beyond the run length, so a
+//! killed shard stays down for an exactly-known slice of the trace and
+//! is revived with an explicit operator `reset_shard` — the outage
+//! windows contain the same requests on every run with the same
+//! trace/seed. The min-share shard is killed (twice) so the availability
+//! floor has maximum headroom.
+//!
+//! Gates (nonzero exit on violation):
+//! - calm: 100 % availability, zero outage windows, all-shard ledgers
+//!   bit-identical to `run_sharded_serial`, client/daemon counters match.
+//! - kill: both injected kills fired, surviving-shard ledgers
+//!   bit-identical to the serial reference, availability 100 % outside
+//!   the outage windows and ≥ 75 % inside them.
+//!
+//! Knobs: `CDND_CHAOS_REQUESTS` (default `REPRO_REQUESTS` or 200k),
+//! `CDND_CHAOS_SEED` (default `REPRO_SEED`). Results land in
+//! `results/cdnd_chaos.{md,json,tsv}`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::time::Duration;
+
+use cdn_sim::PolicyKind;
+use cdn_trace::{TraceGenerator, TraceStats, Workload};
+use cdnd::{feed, ledger_diff, Daemon, DaemonConfig, FeedMode, RestartConfig, ShardPlan};
+
+const SHARDS: usize = 4;
+const POLICY: PolicyKind = PolicyKind::Scip;
+
+fn env_u64(key: &str, fallback: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
+}
+
+fn calm_mode() -> FeedMode {
+    FeedMode::FailFast {
+        push_timeout: Duration::from_secs(30),
+    }
+}
+
+/// One schedule's outcome row.
+struct Row {
+    schedule: &'static str,
+    availability: f64,
+    inside_availability: f64,
+    outside_availability: f64,
+    outage_windows: u64,
+    kills: u64,
+    restarts: u64,
+    lost: u64,
+    exact_shards: usize,
+    compared_shards: usize,
+}
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: String) {
+        if !ok {
+            self.failures.push(what);
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+fn merge_reports(reports: &[cdnd::FeedReport]) -> cdnd::FeedReport {
+    let mut merged = reports[0].clone();
+    for r in &reports[1..] {
+        for (a, b) in merged.per_shard.iter_mut().zip(&r.per_shard) {
+            a.submitted += b.submitted;
+            a.accepted += b.accepted;
+            a.shed += b.shed;
+            a.rejected_down += b.rejected_down;
+            a.faulted += b.faulted;
+            a.shutting_down += b.shutting_down;
+        }
+        merged.inside_total += r.inside_total;
+        merged.inside_accepted += r.inside_accepted;
+        merged.outside_total += r.outside_total;
+        merged.outside_accepted += r.outside_accepted;
+        merged.outage_windows += r.outage_windows;
+    }
+    merged
+}
+
+/// Calm schedule: the whole trace through a healthy daemon. Everything
+/// must be accepted and every shard ledger must equal the reference.
+fn run_calm(
+    trace: &[cdn_cache::Request],
+    plan: &ShardPlan,
+    cfg: &DaemonConfig,
+    gate: &mut Gate,
+) -> Row {
+    let daemon = Daemon::spawn(cfg.clone(), plan.factory(POLICY)).expect("spawn calm daemon");
+    let report = feed(&daemon, trace, calm_mode());
+    for shard in 0..SHARDS {
+        assert!(
+            daemon.await_quiesced(shard, Duration::from_secs(120)),
+            "calm: shard {shard} never quiesced"
+        );
+    }
+    let stats = daemon.shutdown();
+    if let Err(e) = report.check_against(&stats.shards, true) {
+        gate.check(false, format!("calm: counter reconciliation: {e}"));
+    }
+    let reference = plan.reference(POLICY, cfg.total_capacity);
+    let mut exact = 0usize;
+    for (shard, (snap, m)) in stats.shards.iter().zip(&reference.per_shard).enumerate() {
+        match ledger_diff(shard, snap, m) {
+            None => exact += 1,
+            Some(diff) => gate.check(false, format!("calm: {diff}")),
+        }
+    }
+    gate.check(
+        report.overall_availability() == 1.0,
+        format!(
+            "calm: availability {:.4} < 1.0",
+            report.overall_availability()
+        ),
+    );
+    gate.check(
+        report.outage_windows == 0,
+        format!("calm: {} outage windows, expected 0", report.outage_windows),
+    );
+    Row {
+        schedule: "calm",
+        availability: report.overall_availability(),
+        inside_availability: report.inside_availability(),
+        outside_availability: report.outside_availability(),
+        outage_windows: report.outage_windows,
+        kills: 0,
+        restarts: stats.total_restarts(),
+        lost: stats.total_lost(),
+        exact_shards: exact,
+        compared_shards: SHARDS,
+    }
+}
+
+/// Kill schedule: two deterministic outages of the min-share shard.
+#[cfg(feature = "fault-injection")]
+fn run_kill(
+    trace: &[cdn_cache::Request],
+    plan: &ShardPlan,
+    cfg: &DaemonConfig,
+    gate: &mut Gate,
+) -> Row {
+    use cdn_cache::fault::{self, FaultAction, FaultRule};
+    use cdnd::{worker_fault_key, ShardState, FP_SHARD_WORKER};
+
+    // Backoff far beyond the run: a killed shard stays down until the
+    // explicit reset below, so each outage covers an exact trace slice.
+    let mut cfg = cfg.clone();
+    cfg.restart = RestartConfig {
+        backoff_base_ms: 600_000,
+        backoff_max_ms: 600_000,
+        storm_threshold: 100,
+        storm_window_ms: 600_000,
+    };
+    let n = trace.len();
+    // Slices: calm warmup | outage 1 | recovery | outage 2 | calm tail.
+    let cuts = [n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5];
+    // Kill the shard with the smallest request share *within the outage
+    // slices* — that share is exactly the availability loss while it is
+    // down, so the ≥75 % floor gets its maximum (and deterministic)
+    // headroom.
+    let victim = (0..SHARDS)
+        .min_by_key(|&shard| {
+            trace[cuts[0]..cuts[1]]
+                .iter()
+                .chain(&trace[cuts[2]..cuts[3]])
+                .filter(|r| cdn_cache::key_shard(r.id.0, SHARDS) == shard)
+                .count()
+        })
+        .unwrap();
+
+    fault::clear();
+    let daemon = Daemon::spawn(cfg.clone(), plan.factory(POLICY)).expect("spawn kill daemon");
+    let quiesce_all = |daemon: &Daemon| {
+        for shard in 0..SHARDS {
+            if shard != victim {
+                assert!(
+                    daemon.await_quiesced(shard, Duration::from_secs(120)),
+                    "kill: shard {shard} never quiesced"
+                );
+            }
+        }
+    };
+    let arm_next_victim_tick = |daemon: &Daemon| {
+        let s = &daemon.stats().shards[victim];
+        fault::arm(
+            FP_SHARD_WORKER,
+            FaultRule::OnKeys(
+                vec![worker_fault_key(victim, s.processed + s.lost)],
+                FaultAction::Panic("cdnd_chaos kill".into()),
+            ),
+        );
+    };
+
+    let mut reports = Vec::new();
+    let mut kills = 0u64;
+    // Warmup, fully calm.
+    reports.push(feed(&daemon, &trace[..cuts[0]], calm_mode()));
+    assert!(daemon.await_quiesced(victim, Duration::from_secs(120)));
+    quiesce_all(&daemon);
+
+    for (start, end) in [(cuts[0], cuts[1]), (cuts[2], cuts[3])] {
+        // Kill the victim on its next request, then feed the outage
+        // slice: the crash request is accepted-then-lost, every later
+        // victim-bound request in the slice is rejected ShardDown.
+        arm_next_victim_tick(&daemon);
+        reports.push(feed(&daemon, &trace[start..end], calm_mode()));
+        assert!(
+            daemon.await_shard_state(victim, ShardState::Backoff, Duration::from_secs(30)),
+            "victim should be down at the end of the outage slice"
+        );
+        // `arm` resets the site's fired counter, so bank this outage's
+        // count before the next arm.
+        kills += fault::fired(FP_SHARD_WORKER);
+        // Operator revival, then a recovery slice that closes the window.
+        daemon.reset_shard(victim);
+        assert!(
+            daemon.await_shard_state(victim, ShardState::Closed, Duration::from_secs(30)),
+            "reset did not revive the victim"
+        );
+        let tail = if end == cuts[1] { cuts[2] } else { n };
+        reports.push(feed(&daemon, &trace[end..tail], calm_mode()));
+        assert!(daemon.await_quiesced(victim, Duration::from_secs(120)));
+        quiesce_all(&daemon);
+    }
+    let stats = daemon.shutdown();
+    fault::clear();
+
+    let report = merge_reports(&reports);
+    gate.check(kills == 2, format!("kill: {kills} kills fired, expected 2"));
+    gate.check(
+        report.outage_windows == 2,
+        format!("kill: {} outage windows, expected 2", report.outage_windows),
+    );
+    gate.check(
+        report.outside_availability() == 1.0,
+        format!(
+            "kill: availability outside outage windows {:.4} < 1.0",
+            report.outside_availability()
+        ),
+    );
+    gate.check(
+        report.inside_availability() >= 0.75,
+        format!(
+            "kill: availability inside outage windows {:.4} < 0.75",
+            report.inside_availability()
+        ),
+    );
+    if let Err(e) = report.check_against(&stats.shards, true) {
+        gate.check(false, format!("kill: counter reconciliation: {e}"));
+    }
+    // Survivors must be bit-identical to the serial reference; the victim
+    // lost exactly the two panicked requests plus the rejected ones.
+    let reference = plan.reference(POLICY, cfg.total_capacity);
+    let mut exact = 0usize;
+    for shard in 0..SHARDS {
+        if shard == victim {
+            continue;
+        }
+        match ledger_diff(shard, &stats.shards[shard], &reference.per_shard[shard]) {
+            None => exact += 1,
+            Some(diff) => gate.check(false, format!("kill: surviving {diff}")),
+        }
+    }
+    gate.check(
+        stats.shards[victim].lost == 2,
+        format!(
+            "kill: victim lost {}, expected 2",
+            stats.shards[victim].lost
+        ),
+    );
+    Row {
+        schedule: "kill-2x",
+        availability: report.overall_availability(),
+        inside_availability: report.inside_availability(),
+        outside_availability: report.outside_availability(),
+        outage_windows: report.outage_windows,
+        kills,
+        restarts: stats.total_restarts(),
+        lost: stats.total_lost(),
+        exact_shards: exact,
+        compared_shards: SHARDS - 1,
+    }
+}
+
+fn main() {
+    let requests = env_u64("CDND_CHAOS_REQUESTS", env_u64("REPRO_REQUESTS", 200_000));
+    let seed = env_u64("CDND_CHAOS_SEED", cdn_sim::default_seed());
+    eprintln!("generating {requests} CDN-T requests (seed {seed})...");
+    let trace = TraceGenerator::generate(Workload::CdnT.profile().config(requests, seed));
+    let stats = TraceStats::compute(&trace);
+    let cache_bytes = stats.cache_bytes_for_fraction(Workload::CdnT.paper_cache_fraction(64.0));
+    let cfg = DaemonConfig {
+        shards: SHARDS,
+        total_capacity: cache_bytes,
+        queue_capacity: 4_096,
+        worker_batch: 64,
+        seed,
+        restart: RestartConfig::default(),
+    }
+    .overlay_env();
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+    eprintln!(
+        "daemon: {} shards x {:.1} MiB, queue {}, policy {}",
+        cfg.shards,
+        cfg.per_shard_capacity() as f64 / (1 << 20) as f64,
+        cfg.queue_capacity,
+        POLICY.label()
+    );
+
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    let rows: Vec<Row> = {
+        #[cfg(feature = "fault-injection")]
+        {
+            vec![
+                run_calm(&trace, &plan, &cfg, &mut gate),
+                run_kill(&trace, &plan, &cfg, &mut gate),
+            ]
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            eprintln!(
+                "note: built without --features fault-injection; kill schedule \
+                 skipped (calm gates only)"
+            );
+            vec![run_calm(&trace, &plan, &cfg, &mut gate)]
+        }
+    };
+
+    // Human table.
+    println!(
+        "{:<8} {:>6} {:>8} {:>9} {:>8} {:>6} {:>9} {:>5} {:>6}",
+        "schedule", "avail", "inside", "outside", "windows", "kills", "restarts", "lost", "exact"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>6.4} {:>8.4} {:>9.4} {:>8} {:>6} {:>9} {:>5} {:>3}/{}",
+            r.schedule,
+            r.availability,
+            r.inside_availability,
+            r.outside_availability,
+            r.outage_windows,
+            r.kills,
+            r.restarts,
+            r.lost,
+            r.exact_shards,
+            r.compared_shards
+        );
+    }
+
+    // Persisted artifacts: markdown, TSV and JSON under results/.
+    let dir = cdn_sim::table::results_dir();
+    cdn_sim::or_die(fs::create_dir_all(&dir), "creating results dir");
+    let mut md = String::from(
+        "# cdnd chaos schedules\n\n\
+         | schedule | availability | inside | outside | windows | kills | restarts | lost | exact shards |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    let mut tsv = String::from(
+        "schedule\tavailability\tinside\toutside\twindows\tkills\trestarts\tlost\texact\tcompared\n",
+    );
+    let mut json = format!(
+        "{{\n  \"schema\": \"cdnd_chaos_v1\",\n  \"requests\": {requests},\n  \
+         \"seed\": {seed},\n  \"shards\": {SHARDS},\n  \"policy\": \"{}\",\n  \
+         \"cache_bytes\": {cache_bytes},\n  \"schedules\": [\n",
+        POLICY.label()
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            md,
+            "| {} | {:.4} | {:.4} | {:.4} | {} | {} | {} | {} | {}/{} |",
+            r.schedule,
+            r.availability,
+            r.inside_availability,
+            r.outside_availability,
+            r.outage_windows,
+            r.kills,
+            r.restarts,
+            r.lost,
+            r.exact_shards,
+            r.compared_shards
+        );
+        let _ = writeln!(
+            tsv,
+            "{}\t{:.6}\t{:.6}\t{:.6}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.schedule,
+            r.availability,
+            r.inside_availability,
+            r.outside_availability,
+            r.outage_windows,
+            r.kills,
+            r.restarts,
+            r.lost,
+            r.exact_shards,
+            r.compared_shards
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"schedule\": \"{}\", \"availability\": {:.6}, \
+             \"inside_availability\": {:.6}, \"outside_availability\": {:.6}, \
+             \"outage_windows\": {}, \"kills\": {}, \"restarts\": {}, \
+             \"lost\": {}, \"exact_shards\": {}, \"compared_shards\": {}}}{}",
+            r.schedule,
+            r.availability,
+            r.inside_availability,
+            r.outside_availability,
+            r.outage_windows,
+            r.kills,
+            r.restarts,
+            r.lost,
+            r.exact_shards,
+            r.compared_shards,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"gate_failures\": {},\n  \"fault_injection\": {}\n}}",
+        gate.failures.len(),
+        cfg!(feature = "fault-injection")
+    );
+    cdn_sim::or_die(fs::write(dir.join("cdnd_chaos.md"), md), "writing markdown");
+    cdn_sim::or_die(fs::write(dir.join("cdnd_chaos.tsv"), tsv), "writing TSV");
+    cdn_sim::or_die(fs::write(dir.join("cdnd_chaos.json"), json), "writing JSON");
+    eprintln!("saved results/cdnd_chaos.{{md,tsv,json}}");
+
+    if !gate.failures.is_empty() {
+        for f in &gate.failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("all cdnd chaos gates passed");
+}

@@ -1,0 +1,370 @@
+//! Validated daemon configuration with reject-and-keep-old reload.
+//!
+//! Follows the `tdc::ConfigError` pattern from the resilience layer: every
+//! field is validated with a structured error before a config is ever
+//! applied, and [`crate::Daemon::reload`] validates the *whole* candidate
+//! first — an invalid or live-immutable change is rejected and the daemon
+//! keeps serving under the old config, never a half-applied one.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Structured validation failure for a [`DaemonConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaemonConfigError {
+    /// `shards` must be at least 1.
+    ZeroShards,
+    /// `total_capacity` must provide at least one byte per shard.
+    CapacityBelowShards {
+        /// Offending capacity.
+        total_capacity: u64,
+        /// Configured shard count.
+        shards: usize,
+    },
+    /// `queue_capacity` must be at least 1 (a zero queue can accept
+    /// nothing and the daemon would shed every request).
+    ZeroQueueCapacity,
+    /// `worker_batch` must be at least 1.
+    ZeroWorkerBatch,
+    /// Restart backoff cap must be at least the base.
+    BackoffCapBelowBase {
+        /// Configured base delay (ms).
+        base_ms: u64,
+        /// Configured cap (ms).
+        max_ms: u64,
+    },
+    /// Storm breaker threshold must be at least 1 restart.
+    ZeroStormThreshold,
+    /// Storm window must be positive.
+    ZeroStormWindow,
+    /// A live reload tried to change a field that only a restart can
+    /// change (shard count, capacities, policy, seed).
+    ImmutableField(&'static str),
+}
+
+impl fmt::Display for DaemonConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonConfigError::ZeroShards => write!(f, "shards must be >= 1"),
+            DaemonConfigError::CapacityBelowShards {
+                total_capacity,
+                shards,
+            } => write!(
+                f,
+                "total_capacity {total_capacity} cannot cover {shards} shards \
+                 (need >= 1 byte per shard)"
+            ),
+            DaemonConfigError::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be >= 1")
+            }
+            DaemonConfigError::ZeroWorkerBatch => write!(f, "worker_batch must be >= 1"),
+            DaemonConfigError::BackoffCapBelowBase { base_ms, max_ms } => write!(
+                f,
+                "restart backoff cap {max_ms} ms is below the base {base_ms} ms"
+            ),
+            DaemonConfigError::ZeroStormThreshold => {
+                write!(f, "storm_threshold must be >= 1 restart")
+            }
+            DaemonConfigError::ZeroStormWindow => {
+                write!(f, "storm_window_ms must be > 0")
+            }
+            DaemonConfigError::ImmutableField(name) => write!(
+                f,
+                "field `{name}` cannot change on a live reload (restart the daemon)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DaemonConfigError {}
+
+/// Supervision tunables — the subset of [`DaemonConfig`] a live reload may
+/// change (the supervisor re-reads them on every crash event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartConfig {
+    /// First restart delay; doubles per restart inside the storm window.
+    pub backoff_base_ms: u64,
+    /// Cap on the exponential backoff delay.
+    pub backoff_max_ms: u64,
+    /// Restarts within [`RestartConfig::storm_window_ms`] that trip the
+    /// breaker: the shard goes Storm-Open and stays down until an
+    /// operator [`crate::Daemon::reset_shard`].
+    pub storm_threshold: u32,
+    /// Sliding window the storm breaker counts restarts over.
+    pub storm_window_ms: u64,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            backoff_base_ms: 50,
+            backoff_max_ms: 2_000,
+            storm_threshold: 5,
+            storm_window_ms: 10_000,
+        }
+    }
+}
+
+impl RestartConfig {
+    /// Backoff delay before restart number `restarts_in_window + 1`:
+    /// `base * 2^restarts_in_window`, saturating, capped at the max.
+    pub fn backoff_delay(&self, restarts_in_window: u32) -> Duration {
+        let factor = 1u64 << restarts_in_window.min(20);
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(factor)
+            .min(self.backoff_max_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+/// Full daemon configuration. Everything outside [`DaemonConfig::restart`]
+/// is fixed for the life of the process — shard count and capacity
+/// determine where every key lives and how much state each worker owns,
+/// so changing them live would silently invalidate the whole cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Number of single-threaded shard workers (key-partitioned via
+    /// [`cdn_cache::key_shard`]).
+    pub shards: usize,
+    /// Total cache bytes, split evenly: each shard manages
+    /// `total_capacity / shards` (floor, min 1) — the same split as
+    /// `cdn_sim::run_sharded_serial`, so daemon ledgers are comparable
+    /// u64-for-u64 against the library reference.
+    pub total_capacity: u64,
+    /// Per-shard bounded ring depth; arrivals beyond it are shed with
+    /// [`crate::SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Max requests a worker dequeues per ring lock acquisition.
+    pub worker_batch: usize,
+    /// Seed forwarded to stochastic policies.
+    pub seed: u64,
+    /// Supervision tunables (live-reloadable).
+    pub restart: RestartConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shards: 4,
+            total_capacity: 64 << 20,
+            queue_capacity: 4_096,
+            worker_batch: 64,
+            seed: 42,
+            restart: RestartConfig::default(),
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Validate every field; an `Err` means the config must not be
+    /// applied.
+    pub fn validate(&self) -> Result<(), DaemonConfigError> {
+        if self.shards == 0 {
+            return Err(DaemonConfigError::ZeroShards);
+        }
+        if self.total_capacity < self.shards as u64 {
+            return Err(DaemonConfigError::CapacityBelowShards {
+                total_capacity: self.total_capacity,
+                shards: self.shards,
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(DaemonConfigError::ZeroQueueCapacity);
+        }
+        if self.worker_batch == 0 {
+            return Err(DaemonConfigError::ZeroWorkerBatch);
+        }
+        if self.restart.backoff_max_ms < self.restart.backoff_base_ms {
+            return Err(DaemonConfigError::BackoffCapBelowBase {
+                base_ms: self.restart.backoff_base_ms,
+                max_ms: self.restart.backoff_max_ms,
+            });
+        }
+        if self.restart.storm_threshold == 0 {
+            return Err(DaemonConfigError::ZeroStormThreshold);
+        }
+        if self.restart.storm_window_ms == 0 {
+            return Err(DaemonConfigError::ZeroStormWindow);
+        }
+        Ok(())
+    }
+
+    /// Bytes each shard's policy instance manages (floor split, min 1 —
+    /// identical to the sharded-replay reference decomposition).
+    pub fn per_shard_capacity(&self) -> u64 {
+        (self.total_capacity / self.shards as u64).max(1)
+    }
+
+    /// Check that `candidate` only changes live-reloadable fields
+    /// relative to `self`; names the first immutable field that differs.
+    pub fn reload_compatible(&self, candidate: &Self) -> Result<(), DaemonConfigError> {
+        if candidate.shards != self.shards {
+            return Err(DaemonConfigError::ImmutableField("shards"));
+        }
+        if candidate.total_capacity != self.total_capacity {
+            return Err(DaemonConfigError::ImmutableField("total_capacity"));
+        }
+        if candidate.queue_capacity != self.queue_capacity {
+            return Err(DaemonConfigError::ImmutableField("queue_capacity"));
+        }
+        if candidate.worker_batch != self.worker_batch {
+            return Err(DaemonConfigError::ImmutableField("worker_batch"));
+        }
+        if candidate.seed != self.seed {
+            return Err(DaemonConfigError::ImmutableField("seed"));
+        }
+        Ok(())
+    }
+
+    /// Overlay `CDND_*` environment knobs onto `self` (unset or
+    /// unparsable variables keep the current value): `CDND_SHARDS`,
+    /// `CDND_CAPACITY_MB`, `CDND_QUEUE_CAP`, `CDND_WORKER_BATCH`,
+    /// `CDND_SEED`, `CDND_BACKOFF_BASE_MS`, `CDND_BACKOFF_MAX_MS`,
+    /// `CDND_STORM_THRESHOLD`, `CDND_STORM_WINDOW_MS`.
+    pub fn overlay_env(mut self) -> Self {
+        fn env<T: std::str::FromStr>(key: &str, current: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(current)
+        }
+        self.shards = env("CDND_SHARDS", self.shards);
+        if let Ok(mb) = std::env::var("CDND_CAPACITY_MB") {
+            if let Ok(mb) = mb.trim().parse::<u64>() {
+                self.total_capacity = mb << 20;
+            }
+        }
+        self.queue_capacity = env("CDND_QUEUE_CAP", self.queue_capacity);
+        self.worker_batch = env("CDND_WORKER_BATCH", self.worker_batch);
+        self.seed = env("CDND_SEED", self.seed);
+        self.restart.backoff_base_ms = env("CDND_BACKOFF_BASE_MS", self.restart.backoff_base_ms);
+        self.restart.backoff_max_ms = env("CDND_BACKOFF_MAX_MS", self.restart.backoff_max_ms);
+        self.restart.storm_threshold = env("CDND_STORM_THRESHOLD", self.restart.storm_threshold);
+        self.restart.storm_window_ms = env("CDND_STORM_WINDOW_MS", self.restart.storm_window_ms);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        DaemonConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_each_bad_field() {
+        let base = DaemonConfig::default();
+        let cases: Vec<(DaemonConfig, DaemonConfigError)> = vec![
+            (
+                DaemonConfig {
+                    shards: 0,
+                    ..base.clone()
+                },
+                DaemonConfigError::ZeroShards,
+            ),
+            (
+                DaemonConfig {
+                    shards: 8,
+                    total_capacity: 4,
+                    ..base.clone()
+                },
+                DaemonConfigError::CapacityBelowShards {
+                    total_capacity: 4,
+                    shards: 8,
+                },
+            ),
+            (
+                DaemonConfig {
+                    queue_capacity: 0,
+                    ..base.clone()
+                },
+                DaemonConfigError::ZeroQueueCapacity,
+            ),
+            (
+                DaemonConfig {
+                    worker_batch: 0,
+                    ..base.clone()
+                },
+                DaemonConfigError::ZeroWorkerBatch,
+            ),
+            (
+                DaemonConfig {
+                    restart: RestartConfig {
+                        backoff_base_ms: 100,
+                        backoff_max_ms: 10,
+                        ..base.restart
+                    },
+                    ..base.clone()
+                },
+                DaemonConfigError::BackoffCapBelowBase {
+                    base_ms: 100,
+                    max_ms: 10,
+                },
+            ),
+            (
+                DaemonConfig {
+                    restart: RestartConfig {
+                        storm_threshold: 0,
+                        ..base.restart
+                    },
+                    ..base.clone()
+                },
+                DaemonConfigError::ZeroStormThreshold,
+            ),
+            (
+                DaemonConfig {
+                    restart: RestartConfig {
+                        storm_window_ms: 0,
+                        ..base.restart
+                    },
+                    ..base.clone()
+                },
+                DaemonConfigError::ZeroStormWindow,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = RestartConfig {
+            backoff_base_ms: 10,
+            backoff_max_ms: 50,
+            ..RestartConfig::default()
+        };
+        assert_eq!(r.backoff_delay(0), Duration::from_millis(10));
+        assert_eq!(r.backoff_delay(1), Duration::from_millis(20));
+        assert_eq!(r.backoff_delay(2), Duration::from_millis(40));
+        assert_eq!(r.backoff_delay(3), Duration::from_millis(50));
+        assert_eq!(r.backoff_delay(63), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn reload_compat_names_first_immutable_change() {
+        let a = DaemonConfig::default();
+        let mut b = a.clone();
+        b.restart.backoff_base_ms = 1; // reloadable
+        a.reload_compatible(&b).unwrap();
+        b.shards += 1;
+        assert_eq!(
+            a.reload_compatible(&b),
+            Err(DaemonConfigError::ImmutableField("shards"))
+        );
+    }
+
+    #[test]
+    fn per_shard_capacity_matches_reference_split() {
+        let cfg = DaemonConfig {
+            shards: 3,
+            total_capacity: 10,
+            ..DaemonConfig::default()
+        };
+        assert_eq!(cfg.per_shard_capacity(), 3); // floor(10/3), as in run_sharded_serial
+    }
+}

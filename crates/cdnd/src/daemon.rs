@@ -1,0 +1,854 @@
+//! The supervised, sharded daemon core.
+//!
+//! N single-threaded shard workers — one [`CachePolicy`] instance each,
+//! key-partitioned with the workspace-wide [`cdn_cache::key_shard`]
+//! mapping — are fed by bounded MPSC rings and watched by one supervisor
+//! thread. The robustness contract, in order of importance:
+//!
+//! - **Crash isolation**: a panicking worker (its own bug, or the
+//!   `cdnd.shard_worker` failpoint) is caught per request. Its cache is
+//!   declared lost (the policy instance drops with the worker), the
+//!   unprocessed tail of its popped batch is returned to the ring, and
+//!   every other shard keeps serving untouched. Only the single request
+//!   that panicked is lost, and it is counted (`lost`), never silent.
+//! - **Supervised recovery**: the supervisor restarts crashed shards with
+//!   bounded exponential backoff; a restart storm (more than
+//!   `storm_threshold` restarts inside `storm_window_ms`) trips a breaker
+//!   to Storm-Open — the shard stays down, cheap and observable, until an
+//!   operator [`Daemon::reset_shard`]. State machine: Closed → (crash) →
+//!   Backoff → (restart) → Closed, or → Storm-Open (see DESIGN.md §16).
+//! - **Backpressure, not buffering**: rings are bounded; arrivals beyond
+//!   capacity shed with [`SubmitError::Overloaded`] ([`Daemon::submit`])
+//!   or block the producer ([`Daemon::submit_wait`]) — queue memory is
+//!   `shards × queue_capacity × sizeof(Request)`, a constant.
+//! - **Graceful drain**: [`Daemon::shutdown`] stops intake, lets every
+//!   live worker finish all queued requests, then joins all threads.
+//!
+//! Ledger exactness: each worker assigns local ticks `0, 1, 2, …` to the
+//! requests it processes and splits capacity exactly like
+//! `cdn_sim::run_sharded_serial`, so a shard that never crashed produces
+//! hit/miss/byte ledgers equal u64-for-u64 to the library's serial
+//! sharded replay of the same stream (property-tested in
+//! `tests/supervision_check.rs`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cdn_cache::{key_shard, AccessKind, CachePolicy, Request, Tick};
+use tdc::SwitchableScip;
+
+use crate::config::{DaemonConfig, DaemonConfigError, RestartConfig};
+use crate::ring::{BoundedRing, Popped, PushError};
+
+/// Failpoint site evaluated once per request inside a shard worker, keyed
+/// by [`worker_fault_key`]. Arm it with [`cdn_cache::fault::FaultRule`]
+/// `Panic` actions to kill a shard at an exact point in its stream.
+pub const FP_SHARD_WORKER: &str = "cdnd.shard_worker";
+/// Failpoint site evaluated on every submit, keyed by the object id. An
+/// armed `Error` action makes the submit fail with
+/// [`SubmitError::Faulted`] (a client-visible transport fault); other
+/// actions are ignored at this site.
+pub const FP_ENQUEUE: &str = "cdnd.enqueue";
+
+/// Failpoint key for [`FP_SHARD_WORKER`]: shard id in the top 16 bits,
+/// the shard-local tick (request ordinal) in the low 48.
+pub fn worker_fault_key(shard: usize, tick: Tick) -> u64 {
+    ((shard as u64) << 48) | (tick & 0x0000_FFFF_FFFF_FFFF)
+}
+
+/// Why a submit was refused. Every variant is counted per shard in
+/// [`ShardSnapshot`], so client-side tallies and daemon counters can be
+/// cross-checked exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The shard's ring is at capacity — load was shed.
+    Overloaded,
+    /// The shard is in Backoff or Storm-Open (crashed, not yet serving).
+    ShardDown,
+    /// The daemon is draining; no new work is accepted.
+    ShuttingDown,
+    /// The `cdnd.enqueue` failpoint injected a transport fault.
+    Faulted,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "overloaded (queue full)"),
+            SubmitError::ShardDown => write!(f, "shard down (backoff or storm-open)"),
+            SubmitError::ShuttingDown => write!(f, "daemon shutting down"),
+            SubmitError::Faulted => write!(f, "injected enqueue fault"),
+        }
+    }
+}
+
+/// Supervision state of one shard (the breaker states of DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Worker alive and serving (breaker closed).
+    Closed,
+    /// Worker crashed; a restart is pending after exponential backoff.
+    Backoff,
+    /// Restart storm detected; the shard stays down until
+    /// [`Daemon::reset_shard`].
+    StormOpen,
+}
+
+/// The policy a shard worker drives. `Plain` wraps any boxed
+/// [`CachePolicy`]; `Switchable` exposes the `tdc::switchable` node so the
+/// admin plane can flip its insertion/promotion policy from LRU to SCIP
+/// live, at an exact shard-local tick ([`Daemon::switch_policy_at`]).
+pub enum ShardPolicy {
+    /// Any fixed policy.
+    Plain(Box<dyn CachePolicy>),
+    /// LRU-until-deploy-tick, SCIP-after (live-switchable).
+    Switchable(Box<SwitchableScip>),
+}
+
+impl ShardPolicy {
+    fn on_request(&mut self, req: &Request) -> AccessKind {
+        match self {
+            ShardPolicy::Plain(p) => p.on_request(req),
+            ShardPolicy::Switchable(p) => p.on_request(req),
+        }
+    }
+
+    fn residency(&self) -> (usize, u64) {
+        let stats = match self {
+            ShardPolicy::Plain(p) => p.stats(),
+            ShardPolicy::Switchable(p) => p.stats(),
+        };
+        (stats.resident_objects, stats.resident_bytes)
+    }
+
+    /// Apply a live switch; false (counted, not fatal) when the shard
+    /// runs a non-switchable policy.
+    fn switch_at(&mut self, tick: Tick) -> bool {
+        match self {
+            ShardPolicy::Plain(_) => false,
+            ShardPolicy::Switchable(p) => {
+                p.deploy_at = tick;
+                true
+            }
+        }
+    }
+}
+
+/// Builds a fresh policy for `(shard, per_shard_capacity)`. Called on the
+/// worker's own thread at every (re)start, so the policy value never
+/// crosses threads and need not be `Send`. Must be pure enough to call
+/// repeatedly: restarts build replacement instances from scratch.
+pub type PolicyFactory = Arc<dyn Fn(usize, u64) -> ShardPolicy + Send + Sync>;
+
+/// Admin commands delivered to a worker between batches.
+enum Ctl {
+    /// Set the switchable policy's deploy tick.
+    SwitchAt(Tick),
+}
+
+/// Everything about one shard that outlives its worker incarnations.
+struct ShardShared {
+    id: usize,
+    ring: BoundedRing<Request>,
+    state: Mutex<ShardState>,
+    paused: AtomicBool,
+    ctl: Mutex<Vec<Ctl>>,
+    ctl_pending: AtomicBool,
+    // Intake counters (written by producers under submit).
+    enqueued: AtomicU64,
+    shed: AtomicU64,
+    rejected_down: AtomicU64,
+    faulted_enqueues: AtomicU64,
+    // Serving ledger (written by the worker).
+    processed: AtomicU64,
+    lost: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    hit_bytes: AtomicU64,
+    miss_bytes: AtomicU64,
+    /// Next shard-local tick (attempt ordinal; survives restarts).
+    ticks: AtomicU64,
+    crashes: AtomicU64,
+    restarts: AtomicU64,
+    switches: AtomicU64,
+    dropped_at_shutdown: AtomicU64,
+    resident_objects: AtomicUsize,
+    resident_bytes: AtomicU64,
+}
+
+impl ShardShared {
+    fn new(id: usize, queue_capacity: usize) -> Self {
+        ShardShared {
+            id,
+            ring: BoundedRing::new(queue_capacity),
+            state: Mutex::new(ShardState::Closed),
+            paused: AtomicBool::new(false),
+            ctl: Mutex::new(Vec::new()),
+            ctl_pending: AtomicBool::new(false),
+            enqueued: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected_down: AtomicU64::new(0),
+            faulted_enqueues: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hit_bytes: AtomicU64::new(0),
+            miss_bytes: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            dropped_at_shutdown: AtomicU64::new(0),
+            resident_objects: AtomicUsize::new(0),
+            resident_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn state(&self) -> ShardState {
+        *self.state.lock().unwrap()
+    }
+
+    fn set_state(&self, s: ShardState) {
+        *self.state.lock().unwrap() = s;
+    }
+
+    fn publish_residency(&self, policy: &ShardPolicy) {
+        let (objects, bytes) = policy.residency();
+        self.resident_objects.store(objects, Ordering::Relaxed);
+        self.resident_bytes.store(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time counters for one shard. Consistency (once the daemon is
+/// quiescent or shut down): `enqueued == processed + lost +
+/// dropped_at_shutdown + depth`, and client-side tallies of submit
+/// outcomes equal `enqueued` / `shed` / `rejected_down` /
+/// `faulted_enqueues` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Supervision state at snapshot time.
+    pub state: ShardState,
+    /// Requests currently queued.
+    pub depth: usize,
+    /// High-water queue depth (exact, tracked under the ring lock).
+    pub peak_depth: usize,
+    /// Ring capacity (the shed bound).
+    pub queue_capacity: usize,
+    /// Requests accepted into the ring.
+    pub enqueued: u64,
+    /// Requests fully served by the policy.
+    pub processed: u64,
+    /// Requests lost to a worker crash (the panicking request itself).
+    pub lost: u64,
+    /// Requests shed with [`SubmitError::Overloaded`].
+    pub shed: u64,
+    /// Requests rejected with [`SubmitError::ShardDown`].
+    pub rejected_down: u64,
+    /// Requests failed by the `cdnd.enqueue` failpoint.
+    pub faulted_enqueues: u64,
+    /// Cache hits (ledger, comparable to `RunMeasurement::hits`).
+    pub hits: u64,
+    /// Cache misses, rejections included.
+    pub misses: u64,
+    /// Bytes served from cache.
+    pub hit_bytes: u64,
+    /// Bytes missed to origin.
+    pub miss_bytes: u64,
+    /// Worker panics caught.
+    pub crashes: u64,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Live policy switches applied.
+    pub switches: u64,
+    /// Requests still queued on a dead shard when the daemon shut down.
+    pub dropped_at_shutdown: u64,
+    /// Objects resident after the last processed batch.
+    pub resident_objects: usize,
+    /// Bytes resident after the last processed batch.
+    pub resident_bytes: u64,
+}
+
+/// Snapshot of every shard plus daemon-level reload counters.
+#[derive(Debug, Clone)]
+pub struct DaemonStats {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+    /// Config reloads applied.
+    pub reloads_applied: u64,
+    /// Config reloads rejected (validation or immutable-field failures).
+    pub reloads_rejected: u64,
+}
+
+impl DaemonStats {
+    /// Sum of `f` across shards.
+    fn sum(&self, f: impl Fn(&ShardSnapshot) -> u64) -> u64 {
+        self.shards.iter().map(f).sum()
+    }
+
+    /// Total requests accepted.
+    pub fn total_enqueued(&self) -> u64 {
+        self.sum(|s| s.enqueued)
+    }
+
+    /// Total requests served.
+    pub fn total_processed(&self) -> u64 {
+        self.sum(|s| s.processed)
+    }
+
+    /// Total requests shed under overload.
+    pub fn total_shed(&self) -> u64 {
+        self.sum(|s| s.shed)
+    }
+
+    /// Total requests rejected while shards were down.
+    pub fn total_rejected_down(&self) -> u64 {
+        self.sum(|s| s.rejected_down)
+    }
+
+    /// Total requests lost to crashes.
+    pub fn total_lost(&self) -> u64 {
+        self.sum(|s| s.lost)
+    }
+
+    /// Total worker restarts.
+    pub fn total_restarts(&self) -> u64 {
+        self.sum(|s| s.restarts)
+    }
+}
+
+enum SupEvent {
+    Crashed { shard: usize },
+    Reset { shard: usize },
+    Shutdown,
+}
+
+thread_local! {
+    /// Set while a worker processes a request under `catch_unwind`, so
+    /// the global panic hook stays quiet for crashes the supervisor is
+    /// about to catch, account for and recover from.
+    static ISOLATING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once) a panic hook that suppresses backtrace spew for panics
+/// the daemon isolates (same pattern as the sweep executor's quiet hook).
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !ISOLATING.with(|f| f.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// How long a worker waits on an empty ring before re-checking control
+/// state (pause flags, drain). Pure liveness knob; correctness never
+/// depends on it.
+const POP_TIMEOUT: Duration = Duration::from_millis(1);
+/// Supervisor idle wake interval when no restart is pending.
+const SUP_IDLE: Duration = Duration::from_millis(200);
+
+fn worker_loop(
+    shared: Arc<ShardShared>,
+    factory: PolicyFactory,
+    per_shard_capacity: u64,
+    batch: usize,
+    events: Sender<SupEvent>,
+) {
+    let built = catch_unwind(AssertUnwindSafe(|| factory(shared.id, per_shard_capacity)));
+    let mut policy = match built {
+        Ok(p) => p,
+        Err(_) => {
+            shared.crashes.fetch_add(1, Ordering::Relaxed);
+            shared.set_state(ShardState::Backoff);
+            let _ = events.send(SupEvent::Crashed { shard: shared.id });
+            return;
+        }
+    };
+    shared.publish_residency(&policy);
+    loop {
+        if shared.ctl_pending.swap(false, Ordering::AcqRel) {
+            let cmds: Vec<Ctl> = std::mem::take(&mut *shared.ctl.lock().unwrap());
+            for cmd in cmds {
+                match cmd {
+                    Ctl::SwitchAt(tick) => {
+                        if policy.switch_at(tick) {
+                            shared.switches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        if shared.paused.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        match shared.ring.pop_many(batch, POP_TIMEOUT) {
+            Popped::Items(items) => {
+                let mut pending = items.into_iter();
+                while let Some(mut req) = pending.next() {
+                    let tick = shared.ticks.fetch_add(1, Ordering::Relaxed);
+                    req.tick = tick;
+                    let outcome = {
+                        ISOLATING.with(|f| f.set(true));
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            #[cfg(feature = "fault-injection")]
+                            cdn_cache::fault::maybe_panic(
+                                FP_SHARD_WORKER,
+                                worker_fault_key(shared.id, tick),
+                            );
+                            policy.on_request(&req)
+                        }));
+                        ISOLATING.with(|f| f.set(false));
+                        r
+                    };
+                    match outcome {
+                        Ok(kind) => {
+                            if kind.is_hit() {
+                                shared.hits.fetch_add(1, Ordering::Relaxed);
+                                shared.hit_bytes.fetch_add(req.size, Ordering::Relaxed);
+                            } else {
+                                shared.misses.fetch_add(1, Ordering::Relaxed);
+                                shared.miss_bytes.fetch_add(req.size, Ordering::Relaxed);
+                            }
+                            shared.processed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Crash isolation: the panicking request is
+                            // lost (counted), the rest of the batch goes
+                            // back to the ring in order, the cache dies
+                            // with this incarnation.
+                            shared.lost.fetch_add(1, Ordering::Relaxed);
+                            shared.crashes.fetch_add(1, Ordering::Relaxed);
+                            shared.ring.unpop(pending.collect());
+                            shared.set_state(ShardState::Backoff);
+                            shared.resident_objects.store(0, Ordering::Relaxed);
+                            shared.resident_bytes.store(0, Ordering::Relaxed);
+                            let _ = events.send(SupEvent::Crashed { shard: shared.id });
+                            return;
+                        }
+                    }
+                }
+                shared.publish_residency(&policy);
+            }
+            Popped::TimedOut => continue,
+            Popped::Drained => break,
+        }
+    }
+    shared.publish_residency(&policy);
+}
+
+type WorkerSlots = Arc<Vec<Mutex<Option<JoinHandle<()>>>>>;
+
+struct SupervisorCtx {
+    shards: Vec<Arc<ShardShared>>,
+    workers: WorkerSlots,
+    factory: PolicyFactory,
+    per_shard_capacity: u64,
+    worker_batch: usize,
+    restart_cfg: Arc<Mutex<RestartConfig>>,
+    events_tx: Sender<SupEvent>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+fn spawn_worker(ctx: &SupervisorCtx, shard: usize) {
+    let shared = Arc::clone(&ctx.shards[shard]);
+    let factory = Arc::clone(&ctx.factory);
+    let events = ctx.events_tx.clone();
+    let capacity = ctx.per_shard_capacity;
+    let batch = ctx.worker_batch;
+    let handle = std::thread::Builder::new()
+        .name(format!("cdnd-shard-{shard}"))
+        .spawn(move || worker_loop(shared, factory, capacity, batch, events))
+        .expect("spawn shard worker");
+    *ctx.workers[shard].lock().unwrap() = Some(handle);
+}
+
+fn supervisor_loop(ctx: SupervisorCtx, events_rx: std::sync::mpsc::Receiver<SupEvent>) {
+    let n = ctx.shards.len();
+    // (shard, due) pending restarts and per-shard restart timestamps
+    // inside the current storm window.
+    let mut pending: Vec<(usize, Instant)> = Vec::new();
+    let mut history: Vec<Vec<Instant>> = vec![Vec::new(); n];
+    loop {
+        let now = Instant::now();
+        let timeout = pending
+            .iter()
+            .map(|(_, due)| due.saturating_duration_since(now))
+            .min()
+            .unwrap_or(SUP_IDLE);
+        match events_rx.recv_timeout(timeout) {
+            Ok(SupEvent::Crashed { shard }) => {
+                if let Some(handle) = ctx.workers[shard].lock().unwrap().take() {
+                    let _ = handle.join();
+                }
+                if ctx.shutting_down.load(Ordering::Acquire) {
+                    continue;
+                }
+                let cfg = *ctx.restart_cfg.lock().unwrap();
+                let now = Instant::now();
+                let window = Duration::from_millis(cfg.storm_window_ms);
+                history[shard].retain(|t| now.duration_since(*t) <= window);
+                let in_window = history[shard].len() as u32;
+                if in_window >= cfg.storm_threshold {
+                    ctx.shards[shard].set_state(ShardState::StormOpen);
+                } else {
+                    pending.push((shard, now + cfg.backoff_delay(in_window)));
+                }
+            }
+            Ok(SupEvent::Reset { shard }) => {
+                // Operator reset: forget the restart history, cancel any
+                // pending backoff, and if the worker is dead (Backoff or
+                // Storm-Open) respawn it immediately.
+                history[shard].clear();
+                pending.retain(|(s, _)| *s != shard);
+                if ctx.shards[shard].state() != ShardState::Closed
+                    && !ctx.shutting_down.load(Ordering::Acquire)
+                {
+                    spawn_worker(&ctx, shard);
+                    ctx.shards[shard].restarts.fetch_add(1, Ordering::Relaxed);
+                    ctx.shards[shard].set_state(ShardState::Closed);
+                }
+            }
+            Ok(SupEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        let now = Instant::now();
+        let due: Vec<usize> = pending
+            .iter()
+            .filter(|(_, at)| *at <= now)
+            .map(|(s, _)| *s)
+            .collect();
+        pending.retain(|(_, at)| *at > now);
+        for shard in due {
+            if ctx.shutting_down.load(Ordering::Acquire) {
+                continue;
+            }
+            history[shard].push(now);
+            spawn_worker(&ctx, shard);
+            ctx.shards[shard].restarts.fetch_add(1, Ordering::Relaxed);
+            ctx.shards[shard].set_state(ShardState::Closed);
+        }
+    }
+}
+
+/// The daemon: owns the shard rings, the worker threads and the
+/// supervisor. Submit from any number of threads; call
+/// [`Daemon::shutdown`] to drain and collect final stats.
+pub struct Daemon {
+    shards: Vec<Arc<ShardShared>>,
+    workers: WorkerSlots,
+    supervisor: Option<JoinHandle<()>>,
+    events_tx: Sender<SupEvent>,
+    cfg: Mutex<DaemonConfig>,
+    restart_cfg: Arc<Mutex<RestartConfig>>,
+    shutting_down: Arc<AtomicBool>,
+    reloads_applied: AtomicU64,
+    reloads_rejected: AtomicU64,
+}
+
+impl Daemon {
+    /// Validate `cfg`, spawn one worker per shard plus the supervisor.
+    pub fn spawn(cfg: DaemonConfig, factory: PolicyFactory) -> Result<Daemon, DaemonConfigError> {
+        cfg.validate()?;
+        install_quiet_hook();
+        let n = cfg.shards;
+        let shards: Vec<Arc<ShardShared>> = (0..n)
+            .map(|id| Arc::new(ShardShared::new(id, cfg.queue_capacity)))
+            .collect();
+        let workers: WorkerSlots = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let restart_cfg = Arc::new(Mutex::new(cfg.restart));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let (events_tx, events_rx) = channel();
+        let ctx = SupervisorCtx {
+            shards: shards.clone(),
+            workers: Arc::clone(&workers),
+            factory,
+            per_shard_capacity: cfg.per_shard_capacity(),
+            worker_batch: cfg.worker_batch,
+            restart_cfg: Arc::clone(&restart_cfg),
+            events_tx: events_tx.clone(),
+            shutting_down: Arc::clone(&shutting_down),
+        };
+        for shard in 0..n {
+            spawn_worker(&ctx, shard);
+        }
+        let supervisor = std::thread::Builder::new()
+            .name("cdnd-supervisor".to_string())
+            .spawn(move || supervisor_loop(ctx, events_rx))
+            .expect("spawn supervisor");
+        Ok(Daemon {
+            shards,
+            workers,
+            supervisor: Some(supervisor),
+            events_tx,
+            cfg: Mutex::new(cfg),
+            restart_cfg,
+            shutting_down,
+            reloads_applied: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `id` routes to ([`cdn_cache::key_shard`]).
+    pub fn route(&self, id: u64) -> usize {
+        key_shard(id, self.shards.len())
+    }
+
+    fn pre_submit(&self, req: &Request) -> Result<usize, (usize, SubmitError)> {
+        let shard = self.route(req.id.0);
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err((shard, SubmitError::ShuttingDown));
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(cdn_cache::fault::FaultAction::Error(_)) =
+            cdn_cache::fault::check(FP_ENQUEUE, req.id.0)
+        {
+            self.shards[shard]
+                .faulted_enqueues
+                .fetch_add(1, Ordering::Relaxed);
+            return Err((shard, SubmitError::Faulted));
+        }
+        if self.shards[shard].state() != ShardState::Closed {
+            self.shards[shard]
+                .rejected_down
+                .fetch_add(1, Ordering::Relaxed);
+            return Err((shard, SubmitError::ShardDown));
+        }
+        Ok(shard)
+    }
+
+    /// Non-blocking submit: sheds with [`SubmitError::Overloaded`] when
+    /// the target ring is full. Returns the shard that accepted (or
+    /// refused) the request.
+    pub fn submit(&self, req: Request) -> Result<usize, (usize, SubmitError)> {
+        let shard = self.pre_submit(&req)?;
+        match self.shards[shard].ring.try_push(req) {
+            Ok(()) => {
+                self.shards[shard].enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(shard)
+            }
+            Err(PushError::Full) => {
+                self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
+                Err((shard, SubmitError::Overloaded))
+            }
+            Err(PushError::Closed) => Err((shard, SubmitError::ShuttingDown)),
+        }
+    }
+
+    /// Backpressure submit: blocks while the target ring is full (up to
+    /// `timeout`, then sheds). Still fails fast with
+    /// [`SubmitError::ShardDown`] when the shard is not serving — waiting
+    /// on a dead shard would stall the producer for the whole backoff.
+    pub fn submit_wait(
+        &self,
+        req: Request,
+        timeout: Duration,
+    ) -> Result<usize, (usize, SubmitError)> {
+        let shard = self.pre_submit(&req)?;
+        match self.shards[shard].ring.push_wait(req, timeout) {
+            Ok(()) => {
+                self.shards[shard].enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(shard)
+            }
+            Err(PushError::Full) => {
+                self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
+                Err((shard, SubmitError::Overloaded))
+            }
+            Err(PushError::Closed) => Err((shard, SubmitError::ShuttingDown)),
+        }
+    }
+
+    /// Supervision state of `shard`.
+    pub fn shard_state(&self, shard: usize) -> ShardState {
+        self.shards[shard].state()
+    }
+
+    /// Stop `shard`'s worker from consuming (requests keep queueing up to
+    /// the ring bound, then shed). Admin/test hook.
+    pub fn pause_shard(&self, shard: usize) {
+        self.shards[shard].paused.store(true, Ordering::Release);
+    }
+
+    /// Resume a paused shard.
+    pub fn resume_shard(&self, shard: usize) {
+        self.shards[shard].paused.store(false, Ordering::Release);
+    }
+
+    /// Ask `shard`'s switchable policy to deploy SCIP at shard-local tick
+    /// `deploy_at` (past ticks switch immediately). Applied between
+    /// worker batches; quiesce the shard first for a deterministic
+    /// boundary. Ignored (counted nowhere) on non-switchable policies.
+    pub fn switch_policy_at(&self, shard: usize, deploy_at: Tick) {
+        self.shards[shard]
+            .ctl
+            .lock()
+            .unwrap()
+            .push(Ctl::SwitchAt(deploy_at));
+        self.shards[shard]
+            .ctl_pending
+            .store(true, Ordering::Release);
+    }
+
+    /// Operator reset: clear the shard's restart history, cancel any
+    /// pending backoff, and bring a dead shard (Backoff or Storm-Open)
+    /// back up immediately with a fresh, empty cache. No-op on a healthy
+    /// shard.
+    pub fn reset_shard(&self, shard: usize) {
+        let _ = self.events_tx.send(SupEvent::Reset { shard });
+    }
+
+    /// Validate and apply a new config. Only supervision tunables
+    /// ([`RestartConfig`]) may change live; an invalid candidate or a
+    /// changed immutable field is rejected whole and the daemon keeps the
+    /// old config ([`DaemonConfigError::ImmutableField`]).
+    pub fn reload(&self, candidate: DaemonConfig) -> Result<(), DaemonConfigError> {
+        let result = candidate.validate().and_then(|()| {
+            let current = self.cfg.lock().unwrap();
+            current.reload_compatible(&candidate)
+        });
+        match result {
+            Ok(()) => {
+                *self.restart_cfg.lock().unwrap() = candidate.restart;
+                *self.cfg.lock().unwrap() = candidate;
+                self.reloads_applied.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Current config (a copy).
+    pub fn config(&self) -> DaemonConfig {
+        self.cfg.lock().unwrap().clone()
+    }
+
+    /// Point-in-time counters for every shard.
+    pub fn stats(&self) -> DaemonStats {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                state: s.state(),
+                depth: s.ring.len(),
+                peak_depth: s.ring.peak_depth(),
+                queue_capacity: s.ring.capacity(),
+                enqueued: s.enqueued.load(Ordering::Relaxed),
+                processed: s.processed.load(Ordering::Relaxed),
+                lost: s.lost.load(Ordering::Relaxed),
+                shed: s.shed.load(Ordering::Relaxed),
+                rejected_down: s.rejected_down.load(Ordering::Relaxed),
+                faulted_enqueues: s.faulted_enqueues.load(Ordering::Relaxed),
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                hit_bytes: s.hit_bytes.load(Ordering::Relaxed),
+                miss_bytes: s.miss_bytes.load(Ordering::Relaxed),
+                crashes: s.crashes.load(Ordering::Relaxed),
+                restarts: s.restarts.load(Ordering::Relaxed),
+                switches: s.switches.load(Ordering::Relaxed),
+                dropped_at_shutdown: s.dropped_at_shutdown.load(Ordering::Relaxed),
+                resident_objects: s.resident_objects.load(Ordering::Relaxed),
+                resident_bytes: s.resident_bytes.load(Ordering::Relaxed),
+            })
+            .collect();
+        DaemonStats {
+            shards,
+            reloads_applied: self.reloads_applied.load(Ordering::Relaxed),
+            reloads_rejected: self.reloads_rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Block until `shard` has fully served everything it accepted
+    /// (`processed + lost == enqueued`); false on timeout.
+    pub fn await_quiesced(&self, shard: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let s = &self.shards[shard];
+            let done = s.processed.load(Ordering::Relaxed) + s.lost.load(Ordering::Relaxed)
+                >= s.enqueued.load(Ordering::Relaxed);
+            if done && s.ring.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Block until `shard` reaches `state`; false on timeout.
+    pub fn await_shard_state(&self, shard: usize, state: ShardState, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shards[shard].state() != state {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        true
+    }
+
+    /// Graceful drain: stop intake, let every live worker finish all
+    /// queued requests, stop the supervisor, join everything, and return
+    /// the final stats. Requests still queued on crashed (un-restarted)
+    /// shards are counted as `dropped_at_shutdown`, never silently
+    /// discarded.
+    pub fn shutdown(mut self) -> DaemonStats {
+        self.shutting_down.store(true, Ordering::Release);
+        // Stop the supervisor first so no restart races the join below.
+        let _ = self.events_tx.send(SupEvent::Shutdown);
+        if let Some(sup) = self.supervisor.take() {
+            let _ = sup.join();
+        }
+        for shard in self.shards.iter() {
+            shard.paused.store(false, Ordering::Release);
+            shard.ring.close();
+        }
+        for slot in self.workers.iter() {
+            if let Some(handle) = slot.lock().unwrap().take() {
+                let _ = handle.join();
+            }
+        }
+        for shard in self.shards.iter() {
+            let left = shard.ring.len() as u64;
+            shard.dropped_at_shutdown.store(left, Ordering::Relaxed);
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Best-effort teardown for daemons dropped without `shutdown()`
+        // (e.g. a failing test): stop intake, wake everyone, join.
+        self.shutting_down.store(true, Ordering::Release);
+        let _ = self.events_tx.send(SupEvent::Shutdown);
+        if let Some(sup) = self.supervisor.take() {
+            let _ = sup.join();
+        }
+        for shard in self.shards.iter() {
+            shard.paused.store(false, Ordering::Release);
+            shard.ring.close();
+        }
+        for slot in self.workers.iter() {
+            if let Some(handle) = slot.lock().unwrap().take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

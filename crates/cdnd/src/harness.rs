@@ -1,0 +1,385 @@
+//! Deterministic in-process client harness.
+//!
+//! Drives a [`Daemon`] with a `cdn-trace` workload from a single client
+//! thread (so per-shard arrival order equals trace order), keeps an
+//! independent client-side tally of every submit outcome, and tracks
+//! per-shard outage windows for availability accounting. The harness is
+//! what `cdnd_chaos`, the daemon tests and the supervision proptest all
+//! build on, so its accounting rules are worth stating precisely:
+//!
+//! - A shard's **outage window** is the half-open interval from the first
+//!   [`SubmitError::ShardDown`] rejection after a crash to the first
+//!   subsequent accepted submit to that shard. A request is *inside* an
+//!   outage when, after its own outcome is applied, at least one shard is
+//!   marked down.
+//! - **Availability** is accepted/submitted over a region (inside
+//!   windows, outside windows, overall). The chaos gates require 100 %
+//!   outside all windows and a floor inside them.
+//! - **Exactness**: a surviving (never-crashed) shard's daemon ledger
+//!   must equal the corresponding [`RunMeasurement`] from
+//!   [`cdn_sim::run_sharded_serial`] u64-for-u64 — same capacity split,
+//!   same local tick assignment, same per-shard replay context.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdn_cache::{Request, Tick};
+use cdn_sim::{BatchMode, PolicyKind, RunMeasurement, ShardedRunReport, TraceCtx};
+use cdn_trace::{partition_columns, ShardedTrace, TraceColumns};
+use tdc::SwitchableScip;
+
+use crate::daemon::{Daemon, PolicyFactory, ShardPolicy, ShardSnapshot, SubmitError};
+
+/// A workload pre-partitioned exactly like the library's sharded replay:
+/// the partition, the per-shard localized replay contexts, and the
+/// original request stream in trace order.
+pub struct ShardPlan {
+    /// Order-preserving key partition ([`cdn_trace::partition_columns`]).
+    pub sharded: ShardedTrace,
+    /// Per-shard replay contexts over the *localized* (re-ticked 0..len)
+    /// shard streams — identical to what `run_sharded_serial` builds, so
+    /// context-sensitive policies (SCIP's update interval, Belady's
+    /// next-access table) behave identically in the daemon.
+    pub ctxs: Vec<TraceCtx>,
+    /// Full stream in trace order (what the client submits).
+    pub requests: Vec<Request>,
+    /// Seed the contexts were built with.
+    pub seed: u64,
+}
+
+impl ShardPlan {
+    /// Partition `requests` into `shards` and build each shard's replay
+    /// context the same way `cdn_sim::shard::localized_shards` does.
+    pub fn build(requests: &[Request], shards: usize, seed: u64) -> ShardPlan {
+        let cols = TraceColumns::from_requests(requests);
+        let sharded = partition_columns(&cols, shards);
+        let ctxs = sharded
+            .shards
+            .iter()
+            .map(|cols| {
+                let mut local = cols.clone();
+                for (i, t) in local.ticks.iter_mut().enumerate() {
+                    *t = i as u64;
+                }
+                TraceCtx::new(&local.to_requests(), seed)
+            })
+            .collect();
+        ShardPlan {
+            sharded,
+            ctxs,
+            requests: requests.to_vec(),
+            seed,
+        }
+    }
+
+    /// Requests routed to `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.sharded.shards[shard].len()
+    }
+
+    /// The shard with the fewest requests — the chaos schedule kills this
+    /// one so the availability floor has maximum headroom regardless of
+    /// how the trace's keys happen to balance.
+    pub fn min_share_shard(&self) -> usize {
+        (0..self.sharded.shard_count())
+            .min_by_key(|s| self.sharded.shards[*s].len())
+            .expect("ShardPlan: no shards")
+    }
+
+    /// The serial reference decomposition for this plan: per-shard
+    /// ledgers the daemon must reproduce exactly on surviving shards.
+    pub fn reference(&self, kind: PolicyKind, total_capacity: u64) -> ShardedRunReport {
+        cdn_sim::run_sharded_serial(
+            kind,
+            total_capacity,
+            &self.sharded,
+            self.seed,
+            BatchMode::Off,
+        )
+    }
+
+    /// A [`PolicyFactory`] building `kind` with this plan's per-shard
+    /// contexts — the daemon-side mirror of the reference replay. Fresh
+    /// instances on every (re)start, constructed on the worker thread.
+    pub fn factory(&self, kind: PolicyKind) -> PolicyFactory {
+        let ctxs: Arc<Vec<TraceCtx>> = Arc::new(self.ctxs.clone());
+        Arc::new(move |shard, capacity| ShardPolicy::Plain(kind.build(capacity, &ctxs[shard])))
+    }
+}
+
+/// A [`PolicyFactory`] building the live-switchable LRU→SCIP node from
+/// `tdc::switchable` on every shard, deploying SCIP at shard-local tick
+/// `deploy_at` (use [`Tick::MAX`] for "LRU until told otherwise" and
+/// [`Daemon::switch_policy_at`] to flip it live).
+pub fn switchable_factory(deploy_at: Tick, seed: u64) -> PolicyFactory {
+    Arc::new(move |_shard, capacity| {
+        ShardPolicy::Switchable(Box::new(SwitchableScip::new(capacity, deploy_at, seed)))
+    })
+}
+
+/// How the client reacts to submit failures.
+#[derive(Debug, Clone, Copy)]
+pub enum FeedMode {
+    /// Backpressure on full rings (block up to `push_timeout`), but a
+    /// down shard fails fast: the rejection is tallied and the client
+    /// moves on. This is the availability-measuring mode — rejections
+    /// are the outage signal.
+    FailFast {
+        /// How long to wait for ring space before shedding.
+        push_timeout: Duration,
+    },
+    /// Retry `ShardDown` / `Overloaded` until accepted or `give_up`
+    /// elapses for that request. This is the exactness-measuring mode:
+    /// every request (except crash-lost ones) eventually reaches its
+    /// shard in trace order, so surviving-shard ledgers are comparable
+    /// to the serial reference.
+    AwaitRecovery {
+        /// How long to wait for ring space per attempt.
+        push_timeout: Duration,
+        /// Sleep between retries of a down shard.
+        retry: Duration,
+        /// Per-request retry budget.
+        give_up: Duration,
+    },
+}
+
+/// Client-side tally of submit outcomes for one shard. Cross-checkable
+/// against [`ShardSnapshot`]: `accepted == enqueued` always, and in
+/// [`FeedMode::FailFast`] `shed`/`rejected_down`/`faulted` match the
+/// daemon counters one-for-one (each request is attempted exactly once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientTally {
+    /// Requests this client routed to the shard.
+    pub submitted: u64,
+    /// Accepted into the shard's ring.
+    pub accepted: u64,
+    /// Final `Overloaded` outcomes.
+    pub shed: u64,
+    /// Final `ShardDown` outcomes.
+    pub rejected_down: u64,
+    /// Final `Faulted` outcomes (injected enqueue faults).
+    pub faulted: u64,
+    /// Final `ShuttingDown` outcomes.
+    pub shutting_down: u64,
+}
+
+/// What the client observed while feeding a stream.
+#[derive(Debug, Clone)]
+pub struct FeedReport {
+    /// Per-shard tallies, indexed by shard id.
+    pub per_shard: Vec<ClientTally>,
+    /// Requests classified inside an outage window.
+    pub inside_total: u64,
+    /// Accepted requests inside outage windows.
+    pub inside_accepted: u64,
+    /// Requests classified outside all outage windows.
+    pub outside_total: u64,
+    /// Accepted requests outside all outage windows.
+    pub outside_accepted: u64,
+    /// Down transitions observed (one per outage window opened).
+    pub outage_windows: u64,
+}
+
+impl FeedReport {
+    /// Accepted / submitted over the whole stream.
+    pub fn overall_availability(&self) -> f64 {
+        let total = self.inside_total + self.outside_total;
+        if total == 0 {
+            return 1.0;
+        }
+        (self.inside_accepted + self.outside_accepted) as f64 / total as f64
+    }
+
+    /// Accepted / submitted inside outage windows (1.0 when none).
+    pub fn inside_availability(&self) -> f64 {
+        if self.inside_total == 0 {
+            return 1.0;
+        }
+        self.inside_accepted as f64 / self.inside_total as f64
+    }
+
+    /// Accepted / submitted outside outage windows (1.0 when none).
+    pub fn outside_availability(&self) -> f64 {
+        if self.outside_total == 0 {
+            return 1.0;
+        }
+        self.outside_accepted as f64 / self.outside_total as f64
+    }
+
+    /// Total accepted across shards.
+    pub fn total_accepted(&self) -> u64 {
+        self.per_shard.iter().map(|t| t.accepted).sum()
+    }
+
+    /// Cross-check the client tally against the daemon's own counters.
+    /// `strict_rejections` additionally requires shed / rejected-down /
+    /// faulted counts to match one-for-one (valid in
+    /// [`FeedMode::FailFast`], where each request is attempted exactly
+    /// once; retry modes re-attempt, so daemon rejection counters run
+    /// higher than final client outcomes).
+    pub fn check_against(
+        &self,
+        shards: &[ShardSnapshot],
+        strict_rejections: bool,
+    ) -> Result<(), String> {
+        if shards.len() != self.per_shard.len() {
+            return Err(format!(
+                "shard count mismatch: client {} vs daemon {}",
+                self.per_shard.len(),
+                shards.len()
+            ));
+        }
+        for (i, (tally, snap)) in self.per_shard.iter().zip(shards).enumerate() {
+            if tally.accepted != snap.enqueued {
+                return Err(format!(
+                    "shard {i}: client accepted {} != daemon enqueued {}",
+                    tally.accepted, snap.enqueued
+                ));
+            }
+            if strict_rejections {
+                if tally.shed != snap.shed {
+                    return Err(format!(
+                        "shard {i}: client shed {} != daemon shed {}",
+                        tally.shed, snap.shed
+                    ));
+                }
+                if tally.rejected_down != snap.rejected_down {
+                    return Err(format!(
+                        "shard {i}: client rejected-down {} != daemon {}",
+                        tally.rejected_down, snap.rejected_down
+                    ));
+                }
+                if tally.faulted != snap.faulted_enqueues {
+                    return Err(format!(
+                        "shard {i}: client faulted {} != daemon {}",
+                        tally.faulted, snap.faulted_enqueues
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Feed `requests` (trace order) into `daemon` from the calling thread.
+pub fn feed(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport {
+    let n = daemon.shard_count();
+    let mut report = FeedReport {
+        per_shard: vec![ClientTally::default(); n],
+        inside_total: 0,
+        inside_accepted: 0,
+        outside_total: 0,
+        outside_accepted: 0,
+        outage_windows: 0,
+    };
+    let mut down = vec![false; n];
+    for req in requests {
+        let shard = daemon.route(req.id.0);
+        report.per_shard[shard].submitted += 1;
+        let outcome = submit_with_mode(daemon, *req, mode);
+        let tally = &mut report.per_shard[shard];
+        let accepted = match outcome {
+            Ok(_) => {
+                tally.accepted += 1;
+                down[shard] = false;
+                true
+            }
+            Err((_, SubmitError::ShardDown)) => {
+                tally.rejected_down += 1;
+                if !down[shard] {
+                    down[shard] = true;
+                    report.outage_windows += 1;
+                }
+                false
+            }
+            Err((_, SubmitError::Overloaded)) => {
+                tally.shed += 1;
+                false
+            }
+            Err((_, SubmitError::Faulted)) => {
+                tally.faulted += 1;
+                false
+            }
+            Err((_, SubmitError::ShuttingDown)) => {
+                tally.shutting_down += 1;
+                false
+            }
+        };
+        // Inside/outside is judged *after* applying this outcome, so the
+        // first rejection of a window counts inside it and the accept
+        // that closes the window counts outside (half-open interval).
+        if down.iter().any(|d| *d) {
+            report.inside_total += 1;
+            if accepted {
+                report.inside_accepted += 1;
+            }
+        } else {
+            report.outside_total += 1;
+            if accepted {
+                report.outside_accepted += 1;
+            }
+        }
+    }
+    report
+}
+
+fn submit_with_mode(
+    daemon: &Daemon,
+    req: Request,
+    mode: FeedMode,
+) -> Result<usize, (usize, SubmitError)> {
+    match mode {
+        FeedMode::FailFast { push_timeout } => daemon.submit_wait(req, push_timeout),
+        FeedMode::AwaitRecovery {
+            push_timeout,
+            retry,
+            give_up,
+        } => {
+            let deadline = Instant::now() + give_up;
+            loop {
+                match daemon.submit_wait(req, push_timeout) {
+                    Err((shard, e @ (SubmitError::ShardDown | SubmitError::Overloaded))) => {
+                        if Instant::now() >= deadline {
+                            return Err((shard, e));
+                        }
+                        std::thread::sleep(retry);
+                    }
+                    other => return other,
+                }
+            }
+        }
+    }
+}
+
+/// Does a daemon shard ledger equal a reference [`RunMeasurement`]
+/// exactly?
+pub fn ledger_matches(snap: &ShardSnapshot, reference: &RunMeasurement) -> bool {
+    snap.hits == reference.hits
+        && snap.misses == reference.misses
+        && snap.hit_bytes == reference.hit_bytes
+        && snap.miss_bytes == reference.miss_bytes
+}
+
+/// Human-readable diff of a daemon shard ledger against the reference
+/// (None when exact).
+pub fn ledger_diff(
+    shard: usize,
+    snap: &ShardSnapshot,
+    reference: &RunMeasurement,
+) -> Option<String> {
+    if ledger_matches(snap, reference) {
+        return None;
+    }
+    Some(format!(
+        "shard {shard}: daemon (hits {}, misses {}, hit_bytes {}, miss_bytes {}) \
+         != reference (hits {}, misses {}, hit_bytes {}, miss_bytes {})",
+        snap.hits,
+        snap.misses,
+        snap.hit_bytes,
+        snap.miss_bytes,
+        reference.hits,
+        reference.misses,
+        reference.hit_bytes,
+        reference.miss_bytes
+    ))
+}

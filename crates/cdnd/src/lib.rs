@@ -1,0 +1,41 @@
+//! `cdnd` — a supervised, sharded cache-server daemon.
+//!
+//! Promotes the library-only SCIP stack into a long-running process
+//! shape (ROADMAP item 1): N single-threaded shard workers, one
+//! [`cdn_cache::CachePolicy`] instance each, key-partitioned with
+//! [`cdn_cache::key_shard`], fed by bounded MPSC rings under a
+//! supervisor thread. The crate's contract is robustness, in this order:
+//!
+//! 1. **Crash isolation** — a panicking shard worker is caught, its
+//!    cache declared lost, and restarted with bounded exponential
+//!    backoff behind a restart-storm breaker, while every other shard
+//!    keeps serving ([`Daemon`], DESIGN.md §16).
+//! 2. **Overload robustness** — bounded queues shed explicitly with
+//!    [`SubmitError::Overloaded`]; depth/shed/restart counters are
+//!    observable in [`DaemonStats`].
+//! 3. **Graceful lifecycle** — drain-on-shutdown, validated config with
+//!    reject-and-keep-old reload ([`DaemonConfig`]), and live per-shard
+//!    LRU→SCIP policy switch via `tdc::switchable`.
+//!
+//! The [`harness`] module is the deterministic in-process client used by
+//! the `cdnd_chaos` binary and the test suite to prove the availability
+//! and ledger-exactness gates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod harness;
+pub mod ring;
+
+pub use config::{DaemonConfig, DaemonConfigError, RestartConfig};
+pub use daemon::{
+    worker_fault_key, Daemon, DaemonStats, PolicyFactory, ShardPolicy, ShardSnapshot, ShardState,
+    SubmitError, FP_ENQUEUE, FP_SHARD_WORKER,
+};
+pub use harness::{
+    feed, ledger_diff, ledger_matches, switchable_factory, ClientTally, FeedMode, FeedReport,
+    ShardPlan,
+};
+pub use ring::{BoundedRing, Popped, PushError};

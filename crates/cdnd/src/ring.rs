@@ -1,0 +1,287 @@
+//! Bounded MPSC request ring feeding one shard worker.
+//!
+//! A deliberately boring `Mutex<VecDeque>` + two condvars: the daemon's
+//! robustness claims rest on this queue being **bounded** (overload turns
+//! into explicit shedding, never unbounded growth) and **outliving the
+//! worker** (a crashed worker's queued requests survive in the ring and
+//! are served by its replacement, so crash isolation does not silently
+//! drop accepted work). Both properties are easier to prove on a mutexed
+//! deque than on a lock-free ring, and the daemon batches pops
+//! ([`BoundedRing::pop_many`]) so the lock is taken once per batch, not
+//! once per request.
+//!
+//! Depth accounting: the ring tracks its own high-water mark
+//! ([`BoundedRing::peak_depth`]) under the same lock that admits pushes,
+//! so the overload test's "peak depth ≤ capacity" assertion is exact, not
+//! sampled.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The ring is at capacity — the caller must shed or wait.
+    Full,
+    /// The ring was closed (daemon shutting down).
+    Closed,
+}
+
+/// Outcome of a timed pop.
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// Items were dequeued (into the caller's buffer).
+    Items(Vec<T>),
+    /// Nothing arrived within the timeout; the ring is still open.
+    TimedOut,
+    /// The ring is closed *and* fully drained — the worker may exit.
+    Drained,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    peak_depth: usize,
+}
+
+/// Bounded multi-producer single-consumer queue with close/drain
+/// semantics. `capacity` is a hard bound: pushes beyond it fail with
+/// [`PushError::Full`] (or block, for the backpressure variant) rather
+/// than allocate.
+pub struct BoundedRing<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedRing<T> {
+    /// Ring holding at most `capacity` queued items.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedRing: capacity must be >= 1");
+        BoundedRing {
+            capacity,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity.min(1 << 16)),
+                closed: false,
+                peak_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Hard bound this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Try to enqueue without blocking; sheds with [`PushError::Full`] at
+    /// capacity.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.queue.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        g.queue.push_back(item);
+        let depth = g.queue.len();
+        g.peak_depth = g.peak_depth.max(depth);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue with backpressure: block while the ring is full, up to
+    /// `timeout`. Returns [`PushError::Full`] only if the timeout expires
+    /// with the ring still at capacity (a stuck consumer), or
+    /// [`PushError::Closed`] if the ring closes while waiting.
+    pub fn push_wait(&self, item: T, timeout: Duration) -> Result<(), PushError> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(PushError::Closed);
+            }
+            if g.queue.len() < self.capacity {
+                g.queue.push_back(item);
+                let depth = g.queue.len();
+                g.peak_depth = g.peak_depth.max(depth);
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let (g2, res) = self.not_full.wait_timeout(g, timeout).unwrap();
+            g = g2;
+            if res.timed_out() && g.queue.len() >= self.capacity {
+                return Err(PushError::Full);
+            }
+        }
+    }
+
+    /// Dequeue up to `max` items, waiting up to `timeout` for the first.
+    /// One lock acquisition serves the whole batch. Single consumer only.
+    pub fn pop_many(&self, max: usize, timeout: Duration) -> Popped<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if !g.queue.is_empty() {
+                let take = g.queue.len().min(max.max(1));
+                let items: Vec<T> = g.queue.drain(..take).collect();
+                drop(g);
+                self.not_full.notify_all();
+                return Popped::Items(items);
+            }
+            if g.closed {
+                return Popped::Drained;
+            }
+            let (g2, res) = self.not_empty.wait_timeout(g, timeout).unwrap();
+            g = g2;
+            if res.timed_out() && g.queue.is_empty() {
+                return if g.closed {
+                    Popped::Drained
+                } else {
+                    Popped::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Put items back at the *front* of the ring, preserving their order.
+    /// Used by a crashing worker to return the unprocessed tail of its
+    /// popped batch, so the replacement worker sees the exact original
+    /// stream (minus only the request that panicked). May transiently
+    /// exceed `capacity` — the items were already admitted once, so
+    /// re-queueing them must not shed.
+    pub fn unpop(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        for item in items.into_iter().rev() {
+            g.queue.push_front(item);
+        }
+        let depth = g.queue.len();
+        g.peak_depth = g.peak_depth.max(depth);
+        drop(g);
+        self.not_empty.notify_one();
+    }
+
+    /// Close the ring: further pushes fail, pops drain what remains and
+    /// then report [`Popped::Drained`]. Wakes all waiters.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest depth ever observed (updated under the push lock).
+    pub fn peak_depth(&self) -> usize {
+        self.inner.lock().unwrap().peak_depth
+    }
+
+    /// Has [`BoundedRing::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_at_capacity_and_tracks_peak() {
+        let ring: BoundedRing<u32> = BoundedRing::new(4);
+        for i in 0..4 {
+            assert_eq!(ring.try_push(i), Ok(()));
+        }
+        assert_eq!(ring.try_push(99), Err(PushError::Full));
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.peak_depth(), 4);
+        match ring.pop_many(64, Duration::from_millis(1)) {
+            Popped::Items(items) => assert_eq!(items, vec![0, 1, 2, 3]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        // Peak is a high-water mark: draining does not lower it.
+        assert_eq!(ring.peak_depth(), 4);
+        assert_eq!(ring.try_push(5), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_then_reports_drained() {
+        let ring: BoundedRing<u32> = BoundedRing::new(8);
+        ring.try_push(1).unwrap();
+        ring.try_push(2).unwrap();
+        ring.close();
+        assert_eq!(ring.try_push(3), Err(PushError::Closed));
+        match ring.pop_many(1, Duration::from_millis(1)) {
+            Popped::Items(items) => assert_eq!(items, vec![1]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        match ring.pop_many(8, Duration::from_millis(1)) {
+            Popped::Items(items) => assert_eq!(items, vec![2]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        assert!(matches!(
+            ring.pop_many(8, Duration::from_millis(1)),
+            Popped::Drained
+        ));
+    }
+
+    #[test]
+    fn unpop_restores_front_order() {
+        let ring: BoundedRing<u32> = BoundedRing::new(8);
+        ring.try_push(4).unwrap();
+        ring.unpop(vec![1, 2, 3]);
+        match ring.pop_many(8, Duration::from_millis(1)) {
+            Popped::Items(items) => assert_eq!(items, vec![1, 2, 3, 4]),
+            other => panic!("expected items, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space() {
+        use std::sync::Arc;
+        let ring: Arc<BoundedRing<u32>> = Arc::new(BoundedRing::new(1));
+        ring.try_push(0).unwrap();
+        let r2 = Arc::clone(&ring);
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            match r2.pop_many(1, Duration::from_millis(100)) {
+                Popped::Items(items) => assert_eq!(items, vec![0]),
+                other => panic!("expected items, got {other:?}"),
+            }
+        });
+        // Blocks until the consumer drains, then succeeds.
+        assert_eq!(ring.push_wait(1, Duration::from_secs(5)), Ok(()));
+        consumer.join().unwrap();
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn push_wait_times_out_on_stuck_consumer() {
+        let ring: BoundedRing<u32> = BoundedRing::new(1);
+        ring.try_push(0).unwrap();
+        assert_eq!(
+            ring.push_wait(1, Duration::from_millis(10)),
+            Err(PushError::Full)
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Integration tests for the daemon's calm-path contracts: ledger
+//! exactness against the library's serial sharded replay, bounded load
+//! shedding, drain-on-shutdown, reject-and-keep-old reload, and the
+//! deterministic live policy switch. (Crash/restart behaviour needs the
+//! failpoint registry and lives in `supervision_check.rs` behind
+//! `--features fault-injection`.)
+
+use std::time::Duration;
+
+use cdn_cache::{ObjectId, Request, Tick};
+use cdn_sim::PolicyKind;
+use cdn_trace::{GeneratorConfig, TraceGenerator};
+use cdnd::{
+    feed, ledger_diff, switchable_factory, Daemon, DaemonConfig, DaemonConfigError, FeedMode,
+    RestartConfig, ShardPlan,
+};
+use tdc::SwitchableScip;
+
+fn small_trace(requests: u64, seed: u64) -> Vec<Request> {
+    TraceGenerator::generate(GeneratorConfig {
+        requests,
+        core_objects: 2_000,
+        seed,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn calm_mode() -> FeedMode {
+    FeedMode::FailFast {
+        push_timeout: Duration::from_secs(10),
+    }
+}
+
+const QUIESCE: Duration = Duration::from_secs(30);
+
+/// Calm daemon ledgers equal `run_sharded_serial` u64-for-u64, per shard,
+/// for both a simple and a context-sensitive policy.
+#[test]
+fn calm_ledgers_match_serial_reference_exactly() {
+    let trace = small_trace(30_000, 11);
+    let total_capacity = 4 << 20;
+    for kind in [PolicyKind::Lru, PolicyKind::Scip] {
+        let cfg = DaemonConfig {
+            shards: 4,
+            total_capacity,
+            ..DaemonConfig::default()
+        };
+        let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+        let daemon = Daemon::spawn(cfg.clone(), plan.factory(kind)).unwrap();
+        let report = feed(&daemon, &trace, calm_mode());
+        for shard in 0..cfg.shards {
+            assert!(daemon.await_quiesced(shard, QUIESCE), "shard {shard} stuck");
+        }
+        let stats = daemon.shutdown();
+        // Calm path: everything accepted, nothing shed or rejected.
+        report.check_against(&stats.shards, true).unwrap();
+        assert_eq!(report.total_accepted(), trace.len() as u64);
+        assert_eq!(report.outage_windows, 0);
+        assert_eq!(report.overall_availability(), 1.0);
+        let reference = plan.reference(kind, total_capacity);
+        for (shard, (snap, m)) in stats.shards.iter().zip(&reference.per_shard).enumerate() {
+            if let Some(diff) = ledger_diff(shard, snap, m) {
+                panic!("{kind:?}: {diff}");
+            }
+        }
+    }
+}
+
+/// Overload is bounded and observable: with queue capacity Q and a burst
+/// of 3Q at a paused shard, exactly Q are admitted, the rest shed with
+/// `Overloaded`, the ring never exceeds Q (exact high-water mark), and
+/// the daemon counters match the client-side tally one-for-one.
+#[test]
+fn overload_sheds_boundedly_and_counters_reconcile() {
+    let q = 64usize;
+    let cfg = DaemonConfig {
+        shards: 1,
+        queue_capacity: q,
+        worker_batch: 8,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::spawn(cfg, switchable_factory(Tick::MAX, 7)).unwrap();
+    daemon.pause_shard(0);
+    let (mut accepted, mut shed) = (0u64, 0u64);
+    for i in 0..(3 * q as u64) {
+        match daemon.submit(Request {
+            tick: 0,
+            id: ObjectId(i),
+            size: 1_000,
+            wall_secs: 0.0,
+        }) {
+            Ok(_) => accepted += 1,
+            Err((_, cdnd::SubmitError::Overloaded)) => shed += 1,
+            Err((_, e)) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    assert_eq!(accepted, q as u64);
+    assert_eq!(shed, 2 * q as u64);
+    let mid = daemon.stats();
+    assert_eq!(mid.shards[0].depth, q);
+    assert_eq!(mid.shards[0].peak_depth, q, "queue grew past its bound");
+    assert_eq!(mid.shards[0].enqueued, accepted);
+    assert_eq!(mid.shards[0].shed, shed);
+    // Recovery: resume, drain, everything admitted gets served.
+    daemon.resume_shard(0);
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    let stats = daemon.shutdown();
+    assert_eq!(stats.shards[0].processed, accepted);
+    assert_eq!(stats.shards[0].depth, 0);
+    assert_eq!(stats.shards[0].peak_depth, q);
+    assert_eq!(stats.shards[0].dropped_at_shutdown, 0);
+    assert_eq!(
+        stats.shards[0].hits + stats.shards[0].misses,
+        stats.shards[0].processed
+    );
+}
+
+/// Graceful shutdown drains: every accepted request is fully served
+/// before the daemon exits, with nothing dropped.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let cfg = DaemonConfig {
+        shards: 2,
+        queue_capacity: 10_000,
+        ..DaemonConfig::default()
+    };
+    let trace = small_trace(5_000, 3);
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+    let daemon = Daemon::spawn(cfg, plan.factory(PolicyKind::Lru)).unwrap();
+    let report = feed(&daemon, &trace, calm_mode());
+    // No quiesce: shutdown itself must finish the queued work.
+    let stats = daemon.shutdown();
+    assert_eq!(report.total_accepted(), trace.len() as u64);
+    assert_eq!(stats.total_processed(), trace.len() as u64);
+    assert_eq!(stats.total_lost(), 0);
+    for snap in &stats.shards {
+        assert_eq!(snap.dropped_at_shutdown, 0);
+        assert_eq!(snap.depth, 0);
+        assert_eq!(snap.enqueued, snap.processed);
+    }
+}
+
+/// Reload validates the whole candidate first and rejects it atomically:
+/// an invalid config or an immutable-field change leaves the old config
+/// fully in force; a tunable-only change applies.
+#[test]
+fn reload_rejects_and_keeps_old_config() {
+    let cfg = DaemonConfig::default();
+    let daemon = Daemon::spawn(cfg.clone(), switchable_factory(Tick::MAX, 1)).unwrap();
+
+    // Immutable field change: rejected, old config intact.
+    let mut resharded = cfg.clone();
+    resharded.shards += 1;
+    assert_eq!(
+        daemon.reload(resharded),
+        Err(DaemonConfigError::ImmutableField("shards"))
+    );
+    assert_eq!(daemon.config(), cfg);
+
+    // Invalid candidate: rejected even though only tunables changed.
+    let mut invalid = cfg.clone();
+    invalid.restart.storm_threshold = 0;
+    assert_eq!(
+        daemon.reload(invalid),
+        Err(DaemonConfigError::ZeroStormThreshold)
+    );
+    assert_eq!(daemon.config(), cfg);
+
+    // Tunable-only change: applied.
+    let mut tuned = cfg.clone();
+    tuned.restart = RestartConfig {
+        backoff_base_ms: 1,
+        backoff_max_ms: 10,
+        storm_threshold: 2,
+        storm_window_ms: 500,
+    };
+    daemon.reload(tuned.clone()).unwrap();
+    assert_eq!(daemon.config(), tuned);
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.reloads_applied, 1);
+    assert_eq!(stats.reloads_rejected, 2);
+}
+
+/// Invalid configs never spawn a daemon.
+#[test]
+fn spawn_rejects_invalid_config() {
+    let cfg = DaemonConfig {
+        shards: 0,
+        ..DaemonConfig::default()
+    };
+    match Daemon::spawn(cfg, switchable_factory(Tick::MAX, 1)) {
+        Err(DaemonConfigError::ZeroShards) => {}
+        Err(other) => panic!("expected ZeroShards, got {other:?}"),
+        Ok(_) => panic!("expected ZeroShards, daemon spawned"),
+    }
+}
+
+/// Live policy switch is deterministic: quiesce a shard at tick T, flip
+/// its switchable node to deploy SCIP at T, feed the rest — the final
+/// ledger equals a serial `SwitchableScip::new(cap, T, seed)` replay of
+/// the full shard stream.
+#[test]
+fn live_switch_matches_switchable_reference() {
+    let seed = 9u64;
+    let cfg = DaemonConfig {
+        shards: 2,
+        total_capacity: 2 << 20,
+        queue_capacity: 20_000,
+        ..DaemonConfig::default()
+    };
+    let trace = small_trace(16_000, seed);
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+    let daemon = Daemon::spawn(cfg.clone(), switchable_factory(Tick::MAX, seed)).unwrap();
+
+    let half = trace.len() / 2;
+    feed(&daemon, &trace[..half], calm_mode());
+    for shard in 0..cfg.shards {
+        assert!(daemon.await_quiesced(shard, QUIESCE));
+    }
+    // Each shard is quiesced at its own local tick = requests processed
+    // so far; deploy SCIP exactly there.
+    let mid = daemon.stats();
+    let deploy_at: Vec<Tick> = mid.shards.iter().map(|s| s.processed).collect();
+    for (shard, &at) in deploy_at.iter().enumerate() {
+        daemon.pause_shard(shard);
+        daemon.switch_policy_at(shard, at);
+    }
+    // The switch is applied by the worker between batches; paused workers
+    // keep polling control, so wait for the acknowledgement counter.
+    let ack = std::time::Instant::now();
+    while daemon.stats().shards.iter().any(|s| s.switches != 1) {
+        assert!(ack.elapsed() < QUIESCE, "switch not acknowledged");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for shard in 0..cfg.shards {
+        daemon.resume_shard(shard);
+    }
+    feed(&daemon, &trace[half..], calm_mode());
+    for shard in 0..cfg.shards {
+        assert!(daemon.await_quiesced(shard, QUIESCE));
+    }
+    let stats = daemon.shutdown();
+
+    // Serial reference: the same switchable node replayed over each
+    // localized shard stream with the same deploy tick.
+    let per_shard_capacity = cfg.per_shard_capacity();
+    for (shard, &at) in deploy_at.iter().enumerate() {
+        let mut reference = SwitchableScip::new(per_shard_capacity, at, seed);
+        let (mut hits, mut misses, mut hit_bytes, mut miss_bytes) = (0u64, 0u64, 0u64, 0u64);
+        let mut requests = plan.sharded.shards[shard].to_requests();
+        for (i, req) in requests.iter_mut().enumerate() {
+            req.tick = i as u64;
+            if cdn_cache::CachePolicy::on_request(&mut reference, req).is_hit() {
+                hits += 1;
+                hit_bytes += req.size;
+            } else {
+                misses += 1;
+                miss_bytes += req.size;
+            }
+        }
+        let snap = &stats.shards[shard];
+        assert_eq!(snap.hits, hits, "shard {shard} hits");
+        assert_eq!(snap.misses, misses, "shard {shard} misses");
+        assert_eq!(snap.hit_bytes, hit_bytes, "shard {shard} hit bytes");
+        assert_eq!(snap.miss_bytes, miss_bytes, "shard {shard} miss bytes");
+        assert_eq!(snap.switches, 1);
+    }
+}

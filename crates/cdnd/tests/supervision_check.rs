@@ -1,0 +1,335 @@
+//! Supervision proofs under deterministic fault injection: crash
+//! isolation preserves surviving-shard exactness (property test extending
+//! `cdn-sim/tests/shard_check.rs`), killed shards restart empty, the
+//! restart-storm breaker opens and is operator-resettable, and the
+//! enqueue failpoint surfaces as a client-visible fault.
+//!
+//! Compile with `--features fault-injection`; without the feature this
+//! file is empty. The failpoint registry is process-global, so every test
+//! serialises on [`LOCK`] and clears the registry on entry and exit.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use cdn_cache::fault::{self, FaultAction, FaultRule};
+use cdn_cache::{ObjectId, Request};
+use cdn_sim::PolicyKind;
+use cdnd::{
+    feed, ledger_diff, worker_fault_key, Daemon, DaemonConfig, FeedMode, RestartConfig, ShardPlan,
+    ShardState, SubmitError, FP_ENQUEUE, FP_SHARD_WORKER,
+};
+use proptest::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialise on the registry and guarantee a clean slate before/after.
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    guard
+}
+
+/// Supervision config tuned for tests: near-instant restarts, a storm
+/// breaker that stays out of the way unless a test wants it.
+fn fast_restarts(storm_threshold: u32) -> RestartConfig {
+    RestartConfig {
+        backoff_base_ms: 1,
+        backoff_max_ms: 8,
+        storm_threshold,
+        storm_window_ms: 60_000,
+    }
+}
+
+/// Exactness-measuring feed: retry down/overloaded shards until accepted,
+/// so every request reaches its shard in trace order.
+fn await_recovery() -> FeedMode {
+    FeedMode::AwaitRecovery {
+        push_timeout: Duration::from_secs(1),
+        retry: Duration::from_micros(500),
+        give_up: Duration::from_secs(20),
+    }
+}
+
+const QUIESCE: Duration = Duration::from_secs(30);
+
+proptest! {
+    // Each case spawns a daemon and real threads; a modest case count
+    // still sweeps shard counts × kill positions × policies broadly.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seeded kill schedule against one shard, the surviving
+    /// shards' daemon ledgers equal `run_sharded_serial` u64-for-u64, and
+    /// the killed shard loses exactly the panicked requests (its cache
+    /// restarts empty; every other accepted request is still served).
+    #[test]
+    fn kill_schedules_preserve_surviving_shard_exactness(
+        pairs in proptest::collection::vec((0u64..150, 1u64..80), 50..600),
+        shards in 2usize..5,
+        victim_pick in 0usize..8,
+        kill_fracs in proptest::collection::vec(0u64..1000, 1..3),
+        policy_pick in 0usize..2,
+    ) {
+        let _g = exclusive();
+        let kind = if policy_pick == 0 { PolicyKind::Lru } else { PolicyKind::Scip };
+        let trace: Vec<Request> = pairs
+            .iter()
+            .enumerate()
+            .map(|(t, &(id, size))| Request::new(t as u64, id, size))
+            .collect();
+        let cfg = DaemonConfig {
+            shards,
+            total_capacity: 2_000,
+            queue_capacity: 4_096,
+            worker_batch: 16,
+            seed: 5,
+            restart: fast_restarts(100),
+        };
+        let plan = ShardPlan::build(&trace, shards, cfg.seed);
+        let victim = victim_pick % shards;
+        // Kill positions inside the victim's stream, deduped; an empty
+        // victim partition degenerates to a calm run.
+        let victim_len = plan.shard_len(victim) as u64;
+        let mut kill_ticks: Vec<u64> = kill_fracs
+            .iter()
+            .filter(|_| victim_len > 0)
+            .map(|f| f * victim_len / 1000)
+            .collect();
+        kill_ticks.sort_unstable();
+        kill_ticks.dedup();
+        let kills = kill_ticks.len() as u64;
+        fault::arm(
+            FP_SHARD_WORKER,
+            FaultRule::OnKeys(
+                kill_ticks.iter().map(|t| worker_fault_key(victim, *t)).collect(),
+                FaultAction::Panic("injected shard kill".into()),
+            ),
+        );
+
+        let daemon = Daemon::spawn(cfg.clone(), plan.factory(kind)).unwrap();
+        let report = feed(&daemon, &trace, await_recovery());
+        for shard in 0..shards {
+            prop_assert!(daemon.await_quiesced(shard, QUIESCE), "shard {} stuck", shard);
+        }
+        let stats = daemon.shutdown();
+        prop_assert_eq!(fault::fired(FP_SHARD_WORKER), kills);
+        fault::clear();
+
+        // Every request was eventually accepted (retries outlast backoff).
+        prop_assert_eq!(report.total_accepted(), trace.len() as u64);
+        report.check_against(&stats.shards, false).unwrap();
+
+        let reference = plan.reference(kind, cfg.total_capacity);
+        for shard in 0..shards {
+            let snap = &stats.shards[shard];
+            if shard == victim {
+                // The panicked requests are lost — everything else served.
+                prop_assert_eq!(snap.lost, kills, "victim lost");
+                prop_assert_eq!(snap.crashes, kills, "victim crashes");
+                prop_assert_eq!(snap.restarts, kills, "victim restarts");
+                prop_assert_eq!(
+                    snap.processed,
+                    plan.shard_len(victim) as u64 - kills,
+                    "victim processed"
+                );
+            } else {
+                prop_assert_eq!(snap.crashes, 0, "survivor {} crashed", shard);
+                if let Some(diff) = ledger_diff(shard, snap, &reference.per_shard[shard]) {
+                    panic!("{}", diff);
+                }
+            }
+        }
+    }
+}
+
+/// A killed shard restarts with an empty cache: objects hot before the
+/// crash miss after it, and the lost request is exactly the panicked one.
+#[test]
+fn killed_shard_restarts_empty() {
+    let _g = exclusive();
+    let cfg = DaemonConfig {
+        shards: 1,
+        total_capacity: 1 << 20,
+        restart: fast_restarts(100),
+        ..DaemonConfig::default()
+    };
+    let plan = ShardPlan::build(
+        &(0..8u64)
+            .map(|t| Request::new(t, 1, 100))
+            .collect::<Vec<_>>(),
+        1,
+        cfg.seed,
+    );
+    let daemon = Daemon::spawn(cfg, plan.factory(PolicyKind::Lru)).unwrap();
+    let submit = |id: u64| {
+        let req = Request::new(0, id, 100);
+        loop {
+            match daemon.submit(req) {
+                Ok(_) => return,
+                Err((_, SubmitError::ShardDown)) => {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err((_, e)) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+    };
+    // Warm object 1: 1 miss + 4 hits.
+    for _ in 0..5 {
+        submit(1);
+    }
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    assert_eq!(daemon.stats().shards[0].hits, 4);
+    assert!(daemon.stats().shards[0].resident_objects >= 1);
+
+    // Kill the worker on its 6th request (local tick 5), then re-request
+    // the warm object: the replacement's cache is empty, so it misses.
+    fault::arm(
+        FP_SHARD_WORKER,
+        FaultRule::OnKeys(
+            vec![worker_fault_key(0, 5)],
+            FaultAction::Panic("injected kill".into()),
+        ),
+    );
+    submit(2); // lost to the crash
+    submit(1); // retried until the restarted worker accepts it
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    let stats = daemon.shutdown();
+    fault::clear();
+    let s = &stats.shards[0];
+    assert_eq!(s.crashes, 1);
+    assert_eq!(s.restarts, 1);
+    assert_eq!(s.lost, 1);
+    assert_eq!(s.processed, 6); // 5 warmup + post-restart re-request
+    assert_eq!(s.hits, 4, "post-restart request must miss an empty cache");
+    assert_eq!(s.misses, 2); // initial warm miss + post-restart miss
+}
+
+/// Three crashes against a threshold-2 breaker: the first two restart
+/// with backoff, the third trips Storm-Open and the shard stays down —
+/// until `reset_shard`, which clears the history and revives it.
+#[test]
+fn storm_breaker_opens_and_reset_revives() {
+    let _g = exclusive();
+    let cfg = DaemonConfig {
+        shards: 1,
+        restart: fast_restarts(2),
+        ..DaemonConfig::default()
+    };
+    let plan = ShardPlan::build(
+        &(0..4u64)
+            .map(|t| Request::new(t, t, 100))
+            .collect::<Vec<_>>(),
+        1,
+        cfg.seed,
+    );
+    // Kill the first three requests the worker ever processes.
+    fault::arm(
+        FP_SHARD_WORKER,
+        FaultRule::OnKeys(
+            (0..3).map(|t| worker_fault_key(0, t)).collect(),
+            FaultAction::Panic("injected storm".into()),
+        ),
+    );
+    let daemon = Daemon::spawn(cfg, plan.factory(PolicyKind::Lru)).unwrap();
+    for id in 0..3u64 {
+        loop {
+            match daemon.submit(Request::new(0, id, 100)) {
+                Ok(_) => break,
+                Err((_, SubmitError::ShardDown)) => {
+                    if daemon.shard_state(0) == ShardState::StormOpen {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err((_, e)) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+    }
+    assert!(
+        daemon.await_shard_state(0, ShardState::StormOpen, QUIESCE),
+        "breaker never opened"
+    );
+    // Storm-Open is stable: no restart happens on its own.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(daemon.shard_state(0), ShardState::StormOpen);
+    assert!(matches!(
+        daemon.submit(Request::new(0, 9, 100)),
+        Err((0, SubmitError::ShardDown))
+    ));
+
+    // Operator reset: history cleared, worker respawned, serving again.
+    daemon.reset_shard(0);
+    assert!(
+        daemon.await_shard_state(0, ShardState::Closed, QUIESCE),
+        "reset did not revive the shard"
+    );
+    loop {
+        match daemon.submit(Request::new(0, 3, 100)) {
+            Ok(_) => break,
+            Err((_, SubmitError::ShardDown)) => std::thread::sleep(Duration::from_micros(500)),
+            Err((_, e)) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    let stats = daemon.shutdown();
+    fault::clear();
+    let s = &stats.shards[0];
+    assert_eq!(s.crashes, 3);
+    assert_eq!(s.restarts, 3); // two backoff restarts + the reset revival
+    assert!(s.processed >= 1, "post-reset request must be served");
+}
+
+/// The `cdnd.enqueue` failpoint turns submits into client-visible
+/// transport faults, counted per shard; non-matching keys are untouched
+/// and non-Error actions are ignored at this site.
+#[test]
+fn enqueue_failpoint_faults_submit() {
+    let _g = exclusive();
+    let cfg = DaemonConfig {
+        shards: 1,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::spawn(cfg, cdnd::switchable_factory(u64::MAX, 1)).unwrap();
+    fault::arm(
+        FP_ENQUEUE,
+        FaultRule::OnKeys(vec![7], FaultAction::Error("injected enqueue fault".into())),
+    );
+    assert!(matches!(
+        daemon.submit(Request {
+            tick: 0,
+            id: ObjectId(7),
+            size: 100,
+            wall_secs: 0.0
+        }),
+        Err((0, SubmitError::Faulted))
+    ));
+    assert!(daemon
+        .submit(Request {
+            tick: 0,
+            id: ObjectId(8),
+            size: 100,
+            wall_secs: 0.0
+        })
+        .is_ok());
+    assert_eq!(fault::fired(FP_ENQUEUE), 1);
+    // A Panic rule at this site is not an enqueue-fault: ignored.
+    fault::arm(
+        FP_ENQUEUE,
+        FaultRule::OnKeys(vec![9], FaultAction::Panic("ignored here".into())),
+    );
+    assert!(daemon
+        .submit(Request {
+            tick: 0,
+            id: ObjectId(9),
+            size: 100,
+            wall_secs: 0.0
+        })
+        .is_ok());
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    let stats = daemon.shutdown();
+    fault::clear();
+    assert_eq!(stats.shards[0].faulted_enqueues, 1);
+    assert_eq!(stats.shards[0].enqueued, 2);
+    assert_eq!(stats.shards[0].processed, 2);
+}

@@ -15,6 +15,12 @@
 #   scripts/bench.sh --shards N   shard counts for the scaling section
 #                                 (comma list, e.g. 1,2,4; sets
 #                                 REPLAY_SHARDS). Composable with --gate.
+#   scripts/bench.sh --daemon     bench the cdnd daemon serving path
+#                                 instead of the replay engine: writes
+#                                 BENCH_daemon.json and, with --gate,
+#                                 fails on any (policy × shards) daemon
+#                                 throughput regression beyond the same
+#                                 tolerance.
 #
 # Knobs (env):
 #   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
@@ -27,16 +33,24 @@
 #   REPLAY_PREFETCH_DIST   pipelined lookahead: unset/auto = heuristic,
 #                          0 = off, K = fixed depth
 #   BENCH_GATE_TOLERANCE   allowed fractional regression in --gate mode
-#                          (default 0.10); shared by the per-policy and
-#                          per-shard gates
+#                          (default 0.10); shared by the per-policy,
+#                          per-shard, and --daemon gates
+#   CDND_BENCH_REQUESTS    --daemon trace length (default 500,000)
+#   CDND_BENCH_SHARDS      --daemon shard counts (default 1,2,4)
+#   CDND_BENCH_OUT         --daemon output path (default BENCH_daemon.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GATE=0
+DAEMON=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --gate)
             GATE=1
+            shift
+            ;;
+        --daemon)
+            DAEMON=1
             shift
             ;;
         --shards)
@@ -54,8 +68,64 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-OUT="${REPLAY_BENCH_OUT:-BENCH_replay.json}"
 TOLERANCE="${BENCH_GATE_TOLERANCE:-0.10}"
+
+if [[ "$DAEMON" == 1 ]]; then
+    # Daemon serving-path bench: BENCH_daemon.json rows are one JSON
+    # object per line keyed by (policy, shards), machine-written by
+    # cdnd_bench, gated on daemon_requests_per_sec with the shared
+    # tolerance. Exactness vs the serial reference is enforced inside
+    # the binary itself (it exits nonzero on any ledger mismatch).
+    OUT="${CDND_BENCH_OUT:-BENCH_daemon.json}"
+    BASELINE=""
+    if [[ -f "$OUT" ]]; then
+        BASELINE="${OUT%.json}.prev.json"
+        cp "$OUT" "$BASELINE"
+        echo "baseline: previous $OUT saved as $BASELINE"
+    else
+        echo "baseline: no previous $OUT — first run, skipping comparison"
+        if [[ "$GATE" == 1 ]]; then
+            echo "--gate: no committed baseline to gate against; measuring only"
+            GATE=0
+        fi
+    fi
+
+    cargo build --release -p cdnd --bin cdnd_bench
+    CDND_BENCH_OUT="$OUT" cargo run --release -q -p cdnd --bin cdnd_bench >/dev/null
+
+    if [[ "$GATE" == 1 && -n "$BASELINE" && -f "$BASELINE" ]]; then
+        daemon_rows() {
+            grep -o '{"policy": "[^"]*", "shards": [0-9]*, "daemon_requests_per_sec": [0-9.]*' "$1" |
+                sed 's/{"policy": "//; s/", "shards": /\//; s/, "daemon_requests_per_sec": / /'
+        }
+        gate_rc=0
+        while read -r key prev_rps; do
+            cur_rps="$(daemon_rows "$OUT" | awk -v k="$key" '$1 == k {print $2}')"
+            if [[ -z "$cur_rps" ]]; then
+                echo "--gate: daemon point $key missing from current run; skipping"
+                continue
+            fi
+            if ! awk -v p="$prev_rps" -v c="$cur_rps" -v tol="$TOLERANCE" \
+                'BEGIN { exit !(c >= p * (1 - tol)) }'; then
+                awk -v pol="$key" -v p="$prev_rps" -v c="$cur_rps" 'BEGIN {
+                    printf "--gate: FAIL daemon point %s regressed %.2f -> %.2f Mreq/s (%+.1f%%)\n",
+                        pol, p / 1e6, c / 1e6, (c - p) / p * 100
+                }'
+                gate_rc=1
+            fi
+        done < <(daemon_rows "$BASELINE")
+        if [[ "$gate_rc" != 0 ]]; then
+            awk -v tol="$TOLERANCE" 'BEGIN {
+                printf "--gate: daemon throughput regression beyond %.0f%% tolerance\n", tol * 100
+            }'
+            exit 1
+        fi
+        echo "--gate: all daemon points within tolerance"
+    fi
+    exit 0
+fi
+
+OUT="${REPLAY_BENCH_OUT:-BENCH_replay.json}"
 BASELINE=""
 if [[ -f "$OUT" ]]; then
     BASELINE="${OUT%.json}.prev.json"
@@ -115,12 +185,16 @@ if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
         # Per-shard gate: shard_scaling points carry one JSON object per
         # line keyed by (policy, shards); pair them by that key and apply
         # the same tolerance to the aggregate throughput. Baselines
-        # without a shard_scaling section (pre-v3) simply contribute no
-        # rows here.
+        # written before the shard_scaling section existed (pre-v3) have
+        # no such rows — say so explicitly and skip the gate rather than
+        # silently pairing nothing.
         per_shard() {
             grep -o '{"policy": "[^"]*", "shards": [0-9]*, "aggregate_requests_per_sec": [0-9.]*' "$1" |
                 sed 's/{"policy": "//; s/", "shards": /\//; s/, "aggregate_requests_per_sec": / /'
         }
+        if ! grep -q '"shard_scaling"' "$BASELINE"; then
+            echo "--gate: baseline predates shard_scaling section; skipping shard gate"
+        fi
         while read -r key prev_rps; do
             cur_rps="$(per_shard "$OUT" | awk -v k="$key" '$1 == k {print $2}')"
             if [[ -z "$cur_rps" ]]; then

@@ -2,8 +2,8 @@
 # Repo-wide hygiene gate: formatting, lints (warnings are errors), and the
 # full workspace test suite — then the same tests once more with the
 # fault-injection failpoints compiled in, so the recovery paths (panic
-# isolation, retry, checkpoint/resume, corrupt-trace detection) are proven
-# on every run, and the model-based differential harness once more with
+# isolation, retry, checkpoint/resume, corrupt-trace detection, daemon
+# shard supervision) are proven on every run, and the model-based differential harness once more with
 # per-request invariant audits compiled in (`--features audit`; the test
 # profile already builds with overflow-checks). Run from anywhere; always
 # executes at the repo root. This is what CI should run on every push.
@@ -22,12 +22,14 @@ cargo test --workspace -q
 echo "==> cargo clippy --features fault-injection (-D warnings)"
 cargo clippy -p cdn-sim --all-targets --features fault-injection -- -D warnings
 cargo clippy -p tdc --all-targets --features fault-injection -- -D warnings
+cargo clippy -p cdnd --all-targets --features fault-injection -- -D warnings
 
 echo "==> cargo test --features fault-injection"
 cargo test -q -p cdn-cache --features fault-injection
 cargo test -q -p cdn-trace --features fault-injection
 cargo test -q -p cdn-sim --features fault-injection
 cargo test -q -p tdc --features fault-injection
+cargo test -q -p cdnd --features fault-injection
 
 echo "==> cargo clippy --features audit (-D warnings)"
 cargo clippy -p cdn-sim --all-targets --features audit -- -D warnings
@@ -48,6 +50,10 @@ cargo test -q -p cdn-sim --features audit --test batched_identity
 echo "==> fig6_chaos calm gate (exits nonzero if calm != plain path)"
 TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
     cargo run --release -q -p cdn-sim --bin fig6_chaos
+
+echo "==> cdnd_chaos daemon gate (calm + kill-schedule; exits nonzero on any gate)"
+CDND_CHAOS_REQUESTS=60000 \
+    cargo run --release -q -p cdnd --features fault-injection --bin cdnd_chaos >/dev/null
 
 # Entry-layout size budgets (hot node <= 32 B etc.) are const-asserted in
 # cdn-cache (index.rs/list.rs/queue.rs), so every build above already
