@@ -55,7 +55,10 @@ pub use list::{Handle, LinkedSlab};
 pub use metrics::{IntervalStats, LatencyHistogram, MetricsRecorder, MissRatio};
 pub use model::{ModelGhost, ModelLru, ModelLruPolicy, ModelSegQ};
 pub use object::{ObjectId, Request, Tick};
-pub use policy::{AccessKind, CachePolicy, InsertPos, PolicyStats, RejectReason};
+pub use policy::{
+    export_lru_queue, export_segmented_queue, restore_lru_queue, restore_segmented_queue,
+    AccessKind, CachePolicy, InsertPos, PolicyStats, RejectReason, ResidentEntry,
+};
 pub use prefetch::llc_bytes;
 pub use queue::{EntryMeta, EvictedEntry, LruQueue};
 pub use rng::SimRng;

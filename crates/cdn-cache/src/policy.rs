@@ -4,7 +4,8 @@
 //! by the simulator. The trait is object-safe so the simulator can sweep
 //! heterogeneous policy sets (`Box<dyn CachePolicy>`).
 
-use crate::object::{ObjectId, Request};
+use crate::object::{ObjectId, Request, Tick};
+use crate::queue::{EntryMeta, LruQueue};
 
 /// Where an object is (re-)inserted in the recency queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +63,61 @@ pub struct PolicyStats {
     pub insertions: u64,
 }
 
+/// One resident object as exported by
+/// [`CachePolicy::for_each_resident`] and replayed by
+/// [`CachePolicy::restore_resident`] — the whole [`EntryMeta`] plus a
+/// policy-private `bucket` naming the compartment the entry lives in
+/// (segment index for segmented queues, window/main for W-TinyLFU, 0 for
+/// single-queue policies), so a restore can put it back where it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentEntry {
+    /// Object identity.
+    pub id: ObjectId,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Policy compartment the entry resides in (see struct docs).
+    pub bucket: u32,
+    /// Whether the current residency began at the MRU position.
+    pub inserted_at_mru: bool,
+    /// Tick when this residency began.
+    pub inserted_tick: Tick,
+    /// Tick of the most recent access.
+    pub last_access: Tick,
+    /// Hits during this residency.
+    pub hits: u32,
+    /// Policy-private tag (segment index, SHiP signature, ...).
+    pub tag: u64,
+}
+
+impl ResidentEntry {
+    /// Wrap a queue entry with its compartment index.
+    pub fn from_meta(meta: &EntryMeta, bucket: u32) -> Self {
+        ResidentEntry {
+            id: meta.id,
+            size: meta.size,
+            bucket,
+            inserted_at_mru: meta.inserted_at_mru,
+            inserted_tick: meta.inserted_tick,
+            last_access: meta.last_access,
+            hits: meta.hits,
+            tag: meta.tag,
+        }
+    }
+
+    /// The queue-level view of this entry (drops the bucket).
+    pub fn to_meta(&self) -> EntryMeta {
+        EntryMeta {
+            id: self.id,
+            size: self.size,
+            inserted_at_mru: self.inserted_at_mru,
+            inserted_tick: self.inserted_tick,
+            last_access: self.last_access,
+            hits: self.hits,
+            tag: self.tag,
+        }
+    }
+}
+
 /// A complete cache replacement algorithm (victim selection + insertion +
 /// promotion) driven request by request.
 pub trait CachePolicy {
@@ -107,6 +163,98 @@ pub trait CachePolicy {
             self.prefetch_hint(id);
         }
     }
+
+    /// Walk the resident set read-only, hottest compartment first and
+    /// MRU→LRU within each compartment, and return `true`. The seam the
+    /// cdnd snapshot subsystem exports through: implementations must take
+    /// `&self` semantics literally — no promotion, no counter bumps, no
+    /// history writes — so exporting a snapshot can never perturb the
+    /// ledger. The default returns `false` (export unsupported → the
+    /// daemon restarts that shard cold).
+    fn for_each_resident(&self, _visit: &mut dyn FnMut(&ResidentEntry)) -> bool {
+        false
+    }
+
+    /// Rebuild warmth from a previously exported resident set, given in
+    /// the order [`CachePolicy::for_each_resident`] yields (hottest
+    /// first). Only call on a freshly built (empty) policy. Entries that
+    /// no longer fit, duplicate ids, or out-of-range buckets are skipped
+    /// defensively, never panicked on — snapshot files are CRC-validated
+    /// upstream but restores must survive anything that slips through.
+    /// Returns `false` when the policy cannot restore (cold restart);
+    /// learned/approximate side state (sketches, ghost lists, models)
+    /// restarts cold unless [`CachePolicy::restore_learned`] covers it.
+    fn restore_resident(&mut self, _entries: &[ResidentEntry]) -> bool {
+        false
+    }
+
+    /// Export the policy's small learned-parameter block (for SCIP: the
+    /// per-size-class ω_m vector, ω_p, the λ learning-rate state and the
+    /// traversal estimate) as an opaque, versioned byte blob. `None` means
+    /// the policy has no learned block worth snapshotting.
+    fn export_learned(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore a learned block previously produced by
+    /// [`CachePolicy::export_learned`]. Implementations must validate the
+    /// blob (version, length, finiteness) and re-clamp every parameter
+    /// into its invariant range so `audit()` holds afterwards; `false`
+    /// means the blob was unrecognized and ignored (state left as built).
+    fn restore_learned(&mut self, _block: &[u8]) -> bool {
+        false
+    }
+}
+
+/// Walk `queue` MRU→LRU as [`ResidentEntry`]s in compartment `bucket` —
+/// the shared body of [`CachePolicy::for_each_resident`] for policies
+/// backed by a single [`LruQueue`]. Strictly read-only.
+pub fn export_lru_queue(queue: &LruQueue, bucket: u32, visit: &mut dyn FnMut(&ResidentEntry)) {
+    for meta in queue.iter() {
+        visit(&ResidentEntry::from_meta(&meta, bucket));
+    }
+}
+
+/// Replay exported `entries` (hottest-first) into `queue` coldest-first
+/// at the MRU end, reconstructing the original recency order with all
+/// residency statistics preserved — the shared body of
+/// [`CachePolicy::restore_resident`] for single-[`LruQueue`] policies.
+/// Duplicate ids and entries that no longer fit are skipped defensively.
+pub fn restore_lru_queue(queue: &mut LruQueue, entries: &[ResidentEntry]) {
+    for e in entries.iter().rev() {
+        if queue.contains(e.id) || queue.used_bytes().saturating_add(e.size) > queue.capacity() {
+            continue;
+        }
+        queue.insert_meta_mru(e.to_meta());
+    }
+}
+
+/// Walk a [`SegmentedQueue`] most-protected segment first, MRU→LRU within
+/// each segment, recording the segment index as the entry's `bucket` —
+/// the shared `for_each_resident` body for the segmented-queue family.
+pub fn export_segmented_queue(
+    queue: &crate::segq::SegmentedQueue,
+    visit: &mut dyn FnMut(&ResidentEntry),
+) {
+    for seg in (0..queue.n_segments()).rev() {
+        for meta in queue.iter_segment(seg) {
+            visit(&ResidentEntry::from_meta(&meta, seg as u32));
+        }
+    }
+}
+
+/// Replay exported `entries` into a [`SegmentedQueue`] coldest-first,
+/// each at the MRU position of its recorded segment (clamped to the
+/// queue's segment count), so per-segment recency order is reconstructed.
+/// Overflow rebalances exactly like a live insert; skips are defensive.
+pub fn restore_segmented_queue(queue: &mut crate::segq::SegmentedQueue, entries: &[ResidentEntry]) {
+    let top = queue.n_segments() - 1;
+    for e in entries.iter().rev() {
+        if queue.contains(e.id) || queue.used_bytes().saturating_add(e.size) > queue.capacity() {
+            continue;
+        }
+        queue.insert_meta((e.bucket as usize).min(top), e.to_meta());
+    }
 }
 
 impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
@@ -133,6 +281,18 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
     }
     fn prefetch_batch(&self, ids: &[ObjectId]) {
         (**self).prefetch_batch(ids)
+    }
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&ResidentEntry)) -> bool {
+        (**self).for_each_resident(visit)
+    }
+    fn restore_resident(&mut self, entries: &[ResidentEntry]) -> bool {
+        (**self).restore_resident(entries)
+    }
+    fn export_learned(&self) -> Option<Vec<u8>> {
+        (**self).export_learned()
+    }
+    fn restore_learned(&mut self, block: &[u8]) -> bool {
+        (**self).restore_learned(block)
     }
 }
 

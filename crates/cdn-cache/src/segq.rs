@@ -163,6 +163,21 @@ impl SegmentedQueue {
         evicted
     }
 
+    /// Re-insert a preserved entry at the MRU position of segment `seg`
+    /// without resetting its residency statistics, rebalancing exactly as
+    /// a normal insert would (snapshot restore path: replaying a
+    /// previously exported resident set coldest-first reconstructs each
+    /// segment's recency order).
+    pub fn insert_meta(&mut self, seg: usize, meta: EntryMeta) -> Vec<EvictedEntry> {
+        assert!(seg < self.segments.len());
+        debug_assert!(!self.contains(meta.id), "insert of resident object");
+        self.seg_of.insert(meta.id.0, seg as u64);
+        self.segments[seg].insert_meta_mru(meta);
+        let mut evicted = Vec::new();
+        self.rebalance(self.segments.len() - 1, &mut evicted);
+        evicted
+    }
+
     /// Record a hit and move the object to the MRU position of segment
     /// `target_seg` (S4LRU: `min(cur + 1, n-1)`), returning overflow
     /// evictions.

@@ -113,6 +113,27 @@ impl TinyLfu {
         self.window.used_bytes() + self.main.used_bytes()
     }
 
+    /// Structural invariant check over both compartments: each queue's own
+    /// `audit` plus window/main disjointness and the shared capacity bound.
+    pub fn audit(&self) -> Result<(), String> {
+        self.window.audit().map_err(|e| format!("window: {e}"))?;
+        self.main.audit().map_err(|e| format!("main: {e}"))?;
+        if let Some(meta) = self.window.iter().find(|m| self.main.contains(m.id)) {
+            return Err(format!(
+                "object {:?} resident in both window and main",
+                meta.id
+            ));
+        }
+        if self.used() > self.capacity {
+            return Err(format!(
+                "used {} exceeds capacity {}",
+                self.used(),
+                self.capacity
+            ));
+        }
+        Ok(())
+    }
+
     /// The admission duel: window overflow candidates fight the main
     /// queue's LRU victim on sketch frequency.
     fn rebalance(&mut self, tick: u64) {
@@ -214,6 +235,36 @@ impl CachePolicy for TinyLfu {
     fn prefetch_hint(&self, id: ObjectId) {
         self.window.prefetch_lookup(id);
         self.main.prefetch_lookup(id);
+    }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        // Window (bucket 0) is the burst-absorbing front, main (bucket 1)
+        // the protected bulk; each MRU→LRU.
+        cdn_cache::export_lru_queue(&self.window, 0, visit);
+        cdn_cache::export_lru_queue(&self.main, 1, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        for e in entries.iter().rev() {
+            if self.window.contains(e.id)
+                || self.main.contains(e.id)
+                || self.used().saturating_add(e.size) > self.capacity
+            {
+                continue;
+            }
+            let queue = if e.bucket == 0 {
+                &mut self.window
+            } else {
+                &mut self.main
+            };
+            queue.insert_meta_mru(e.to_meta());
+            // The sketch itself restarts cold (it is approximate sampled
+            // state); one increment per restored object keeps restored
+            // entries from losing every admission duel to fresh arrivals.
+            self.sketch.increment(e.id);
+        }
+        true
     }
 }
 

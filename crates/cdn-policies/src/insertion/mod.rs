@@ -176,6 +176,19 @@ impl<D: InsertionDecider> CachePolicy for InsertionCache<D> {
     fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
         self.cache.prefetch_lookup(id);
     }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        cdn_cache::export_lru_queue(&self.cache, 0, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        // Queue order and per-entry statistics are reconstructed exactly;
+        // the decider's own state (set-dueling counters, SHiP tables...)
+        // restarts cold.
+        cdn_cache::restore_lru_queue(&mut self.cache, entries);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,14 @@ impl CachePolicy for Lru {
     fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
         self.inner.prefetch_hint(id);
     }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        self.inner.for_each_resident(visit)
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        self.inner.restore_resident(entries)
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,16 @@ impl CachePolicy for S4Lru {
     fn prefetch_hint(&self, id: cdn_cache::ObjectId) {
         self.q.prefetch_lookup(id);
     }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        cdn_cache::export_segmented_queue(&self.q, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        cdn_cache::restore_segmented_queue(&mut self.q, entries);
+        true
+    }
 }
 
 #[cfg(test)]

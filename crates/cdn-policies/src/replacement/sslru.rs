@@ -142,6 +142,18 @@ impl CachePolicy for SsLru {
     fn prefetch_hint(&self, id: ObjectId) {
         self.q.prefetch_lookup(id);
     }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        cdn_cache::export_segmented_queue(&self.q, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        // Segment placement and recency are reconstructed; the admission
+        // model (weights + frequency table) restarts cold and re-trains.
+        cdn_cache::restore_segmented_queue(&mut self.q, entries);
+        true
+    }
 }
 
 #[cfg(test)]

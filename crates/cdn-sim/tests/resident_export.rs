@@ -1,0 +1,172 @@
+//! Property tests for the read-only resident-export seam (DESIGN.md
+//! §17): at an arbitrary point in an arbitrary request stream,
+//! `for_each_resident` must yield *exactly* the live resident multiset
+//! (key, size) — no phantoms, no omissions, no duplicates — and the
+//! export must leave the policy structurally intact (its invariant
+//! audit still passes, and replay continues unperturbed).
+//!
+//! Covered families: LRU (`LruQueue`), S4LRU (`SegmentedQueue`), SCIP
+//! (learned policy with a ghost-backed queue), and W-TinyLFU (two
+//! compartments behind a frequency sketch).
+
+use cdn_cache::{CachePolicy, ObjectId, Request, ResidentEntry};
+use cdn_policies::admission::TinyLfu;
+use cdn_policies::replacement::{Lru, S4Lru};
+use proptest::prelude::*;
+use scip::Scip;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..120, 1u64..300), 1..400)
+}
+
+fn to_trace(pairs: &[(u64, u64)]) -> Vec<Request> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(tick, &(id, size))| Request {
+            tick: tick as u64,
+            id: ObjectId(id),
+            size,
+            wall_secs: 0.0,
+        })
+        .collect()
+}
+
+/// Export the resident set and check it is exactly the live multiset:
+/// unique keys, count and byte totals equal to the policy's own ledger,
+/// and every exported (key, size) pair answers a probe with a hit on a
+/// clone (so each claimed resident really is resident, at its claimed
+/// size). Count equality then rules out omissions. Returns the entries
+/// for follow-up checks.
+fn check_export_exact<P: CachePolicy + Clone>(policy: &P, next_tick: u64) -> Vec<ResidentEntry> {
+    let mut entries: Vec<ResidentEntry> = Vec::new();
+    let supported = policy.for_each_resident(&mut |e| entries.push(*e));
+    assert!(supported, "{}: export unsupported", policy.name());
+
+    let mut ids: Vec<u64> = entries.iter().map(|e| e.id.0).collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(
+        before,
+        ids.len(),
+        "{}: duplicate keys in export",
+        policy.name()
+    );
+
+    let stats = policy.stats();
+    assert_eq!(
+        entries.len(),
+        stats.resident_objects,
+        "{}: export count vs resident_objects",
+        policy.name()
+    );
+    let exported_bytes: u64 = entries.iter().map(|e| e.size).sum();
+    assert_eq!(
+        exported_bytes,
+        stats.resident_bytes,
+        "{}: export bytes vs resident_bytes",
+        policy.name()
+    );
+    assert_eq!(exported_bytes, policy.used_bytes());
+
+    // Membership probe: a resident object must hit when re-requested at
+    // its resident size. Each probe runs on its own clone — in segmented
+    // policies a hit can cascade demotions and evict, so probing the
+    // same clone twice would perturb later probes. With unique keys and
+    // count equality this pins the export to exactly the live multiset.
+    for (i, e) in entries.iter().enumerate() {
+        let mut probe = policy.clone();
+        let kind = probe.on_request(&Request {
+            tick: next_tick + i as u64,
+            id: e.id,
+            size: e.size,
+            wall_secs: 0.0,
+        });
+        assert!(
+            kind.is_hit(),
+            "{}: exported {:?} (size {}) is not actually resident",
+            policy.name(),
+            e.id,
+            e.size
+        );
+    }
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At a random cut point of a random stream, each family's export is
+    /// exactly its live resident multiset, and the policy still passes
+    /// its structural audit afterwards (the seam is truly read-only).
+    #[test]
+    fn export_is_exact_and_audit_holds(
+        pairs in arb_pairs(),
+        cut in 0usize..400,
+        capacity in 200u64..3_000,
+    ) {
+        let trace = to_trace(&pairs);
+        let cut = cut.min(trace.len());
+        let next = trace.len() as u64;
+
+        let mut lru = Lru::new(capacity);
+        let mut s4 = S4Lru::new(capacity);
+        let mut scip = Scip::new(capacity, 7);
+        let mut tiny = TinyLfu::new(capacity);
+        for r in &trace[..cut] {
+            lru.on_request(r);
+            s4.on_request(r);
+            scip.on_request(r);
+            tiny.on_request(r);
+        }
+
+        check_export_exact(&lru, next);
+        lru.queue().audit().unwrap();
+
+        check_export_exact(&s4, next);
+        s4.queue().audit().unwrap();
+
+        check_export_exact(&scip, next);
+        scip.audit().unwrap();
+
+        check_export_exact(&tiny, next);
+        tiny.audit().unwrap();
+    }
+
+    /// Export order is a restore contract, not just a listing: feeding
+    /// the export through `restore_resident` on a fresh policy must
+    /// reproduce the identical resident multiset and byte total.
+    #[test]
+    fn export_restore_roundtrips_the_resident_set(
+        pairs in arb_pairs(),
+        capacity in 200u64..3_000,
+    ) {
+        let trace = to_trace(&pairs);
+        let next = trace.len() as u64;
+
+        macro_rules! roundtrip {
+            ($make:expr) => {{
+                let mut warm = $make;
+                for r in &trace {
+                    warm.on_request(r);
+                }
+                let entries = check_export_exact(&warm, next);
+                let mut fresh = $make;
+                prop_assert!(fresh.restore_resident(&entries));
+                let restored = check_export_exact(&fresh, next);
+                let mut a: Vec<(u64, u64)> =
+                    entries.iter().map(|e| (e.id.0, e.size)).collect();
+                let mut b: Vec<(u64, u64)> =
+                    restored.iter().map(|e| (e.id.0, e.size)).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "restore changed the resident multiset");
+            }};
+        }
+        roundtrip!(Lru::new(capacity));
+        roundtrip!(S4Lru::new(capacity));
+        roundtrip!(Scip::new(capacity, 7));
+        roundtrip!(TinyLfu::new(capacity));
+    }
+}

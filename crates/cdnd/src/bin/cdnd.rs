@@ -7,8 +7,12 @@
 //! Knobs (see the README knob table): `CDND_SHARDS`, `CDND_CAPACITY_MB`,
 //! `CDND_QUEUE_CAP`, `CDND_WORKER_BATCH`, `CDND_SEED`,
 //! `CDND_BACKOFF_BASE_MS`, `CDND_BACKOFF_MAX_MS`, `CDND_STORM_THRESHOLD`,
-//! `CDND_STORM_WINDOW_MS`, plus `CDND_REQUESTS` (default `REPRO_REQUESTS`
-//! or 200k) and `CDND_POLICY` (a `PolicyKind` label, default `SCIP`).
+//! `CDND_STORM_WINDOW_MS`, `CDND_SNAP_INTERVAL`, `CDND_SNAP_KEEP`,
+//! `CDND_SNAP_DIR`, plus `CDND_REQUESTS` (default `REPRO_REQUESTS` or
+//! 200k) and `CDND_POLICY` (a `PolicyKind` label, default `SCIP`).
+//! With `CDND_SNAP_INTERVAL > 0` and a `CDND_SNAP_DIR`, each shard
+//! commits snapshot epochs at that cadence (plus one final epoch at
+//! drain) and a subsequent run over the same directory starts warm.
 
 use std::time::{Duration, Instant};
 
@@ -81,7 +85,7 @@ fn main() {
     let wall = start.elapsed().as_secs_f64();
 
     println!(
-        "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>8}",
+        "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>5} {:>8} {:>9} {:>8}",
         "shard",
         "enqueued",
         "processed",
@@ -91,11 +95,14 @@ fn main() {
         "misses",
         "peak_q",
         "resident",
+        "snaps",
+        "restored",
+        "discarded",
         "state"
     );
     for (i, s) in final_stats.shards.iter().enumerate() {
         println!(
-            "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>8?}",
+            "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>5} {:>8} {:>9} {:>8?}",
             i,
             s.enqueued,
             s.processed,
@@ -105,6 +112,9 @@ fn main() {
             s.misses,
             s.peak_depth,
             s.resident_objects,
+            s.snapshots_written,
+            s.restored_objects,
+            s.epochs_discarded,
             s.state
         );
     }

@@ -2,8 +2,16 @@
 //! supervised daemon at several shard counts and report requests/sec
 //! end-to-end (submit → ring → worker → ledger), next to the library's
 //! serial sharded-replay reference. Writes `BENCH_daemon.json` (schema
-//! `daemon_bench_v1`) with one JSON row per (policy × shards) point so
+//! `daemon_bench_v2`) with one JSON row per (policy × shards) point so
 //! `scripts/bench.sh --daemon` can gate regressions by grep.
+//!
+//! The v2 `warm_restart` section measures the snapshot subsystem: a
+//! daemon with snapshotting enabled serves the trace's first half and
+//! drains (committing final epochs), a second daemon respawns over the
+//! same snapshot directory, and we record the time until every shard
+//! has restored plus the warm-vs-cold hit-ratio delta over the second
+//! half. Policies without the resident-export seam (e.g. GDSF) get
+//! their warm metrics suppressed (`null` + a note) — never fabricated.
 //!
 //! Single-core honesty (the PR 6 convention, extended here): when
 //! `available_parallelism` is 1, the daemon-vs-serial speedup is
@@ -14,13 +22,19 @@
 //! Knobs: `CDND_BENCH_REQUESTS` (default 500k), `CDND_BENCH_SHARDS`
 //! (comma-separated, default `1,2,4`), `CDND_BENCH_OUT` (output path).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use cdn_sim::PolicyKind;
 use cdn_trace::{TraceGenerator, TraceStats, Workload};
-use cdnd::{feed, ledger_diff, Daemon, DaemonConfig, FeedMode, ShardPlan};
+use cdnd::{feed, ledger_diff, Daemon, DaemonConfig, FeedMode, ShardPlan, SnapshotConfig};
 
 const POLICIES: [PolicyKind; 2] = [PolicyKind::Lru, PolicyKind::Scip];
+
+/// Warm-restart measurement policies: the last one lacks the
+/// resident-export seam, pinning the suppressed-not-fabricated path.
+const WARM_POLICIES: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Scip, PolicyKind::Gdsf];
+const WARM_SHARDS: usize = 2;
 
 fn env_u64(key: &str, fallback: u64) -> u64 {
     std::env::var(key)
@@ -52,6 +66,115 @@ struct Point {
     /// machine, where the comparison is scheduling noise.
     speedup: Option<f64>,
     aggregate_miss_ratio: f64,
+}
+
+/// One warm-restart measurement row. The warm fields are `None` for
+/// policies without the resident-export seam.
+struct WarmPoint {
+    policy: &'static str,
+    supported: bool,
+    time_to_restore_ms: Option<f64>,
+    restored_objects: u64,
+    restored_bytes: u64,
+    warm_hit_ratio: Option<f64>,
+    cold_hit_ratio: f64,
+}
+
+fn aggregate_hit_ratio(stats: &cdnd::DaemonStats) -> f64 {
+    let hits: u64 = stats.shards.iter().map(|s| s.hits).sum();
+    let processed: u64 = stats.shards.iter().map(|s| s.processed).sum();
+    hits as f64 / processed.max(1) as f64
+}
+
+/// Measure one policy's warm restart: serve `warmup` with snapshotting
+/// on, drain (committing final epochs), respawn over the same directory,
+/// time the restore, then serve `measure` and compare its hit ratio to a
+/// cold daemon fed the same slice.
+fn warm_point(
+    kind: PolicyKind,
+    warmup: &[cdn_cache::Request],
+    measure: &[cdn_cache::Request],
+    cache_bytes: u64,
+    seed: u64,
+    plan: &ShardPlan,
+    dir: &std::path::Path,
+) -> WarmPoint {
+    let _ = std::fs::remove_dir_all(dir);
+    let snap_cfg = DaemonConfig {
+        shards: WARM_SHARDS,
+        total_capacity: cache_bytes,
+        queue_capacity: 4_096,
+        worker_batch: 64,
+        seed,
+        snap: SnapshotConfig {
+            interval: 1 << 40, // only the drain-final epochs
+            keep: 1,
+            dir: Some(dir.to_path_buf()),
+        },
+        ..DaemonConfig::default()
+    };
+    let mode = || FeedMode::FailFast {
+        push_timeout: Duration::from_secs(60),
+    };
+
+    // Phase A: warm a daemon, drain it, leaving one epoch per shard.
+    let daemon = Daemon::spawn(snap_cfg.clone(), plan.factory(kind)).expect("spawn warmup daemon");
+    feed(&daemon, warmup, mode());
+    let warm_stats = daemon.shutdown();
+    let supported = warm_stats.shards.iter().any(|s| s.snapshots_written > 0);
+
+    // Phase B: respawn over the same directory; the restore runs in each
+    // worker's startup, so time-to-restore is spawn → every shard warm.
+    let (restore_ms, restored_objects, restored_bytes, warm_hit_ratio) = if supported {
+        let t0 = Instant::now();
+        let daemon =
+            Daemon::spawn(snap_cfg.clone(), plan.factory(kind)).expect("spawn warm daemon");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while daemon
+            .stats()
+            .shards
+            .iter()
+            .any(|s| s.restored_objects == 0)
+        {
+            assert!(
+                Instant::now() < deadline,
+                "{}: warm restore never completed",
+                kind.label()
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+        feed(&daemon, measure, mode());
+        let stats = daemon.shutdown();
+        (
+            Some(restore_ms),
+            stats.shards.iter().map(|s| s.restored_objects).sum(),
+            stats.shards.iter().map(|s| s.restored_bytes).sum(),
+            Some(aggregate_hit_ratio(&stats)),
+        )
+    } else {
+        (None, 0, 0, None)
+    };
+
+    // Cold comparison: a fresh daemon (no snapshots) over the same slice.
+    let cold_cfg = DaemonConfig {
+        snap: SnapshotConfig::default(),
+        ..snap_cfg
+    };
+    let daemon = Daemon::spawn(cold_cfg, plan.factory(kind)).expect("spawn cold daemon");
+    feed(&daemon, measure, mode());
+    let cold_hit_ratio = aggregate_hit_ratio(&daemon.shutdown());
+    let _ = std::fs::remove_dir_all(dir);
+
+    WarmPoint {
+        policy: kind.label(),
+        supported,
+        time_to_restore_ms: restore_ms,
+        restored_objects,
+        restored_bytes,
+        warm_hit_ratio,
+        cold_hit_ratio,
+    }
 }
 
 fn main() {
@@ -142,6 +265,40 @@ fn main() {
         );
     }
 
+    // Warm-restart section: first half warms, second half measures.
+    let half = n / 2;
+    let warm_plan = ShardPlan::build(&trace, WARM_SHARDS, seed);
+    let snap_dir: PathBuf =
+        std::env::temp_dir().join(format!("cdnd-bench-snaps-{}", std::process::id()));
+    let mut warm_points: Vec<WarmPoint> = Vec::new();
+    for kind in WARM_POLICIES {
+        let p = warm_point(
+            kind,
+            &trace[..half],
+            &trace[half..],
+            cache_bytes,
+            seed,
+            &warm_plan,
+            &snap_dir,
+        );
+        match (p.time_to_restore_ms, p.warm_hit_ratio) {
+            (Some(ms), Some(warm)) => eprintln!(
+                "warm restart [{}]: restored {} objects in {ms:.1} ms, \
+                 hit ratio {warm:.4} warm vs {:.4} cold ({:+.4})",
+                p.policy,
+                p.restored_objects,
+                p.cold_hit_ratio,
+                warm - p.cold_hit_ratio
+            ),
+            _ => eprintln!(
+                "warm restart [{}]: resident export unsupported — warm metrics \
+                 suppressed, not fabricated (cold hit ratio {:.4})",
+                p.policy, p.cold_hit_ratio
+            ),
+        }
+        warm_points.push(p);
+    }
+
     let requested: Vec<String> = shard_counts.iter().map(|s| s.to_string()).collect();
     let note = if cores == 1 {
         "\"single-core runner: daemon speedup suppressed, not fabricated\""
@@ -150,7 +307,7 @@ fn main() {
     };
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"daemon_bench_v1\",\n");
+    json.push_str("  \"schema\": \"daemon_bench_v2\",\n");
     json.push_str(&format!("  \"requests\": {n},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"cache_bytes\": {cache_bytes},\n"));
@@ -175,6 +332,42 @@ fn main() {
             speedup,
             p.aggregate_miss_ratio,
             if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"warm_restart\": {\n");
+    json.push_str(&format!("    \"shards\": {WARM_SHARDS},\n"));
+    json.push_str(&format!("    \"warmup_requests\": {half},\n"));
+    json.push_str(&format!("    \"measure_requests\": {},\n", n - half));
+    json.push_str("    \"points\": [\n");
+    for (i, p) in warm_points.iter().enumerate() {
+        let fmt_opt = |v: Option<f64>, digits: usize| {
+            v.map_or("null".to_string(), |x| format!("{x:.digits$}"))
+        };
+        let delta = match p.warm_hit_ratio {
+            Some(w) => format!("{:.6}", w - p.cold_hit_ratio),
+            None => "null".to_string(),
+        };
+        let note = if p.supported {
+            "null".to_string()
+        } else {
+            "\"resident export unsupported; warm metrics suppressed, not fabricated\"".to_string()
+        };
+        json.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"supported\": {}, \
+             \"time_to_restore_ms\": {}, \"restored_objects\": {}, \
+             \"restored_bytes\": {}, \"warm_hit_ratio\": {}, \
+             \"cold_hit_ratio\": {:.6}, \"hit_ratio_delta\": {}, \"note\": {}}}{}\n",
+            p.policy,
+            p.supported,
+            fmt_opt(p.time_to_restore_ms, 3),
+            p.restored_objects,
+            p.restored_bytes,
+            fmt_opt(p.warm_hit_ratio, 6),
+            p.cold_hit_ratio,
+            delta,
+            note,
+            if i + 1 < warm_points.len() { "," } else { "" }
         ));
     }
     json.push_str("    ]\n  }\n}\n");

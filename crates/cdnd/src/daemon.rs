@@ -38,11 +38,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cdn_cache::{key_shard, AccessKind, CachePolicy, Request, Tick};
+use cdn_cache::{key_shard, AccessKind, CachePolicy, Request, ResidentEntry, Tick};
 use tdc::SwitchableScip;
 
-use crate::config::{DaemonConfig, DaemonConfigError, RestartConfig};
+use crate::config::{DaemonConfig, DaemonConfigError, RestartConfig, SnapshotConfig};
 use crate::ring::{BoundedRing, Popped, PushError};
+use crate::snapshot::{self, SnapshotData};
 
 /// Failpoint site evaluated once per request inside a shard worker, keyed
 /// by [`worker_fault_key`]. Arm it with [`cdn_cache::fault::FaultRule`]
@@ -136,6 +137,48 @@ impl ShardPolicy {
             }
         }
     }
+
+    fn as_policy(&self) -> &dyn CachePolicy {
+        match self {
+            ShardPolicy::Plain(p) => p.as_ref(),
+            ShardPolicy::Switchable(p) => p.as_ref(),
+        }
+    }
+
+    fn as_policy_mut(&mut self) -> &mut dyn CachePolicy {
+        match self {
+            ShardPolicy::Plain(p) => p.as_mut(),
+            ShardPolicy::Switchable(p) => p.as_mut(),
+        }
+    }
+
+    /// Read-only export of the resident set (hottest-first), or `None`
+    /// when the policy does not support the seam — that shard snapshots
+    /// nothing and restarts cold.
+    fn export_resident(&self) -> Option<Vec<ResidentEntry>> {
+        let mut out = Vec::new();
+        if self.as_policy().for_each_resident(&mut |e| out.push(*e)) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Rebuild residency (and learned parameters, when present) from a
+    /// recovered snapshot. Returns false when the policy rejects the
+    /// resident-set restore (cold start).
+    fn restore_from(&mut self, data: &SnapshotData) -> bool {
+        let policy = self.as_policy_mut();
+        if !policy.restore_resident(&data.entries) {
+            return false;
+        }
+        if let Some(block) = &data.learned {
+            // A stale/foreign learned block is skipped, not fatal: the
+            // resident set alone is most of the warmth.
+            let _ = policy.restore_learned(block);
+        }
+        true
+    }
 }
 
 /// Builds a fresh policy for `(shard, per_shard_capacity)`. Called on the
@@ -148,6 +191,9 @@ pub type PolicyFactory = Arc<dyn Fn(usize, u64) -> ShardPolicy + Send + Sync>;
 enum Ctl {
     /// Set the switchable policy's deploy tick.
     SwitchAt(Tick),
+    /// Commit a snapshot epoch now (regardless of the cadence), if
+    /// snapshotting is enabled and the policy supports export.
+    SnapshotNow,
 }
 
 /// Everything about one shard that outlives its worker incarnations.
@@ -178,6 +224,13 @@ struct ShardShared {
     dropped_at_shutdown: AtomicU64,
     resident_objects: AtomicUsize,
     resident_bytes: AtomicU64,
+    // Warm-restart bookkeeping (written by the worker).
+    snapshots_written: AtomicU64,
+    restored_objects: AtomicU64,
+    restored_bytes: AtomicU64,
+    epochs_discarded: AtomicU64,
+    /// Next snapshot epoch to commit (monotonic across incarnations).
+    snap_epoch: AtomicU64,
 }
 
 impl ShardShared {
@@ -206,6 +259,11 @@ impl ShardShared {
             dropped_at_shutdown: AtomicU64::new(0),
             resident_objects: AtomicUsize::new(0),
             resident_bytes: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            restored_objects: AtomicU64::new(0),
+            restored_bytes: AtomicU64::new(0),
+            epochs_discarded: AtomicU64::new(0),
+            snap_epoch: AtomicU64::new(1),
         }
     }
 
@@ -271,6 +329,15 @@ pub struct ShardSnapshot {
     pub resident_objects: usize,
     /// Bytes resident after the last processed batch.
     pub resident_bytes: u64,
+    /// Snapshot epochs committed by this shard's workers.
+    pub snapshots_written: u64,
+    /// Objects re-inserted from snapshots across all warm restarts.
+    pub restored_objects: u64,
+    /// Bytes re-inserted from snapshots across all warm restarts.
+    pub restored_bytes: u64,
+    /// Snapshot epochs found on disk but rejected by validation during
+    /// recovery (each one is a descended fallback-ladder rung).
+    pub epochs_discarded: u64,
 }
 
 /// Snapshot of every shard plus daemon-level reload counters.
@@ -355,11 +422,73 @@ const POP_TIMEOUT: Duration = Duration::from_millis(1);
 /// Supervisor idle wake interval when no restart is pending.
 const SUP_IDLE: Duration = Duration::from_millis(200);
 
+/// Export the shard's resident set and commit one snapshot epoch.
+/// Returns true when a file was committed. Never perturbs policy state:
+/// the export seam is `&self` and a policy without the seam (or a write
+/// failure) simply leaves the previous epoch set in place.
+fn take_snapshot(shared: &ShardShared, policy: &ShardPolicy, snap: &SnapshotConfig) -> bool {
+    if !snap.enabled() {
+        return false;
+    }
+    let Some(dir) = &snap.dir else { return false };
+    let Some(entries) = policy.export_resident() else {
+        return false;
+    };
+    let learned = policy.as_policy().export_learned();
+    let epoch = shared.snap_epoch.fetch_add(1, Ordering::Relaxed);
+    let data = SnapshotData {
+        shard: shared.id as u32,
+        epoch,
+        entries,
+        learned,
+    };
+    match snapshot::write_epoch(dir, &data) {
+        Ok(_) => {
+            shared.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            snapshot::prune(dir, shared.id as u32, snap.keep);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Walk the epoch ladder and restore the newest readable snapshot into a
+/// freshly built policy. Every discarded rung is counted; any failure —
+/// missing dir, all epochs corrupt, policy rejects the restore, or a
+/// panic inside the restore itself — degrades to a cold start.
+fn restore_warm(shared: &ShardShared, policy: &mut ShardPolicy, snap: &SnapshotConfig) {
+    if !snap.enabled() {
+        return;
+    }
+    let Some(dir) = &snap.dir else { return };
+    let outcome = snapshot::recover(dir, shared.id as u32);
+    shared
+        .epochs_discarded
+        .fetch_add(outcome.epochs_discarded, Ordering::Relaxed);
+    // Future epochs must outnumber everything ever seen on disk, valid or
+    // corrupt, so a discarded-but-newer file can never shadow them.
+    shared
+        .snap_epoch
+        .fetch_max(outcome.latest_epoch_seen + 1, Ordering::Relaxed);
+    let Some(data) = outcome.data else { return };
+    ISOLATING.with(|f| f.set(true));
+    let restored = catch_unwind(AssertUnwindSafe(|| policy.restore_from(&data)));
+    ISOLATING.with(|f| f.set(false));
+    if let Ok(true) = restored {
+        let (objects, bytes) = policy.residency();
+        shared
+            .restored_objects
+            .fetch_add(objects as u64, Ordering::Relaxed);
+        shared.restored_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
 fn worker_loop(
     shared: Arc<ShardShared>,
     factory: PolicyFactory,
     per_shard_capacity: u64,
     batch: usize,
+    snap_cfg: Arc<Mutex<SnapshotConfig>>,
     events: Sender<SupEvent>,
 ) {
     let built = catch_unwind(AssertUnwindSafe(|| factory(shared.id, per_shard_capacity)));
@@ -372,7 +501,15 @@ fn worker_loop(
             return;
         }
     };
+    // Warm restore happens before the first pop: the ring's queued
+    // requests are served by a cache that already holds the snapshotted
+    // resident set, in its snapshotted recency order.
+    {
+        let snap = snap_cfg.lock().unwrap().clone();
+        restore_warm(&shared, &mut policy, &snap);
+    }
     shared.publish_residency(&policy);
+    let mut since_snap: u64 = 0;
     loop {
         if shared.ctl_pending.swap(false, Ordering::AcqRel) {
             let cmds: Vec<Ctl> = std::mem::take(&mut *shared.ctl.lock().unwrap());
@@ -381,6 +518,12 @@ fn worker_loop(
                     Ctl::SwitchAt(tick) => {
                         if policy.switch_at(tick) {
                             shared.switches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ctl::SnapshotNow => {
+                        let snap = snap_cfg.lock().unwrap().clone();
+                        if take_snapshot(&shared, &policy, &snap) {
+                            since_snap = 0;
                         }
                     }
                 }
@@ -419,6 +562,7 @@ fn worker_loop(
                                 shared.miss_bytes.fetch_add(req.size, Ordering::Relaxed);
                             }
                             shared.processed.fetch_add(1, Ordering::Relaxed);
+                            since_snap += 1;
                         }
                         Err(_) => {
                             // Crash isolation: the panicking request is
@@ -437,9 +581,22 @@ fn worker_loop(
                     }
                 }
                 shared.publish_residency(&policy);
+                // Cadence snapshots commit between batches, never inside
+                // one, so an epoch always captures a batch boundary.
+                let snap = snap_cfg.lock().unwrap().clone();
+                if snap.enabled() && since_snap >= snap.interval {
+                    take_snapshot(&shared, &policy, &snap);
+                    since_snap = 0;
+                }
             }
             Popped::TimedOut => continue,
-            Popped::Drained => break,
+            Popped::Drained => {
+                // Graceful drain: one final epoch so a subsequent process
+                // start (or the bench harness) can restore fully warm.
+                let snap = snap_cfg.lock().unwrap().clone();
+                take_snapshot(&shared, &policy, &snap);
+                break;
+            }
         }
     }
     shared.publish_residency(&policy);
@@ -454,6 +611,7 @@ struct SupervisorCtx {
     per_shard_capacity: u64,
     worker_batch: usize,
     restart_cfg: Arc<Mutex<RestartConfig>>,
+    snap_cfg: Arc<Mutex<SnapshotConfig>>,
     events_tx: Sender<SupEvent>,
     shutting_down: Arc<AtomicBool>,
 }
@@ -464,9 +622,10 @@ fn spawn_worker(ctx: &SupervisorCtx, shard: usize) {
     let events = ctx.events_tx.clone();
     let capacity = ctx.per_shard_capacity;
     let batch = ctx.worker_batch;
+    let snap_cfg = Arc::clone(&ctx.snap_cfg);
     let handle = std::thread::Builder::new()
         .name(format!("cdnd-shard-{shard}"))
-        .spawn(move || worker_loop(shared, factory, capacity, batch, events))
+        .spawn(move || worker_loop(shared, factory, capacity, batch, snap_cfg, events))
         .expect("spawn shard worker");
     *ctx.workers[shard].lock().unwrap() = Some(handle);
 }
@@ -549,6 +708,7 @@ pub struct Daemon {
     events_tx: Sender<SupEvent>,
     cfg: Mutex<DaemonConfig>,
     restart_cfg: Arc<Mutex<RestartConfig>>,
+    snap_cfg: Arc<Mutex<SnapshotConfig>>,
     shutting_down: Arc<AtomicBool>,
     reloads_applied: AtomicU64,
     reloads_rejected: AtomicU64,
@@ -565,6 +725,7 @@ impl Daemon {
             .collect();
         let workers: WorkerSlots = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
         let restart_cfg = Arc::new(Mutex::new(cfg.restart));
+        let snap_cfg = Arc::new(Mutex::new(cfg.snap.clone()));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let (events_tx, events_rx) = channel();
         let ctx = SupervisorCtx {
@@ -574,6 +735,7 @@ impl Daemon {
             per_shard_capacity: cfg.per_shard_capacity(),
             worker_batch: cfg.worker_batch,
             restart_cfg: Arc::clone(&restart_cfg),
+            snap_cfg: Arc::clone(&snap_cfg),
             events_tx: events_tx.clone(),
             shutting_down: Arc::clone(&shutting_down),
         };
@@ -591,6 +753,7 @@ impl Daemon {
             events_tx,
             cfg: Mutex::new(cfg),
             restart_cfg,
+            snap_cfg,
             shutting_down,
             reloads_applied: AtomicU64::new(0),
             reloads_rejected: AtomicU64::new(0),
@@ -711,9 +874,10 @@ impl Daemon {
     }
 
     /// Validate and apply a new config. Only supervision tunables
-    /// ([`RestartConfig`]) may change live; an invalid candidate or a
-    /// changed immutable field is rejected whole and the daemon keeps the
-    /// old config ([`DaemonConfigError::ImmutableField`]).
+    /// ([`RestartConfig`]) and snapshot tunables ([`SnapshotConfig`]) may
+    /// change live; an invalid candidate or a changed immutable field is
+    /// rejected whole and the daemon keeps the old config — including the
+    /// running snapshot cadence ([`DaemonConfigError::ImmutableField`]).
     pub fn reload(&self, candidate: DaemonConfig) -> Result<(), DaemonConfigError> {
         let result = candidate.validate().and_then(|()| {
             let current = self.cfg.lock().unwrap();
@@ -722,6 +886,7 @@ impl Daemon {
         match result {
             Ok(()) => {
                 *self.restart_cfg.lock().unwrap() = candidate.restart;
+                *self.snap_cfg.lock().unwrap() = candidate.snap.clone();
                 *self.cfg.lock().unwrap() = candidate;
                 self.reloads_applied.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -731,6 +896,22 @@ impl Daemon {
                 Err(e)
             }
         }
+    }
+
+    /// Ask `shard`'s worker to commit a snapshot epoch at its next batch
+    /// boundary, regardless of the cadence. No-op (nothing is written,
+    /// `snapshots_written` does not advance) when snapshotting is
+    /// disabled or the shard's policy lacks the export seam. Poll
+    /// [`ShardSnapshot::snapshots_written`] to observe completion.
+    pub fn snapshot_shard(&self, shard: usize) {
+        self.shards[shard]
+            .ctl
+            .lock()
+            .unwrap()
+            .push(Ctl::SnapshotNow);
+        self.shards[shard]
+            .ctl_pending
+            .store(true, Ordering::Release);
     }
 
     /// Current config (a copy).
@@ -764,6 +945,10 @@ impl Daemon {
                 dropped_at_shutdown: s.dropped_at_shutdown.load(Ordering::Relaxed),
                 resident_objects: s.resident_objects.load(Ordering::Relaxed),
                 resident_bytes: s.resident_bytes.load(Ordering::Relaxed),
+                snapshots_written: s.snapshots_written.load(Ordering::Relaxed),
+                restored_objects: s.restored_objects.load(Ordering::Relaxed),
+                restored_bytes: s.restored_bytes.load(Ordering::Relaxed),
+                epochs_discarded: s.epochs_discarded.load(Ordering::Relaxed),
             })
             .collect();
         DaemonStats {

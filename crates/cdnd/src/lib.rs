@@ -9,7 +9,10 @@
 //! 1. **Crash isolation** — a panicking shard worker is caught, its
 //!    cache declared lost, and restarted with bounded exponential
 //!    backoff behind a restart-storm breaker, while every other shard
-//!    keeps serving ([`Daemon`], DESIGN.md §16).
+//!    keeps serving ([`Daemon`], DESIGN.md §16). With snapshotting
+//!    enabled ([`SnapshotConfig`]), the replacement worker restores warm
+//!    from the newest readable CRC-framed epoch file before draining its
+//!    ring ([`snapshot`], DESIGN.md §17).
 //! 2. **Overload robustness** — bounded queues shed explicitly with
 //!    [`SubmitError::Overloaded`]; depth/shed/restart counters are
 //!    observable in [`DaemonStats`].
@@ -28,8 +31,9 @@ pub mod config;
 pub mod daemon;
 pub mod harness;
 pub mod ring;
+pub mod snapshot;
 
-pub use config::{DaemonConfig, DaemonConfigError, RestartConfig};
+pub use config::{DaemonConfig, DaemonConfigError, RestartConfig, SnapshotConfig};
 pub use daemon::{
     worker_fault_key, Daemon, DaemonStats, PolicyFactory, ShardPolicy, ShardSnapshot, ShardState,
     SubmitError, FP_ENQUEUE, FP_SHARD_WORKER,
@@ -39,3 +43,6 @@ pub use harness::{
     ShardPlan,
 };
 pub use ring::{BoundedRing, Popped, PushError};
+pub use snapshot::{
+    snap_fault_key, RecoverOutcome, SnapError, SnapshotData, FP_SNAP_LOAD, FP_SNAP_WRITE,
+};

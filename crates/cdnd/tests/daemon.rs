@@ -12,7 +12,7 @@ use cdn_sim::PolicyKind;
 use cdn_trace::{GeneratorConfig, TraceGenerator};
 use cdnd::{
     feed, ledger_diff, switchable_factory, Daemon, DaemonConfig, DaemonConfigError, FeedMode,
-    RestartConfig, ShardPlan,
+    RestartConfig, ShardPlan, SnapshotConfig,
 };
 use tdc::SwitchableScip;
 
@@ -266,4 +266,126 @@ fn live_switch_matches_switchable_reference() {
         assert_eq!(snap.miss_bytes, miss_bytes, "shard {shard} miss bytes");
         assert_eq!(snap.switches, 1);
     }
+}
+
+/// A rejected reload leaves the *running* snapshot cadence untouched:
+/// workers keep committing epochs at the old interval, and the config
+/// snapshot still reports the old tunables. A valid snapshot-tunable
+/// reload then applies live.
+#[test]
+fn rejected_reload_keeps_snapshot_cadence_running() {
+    let dir = std::env::temp_dir().join(format!("cdnd-test-reload-snaps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DaemonConfig {
+        shards: 1,
+        queue_capacity: 20_000,
+        snap: SnapshotConfig {
+            interval: 500,
+            keep: 2,
+            dir: Some(dir.clone()),
+        },
+        ..DaemonConfig::default()
+    };
+    let trace = small_trace(4_000, 5);
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+    let daemon = Daemon::spawn(cfg.clone(), plan.factory(PolicyKind::Lru)).unwrap();
+
+    // Invalid candidate: snapshotting enabled without a directory.
+    let mut invalid = cfg.clone();
+    invalid.snap.dir = None;
+    assert_eq!(
+        daemon.reload(invalid),
+        Err(DaemonConfigError::SnapDirRequired)
+    );
+    assert_eq!(daemon.config(), cfg, "rejected reload must change nothing");
+
+    // Another invalid candidate: enabled with keep = 0.
+    let mut invalid = cfg.clone();
+    invalid.snap.keep = 0;
+    assert_eq!(daemon.reload(invalid), Err(DaemonConfigError::ZeroSnapKeep));
+    assert_eq!(daemon.config(), cfg);
+
+    // The running cadence survived both rejections: feeding past the
+    // interval still commits epochs at the original rate.
+    feed(&daemon, &trace, calm_mode());
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    let mid = daemon.stats();
+    assert!(
+        mid.shards[0].snapshots_written >= (trace.len() as u64) / 500 - 1,
+        "cadence stalled after rejected reloads: {} epochs",
+        mid.shards[0].snapshots_written
+    );
+
+    // A valid snapshot-tunable change applies live (snap is reloadable).
+    let mut tuned = cfg.clone();
+    tuned.snap.interval = 10_000;
+    daemon.reload(tuned.clone()).unwrap();
+    assert_eq!(daemon.config(), tuned);
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.reloads_applied, 1);
+    assert_eq!(stats.reloads_rejected, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm restart across daemon lifetimes: a drained daemon leaves final
+/// epochs on disk; a new daemon over the same directory restores the
+/// full resident set (objects and bytes) before serving, and reports it
+/// through the restored counters.
+#[test]
+fn respawn_over_snapshot_dir_restores_residency() {
+    let dir = std::env::temp_dir().join(format!("cdnd-test-respawn-snaps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DaemonConfig {
+        shards: 2,
+        total_capacity: 4 << 20,
+        queue_capacity: 20_000,
+        snap: SnapshotConfig {
+            interval: 1 << 40, // only the drain-final epochs
+            keep: 1,
+            dir: Some(dir.clone()),
+        },
+        ..DaemonConfig::default()
+    };
+    let trace = small_trace(20_000, 17);
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+
+    let daemon = Daemon::spawn(cfg.clone(), plan.factory(PolicyKind::Scip)).unwrap();
+    feed(&daemon, &trace, calm_mode());
+    let first = daemon.shutdown();
+    for (shard, s) in first.shards.iter().enumerate() {
+        assert!(s.snapshots_written >= 1, "shard {shard} wrote no epoch");
+        assert_eq!(s.restored_objects, 0, "first run must start cold");
+    }
+
+    let daemon = Daemon::spawn(cfg, plan.factory(PolicyKind::Scip)).unwrap();
+    // Restore runs in worker startup; quiesce-with-nothing-queued means
+    // waiting for the restored counters is a bounded poll.
+    let t0 = std::time::Instant::now();
+    while daemon
+        .stats()
+        .shards
+        .iter()
+        .any(|s| s.restored_objects == 0)
+    {
+        assert!(t0.elapsed() < QUIESCE, "warm restore never completed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let second = daemon.shutdown();
+    for (shard, (a, b)) in first.shards.iter().zip(&second.shards).enumerate() {
+        assert_eq!(
+            b.restored_objects, a.resident_objects as u64,
+            "shard {shard} restored a different object count than it left"
+        );
+        assert_eq!(
+            b.restored_bytes, a.resident_bytes,
+            "shard {shard} restored different bytes than it left"
+        );
+        assert_eq!(b.epochs_discarded, 0, "clean epochs were discarded");
+        assert_eq!(
+            b.resident_objects, a.resident_objects,
+            "shard {shard} residency after warm restore"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

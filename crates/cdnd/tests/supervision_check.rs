@@ -85,6 +85,7 @@ proptest! {
             worker_batch: 16,
             seed: 5,
             restart: fast_restarts(100),
+            ..DaemonConfig::default()
         };
         let plan = ShardPlan::build(&trace, shards, cfg.seed);
         let victim = victim_pick % shards;

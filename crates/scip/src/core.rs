@@ -49,6 +49,8 @@ pub const LAMBDA_MAX: f64 = 1.0;
 const OMEGA_FLOOR: f64 = 0.02;
 /// Number of log₂-size context classes.
 const N_SIZE_CLASSES: usize = 40;
+/// Version byte of the [`ScipCore::export_learned`] snapshot block.
+const LEARNED_BLOCK_VERSION: u8 = 1;
 
 #[inline]
 fn size_class(size: u64) -> usize {
@@ -134,6 +136,46 @@ impl UpdateLr {
     /// Stagnation counter (diagnostics).
     pub fn unlearn_count(&self) -> u32 {
         self.unlearn_count
+    }
+
+    /// Learning-rate history `(λ, λ_prev, Π_prev, unlearn_count)` for the
+    /// snapshot learned block. The restart RNG is deliberately excluded —
+    /// it is exploration state, not learned knowledge.
+    pub(crate) fn export_params(&self) -> (f64, f64, f64, u32) {
+        (
+            self.lambda,
+            self.lambda_prev,
+            self.pi_prev,
+            self.unlearn_count,
+        )
+    }
+
+    /// Restore learning-rate history from a snapshot, clamping every value
+    /// back into its legal range so a stale or hostile block can never
+    /// violate the `audit()` invariants.
+    pub(crate) fn restore_params(
+        &mut self,
+        lambda: f64,
+        lambda_prev: f64,
+        pi_prev: f64,
+        unlearn_count: u32,
+    ) {
+        self.lambda = if lambda.is_finite() {
+            lambda.clamp(LAMBDA_MIN, LAMBDA_MAX)
+        } else {
+            self.lambda
+        };
+        self.lambda_prev = if lambda_prev.is_finite() {
+            lambda_prev.clamp(LAMBDA_MIN, LAMBDA_MAX)
+        } else {
+            self.lambda
+        };
+        self.pi_prev = if pi_prev.is_finite() {
+            pi_prev.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.unlearn_count = unlearn_count.min(self.unlearn_threshold);
     }
 
     /// One Algorithm-2 step with the window's average hit rate `Π_t`.
@@ -492,6 +534,76 @@ impl ScipCore {
         Ok(())
     }
 
+    /// Serialise the learned parameters — per-class `ω_m`, `ω_p`, the
+    /// traversal estimate and the `UPDATELR` history — into an opaque
+    /// versioned block for warm-restart snapshots.
+    ///
+    /// The ghost lists (`H_m`/`H_l`) are deliberately *not* included: they
+    /// are bulky derived evidence that re-accumulates within one history
+    /// lifetime, while the weights are the distilled knowledge whose loss a
+    /// restart actually feels. The RNGs are also excluded (exploration
+    /// state, not learned state).
+    pub fn export_learned(&self) -> Vec<u8> {
+        let (lambda, lambda_prev, pi_prev, unlearn_count) = self.lr.export_params();
+        let mut out = Vec::with_capacity(2 + 8 * (self.omega_m.len() + 5) + 4);
+        out.push(LEARNED_BLOCK_VERSION);
+        out.push(self.omega_m.len() as u8);
+        for w in &self.omega_m {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.omega_p.to_le_bytes());
+        out.extend_from_slice(&self.traversal_est.to_le_bytes());
+        out.extend_from_slice(&lambda.to_le_bytes());
+        out.extend_from_slice(&lambda_prev.to_le_bytes());
+        out.extend_from_slice(&pi_prev.to_le_bytes());
+        out.extend_from_slice(&unlearn_count.to_le_bytes());
+        out
+    }
+
+    /// Restore learned parameters from an [`export_learned`] block.
+    ///
+    /// Validated and clamped: an unknown version, wrong class count or
+    /// short block is rejected wholesale (returns `false`, state
+    /// untouched); individual values are clamped back into their audit
+    /// bounds so even a bit-flipped block that passes the outer CRC can
+    /// never produce a core that fails [`ScipCore::audit`].
+    ///
+    /// [`export_learned`]: ScipCore::export_learned
+    pub fn restore_learned(&mut self, block: &[u8]) -> bool {
+        let n = self.omega_m.len();
+        let expect = 2 + 8 * (n + 5) + 4;
+        if block.len() != expect || block[0] != LEARNED_BLOCK_VERSION || block[1] as usize != n {
+            return false;
+        }
+        let f64_at = |i: usize| {
+            let off = 2 + 8 * i;
+            f64::from_le_bytes(block[off..off + 8].try_into().expect("sized above"))
+        };
+        for (class, w) in self.omega_m.iter_mut().enumerate() {
+            let v = f64_at(class);
+            if v.is_finite() {
+                *w = Self::clamp_omega(v);
+            }
+        }
+        let p = f64_at(n);
+        if p.is_finite() {
+            self.omega_p = Self::clamp_omega(p);
+        }
+        let t = f64_at(n + 1);
+        if t.is_finite() && t >= 0.0 {
+            self.traversal_est = t;
+        }
+        let count_off = 2 + 8 * (n + 5);
+        let unlearn_count = u32::from_le_bytes(
+            block[count_off..count_off + 4]
+                .try_into()
+                .expect("sized above"),
+        );
+        self.lr
+            .restore_params(f64_at(n + 2), f64_at(n + 3), f64_at(n + 4), unlearn_count);
+        true
+    }
+
     /// Metadata footprint (history lists + per-class weights).
     pub fn memory_bytes(&self) -> usize {
         self.h_m.memory_bytes()
@@ -744,6 +856,61 @@ mod tests {
             }
         }
         assert!(saw_change, "λ should restart after stagnant windows");
+    }
+
+    #[test]
+    fn learned_block_roundtrips() {
+        let mut trained = ScipCore::new(10_000, ScipConfig::default());
+        for i in 0..200u64 {
+            c_evict_zro(&mut trained, i);
+        }
+        for _ in 0..50_000 {
+            trained.on_request_end(false);
+        }
+        let block = trained.export_learned();
+        let mut fresh = ScipCore::new(10_000, ScipConfig::default());
+        assert!(fresh.restore_learned(&block));
+        assert_eq!(fresh.omega_m, trained.omega_m);
+        assert_eq!(fresh.omega_p, trained.omega_p);
+        assert_eq!(fresh.traversal_est, trained.traversal_est);
+        assert_eq!(fresh.lr.lambda(), trained.lr.lambda());
+        fresh.audit().expect("restored core audits");
+    }
+
+    #[test]
+    fn learned_block_rejects_malformed() {
+        let c = ScipCore::new(10_000, ScipConfig::default());
+        let block = c.export_learned();
+        let mut fresh = ScipCore::new(10_000, ScipConfig::default());
+        assert!(!fresh.restore_learned(&block[..block.len() - 1]));
+        assert!(!fresh.restore_learned(&[]));
+        let mut wrong_version = block.clone();
+        wrong_version[0] = 99;
+        assert!(!fresh.restore_learned(&wrong_version));
+        let mut wrong_classes = block;
+        wrong_classes[1] = 7;
+        assert!(!fresh.restore_learned(&wrong_classes));
+    }
+
+    #[test]
+    fn learned_block_hostile_values_stay_within_audit_bounds() {
+        let c = ScipCore::new(10_000, ScipConfig::default());
+        let block = c.export_learned();
+        // Flip every single byte in turn; the restored core must always
+        // either reject the block or clamp back into audit bounds.
+        for i in 0..block.len() {
+            for bit in 0..8 {
+                let mut mutated = block.clone();
+                mutated[i] ^= 1 << bit;
+                let mut fresh = ScipCore::new(10_000, ScipConfig::default());
+                fresh.restore_learned(&mutated);
+                fresh.audit().expect("clamped restore audits");
+            }
+        }
+    }
+
+    fn c_evict_zro(c: &mut ScipCore, i: u64) {
+        c.on_evict(victim(i, true, 0, i, i, i + 100));
     }
 
     #[test]

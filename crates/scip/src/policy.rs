@@ -161,6 +161,27 @@ impl CachePolicy for Scip {
     fn prefetch_hint(&self, id: ObjectId) {
         self.cache.prefetch_lookup(id);
     }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        cdn_cache::export_lru_queue(&self.cache, 0, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        // Queue order and per-entry residency marks (insert position, hit
+        // counts) are reconstructed exactly; the ghost lists restart empty
+        // and re-accumulate from post-restart evictions.
+        cdn_cache::restore_lru_queue(&mut self.cache, entries);
+        true
+    }
+
+    fn export_learned(&self) -> Option<Vec<u8>> {
+        Some(self.core.export_learned())
+    }
+
+    fn restore_learned(&mut self, block: &[u8]) -> bool {
+        self.core.restore_learned(block)
+    }
 }
 
 /// SCI: Algorithm 3 — SCIP without the promotion half. Hits always go to
@@ -269,6 +290,24 @@ impl CachePolicy for Sci {
     #[inline]
     fn prefetch_hint(&self, id: ObjectId) {
         self.cache.prefetch_lookup(id);
+    }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        cdn_cache::export_lru_queue(&self.cache, 0, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        cdn_cache::restore_lru_queue(&mut self.cache, entries);
+        true
+    }
+
+    fn export_learned(&self) -> Option<Vec<u8>> {
+        Some(self.core.export_learned())
+    }
+
+    fn restore_learned(&mut self, block: &[u8]) -> bool {
+        self.core.restore_learned(block)
     }
 }
 

@@ -165,6 +165,24 @@ impl CachePolicy for SwitchableScip {
             ..self.stats
         }
     }
+
+    fn for_each_resident(&self, visit: &mut dyn FnMut(&cdn_cache::ResidentEntry)) -> bool {
+        cdn_cache::export_lru_queue(&self.cache, 0, visit);
+        true
+    }
+
+    fn restore_resident(&mut self, entries: &[cdn_cache::ResidentEntry]) -> bool {
+        cdn_cache::restore_lru_queue(&mut self.cache, entries);
+        true
+    }
+
+    fn export_learned(&self) -> Option<Vec<u8>> {
+        Some(self.core.export_learned())
+    }
+
+    fn restore_learned(&mut self, block: &[u8]) -> bool {
+        self.core.restore_learned(block)
+    }
 }
 
 #[cfg(test)]

@@ -17,10 +17,18 @@
 #                                 REPLAY_SHARDS). Composable with --gate.
 #   scripts/bench.sh --daemon     bench the cdnd daemon serving path
 #                                 instead of the replay engine: writes
-#                                 BENCH_daemon.json and, with --gate,
+#                                 BENCH_daemon.json (schema v2: shard
+#                                 scaling + warm_restart section with
+#                                 time-to-restore and the warm-vs-cold
+#                                 hit-ratio delta) and, with --gate,
 #                                 fails on any (policy × shards) daemon
 #                                 throughput regression beyond the same
-#                                 tolerance.
+#                                 tolerance or on a policy whose warm
+#                                 restart support regressed to
+#                                 unsupported. A schema-v1 baseline (no
+#                                 warm_restart section) is reported
+#                                 explicitly and its warm comparison
+#                                 skipped — never silently.
 #
 # Knobs (env):
 #   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
@@ -121,6 +129,55 @@ if [[ "$DAEMON" == 1 ]]; then
             exit 1
         fi
         echo "--gate: all daemon points within tolerance"
+    fi
+
+    # Warm-restart section (schema v2): report time-to-restore and the
+    # warm-vs-cold hit-ratio delta per policy, comparing against the
+    # baseline where one exists. A schema-v1 baseline predates the
+    # warm_restart section — say so explicitly and skip the comparison,
+    # never silently pair nothing. Policies whose warm metrics are
+    # suppressed (unsupported resident export) are reported as such; with
+    # --gate, a policy that was supported in the baseline must stay
+    # supported.
+    warm_row() {
+        grep '"hit_ratio_delta"' "$1" | grep -F "\"policy\": \"$2\"" || true
+    }
+    warm_field() {
+        # warm_field <row> <field>: numeric value, "null", or empty.
+        echo "$1" | grep -o "\"$2\": [0-9.nul-]*" | awk '{print $2}'
+    }
+    warm_gate_rc=0
+    while read -r policy; do
+        cur_row="$(warm_row "$OUT" "$policy")"
+        restore_ms="$(warm_field "$cur_row" "time_to_restore_ms")"
+        delta="$(warm_field "$cur_row" "hit_ratio_delta")"
+        if [[ "$restore_ms" == "null" ]]; then
+            echo "warm restart [$policy]: unsupported — metrics suppressed, not fabricated"
+        else
+            echo "warm restart [$policy]: time-to-restore ${restore_ms} ms, warm-vs-cold hit-ratio delta ${delta}"
+        fi
+        if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
+            if ! grep -q '"warm_restart"' "$BASELINE"; then
+                continue # explicit v1 note printed once below
+            fi
+            prev_row="$(warm_row "$BASELINE" "$policy")"
+            if [[ -z "$prev_row" ]]; then
+                echo "warm restart [$policy]: new policy, no baseline row"
+                continue
+            fi
+            prev_ms="$(warm_field "$prev_row" "time_to_restore_ms")"
+            if [[ "$prev_ms" != "null" && "$restore_ms" == "null" ]]; then
+                echo "--gate: FAIL warm restart [$policy] regressed supported -> unsupported"
+                warm_gate_rc=1
+            fi
+        fi
+    done < <(grep '"hit_ratio_delta"' "$OUT" | grep -o '"policy": "[^"]*"' | sed 's/"policy": "//; s/"//')
+    if [[ -n "$BASELINE" && -f "$BASELINE" ]] && ! grep -q '"warm_restart"' "$BASELINE"; then
+        echo "daemon baseline is schema v1 (no warm_restart section): warm metrics measured fresh, comparison skipped"
+    fi
+    if [[ "$GATE" == 1 && "$warm_gate_rc" != 0 ]]; then
+        echo "--gate: warm-restart support regression"
+        exit 1
     fi
     exit 0
 fi

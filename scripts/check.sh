@@ -51,7 +51,11 @@ echo "==> fig6_chaos calm gate (exits nonzero if calm != plain path)"
 TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
     cargo run --release -q -p cdn-sim --bin fig6_chaos
 
-echo "==> cdnd_chaos daemon gate (calm + kill-schedule; exits nonzero on any gate)"
+echo "==> snapshot fault-injection suite (torn-tail, byte-flip corpus, load errors)"
+cargo test -q -p cdnd --features fault-injection --test snapshot_check
+
+echo "==> cdnd_chaos daemon gate (calm, calm-snap, kill, warm-restart, corruption"
+echo "    ladder; exits nonzero on any gate)"
 CDND_CHAOS_REQUESTS=60000 \
     cargo run --release -q -p cdnd --features fault-injection --bin cdnd_chaos >/dev/null
 
