@@ -114,6 +114,53 @@ pub fn key_shard(key: u64, shards: usize) -> usize {
     ((h as u128 * shards as u128) >> 64) as usize
 }
 
+/// Rendezvous (highest-random-weight) weight of `key` on `node`.
+///
+/// Shared seam between the `tdc` origin-cluster sibling picker and the
+/// `cdnd` shard failover router: every candidate node scores
+/// `(key, node)` and the highest weight wins, so one node's death
+/// remaps only that node's keys and its revival restores exactly the
+/// original assignment. The per-node salt is `(node + 1) · FIB_MUL` so
+/// node 0 does not degenerate into the identity salt.
+#[inline]
+pub fn rendezvous_weight(key: u64, node: usize) -> u64 {
+    mix64(key ^ (node as u64 + 1).wrapping_mul(FIB_MUL))
+}
+
+/// Deterministic failover route for `key` over `shards` shards, given a
+/// predicate marking shards as down.
+///
+/// Order tried: the [`key_shard`] primary first, then every other shard
+/// by descending [`rendezvous_weight`] (first-seen, i.e. lowest index,
+/// wins a weight tie, keeping the order total). Returns the first shard
+/// the predicate reports up, or `None` when every shard is down. Pure in
+/// `(key, shards, down-set)`, which is what lets the daemon's router and
+/// the serial oracle replay identical decisions.
+///
+/// # Panics
+/// If `shards` is zero (via [`key_shard`]).
+pub fn route_with_failover(
+    key: u64,
+    shards: usize,
+    is_down: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let primary = key_shard(key, shards);
+    if !is_down(primary) {
+        return Some(primary);
+    }
+    let mut best: Option<(u64, usize)> = None;
+    for node in 0..shards {
+        if node == primary || is_down(node) {
+            continue;
+        }
+        let w = rendezvous_weight(key, node);
+        if best.is_none_or(|(bw, _)| w > bw) {
+            best = Some((w, node));
+        }
+    }
+    best.map(|(_, node)| node)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +256,87 @@ mod tests {
             covered > buckets * 9 / 10,
             "shard 0 keys cover only {covered}/{buckets} home slots"
         );
+    }
+
+    #[test]
+    fn route_prefers_primary_when_up() {
+        for key in [0u64, 1, 7, 1000, u64::MAX] {
+            for shards in [1usize, 2, 4, 7] {
+                assert_eq!(
+                    route_with_failover(key, shards, |_| false),
+                    Some(key_shard(key, shards))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_failover_is_consistent_and_minimal() {
+        // A downed shard remaps only its own keys; revival restores the
+        // original assignment exactly (rendezvous consistency).
+        let shards = 4usize;
+        for key in 0..5000u64 {
+            let primary = key_shard(key, shards);
+            let down = (primary + 1) % shards; // some *other* shard down
+            let routed = route_with_failover(key, shards, |s| s == down).unwrap();
+            assert_eq!(routed, primary, "non-primary death must not move key {key}");
+
+            let failover = route_with_failover(key, shards, |s| s == primary).unwrap();
+            assert_ne!(failover, primary);
+            // Deterministic: same decision every time.
+            assert_eq!(
+                failover,
+                route_with_failover(key, shards, |s| s == primary).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn route_walks_rendezvous_order_past_dead_secondary() {
+        let shards = 4usize;
+        for key in 0..2000u64 {
+            let primary = key_shard(key, shards);
+            let second = route_with_failover(key, shards, |s| s == primary).unwrap();
+            let third = route_with_failover(key, shards, |s| s == primary || s == second).unwrap();
+            assert!(third != primary && third != second);
+            // third must be the best remaining rendezvous weight.
+            for node in 0..shards {
+                if node != primary && node != second && node != third {
+                    assert!(
+                        rendezvous_weight(key, third) >= rendezvous_weight(key, node),
+                        "key {key}: rendezvous order violated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_none_when_all_down() {
+        assert_eq!(route_with_failover(42, 4, |_| true), None);
+    }
+
+    #[test]
+    fn route_spreads_failover_load() {
+        // Keys homed on a dead shard must spread across survivors, not
+        // funnel into one (that is the point of rendezvous vs key+1).
+        let shards = 4usize;
+        let mut counts = vec![0u32; shards];
+        let mut total = 0u32;
+        for key in 0..40_000u64 {
+            if key_shard(key, shards) == 0 {
+                counts[route_with_failover(key, shards, |s| s == 0).unwrap()] += 1;
+                total += 1;
+            }
+        }
+        assert_eq!(counts[0], 0);
+        let expected = (total / 3) as i64;
+        for (s, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (c as i64 - expected).abs() < expected / 4,
+                "survivor {s}: {c} vs expected {expected}"
+            );
+        }
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub use experiments::ExperimentError;
 pub use runner::{
     run_policy, run_policy_dyn, BatchMode, PolicyKind, RunMeasurement, TraceCtx, AUTO_PREFETCH_DIST,
 };
-pub use shard::{run_sharded, run_sharded_serial, AggregateMeasurement, ShardedRunReport};
+pub use shard::{
+    run_routed_serial, run_sharded, run_sharded_serial, AggregateMeasurement, OutageWindow,
+    RoutedRunReport, RoutedShardLedger, ShardedRunReport,
+};
 pub use sweep::{parallel_runs, run_jobs, JobOutcome, SweepConfig, SweepReport};
 pub use table::{Table, TableError};
 

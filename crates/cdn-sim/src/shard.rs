@@ -19,7 +19,8 @@
 
 use std::time::Instant;
 
-use cdn_trace::{ShardedTrace, TraceColumns};
+use cdn_cache::{key_shard, route_with_failover, Request};
+use cdn_trace::{partition_columns, ShardedTrace, TraceColumns};
 
 use crate::runner::{BatchMode, RunMeasurement, TraceCtx};
 use crate::PolicyKind;
@@ -208,6 +209,166 @@ pub fn run_sharded_serial(
     merge(per_shard, wall)
 }
 
+/// One shard outage for the routed reference replay, expressed as global
+/// indices into the request stream so the decision boundary is exact.
+///
+/// The request at `crash_index` (a primary request of `shard`) consumes a
+/// victim tick and is **lost**: it never reaches the policy, because the
+/// daemon's kill failpoint fires before `on_request`, and the victim's
+/// cache dies with that incarnation. Requests with index strictly inside
+/// `(crash_index, end_index)` whose primary is `shard` re-route to their
+/// rendezvous failover shard. At `end_index` the shard revives with a
+/// fresh (cold) policy; its tick counter continues across incarnations,
+/// exactly like the daemon's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The shard that is down.
+    pub shard: usize,
+    /// Global index of the killing request (lost, ticks the victim).
+    pub crash_index: usize,
+    /// Exclusive global index at which the shard is back up.
+    pub end_index: usize,
+}
+
+/// Per-shard ledger of a routed reference replay — the exact counters the
+/// daemon must reproduce u64-for-u64 on *every* shard (victims included)
+/// when failover routing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutedShardLedger {
+    /// Requests fully served by this shard's policy.
+    pub processed: u64,
+    /// Requests lost at a crash boundary (ticked, never served).
+    pub lost: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Bytes served from cache.
+    pub hit_bytes: u64,
+    /// Bytes missed to origin.
+    pub miss_bytes: u64,
+    /// Requests served here whose primary shard was down (overlay
+    /// traffic absorbed for a dead sibling).
+    pub failover_in: u64,
+}
+
+/// Result of [`run_routed_serial`].
+#[derive(Debug, Clone)]
+pub struct RoutedRunReport {
+    /// Per-shard ledgers, indexed by shard.
+    pub per_shard: Vec<RoutedShardLedger>,
+    /// Requests that found every shard down (no route at all). The chaos
+    /// schedules keep outages non-overlapping, so this stays 0 there.
+    pub unroutable: u64,
+}
+
+/// Routing-aware serial reference: replay `requests` in global order
+/// through per-shard policies built exactly like [`run_sharded_serial`]'s
+/// (calm-partition contexts, floor capacity split), but route each
+/// request with the *same* deterministic failover decision the daemon
+/// makes — primary [`key_shard`] home while up, rendezvous-ordered
+/// secondary ([`route_with_failover`]) while the primary is inside an
+/// [`OutageWindow`].
+///
+/// With `windows` empty this degenerates to the calm decomposition: every
+/// request lands on its primary in partition order with local ticks
+/// `0..len`, so the per-shard ledgers equal [`run_sharded_serial`]'s
+/// bit-for-bit (asserted in tests — the "routing on, nothing down"
+/// invariant the daemon gates on).
+///
+/// # Panics
+/// If `shards` is zero or any window's `shard` is out of range.
+pub fn run_routed_serial(
+    kind: PolicyKind,
+    total_capacity: u64,
+    requests: &[Request],
+    shards: usize,
+    seed: u64,
+    windows: &[OutageWindow],
+) -> RoutedRunReport {
+    assert!(shards > 0, "run_routed_serial: no shards");
+    assert!(
+        windows.iter().all(|w| w.shard < shards),
+        "run_routed_serial: window shard out of range"
+    );
+    let per_shard_capacity = (total_capacity / shards as u64).max(1);
+    // Policies are built from the *calm* partition's localized contexts —
+    // the same contexts the daemon's policy factory uses for first starts
+    // and restarts alike.
+    let sharded = partition_columns(&TraceColumns::from_requests(requests), shards);
+    let ctxs: Vec<(Vec<Request>, TraceCtx)> = sharded
+        .shards
+        .iter()
+        .map(|cols| {
+            let mut local = cols.clone();
+            for (i, t) in local.ticks.iter_mut().enumerate() {
+                *t = i as u64;
+            }
+            let reqs = local.to_requests();
+            let ctx = TraceCtx::new(&reqs, seed);
+            (reqs, ctx)
+        })
+        .collect();
+    let mut policies: Vec<_> = ctxs
+        .iter()
+        .map(|(_, ctx)| Some(kind.build(per_shard_capacity, ctx)))
+        .collect();
+    let mut ledgers = vec![RoutedShardLedger::default(); shards];
+    let mut ticks = vec![0u64; shards];
+    let mut unroutable = 0u64;
+    for (i, req) in requests.iter().enumerate() {
+        if let Some(w) = windows.iter().find(|w| w.crash_index == i) {
+            // The killing request: consumes a victim tick, is counted
+            // lost, never reaches the policy (the failpoint panics before
+            // `on_request`), and the victim's cache dies here.
+            ticks[w.shard] += 1;
+            ledgers[w.shard].lost += 1;
+            policies[w.shard] = None;
+            continue;
+        }
+        let down = |s: usize| {
+            windows
+                .iter()
+                .any(|w| w.shard == s && w.crash_index < i && i < w.end_index)
+        };
+        // Revive any shard whose window just ended: fresh cold policy,
+        // tick counter continuing (the daemon's restart semantics).
+        for w in windows {
+            if w.end_index <= i && policies[w.shard].is_none() && !down(w.shard) {
+                policies[w.shard] = Some(kind.build(per_shard_capacity, &ctxs[w.shard].1));
+            }
+        }
+        let primary = key_shard(req.id.0, shards);
+        let Some(target) = route_with_failover(req.id.0, shards, down) else {
+            unroutable += 1;
+            continue;
+        };
+        let mut local = *req;
+        local.tick = ticks[target];
+        ticks[target] += 1;
+        let outcome = policies[target]
+            .as_mut()
+            .expect("routed target must be up")
+            .on_request(&local);
+        let ledger = &mut ledgers[target];
+        if outcome.is_hit() {
+            ledger.hits += 1;
+            ledger.hit_bytes += req.size;
+        } else {
+            ledger.misses += 1;
+            ledger.miss_bytes += req.size;
+        }
+        ledger.processed += 1;
+        if target != primary {
+            ledger.failover_in += 1;
+        }
+    }
+    RoutedRunReport {
+        per_shard: ledgers,
+        unroutable,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +421,76 @@ mod tests {
         assert!(report.aggregate_tps() > 0.0);
         let ratio = report.aggregate.miss_ratio();
         assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn routed_serial_with_no_windows_is_bit_identical_to_calm_serial() {
+        // The calm-path identity the daemon's routing gate relies on:
+        // routing enabled with nothing down must change no ledger at all.
+        let reqs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i * 13 % 700, 1 + i % 40)).collect();
+        let trace = cdn_cache::object::micro_trace(&reqs);
+        for shards in [1usize, 2, 4] {
+            let sharded = partition_columns(&TraceColumns::from_requests(&trace), shards);
+            for kind in [PolicyKind::Lru, PolicyKind::Scip] {
+                let calm = run_sharded_serial(kind, 4_000, &sharded, 7, BatchMode::Off);
+                let routed = run_routed_serial(kind, 4_000, &trace, shards, 7, &[]);
+                assert_eq!(routed.unroutable, 0);
+                for (s, (r, c)) in routed.per_shard.iter().zip(&calm.per_shard).enumerate() {
+                    assert_eq!(r.failover_in, 0, "{kind:?} shard {s}");
+                    assert_eq!(r.lost, 0, "{kind:?} shard {s}");
+                    assert_eq!(
+                        (r.hits, r.misses, r.hit_bytes, r.miss_bytes),
+                        (c.hits, c.misses, c.hit_bytes, c.miss_bytes),
+                        "{kind:?} shard {s} at {shards} shards"
+                    );
+                    assert_eq!(r.processed, c.hits + c.misses);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_serial_accounts_every_request_under_outage() {
+        let reqs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i * 17 % 900, 1 + i % 32)).collect();
+        let trace = cdn_cache::object::micro_trace(&reqs);
+        let shards = 4usize;
+        // Pick a crash index whose request is primary on its shard.
+        let crash_index = 10_000usize;
+        let victim = cdn_cache::key_shard(trace[crash_index].id.0, shards);
+        let windows = [OutageWindow {
+            shard: victim,
+            crash_index,
+            end_index: 20_000,
+        }];
+        let report = run_routed_serial(PolicyKind::Lru, 4_000, &trace, shards, 7, &windows);
+        assert_eq!(report.unroutable, 0);
+        let processed: u64 = report.per_shard.iter().map(|l| l.processed).sum();
+        let lost: u64 = report.per_shard.iter().map(|l| l.lost).sum();
+        assert_eq!(lost, 1);
+        assert_eq!(report.per_shard[victim].lost, 1);
+        assert_eq!(processed + lost, trace.len() as u64);
+        // Overlay traffic landed on survivors, never the victim.
+        let failover: u64 = report.per_shard.iter().map(|l| l.failover_in).sum();
+        assert!(failover > 0, "outage must divert some primaries");
+        assert_eq!(report.per_shard[victim].failover_in, 0);
+        // Every ledger stays internally consistent.
+        for l in &report.per_shard {
+            assert_eq!(l.processed, l.hits + l.misses);
+        }
+    }
+
+    #[test]
+    fn routed_serial_is_deterministic() {
+        let reqs: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i * 7 % 500, 1 + i % 20)).collect();
+        let trace = cdn_cache::object::micro_trace(&reqs);
+        let windows = [OutageWindow {
+            shard: cdn_cache::key_shard(trace[2_000].id.0, 4),
+            crash_index: 2_000,
+            end_index: 6_000,
+        }];
+        let a = run_routed_serial(PolicyKind::Scip, 4_000, &trace, 4, 7, &windows);
+        let b = run_routed_serial(PolicyKind::Scip, 4_000, &trace, 4, 7, &windows);
+        assert_eq!(a.per_shard, b.per_shard);
     }
 
     #[test]

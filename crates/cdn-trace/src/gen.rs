@@ -16,6 +16,11 @@
 //! 4. **Popularity drift** — every `drift_interval` requests a fraction of
 //!    Zipf ranks is remapped to fresh ids, modelling content churn.
 //!
+//! On top of the stationary mix, [`DriftEvent`]s inject *scheduled*
+//! nonstationarity at exact ticks — flash crowds, working-set rotations
+//! and diurnal popularity cycles — so chaos schedules can land shard
+//! kills inside a known drift window (DESIGN.md §18).
+//!
 //! All randomness flows from a single [`SimRng`] seed; a trace is a pure
 //! function of its [`GeneratorConfig`].
 
@@ -26,6 +31,49 @@ use cdn_cache::{Request, SimRng, Tick};
 
 use crate::sizes::SizeModel;
 use crate::zipf::Zipf;
+
+/// A scheduled nonstationarity, pinned to exact request ticks so chaos
+/// schedules can place failures *inside* the drift they are stressing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftEvent {
+    /// A sudden surge onto a tiny set of brand-new objects: while
+    /// `start <= tick < start + duration`, a `share` fraction of requests
+    /// is redirected to a pool of `objects` ids minted at the window's
+    /// first tick, sampled Zipf(1.0)-skewed. Models a viral release —
+    /// massive concentrated load on content no cache has seen.
+    FlashCrowd {
+        /// First tick of the surge.
+        start: Tick,
+        /// Window length in ticks.
+        duration: Tick,
+        /// Probability a request inside the window goes to the crowd pool.
+        share: f64,
+        /// Size of the crowd pool (small ⇒ extreme skew).
+        objects: usize,
+    },
+    /// One-shot churn of the popular head: at tick `at`, the top
+    /// `fraction` of core ranks is remapped to fresh ids. Unlike the
+    /// periodic background drift (which remaps *random* ranks), rotating
+    /// the head guarantees the hot set before and after the boundary
+    /// barely overlaps — a catalog refresh.
+    WorkingSetRotation {
+        /// Tick of the rotation boundary.
+        at: Tick,
+        /// Fraction of core ranks remapped, hottest first, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Diurnal popularity cycle: popularity mass oscillates between the
+    /// two halves of the core pool with period `period` ticks. A sampled
+    /// rank is phase-shifted by half the pool with probability
+    /// `amplitude * (1 - cos(2πt/period)) / 2` — zero at phase 0, peak
+    /// `amplitude` at half-period. Models day/night audience swap.
+    PopularityCycle {
+        /// Cycle length in ticks.
+        period: Tick,
+        /// Peak shift probability, in `[0, 1]`.
+        amplitude: f64,
+    },
+}
 
 /// Full parameterisation of a synthetic trace.
 #[derive(Debug, Clone)]
@@ -59,6 +107,8 @@ pub struct GeneratorConfig {
     pub requests_per_sec: f64,
     /// Diurnal modulation amplitude in `[0, 1)` (0 = flat rate).
     pub diurnal_amplitude: f64,
+    /// Scheduled nonstationarities (empty = stationary mix only).
+    pub events: Vec<DriftEvent>,
     /// Master seed.
     pub seed: u64,
 }
@@ -79,6 +129,7 @@ impl Default for GeneratorConfig {
             wonder_size_factor: 1.0,
             requests_per_sec: 2_000.0,
             diurnal_amplitude: 0.4,
+            events: Vec::new(),
             seed: 1,
         }
     }
@@ -105,6 +156,12 @@ pub struct TraceGenerator {
     tick: Tick,
     wall_secs: f64,
     next_drift: Tick,
+    /// Per-event flash-crowd pools (minted at window entry), parallel to
+    /// `cfg.events`.
+    flash_pools: Vec<Option<(Vec<u64>, Zipf)>>,
+    /// Which [`DriftEvent::WorkingSetRotation`]s have fired, parallel to
+    /// `cfg.events`.
+    rotated: Vec<bool>,
 }
 
 impl TraceGenerator {
@@ -115,6 +172,30 @@ impl TraceGenerator {
         assert!(cfg.burst_len_mean >= 1.0);
         assert!(cfg.burst_gap_mean >= 1.0);
         assert!((0.0..1.0).contains(&cfg.diurnal_amplitude));
+        for ev in &cfg.events {
+            match *ev {
+                DriftEvent::FlashCrowd {
+                    duration,
+                    share,
+                    objects,
+                    ..
+                } => {
+                    assert!(duration > 0, "flash crowd needs a window");
+                    assert!(objects > 0, "flash crowd needs a pool");
+                    assert!((0.0..=1.0).contains(&share), "flash share in [0,1]");
+                }
+                DriftEvent::WorkingSetRotation { fraction, .. } => {
+                    assert!(
+                        fraction > 0.0 && fraction <= 1.0,
+                        "rotation fraction in (0,1]"
+                    );
+                }
+                DriftEvent::PopularityCycle { period, amplitude } => {
+                    assert!(period > 0, "cycle needs a period");
+                    assert!((0.0..=1.0).contains(&amplitude), "amplitude in [0,1]");
+                }
+            }
+        }
         let mut rng = SimRng::new(cfg.seed);
         let zipf = Zipf::new(cfg.core_objects, cfg.zipf_s);
         // Shuffle ids over ranks so object id carries no popularity signal
@@ -137,6 +218,8 @@ impl TraceGenerator {
             tick: 0,
             wall_secs: 0.0,
             next_drift,
+            flash_pools: (0..cfg.events.len()).map(|_| None).collect(),
+            rotated: vec![false; cfg.events.len()],
             cfg,
         }
     }
@@ -196,6 +279,83 @@ impl TraceGenerator {
         }
     }
 
+    /// Fire tick-scheduled state changes: mint a flash-crowd pool at its
+    /// window entry, rotate the popular head at a rotation boundary.
+    fn apply_events(&mut self) {
+        for i in 0..self.cfg.events.len() {
+            match self.cfg.events[i] {
+                DriftEvent::FlashCrowd {
+                    start,
+                    duration,
+                    objects,
+                    ..
+                } => {
+                    if self.tick >= start
+                        && self.tick < start.saturating_add(duration)
+                        && self.flash_pools[i].is_none()
+                    {
+                        let ids = (0..objects).map(|_| self.fresh_id()).collect();
+                        self.flash_pools[i] = Some((ids, Zipf::new(objects, 1.0)));
+                    }
+                }
+                DriftEvent::WorkingSetRotation { at, fraction } => {
+                    if self.tick >= at && !self.rotated[i] {
+                        self.rotated[i] = true;
+                        let n = self.cfg.core_objects;
+                        let count = (((n as f64) * fraction) as usize).clamp(1, n);
+                        // Hottest ranks first: rank 0 is the Zipf head, so
+                        // the pre-boundary hot set is guaranteed to churn.
+                        for rank in 0..count {
+                            self.rank_to_id[rank] = self.fresh_id();
+                        }
+                    }
+                }
+                DriftEvent::PopularityCycle { .. } => {}
+            }
+        }
+    }
+
+    /// A flash-crowd object for this tick, if a window is open and the
+    /// crowd share fires.
+    fn flash_object(&mut self) -> Option<u64> {
+        for i in 0..self.cfg.events.len() {
+            if let DriftEvent::FlashCrowd {
+                start,
+                duration,
+                share,
+                ..
+            } = self.cfg.events[i]
+            {
+                if self.tick >= start
+                    && self.tick < start.saturating_add(duration)
+                    && self.rng.chance(share)
+                {
+                    let (ids, zipf) = self.flash_pools[i]
+                        .as_ref()
+                        .expect("flash pool minted at window entry");
+                    let rank = zipf.sample(&mut self.rng);
+                    return Some(ids[rank]);
+                }
+            }
+        }
+        None
+    }
+
+    /// Phase-shift a sampled core rank per any active popularity cycle.
+    fn cycled_rank(&mut self, rank: usize) -> usize {
+        let n = self.cfg.core_objects;
+        for ev in &self.cfg.events {
+            if let DriftEvent::PopularityCycle { period, amplitude } = *ev {
+                let phase = (self.tick % period) as f64 / period as f64;
+                let p = amplitude * 0.5 * (1.0 - (std::f64::consts::TAU * phase).cos());
+                if p > 0.0 && self.rng.chance(p) {
+                    return (rank + n / 2) % n;
+                }
+            }
+        }
+        rank
+    }
+
     fn advance_wall(&mut self) {
         let day_frac = self.wall_secs / 86_400.0;
         let rate = self.cfg.requests_per_sec
@@ -229,6 +389,11 @@ impl TraceGenerator {
                 return (id, self.base_size(id));
             }
         }
+        // An open flash-crowd window preempts the stationary mix for its
+        // share of requests — that is the point of a flash crowd.
+        if let Some(id) = self.flash_object() {
+            return (id, self.base_size(id));
+        }
         let u = self.rng.f64();
         if u < self.cfg.one_hit_fraction {
             let id = self.fresh_id();
@@ -238,6 +403,7 @@ impl TraceGenerator {
             (id, self.base_size(id))
         } else {
             let rank = self.zipf.sample(&mut self.rng);
+            let rank = self.cycled_rank(rank);
             let id = self.rank_to_id[rank];
             (id, self.base_size(id))
         }
@@ -254,6 +420,9 @@ impl Iterator for TraceGenerator {
         if self.tick >= self.next_drift {
             self.drift();
             self.next_drift += self.cfg.drift_interval;
+        }
+        if !self.cfg.events.is_empty() {
+            self.apply_events();
         }
         let (id, size) = self.next_object();
         let req = Request {

@@ -44,11 +44,11 @@ pub mod zipf;
 pub use belady::{next_access_table, BeladyOracle, NO_NEXT};
 pub use checksum::{crc32, trace_content_hash};
 pub use columns::{SharedTrace, TraceColumns};
-pub use gen::{degenerate_corpus, GeneratorConfig, TraceGenerator};
+pub use gen::{degenerate_corpus, DriftEvent, GeneratorConfig, TraceGenerator};
 pub use io::TraceError;
 pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
-pub use profiles::{Workload, WorkloadProfile};
+pub use profiles::{drift_corpus, flash_crowd_window, Workload, WorkloadProfile};
 pub use shard::{partition_columns, ShardStats, ShardedTrace};
 pub use sizes::SizeModel;
-pub use stats::TraceStats;
+pub use stats::{hot_set_overlap, top_k_ids, top_k_share, TraceStats};
 pub use zipf::Zipf;

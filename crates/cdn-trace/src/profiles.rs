@@ -19,7 +19,7 @@
 //! popularity-concentrated wiki/media trace with bursty items (highest
 //! P-ZRO share in the paper, 21.7 % of hits), CDN-T sits in between.
 
-use crate::gen::GeneratorConfig;
+use crate::gen::{DriftEvent, GeneratorConfig};
 use crate::sizes::SizeModel;
 
 /// The three evaluation workloads.
@@ -179,8 +179,78 @@ impl WorkloadProfile {
             wonder_size_factor: self.wonder_size_factor,
             requests_per_sec: self.requests_per_sec,
             diurnal_amplitude: 0.4,
+            events: Vec::new(),
             seed,
         }
+    }
+
+    /// `config(requests, seed)` with a scheduled [`DriftEvent`] overlay.
+    pub fn config_with_events(
+        &self,
+        requests: u64,
+        seed: u64,
+        events: Vec<DriftEvent>,
+    ) -> GeneratorConfig {
+        GeneratorConfig {
+            events,
+            ..self.config(requests, seed)
+        }
+    }
+}
+
+/// The drift corpus: named nonstationary CDN-T variants used by the
+/// routing chaos gates and the drift-generator test suite. Each entry
+/// pins its drift to exact ticks so a chaos schedule can place shard
+/// kills *inside* the disturbance (DESIGN.md §18):
+///
+/// - `flash-crowd` — a crowd window over the middle half of the trace,
+///   sending half of all requests to 64 brand-new objects.
+/// - `ws-rotation` — the hottest half of the core rotated to fresh ids at
+///   the midpoint (catalog refresh).
+/// - `diurnal-cycle` — popularity mass oscillating between core halves,
+///   one full cycle over the trace.
+pub fn drift_corpus(requests: u64, seed: u64) -> Vec<(&'static str, GeneratorConfig)> {
+    let p = Workload::CdnT.profile();
+    vec![
+        (
+            "flash-crowd",
+            p.config_with_events(requests, seed, vec![flash_crowd_window(requests)]),
+        ),
+        (
+            "ws-rotation",
+            p.config_with_events(
+                requests,
+                seed,
+                vec![DriftEvent::WorkingSetRotation {
+                    at: requests / 2,
+                    fraction: 0.5,
+                }],
+            ),
+        ),
+        (
+            "diurnal-cycle",
+            p.config_with_events(
+                requests,
+                seed,
+                vec![DriftEvent::PopularityCycle {
+                    period: requests.max(2),
+                    amplitude: 0.8,
+                }],
+            ),
+        ),
+    ]
+}
+
+/// The canonical flash-crowd window over `requests`: open on the middle
+/// half (`[n/4, 3n/4)`), crowd share 0.5, 64 crowd objects. Exposed so
+/// the chaos binary can compute which trace slice is "inside the flash
+/// crowd" without re-deriving the constants.
+pub fn flash_crowd_window(requests: u64) -> DriftEvent {
+    DriftEvent::FlashCrowd {
+        start: requests / 4,
+        duration: (requests / 2).max(1),
+        share: 0.5,
+        objects: 64,
     }
 }
 

@@ -75,6 +75,44 @@ impl TraceStats {
     }
 }
 
+/// Ids of the `k` most-requested objects in `trace`, by descending
+/// request count (ties broken by ascending id, so the set is a pure
+/// function of the trace). Fewer than `k` when the trace has fewer
+/// unique ids.
+pub fn top_k_ids(trace: &[Request], k: usize) -> Vec<u64> {
+    let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+    for r in trace {
+        *counts.entry(r.id.0).or_insert(0) += 1;
+    }
+    let mut by_count: Vec<(u64, u64)> = counts.into_iter().collect();
+    by_count.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    by_count.truncate(k);
+    by_count.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Overlap of the top-`k` hot sets of two trace slices, as a fraction of
+/// `k`: 1.0 = identical hot sets, 0.0 = disjoint. The drift suite uses
+/// this across a rotation boundary (overlap collapses) and across an
+/// arbitrary stationary split (overlap stays high).
+pub fn hot_set_overlap(a: &[Request], b: &[Request], k: usize) -> f64 {
+    assert!(k > 0, "hot_set_overlap: k must be >= 1");
+    let ha: cdn_cache::FxHashSet<u64> = top_k_ids(a, k).into_iter().collect();
+    let shared = top_k_ids(b, k).iter().filter(|id| ha.contains(id)).count();
+    shared as f64 / k as f64
+}
+
+/// Fraction of requests landing on the trace's own top-`k` ids — the
+/// concentration measure the flash-crowd check gates on (a crowd window
+/// funnels a large share onto a tiny pool).
+pub fn top_k_share(trace: &[Request], k: usize) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let top: cdn_cache::FxHashSet<u64> = top_k_ids(trace, k).into_iter().collect();
+    let hits = trace.iter().filter(|r| top.contains(&r.id.0)).count();
+    hits as f64 / trace.len() as f64
+}
+
 impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Total Requests        : {}", self.total_requests)?;

@@ -1,0 +1,200 @@
+//! Drift-generator suite: statistical sanity of the scheduled
+//! nonstationarities ([`DriftEvent`]) and determinism-by-seed over random
+//! event parameters.
+//!
+//! The chaos gates lean on these generators to place shard kills inside
+//! a known disturbance, so the suite proves two things: the
+//! disturbances are *real* (measurable in the emitted trace — hot-set
+//! churn at a rotation boundary, request concentration inside a flash
+//! crowd, popularity swing across a cycle) and *reproducible* (the trace
+//! is a pure function of its config, and the drift window touches only
+//! the ticks it claims).
+
+use cdn_trace::{
+    drift_corpus, flash_crowd_window, hot_set_overlap, top_k_share, DriftEvent, GeneratorConfig,
+    TraceGenerator, Workload,
+};
+use proptest::prelude::*;
+
+const N: u64 = 60_000;
+
+fn base_cfg(seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        requests: N,
+        core_objects: 5_000,
+        // Isolate the scheduled drift: no background churn or wonders.
+        one_hit_fraction: 0.0,
+        burst_start_prob: 0.0,
+        drift_interval: 0,
+        ..GeneratorConfig::default()
+    }
+    .with_seed(seed)
+}
+
+trait WithSeed {
+    fn with_seed(self, seed: u64) -> Self;
+}
+impl WithSeed for GeneratorConfig {
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[test]
+fn rotation_churns_hot_set_at_boundary_only() {
+    let at = N / 2;
+    let mut cfg = base_cfg(7);
+    cfg.events = vec![DriftEvent::WorkingSetRotation { at, fraction: 0.5 }];
+    let trace = TraceGenerator::generate(cfg.clone());
+    let before = &trace[..at as usize];
+    let after = &trace[at as usize..];
+
+    // Across the rotation boundary the hot set collapses...
+    let across = hot_set_overlap(before, after, 50);
+    assert!(across < 0.30, "overlap across rotation {across}");
+
+    // ...while an equal-sized split of a stationary control stays hot.
+    let control = TraceGenerator::generate(base_cfg(7));
+    let stable = hot_set_overlap(&control[..at as usize], &control[at as usize..], 50);
+    assert!(stable > 0.80, "stationary control overlap {stable}");
+
+    // And the pre-boundary halves of both traces are identical: the
+    // rotation touches nothing before its tick.
+    assert_eq!(&trace[..at as usize], &control[..at as usize]);
+}
+
+#[test]
+fn flash_crowd_concentrates_inside_window_only() {
+    let ev = flash_crowd_window(N);
+    let DriftEvent::FlashCrowd {
+        start,
+        duration,
+        share,
+        objects,
+    } = ev
+    else {
+        panic!("flash_crowd_window must be a FlashCrowd");
+    };
+    assert_eq!(start, N / 4);
+    assert_eq!(duration, N / 2);
+    let mut cfg = base_cfg(11);
+    cfg.events = vec![ev];
+    let trace = TraceGenerator::generate(cfg);
+    let inside = &trace[start as usize..(start + duration) as usize];
+    let outside = &trace[..start as usize];
+
+    // Inside the window, roughly `share` of requests land on a pool of
+    // `objects` ids, so the top-`objects` share must clear the crowd
+    // share; outside, Zipf(0.8) over 5000 ids is far more dispersed.
+    let skew_in = top_k_share(inside, objects);
+    let skew_out = top_k_share(outside, objects);
+    assert!(skew_in > share, "inside skew {skew_in} <= share {share}");
+    assert!(
+        skew_in > skew_out + 0.25,
+        "inside {skew_in} vs outside {skew_out}"
+    );
+
+    // Crowd ids are minted fresh at window entry: they never appear
+    // before the window opens.
+    let crowd_floor = 5_000u64; // ids >= core_objects are minted
+    assert!(outside.iter().all(|r| r.id.0 < crowd_floor));
+    assert!(inside.iter().any(|r| r.id.0 >= crowd_floor));
+}
+
+#[test]
+fn popularity_cycle_swings_hot_set_with_phase() {
+    let mut cfg = base_cfg(13);
+    cfg.events = vec![DriftEvent::PopularityCycle {
+        period: N,
+        amplitude: 0.9,
+    }];
+    let trace = TraceGenerator::generate(cfg);
+    let q = (N / 4) as usize;
+    // Phase ~0 (first quarter) vs phase ~π (third quarter): popularity
+    // mass shifts onto the opposite core half, so hot sets diverge far
+    // more than the stationary control's.
+    let peak_vs_trough = hot_set_overlap(&trace[..q], &trace[2 * q..3 * q], 50);
+    let control = TraceGenerator::generate(base_cfg(13));
+    let stable = hot_set_overlap(&control[..q], &control[2 * q..3 * q], 50);
+    assert!(
+        peak_vs_trough < stable - 0.25,
+        "cycle overlap {peak_vs_trough} vs control {stable}"
+    );
+}
+
+#[test]
+fn drift_corpus_names_and_shapes() {
+    let corpus = drift_corpus(N, 3);
+    let names: Vec<&str> = corpus.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, vec!["flash-crowd", "ws-rotation", "diurnal-cycle"]);
+    for (name, cfg) in &corpus {
+        assert_eq!(cfg.requests, N, "{name}");
+        assert_eq!(cfg.events.len(), 1, "{name}");
+        let trace = TraceGenerator::generate(cfg.clone());
+        assert_eq!(trace.len(), N as usize, "{name}");
+        // The CDN-T base profile survives underneath the drift overlay.
+        assert_eq!(cfg.zipf_s, Workload::CdnT.profile().zipf_s, "{name}");
+    }
+}
+
+proptest! {
+    /// A drift-ful trace is a pure function of its config: same seed and
+    /// events ⇒ identical traces; different seed ⇒ different trace.
+    #[test]
+    fn drift_traces_deterministic_by_seed(
+        seed in 0u64..1_000,
+        start_frac in 1u64..8,
+        share in 1u32..100,
+        objects in 1usize..200,
+        fraction in 1u32..100,
+        amplitude in 0u32..100,
+    ) {
+        let n = 4_000u64;
+        let events = vec![
+            DriftEvent::FlashCrowd {
+                start: n * start_frac / 8,
+                duration: n / 4,
+                share: share as f64 / 100.0,
+                objects,
+            },
+            DriftEvent::WorkingSetRotation { at: n / 2, fraction: fraction as f64 / 100.0 },
+            DriftEvent::PopularityCycle { period: n / 2, amplitude: amplitude as f64 / 100.0 },
+        ];
+        let cfg = GeneratorConfig {
+            requests: n,
+            core_objects: 500,
+            events: events.clone(),
+            ..GeneratorConfig::default()
+        }.with_seed(seed);
+        let a = TraceGenerator::generate(cfg.clone());
+        let b = TraceGenerator::generate(cfg.clone());
+        prop_assert_eq!(&a, &b, "same config must replay identically");
+        let c = TraceGenerator::generate(cfg.clone().with_seed(seed + 1));
+        prop_assert_ne!(&a, &c, "seed must matter");
+        prop_assert_eq!(a.len(), n as usize);
+        for (i, r) in a.iter().enumerate() {
+            prop_assert_eq!(r.tick, i as u64);
+        }
+    }
+
+    /// Scheduled events never perturb the trace before their first tick:
+    /// the prefix is bit-identical to the event-free run.
+    #[test]
+    fn events_leave_prefix_untouched(seed in 0u64..1_000, start_frac in 2u64..8) {
+        let n = 4_000u64;
+        let start = n * start_frac / 8;
+        let mut cfg = GeneratorConfig {
+            requests: n,
+            core_objects: 500,
+            ..GeneratorConfig::default()
+        }.with_seed(seed);
+        let calm = TraceGenerator::generate(cfg.clone());
+        cfg.events = vec![
+            DriftEvent::FlashCrowd { start, duration: n / 8, share: 0.5, objects: 16 },
+            DriftEvent::WorkingSetRotation { at: start, fraction: 0.5 },
+        ];
+        let drifted = TraceGenerator::generate(cfg);
+        prop_assert_eq!(&calm[..start as usize], &drifted[..start as usize]);
+    }
+}

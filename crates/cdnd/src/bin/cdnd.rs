@@ -8,8 +8,10 @@
 //! `CDND_QUEUE_CAP`, `CDND_WORKER_BATCH`, `CDND_SEED`,
 //! `CDND_BACKOFF_BASE_MS`, `CDND_BACKOFF_MAX_MS`, `CDND_STORM_THRESHOLD`,
 //! `CDND_STORM_WINDOW_MS`, `CDND_SNAP_INTERVAL`, `CDND_SNAP_KEEP`,
-//! `CDND_SNAP_DIR`, plus `CDND_REQUESTS` (default `REPRO_REQUESTS` or
-//! 200k) and `CDND_POLICY` (a `PolicyKind` label, default `SCIP`).
+//! `CDND_SNAP_DIR`, `CDND_ROUTE_FAILOVER`, `CDND_ADMIT_LOW_PCT`,
+//! `CDND_ADMIT_NORMAL_PCT`, plus `CDND_REQUESTS` (default
+//! `REPRO_REQUESTS` or 200k) and `CDND_POLICY` (a `PolicyKind` label,
+//! default `SCIP`).
 //! With `CDND_SNAP_INTERVAL > 0` and a `CDND_SNAP_DIR`, each shard
 //! commits snapshot epochs at that cadence (plus one final epoch at
 //! drain) and a subsequent run over the same directory starts warm.
@@ -85,12 +87,16 @@ fn main() {
     let wall = start.elapsed().as_secs_f64();
 
     println!(
-        "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>5} {:>8} {:>9} {:>8}",
+        "{:<5} {:>9} {:>9} {:>6} {:>5} {:>8} {:>6} {:>6} {:>8} {:>8} {:>7} {:>7} {:>10} {:>5} {:>8} {:>9} {:>8}",
         "shard",
         "enqueued",
         "processed",
         "shed",
+        "down",
+        "deadline",
+        "fault",
         "lost",
+        "failover",
         "hits",
         "misses",
         "peak_q",
@@ -102,12 +108,16 @@ fn main() {
     );
     for (i, s) in final_stats.shards.iter().enumerate() {
         println!(
-            "{:<5} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7} {:>7} {:>10} {:>5} {:>8} {:>9} {:>8?}",
+            "{:<5} {:>9} {:>9} {:>6} {:>5} {:>8} {:>6} {:>6} {:>8} {:>8} {:>7} {:>7} {:>10} {:>5} {:>8} {:>9} {:>8?}",
             i,
             s.enqueued,
             s.processed,
             s.shed,
+            s.rejected_down,
+            s.rejected_deadline,
+            s.faulted_enqueues,
             s.lost,
+            s.failover_in,
             s.hits,
             s.misses,
             s.peak_depth,

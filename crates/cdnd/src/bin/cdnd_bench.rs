@@ -2,8 +2,16 @@
 //! supervised daemon at several shard counts and report requests/sec
 //! end-to-end (submit → ring → worker → ledger), next to the library's
 //! serial sharded-replay reference. Writes `BENCH_daemon.json` (schema
-//! `daemon_bench_v2`) with one JSON row per (policy × shards) point so
+//! `daemon_bench_v3`) with one JSON row per (policy × shards) point so
 //! `scripts/bench.sh --daemon` can gate regressions by grep.
+//!
+//! The v3 additions: every serving point records its client-observed
+//! `availability` (gated at exactly 1.0 — a healthy daemon refuses
+//! nothing), and an `admission` section runs a deterministic brownout
+//! drill against a paused shard: classed submits walk the Low/Normal
+//! watermarks and a deadline bound, every per-class accept/shed count
+//! must land exactly on the configured watermark arithmetic, and the
+//! drained daemon must serve every admitted request.
 //!
 //! The v2 `warm_restart` section measures the snapshot subsystem: a
 //! daemon with snapshotting enabled serves the trace's first half and
@@ -66,6 +74,9 @@ struct Point {
     /// machine, where the comparison is scheduling noise.
     speedup: Option<f64>,
     aggregate_miss_ratio: f64,
+    /// Client-observed availability: accepted / submitted. A healthy
+    /// daemon must accept everything — gated at exactly 1.0.
+    availability: f64,
 }
 
 /// One warm-restart measurement row. The warm fields are `None` for
@@ -177,6 +188,119 @@ fn warm_point(
     }
 }
 
+/// Outcome of the deterministic admission/brownout drill.
+struct AdmitDrill {
+    queue_capacity: usize,
+    low_pct: u8,
+    normal_pct: u8,
+    accepted_low: u64,
+    accepted_normal: u64,
+    accepted_high: u64,
+    shed_low: u64,
+    shed_normal: u64,
+    shed_high: u64,
+    deadline_rejections: u64,
+    drained_processed: u64,
+    /// Every count landed exactly on the watermark arithmetic and the
+    /// drained daemon served everything it admitted.
+    exact: bool,
+}
+
+/// Brownout drill against a paused shard: classed submits walk the
+/// Low/Normal watermarks and a deadline bound, synchronously, so every
+/// accept/shed count is a pure function of the queue capacity and the
+/// configured percentages — then the shard is resumed and must serve
+/// every admitted request.
+fn admission_drill(seed: u64) -> AdmitDrill {
+    use cdn_cache::Request;
+    use cdnd::{Admit, Priority, SubmitError};
+
+    let q = 64usize;
+    let admit = cdnd::AdmitConfig::default();
+    let reqs: Vec<Request> = (0..4 * q as u64)
+        .map(|i| Request::new(0, i, 1_000))
+        .collect();
+    let cfg = DaemonConfig {
+        shards: 1,
+        total_capacity: 1 << 20,
+        queue_capacity: q,
+        worker_batch: 8,
+        seed,
+        ..DaemonConfig::default()
+    };
+    let plan = ShardPlan::build(&reqs, 1, seed);
+    let daemon = Daemon::spawn(cfg, plan.factory(PolicyKind::Lru)).expect("spawn drill daemon");
+    daemon.pause_shard(0);
+
+    let mut id = 0u64;
+    let mut drill = |class: Priority, n: usize, deadline: Option<usize>| {
+        let (mut ok, mut shed, mut dead) = (0u64, 0u64, 0u64);
+        for _ in 0..n {
+            let req = Request::new(0, id, 1_000);
+            id += 1;
+            match daemon.submit_classed(
+                req,
+                Admit {
+                    class,
+                    deadline_depth: deadline,
+                },
+                None,
+            ) {
+                Ok(_) => ok += 1,
+                Err((_, SubmitError::Shed)) => shed += 1,
+                Err((_, SubmitError::Deadline)) => dead += 1,
+                Err((_, e)) => {
+                    eprintln!("FAIL: admission drill: unexpected submit error {e:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (ok, shed, dead)
+    };
+
+    // Low to its watermark, Normal on top of it, a too-tight deadline, a
+    // loose deadline, then High to the full ring.
+    let (low_ok, low_shed, _) = drill(Priority::Low, q, None);
+    let (normal_ok, normal_shed, _) = drill(Priority::Normal, q, None);
+    let (_, _, dead) = drill(Priority::High, 1, Some(40));
+    let (loose_ok, _, _) = drill(Priority::High, 1, Some(q));
+    let (high_ok, high_shed, _) = drill(Priority::High, q, None);
+    let accepted_high = loose_ok + high_ok;
+
+    daemon.resume_shard(0);
+    let drained = daemon.await_quiesced(0, Duration::from_secs(60));
+    let stats = daemon.shutdown();
+    let s = &stats.shards[0];
+
+    let exact = drained
+        && (low_ok, low_shed) == (q as u64 / 2, q as u64 / 2)
+        && (normal_ok, normal_shed) == (q as u64 / 4, 3 * q as u64 / 4)
+        && dead == 1
+        && (accepted_high, high_shed) == (q as u64 / 4, 3 * q as u64 / 4 + 1)
+        && s.enqueued == q as u64
+        && s.processed == q as u64
+        && s.dropped_at_shutdown == 0
+        && s.shed_low == low_shed
+        && s.shed_normal == normal_shed
+        && s.shed_high == high_shed
+        && s.rejected_deadline == 1
+        && s.shed == s.shed_low + s.shed_normal + s.shed_high;
+    AdmitDrill {
+        queue_capacity: q,
+        low_pct: admit.low_watermark_pct,
+        normal_pct: admit.normal_watermark_pct,
+        accepted_low: low_ok,
+        accepted_normal: normal_ok,
+        accepted_high,
+        shed_low: low_shed,
+        shed_normal: normal_shed,
+        shed_high: high_shed,
+        deadline_rejections: dead,
+        drained_processed: s.processed,
+        exact,
+    }
+}
+
 fn main() {
     let requests = env_u64("CDND_BENCH_REQUESTS", 500_000);
     let seed = cdn_sim::default_seed();
@@ -208,7 +332,7 @@ fn main() {
             };
             let daemon = Daemon::spawn(cfg, plan.factory(kind)).expect("spawn bench daemon");
             let start = Instant::now();
-            feed(
+            let report = feed(
                 &daemon,
                 &trace,
                 FeedMode::FailFast {
@@ -216,6 +340,15 @@ fn main() {
                 },
             );
             let final_stats = daemon.shutdown();
+            if report.overall_availability() != 1.0 {
+                eprintln!(
+                    "FAIL: {} at {shards} shards: availability {:.6} < 1.0 on a \
+                     healthy daemon",
+                    kind.label(),
+                    report.overall_availability()
+                );
+                std::process::exit(1);
+            }
             let wall = start.elapsed().as_secs_f64().max(1e-9);
             // The bench is only meaningful if the daemon did the same
             // work as the reference — enforce exactness, don't assume it.
@@ -239,6 +372,7 @@ fn main() {
                 serial_rps,
                 speedup: (cores > 1).then(|| daemon_rps / serial_rps),
                 aggregate_miss_ratio: reference.aggregate.miss_ratio(),
+                availability: report.overall_availability(),
             };
             match point.speedup {
                 Some(s) => eprintln!(
@@ -299,6 +433,29 @@ fn main() {
         warm_points.push(p);
     }
 
+    // Admission/brownout drill: exact watermark arithmetic or bust.
+    let drill = admission_drill(seed);
+    eprintln!(
+        "admission drill (q={} @ {}/{} %): accepted L/N/H {}/{}/{}, shed {}/{}/{}, \
+         deadline {}, drained {} — {}",
+        drill.queue_capacity,
+        drill.low_pct,
+        drill.normal_pct,
+        drill.accepted_low,
+        drill.accepted_normal,
+        drill.accepted_high,
+        drill.shed_low,
+        drill.shed_normal,
+        drill.shed_high,
+        drill.deadline_rejections,
+        drill.drained_processed,
+        if drill.exact { "exact" } else { "MISMATCH" }
+    );
+    if !drill.exact {
+        eprintln!("FAIL: admission drill counts diverged from the watermark arithmetic");
+        std::process::exit(1);
+    }
+
     let requested: Vec<String> = shard_counts.iter().map(|s| s.to_string()).collect();
     let note = if cores == 1 {
         "\"single-core runner: daemon speedup suppressed, not fabricated\""
@@ -307,7 +464,7 @@ fn main() {
     };
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"daemon_bench_v2\",\n");
+    json.push_str("  \"schema\": \"daemon_bench_v3\",\n");
     json.push_str(&format!("  \"requests\": {n},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"cache_bytes\": {cache_bytes},\n"));
@@ -324,13 +481,15 @@ fn main() {
         json.push_str(&format!(
             "      {{\"policy\": \"{}\", \"shards\": {}, \
              \"daemon_requests_per_sec\": {:.1}, \"serial_requests_per_sec\": {:.1}, \
-             \"speedup_vs_serial\": {}, \"aggregate_miss_ratio\": {:.6}}}{}\n",
+             \"speedup_vs_serial\": {}, \"aggregate_miss_ratio\": {:.6}, \
+             \"availability\": {:.6}}}{}\n",
             p.policy,
             p.shards,
             p.daemon_rps,
             p.serial_rps,
             speedup,
             p.aggregate_miss_ratio,
+            p.availability,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
@@ -370,7 +529,27 @@ fn main() {
             if i + 1 < warm_points.len() { "," } else { "" }
         ));
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"admission\": {\n");
+    json.push_str(&format!(
+        "    \"queue_capacity\": {},\n    \"low_watermark_pct\": {},\n    \
+         \"normal_watermark_pct\": {},\n",
+        drill.queue_capacity, drill.low_pct, drill.normal_pct
+    ));
+    json.push_str(&format!(
+        "    \"accepted\": {{\"low\": {}, \"normal\": {}, \"high\": {}}},\n",
+        drill.accepted_low, drill.accepted_normal, drill.accepted_high
+    ));
+    json.push_str(&format!(
+        "    \"shed\": {{\"low\": {}, \"normal\": {}, \"high\": {}}},\n",
+        drill.shed_low, drill.shed_normal, drill.shed_high
+    ));
+    json.push_str(&format!(
+        "    \"deadline_rejections\": {},\n    \"drained_processed\": {},\n    \
+         \"exact\": {}\n",
+        drill.deadline_rejections, drill.drained_processed, drill.exact
+    ));
+    json.push_str("  }\n}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: failed to write {out_path}: {e}");

@@ -28,10 +28,22 @@
 //!   `cdnd.snap_write` failpoint), a bit-flipped committed epoch, and a
 //!   missing-epoch directory — each must degrade to an older epoch or a
 //!   cold start with zero panics beyond the intentional kills.
+//! - calm-routed: the calm trace with failover routing *enabled*: every
+//!   ledger must stay bit-identical to the serial reference with zero
+//!   failover traffic — routing-on equals routing-off when nothing is
+//!   down.
+//! - flash-kill: a flash-crowd trace (drift event over the middle half)
+//!   with failover routing enabled and both kills landing *inside* the
+//!   crowd window. Availability inside the outage windows must be 100 %
+//!   of admitted requests (victim keys answered as overlay misses on
+//!   their rendezvous secondary, zero `Down` rejections), every shard —
+//!   survivors *and* overlay receivers — must be u64-exact against the
+//!   routing-aware serial reference (`run_routed_serial`), and every
+//!   request must reconcile to exactly one client/daemon counter cause.
 //!
 //! Knobs: `CDND_CHAOS_REQUESTS` (default `REPRO_REQUESTS` or 200k),
 //! `CDND_CHAOS_SEED` (default `REPRO_SEED`). Results land in
-//! `results/cdnd_chaos.{md,json,tsv}` (schema `cdnd_chaos_v2`).
+//! `results/cdnd_chaos.{md,json,tsv}` (schema `cdnd_chaos_v3`).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -41,7 +53,8 @@ use std::time::Duration;
 use cdn_sim::PolicyKind;
 use cdn_trace::{TraceGenerator, TraceStats, Workload};
 use cdnd::{
-    feed, ledger_diff, Daemon, DaemonConfig, FeedMode, RestartConfig, ShardPlan, SnapshotConfig,
+    feed, ledger_diff, AdmitConfig, Daemon, DaemonConfig, FeedMode, RestartConfig, RouteConfig,
+    ShardPlan, SnapshotConfig,
 };
 
 const SHARDS: usize = 4;
@@ -70,6 +83,7 @@ struct Row {
     kills: u64,
     restarts: u64,
     lost: u64,
+    failover: u64,
     exact_shards: usize,
     compared_shards: usize,
     snapshots: u64,
@@ -120,8 +134,10 @@ fn merge_reports(reports: &[cdnd::FeedReport]) -> cdnd::FeedReport {
         for (a, b) in merged.per_shard.iter_mut().zip(&r.per_shard) {
             a.submitted += b.submitted;
             a.accepted += b.accepted;
+            a.failover_accepted += b.failover_accepted;
             a.shed += b.shed;
             a.rejected_down += b.rejected_down;
+            a.deadline += b.deadline;
             a.faulted += b.faulted;
             a.shutting_down += b.shutting_down;
         }
@@ -130,6 +146,7 @@ fn merge_reports(reports: &[cdnd::FeedReport]) -> cdnd::FeedReport {
         merged.outside_total += r.outside_total;
         merged.outside_accepted += r.outside_accepted;
         merged.outage_windows += r.outage_windows;
+        merged.failover_accepted += r.failover_accepted;
     }
     merged
 }
@@ -182,6 +199,81 @@ fn run_calm(
         kills: 0,
         restarts: stats.total_restarts(),
         lost: stats.total_lost(),
+        failover: stats.total_failover(),
+        exact_shards: exact,
+        compared_shards: SHARDS,
+        snapshots: 0,
+        restored_objects: 0,
+        restored_bytes: 0,
+        epochs_discarded: 0,
+    }
+}
+
+/// Calm schedule with failover routing *enabled*: routing is consulted
+/// on every submit, but with every shard healthy it must be a pure
+/// pass-through — zero failover traffic, zero outage windows, and every
+/// shard ledger bit-identical to the serial reference. This is the
+/// chaos-scale proof of the calm-path bit-identity invariant.
+fn run_calm_routed(
+    trace: &[cdn_cache::Request],
+    plan: &ShardPlan,
+    cfg: &DaemonConfig,
+    gate: &mut Gate,
+) -> Row {
+    let mut cfg = cfg.clone();
+    cfg.route = RouteConfig { failover: true };
+    let daemon =
+        Daemon::spawn(cfg.clone(), plan.factory(POLICY)).expect("spawn calm-routed daemon");
+    let report = feed(&daemon, trace, calm_mode());
+    for shard in 0..SHARDS {
+        assert!(
+            daemon.await_quiesced(shard, Duration::from_secs(120)),
+            "calm-routed: shard {shard} never quiesced"
+        );
+    }
+    let stats = daemon.shutdown();
+    if let Err(e) = report.check_against(&stats.shards, true) {
+        gate.check(false, format!("calm-routed: counter reconciliation: {e}"));
+    }
+    let reference = plan.reference(POLICY, cfg.total_capacity);
+    let mut exact = 0usize;
+    for (shard, (snap, m)) in stats.shards.iter().zip(&reference.per_shard).enumerate() {
+        match ledger_diff(shard, snap, m) {
+            None => exact += 1,
+            Some(diff) => gate.check(false, format!("calm-routed: {diff}")),
+        }
+    }
+    gate.check(
+        stats.total_failover() == 0,
+        format!(
+            "calm-routed: {} failover arrivals on a healthy daemon, expected 0",
+            stats.total_failover()
+        ),
+    );
+    gate.check(
+        report.overall_availability() == 1.0,
+        format!(
+            "calm-routed: availability {:.4} < 1.0",
+            report.overall_availability()
+        ),
+    );
+    gate.check(
+        report.outage_windows == 0,
+        format!(
+            "calm-routed: {} outage windows, expected 0",
+            report.outage_windows
+        ),
+    );
+    Row {
+        schedule: "calm-rtd",
+        availability: report.overall_availability(),
+        inside_availability: report.inside_availability(),
+        outside_availability: report.outside_availability(),
+        outage_windows: report.outage_windows,
+        kills: 0,
+        restarts: stats.total_restarts(),
+        lost: stats.total_lost(),
+        failover: stats.total_failover(),
         exact_shards: exact,
         compared_shards: SHARDS,
         snapshots: 0,
@@ -252,6 +344,7 @@ fn run_calm_snap(
         kills: 0,
         restarts: stats.total_restarts(),
         lost: stats.total_lost(),
+        failover: stats.total_failover(),
         exact_shards: exact,
         compared_shards: SHARDS,
         snapshots,
@@ -407,6 +500,7 @@ fn run_kill(
         kills,
         restarts: stats.total_restarts(),
         lost: stats.total_lost(),
+        failover: stats.total_failover(),
         exact_shards: exact,
         compared_shards: SHARDS - 1,
         snapshots: 0,
@@ -557,6 +651,7 @@ fn run_warm(
         kills,
         restarts: stats.total_restarts(),
         lost: stats.total_lost(),
+        failover: stats.total_failover(),
         exact_shards: exact,
         compared_shards: SHARDS - 1,
         snapshots: stats.shards.iter().map(|s| s.snapshots_written).sum(),
@@ -769,12 +864,222 @@ fn run_corrupt(
         kills,
         restarts: stats.total_restarts(),
         lost: stats.total_lost(),
+        failover: stats.total_failover(),
         exact_shards: exact,
         compared_shards: SHARDS - 1,
         snapshots: stats.shards.iter().map(|s| s.snapshots_written).sum(),
         restored_objects: stats.shards[victim].restored_objects,
         restored_bytes: stats.shards[victim].restored_bytes,
         epochs_discarded: stats.shards[victim].epochs_discarded,
+    }
+}
+
+/// Flash-crowd kill schedule: a drift trace whose middle half is a flash
+/// crowd, failover routing enabled, and two deterministic kills of the
+/// min-share shard landing *inside* the crowd window. While the victim
+/// is down its keys are answered as overlay misses on their rendezvous
+/// secondary — availability inside the outage windows must be 100 % of
+/// admitted requests with zero `Down` rejections — and *all* shard
+/// ledgers (survivors plus overlay receivers) must be u64-exact against
+/// the routing-aware serial reference.
+#[cfg(feature = "fault-injection")]
+fn run_flash_kill(requests: u64, seed: u64, cfg: &DaemonConfig, gate: &mut Gate) -> Row {
+    use cdn_cache::fault::{self, FaultAction, FaultRule};
+    use cdn_cache::key_shard;
+    use cdn_sim::{run_routed_serial, OutageWindow};
+    use cdn_trace::flash_crowd_window;
+    use cdnd::{routed_ledger_diff, worker_fault_key, ShardState, FP_SHARD_WORKER};
+
+    eprintln!("generating {requests} flash-crowd requests (seed {seed})...");
+    let trace = TraceGenerator::generate(Workload::CdnT.profile().config_with_events(
+        requests,
+        seed,
+        vec![flash_crowd_window(requests)],
+    ));
+    let stats = TraceStats::compute(&trace);
+    let mut cfg = cfg.clone();
+    cfg.total_capacity = stats.cache_bytes_for_fraction(Workload::CdnT.paper_cache_fraction(64.0));
+    cfg.route = RouteConfig { failover: true };
+    cfg.restart = RestartConfig {
+        backoff_base_ms: 600_000,
+        backoff_max_ms: 600_000,
+        storm_threshold: 100,
+        storm_window_ms: 600_000,
+    };
+    let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
+
+    // The flash crowd covers [n/4, 3n/4); both outage slices sit strictly
+    // inside it, so every window is fully exposed to the crowd skew.
+    let n = trace.len();
+    let outages = [(3 * n / 8, 4 * n / 8), (5 * n / 8, 6 * n / 8)];
+    let victim = (0..SHARDS)
+        .min_by_key(|&shard| {
+            outages
+                .iter()
+                .flat_map(|&(a, b)| &trace[a..b])
+                .filter(|r| key_shard(r.id.0, SHARDS) == shard)
+                .count()
+        })
+        .unwrap();
+
+    fault::clear();
+    let daemon = Daemon::spawn(cfg.clone(), plan.factory(POLICY)).expect("spawn flash daemon");
+    let quiesce_all = |daemon: &Daemon| {
+        for shard in 0..SHARDS {
+            assert!(
+                daemon.await_quiesced(shard, Duration::from_secs(120)),
+                "flash-kill: shard {shard} never quiesced"
+            );
+        }
+    };
+
+    let mut reports = Vec::new();
+    let mut kills = 0u64;
+    let mut windows = Vec::new();
+    let mut pos = 0usize;
+    for (round, &(start, end)) in outages.iter().enumerate() {
+        // The crash request is the first victim-primary request in the
+        // outage slice; everything before it is fed calm.
+        let ci = (start..end)
+            .find(|&i| key_shard(trace[i].id.0, SHARDS) == victim)
+            .expect("no victim-primary request in the outage slice");
+        reports.push(feed(&daemon, &trace[pos..ci], calm_mode()));
+        // Quiesce everyone so the victim's local tick is deterministic
+        // when the crash request arrives.
+        quiesce_all(&daemon);
+        let s = daemon.stats().shards[victim];
+        fault::arm(
+            FP_SHARD_WORKER,
+            FaultRule::OnKeys(
+                vec![worker_fault_key(victim, s.processed + s.lost)],
+                FaultAction::Panic("cdnd_chaos flash kill".into()),
+            ),
+        );
+        // The crash request alone, then wait for the supervisor to park
+        // the victim in backoff: every later victim-primary submit in
+        // the slice sees the outage and fails over — no enqueue race.
+        reports.push(feed(&daemon, &trace[ci..=ci], calm_mode()));
+        assert!(
+            daemon.await_shard_state(victim, ShardState::Backoff, Duration::from_secs(30)),
+            "flash-kill round {round}: victim never entered backoff"
+        );
+        kills += fault::fired(FP_SHARD_WORKER);
+        reports.push(feed(&daemon, &trace[ci + 1..end], calm_mode()));
+        // Operator revival at the slice boundary: the outage window is
+        // exactly [ci, end) on every run.
+        daemon.reset_shard(victim);
+        assert!(
+            daemon.await_shard_state(victim, ShardState::Closed, Duration::from_secs(30)),
+            "flash-kill round {round}: reset did not revive the victim"
+        );
+        windows.push(OutageWindow {
+            shard: victim,
+            crash_index: ci,
+            end_index: end,
+        });
+        pos = end;
+    }
+    reports.push(feed(&daemon, &trace[pos..], calm_mode()));
+    quiesce_all(&daemon);
+    let stats = daemon.shutdown();
+    fault::clear();
+
+    let report = merge_reports(&reports);
+    gate.check(
+        kills == 2,
+        format!("flash-kill: {kills} kills fired, expected 2"),
+    );
+    gate.check(
+        report.outage_windows == 2,
+        format!(
+            "flash-kill: {} outage windows, expected 2",
+            report.outage_windows
+        ),
+    );
+    // The tentpole availability gate: inside the outage windows every
+    // admitted request is answered (as a failover miss), none dropped.
+    gate.check(
+        report.inside_availability() == 1.0,
+        format!(
+            "flash-kill: availability inside outage windows {:.4} < 1.0",
+            report.inside_availability()
+        ),
+    );
+    gate.check(
+        report.outside_availability() == 1.0,
+        format!(
+            "flash-kill: availability outside outage windows {:.4} < 1.0",
+            report.outside_availability()
+        ),
+    );
+    let down: u64 = report.per_shard.iter().map(|t| t.rejected_down).sum();
+    let shed: u64 = report.per_shard.iter().map(|t| t.shed).sum();
+    gate.check(
+        down == 0 && shed == 0,
+        format!("flash-kill: {down} Down / {shed} Shed rejections, expected 0"),
+    );
+    gate.check(
+        report.failover_accepted > 0,
+        "flash-kill: no failover traffic observed".to_string(),
+    );
+    if let Err(e) = report.check_against(&stats.shards, true) {
+        gate.check(false, format!("flash-kill: counter reconciliation: {e}"));
+    }
+    // Every ledger — survivors and the overlay work they absorbed — must
+    // equal the routing-aware serial reference u64-for-u64.
+    let reference = run_routed_serial(
+        POLICY,
+        cfg.total_capacity,
+        &trace,
+        SHARDS,
+        cfg.seed,
+        &windows,
+    );
+    gate.check(
+        reference.unroutable == 0,
+        format!(
+            "flash-kill: reference found {} unroutable requests",
+            reference.unroutable
+        ),
+    );
+    let overlay: u64 = reference.per_shard.iter().map(|l| l.failover_in).sum();
+    gate.check(
+        report.failover_accepted == overlay,
+        format!(
+            "flash-kill: client saw {} failover accepts, reference {}",
+            report.failover_accepted, overlay
+        ),
+    );
+    let mut exact = 0usize;
+    for shard in 0..SHARDS {
+        match routed_ledger_diff(shard, &stats.shards[shard], &reference.per_shard[shard]) {
+            None => exact += 1,
+            Some(diff) => gate.check(false, format!("flash-kill: {diff}")),
+        }
+    }
+    gate.check(
+        stats.shards[victim].lost == 2,
+        format!(
+            "flash-kill: victim lost {}, expected 2",
+            stats.shards[victim].lost
+        ),
+    );
+    Row {
+        schedule: "flash-kill",
+        availability: report.overall_availability(),
+        inside_availability: report.inside_availability(),
+        outside_availability: report.outside_availability(),
+        outage_windows: report.outage_windows,
+        kills,
+        restarts: stats.total_restarts(),
+        lost: stats.total_lost(),
+        failover: stats.total_failover(),
+        exact_shards: exact,
+        compared_shards: SHARDS,
+        snapshots: 0,
+        restored_objects: 0,
+        restored_bytes: 0,
+        epochs_discarded: 0,
     }
 }
 
@@ -793,6 +1098,8 @@ fn main() {
         seed,
         restart: RestartConfig::default(),
         snap: SnapshotConfig::default(),
+        route: RouteConfig::default(),
+        admit: AdmitConfig::default(),
     }
     .overlay_env();
     let plan = ShardPlan::build(&trace, cfg.shards, cfg.seed);
@@ -812,20 +1119,23 @@ fn main() {
         {
             vec![
                 run_calm(&trace, &plan, &cfg, &mut gate),
+                run_calm_routed(&trace, &plan, &cfg, &mut gate),
                 run_calm_snap(&trace, &plan, &cfg, &mut gate),
                 run_kill(&trace, &plan, &cfg, &mut gate),
                 run_warm(&trace, &plan, &cfg, &mut gate),
                 run_corrupt(&trace, &plan, &cfg, &mut gate),
+                run_flash_kill(requests, seed, &cfg, &mut gate),
             ]
         }
         #[cfg(not(feature = "fault-injection"))]
         {
             eprintln!(
-                "note: built without --features fault-injection; kill, warm-kill \
-                 and corrupt schedules skipped (calm gates only)"
+                "note: built without --features fault-injection; kill, warm-kill, \
+                 corrupt and flash-kill schedules skipped (calm gates only)"
             );
             vec![
                 run_calm(&trace, &plan, &cfg, &mut gate),
+                run_calm_routed(&trace, &plan, &cfg, &mut gate),
                 run_calm_snap(&trace, &plan, &cfg, &mut gate),
             ]
         }
@@ -833,7 +1143,7 @@ fn main() {
 
     // Human table.
     println!(
-        "{:<9} {:>6} {:>8} {:>9} {:>8} {:>6} {:>9} {:>5} {:>6} {:>6} {:>9} {:>9}",
+        "{:<10} {:>6} {:>8} {:>9} {:>8} {:>6} {:>9} {:>5} {:>8} {:>6} {:>6} {:>9} {:>9}",
         "schedule",
         "avail",
         "inside",
@@ -842,6 +1152,7 @@ fn main() {
         "kills",
         "restarts",
         "lost",
+        "failover",
         "exact",
         "snaps",
         "restored",
@@ -849,7 +1160,7 @@ fn main() {
     );
     for r in &rows {
         println!(
-            "{:<9} {:>6.4} {:>8.4} {:>9.4} {:>8} {:>6} {:>9} {:>5} {:>3}/{} {:>6} {:>9} {:>9}",
+            "{:<10} {:>6.4} {:>8.4} {:>9.4} {:>8} {:>6} {:>9} {:>5} {:>8} {:>3}/{} {:>6} {:>9} {:>9}",
             r.schedule,
             r.availability,
             r.inside_availability,
@@ -858,6 +1169,7 @@ fn main() {
             r.kills,
             r.restarts,
             r.lost,
+            r.failover,
             r.exact_shards,
             r.compared_shards,
             r.snapshots,
@@ -871,14 +1183,14 @@ fn main() {
     cdn_sim::or_die(fs::create_dir_all(&dir), "creating results dir");
     let mut md = String::from(
         "# cdnd chaos schedules\n\n\
-         | schedule | availability | inside | outside | windows | kills | restarts | lost | exact shards | snapshots | restored objects | restored bytes | epochs discarded |\n\
-         |---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+         | schedule | availability | inside | outside | windows | kills | restarts | lost | failover | exact shards | snapshots | restored objects | restored bytes | epochs discarded |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     let mut tsv = String::from(
-        "schedule\tavailability\tinside\toutside\twindows\tkills\trestarts\tlost\texact\tcompared\tsnapshots\trestored_objects\trestored_bytes\tepochs_discarded\n",
+        "schedule\tavailability\tinside\toutside\twindows\tkills\trestarts\tlost\tfailover\texact\tcompared\tsnapshots\trestored_objects\trestored_bytes\tepochs_discarded\n",
     );
     let mut json = format!(
-        "{{\n  \"schema\": \"cdnd_chaos_v2\",\n  \"requests\": {requests},\n  \
+        "{{\n  \"schema\": \"cdnd_chaos_v3\",\n  \"requests\": {requests},\n  \
          \"seed\": {seed},\n  \"shards\": {SHARDS},\n  \"policy\": \"{}\",\n  \
          \"cache_bytes\": {cache_bytes},\n  \"schedules\": [\n",
         POLICY.label()
@@ -886,7 +1198,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             md,
-            "| {} | {:.4} | {:.4} | {:.4} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} |",
+            "| {} | {:.4} | {:.4} | {:.4} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {} | {} |",
             r.schedule,
             r.availability,
             r.inside_availability,
@@ -895,6 +1207,7 @@ fn main() {
             r.kills,
             r.restarts,
             r.lost,
+            r.failover,
             r.exact_shards,
             r.compared_shards,
             r.snapshots,
@@ -904,7 +1217,7 @@ fn main() {
         );
         let _ = writeln!(
             tsv,
-            "{}\t{:.6}\t{:.6}\t{:.6}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{:.6}\t{:.6}\t{:.6}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.schedule,
             r.availability,
             r.inside_availability,
@@ -913,6 +1226,7 @@ fn main() {
             r.kills,
             r.restarts,
             r.lost,
+            r.failover,
             r.exact_shards,
             r.compared_shards,
             r.snapshots,
@@ -925,7 +1239,8 @@ fn main() {
             "    {{\"schedule\": \"{}\", \"availability\": {:.6}, \
              \"inside_availability\": {:.6}, \"outside_availability\": {:.6}, \
              \"outage_windows\": {}, \"kills\": {}, \"restarts\": {}, \
-             \"lost\": {}, \"exact_shards\": {}, \"compared_shards\": {}, \
+             \"lost\": {}, \"failover\": {}, \"exact_shards\": {}, \
+             \"compared_shards\": {}, \
              \"snapshots\": {}, \"restored_objects\": {}, \
              \"restored_bytes\": {}, \"epochs_discarded\": {}}}{}",
             r.schedule,
@@ -936,6 +1251,7 @@ fn main() {
             r.kills,
             r.restarts,
             r.lost,
+            r.failover,
             r.exact_shards,
             r.compared_shards,
             r.snapshots,

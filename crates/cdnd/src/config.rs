@@ -10,6 +10,8 @@ use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use crate::route::Priority;
+
 /// Structured validation failure for a [`DaemonConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DaemonConfigError {
@@ -43,6 +45,21 @@ pub enum DaemonConfigError {
     ZeroSnapKeep,
     /// Snapshotting is enabled but no snapshot directory is configured.
     SnapDirRequired,
+    /// An admission watermark is outside `1..=100` percent.
+    WatermarkOutOfRange {
+        /// Which class's watermark is bad.
+        class: &'static str,
+        /// Offending percentage.
+        pct: u8,
+    },
+    /// The low watermark exceeds the normal watermark — brownout could
+    /// shed `Normal` before `Low`.
+    WatermarkInverted {
+        /// Configured low watermark (percent).
+        low_pct: u8,
+        /// Configured normal watermark (percent).
+        normal_pct: u8,
+    },
     /// A live reload tried to change a field that only a restart can
     /// change (shard count, capacities, policy, seed).
     ImmutableField(&'static str),
@@ -83,6 +100,17 @@ impl fmt::Display for DaemonConfigError {
             DaemonConfigError::SnapDirRequired => {
                 write!(f, "snapshot dir is required when snapshot interval > 0")
             }
+            DaemonConfigError::WatermarkOutOfRange { class, pct } => write!(
+                f,
+                "admission watermark for class `{class}` must be in 1..=100 percent (got {pct})"
+            ),
+            DaemonConfigError::WatermarkInverted {
+                low_pct,
+                normal_pct,
+            } => write!(
+                f,
+                "admission low watermark {low_pct}% exceeds normal watermark {normal_pct}%"
+            ),
             DaemonConfigError::ImmutableField(name) => write!(
                 f,
                 "field `{name}` cannot change on a live reload (restart the daemon)"
@@ -186,11 +214,84 @@ impl SnapshotConfig {
     }
 }
 
-/// Full daemon configuration. Everything outside [`DaemonConfig::restart`]
-/// and [`DaemonConfig::snap`] is fixed for the life of the process — shard
-/// count and capacity determine where every key lives and how much state
-/// each worker owns, so changing them live would silently invalidate the
-/// whole cache.
+/// Failover-routing tunables — live-reloadable (the submit path re-reads
+/// them on every request).
+///
+/// Routing is **off by default**: a submit whose primary shard is down
+/// fails fast with `Down`, exactly the pre-routing daemon, and the calm
+/// serving path is bit-identical either way (the router only diverts when
+/// a shard is actually down). Enabling failover makes the submit path
+/// walk the key's rendezvous order (`cdn_cache::route_with_failover`) and
+/// serve primaries of a dead shard on their live secondary as overlay
+/// misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteConfig {
+    /// Re-route primaries of a down shard to their rendezvous secondary
+    /// instead of rejecting with `Down`.
+    pub failover: bool,
+}
+
+/// Admission-control tunables — live-reloadable. Watermarks are integer
+/// percentages of `queue_capacity` so class depth limits are exact (no
+/// float rounding in the admission decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitConfig {
+    /// Queue-depth watermark (percent of capacity) above which `Low`
+    /// traffic browns out.
+    pub low_watermark_pct: u8,
+    /// Watermark above which `Normal` traffic browns out. `High` always
+    /// rides to the full ring capacity.
+    pub normal_watermark_pct: u8,
+}
+
+impl Default for AdmitConfig {
+    fn default() -> Self {
+        AdmitConfig {
+            low_watermark_pct: 50,
+            normal_watermark_pct: 75,
+        }
+    }
+}
+
+impl AdmitConfig {
+    /// Validate this block (called from [`DaemonConfig::validate`]).
+    pub fn validate(&self) -> Result<(), DaemonConfigError> {
+        for (class, pct) in [
+            ("low", self.low_watermark_pct),
+            ("normal", self.normal_watermark_pct),
+        ] {
+            if pct == 0 || pct > 100 {
+                return Err(DaemonConfigError::WatermarkOutOfRange { class, pct });
+            }
+        }
+        if self.low_watermark_pct > self.normal_watermark_pct {
+            return Err(DaemonConfigError::WatermarkInverted {
+                low_pct: self.low_watermark_pct,
+                normal_pct: self.normal_watermark_pct,
+            });
+        }
+        Ok(())
+    }
+
+    /// Exact depth bound for `class` on a ring of `queue_capacity`:
+    /// `capacity · pct / 100` (integer floor), at least 1 so a tiny ring
+    /// still admits every class, with `High` always at full capacity.
+    pub fn class_limit(&self, class: Priority, queue_capacity: usize) -> usize {
+        let pct = match class {
+            Priority::Low => self.low_watermark_pct,
+            Priority::Normal => self.normal_watermark_pct,
+            Priority::High => 100,
+        } as usize;
+        (queue_capacity * pct / 100).max(1)
+    }
+}
+
+/// Full daemon configuration. Everything outside the live-reloadable
+/// blocks ([`DaemonConfig::restart`], [`DaemonConfig::snap`],
+/// [`DaemonConfig::route`], [`DaemonConfig::admit`]) is fixed for the
+/// life of the process — shard count and capacity determine where every
+/// key lives and how much state each worker owns, so changing them live
+/// would silently invalidate the whole cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DaemonConfig {
     /// Number of single-threaded shard workers (key-partitioned via
@@ -212,6 +313,10 @@ pub struct DaemonConfig {
     pub restart: RestartConfig,
     /// Warm-restart snapshot tunables (live-reloadable).
     pub snap: SnapshotConfig,
+    /// Failover-routing tunables (live-reloadable).
+    pub route: RouteConfig,
+    /// Admission-control tunables (live-reloadable).
+    pub admit: AdmitConfig,
 }
 
 impl Default for DaemonConfig {
@@ -224,6 +329,8 @@ impl Default for DaemonConfig {
             seed: 42,
             restart: RestartConfig::default(),
             snap: SnapshotConfig::default(),
+            route: RouteConfig::default(),
+            admit: AdmitConfig::default(),
         }
     }
 }
@@ -260,6 +367,7 @@ impl DaemonConfig {
             return Err(DaemonConfigError::ZeroStormWindow);
         }
         self.snap.validate()?;
+        self.admit.validate()?;
         Ok(())
     }
 
@@ -296,7 +404,9 @@ impl DaemonConfig {
     /// `CDND_SEED`, `CDND_BACKOFF_BASE_MS`, `CDND_BACKOFF_MAX_MS`,
     /// `CDND_STORM_THRESHOLD`, `CDND_STORM_WINDOW_MS`,
     /// `CDND_SNAP_INTERVAL`, `CDND_SNAP_KEEP`, `CDND_SNAP_DIR` (an empty
-    /// string clears the directory).
+    /// string clears the directory), `CDND_ROUTE_FAILOVER` (`1`/`true`
+    /// enables, `0`/`false` disables), `CDND_ADMIT_LOW_PCT`,
+    /// `CDND_ADMIT_NORMAL_PCT`.
     pub fn overlay_env(mut self) -> Self {
         fn env<T: std::str::FromStr>(key: &str, current: T) -> T {
             std::env::var(key)
@@ -327,6 +437,16 @@ impl DaemonConfig {
                 Some(PathBuf::from(dir))
             };
         }
+        if let Ok(v) = std::env::var("CDND_ROUTE_FAILOVER") {
+            match v.trim() {
+                "1" | "true" | "on" => self.route.failover = true,
+                "0" | "false" | "off" => self.route.failover = false,
+                _ => {}
+            }
+        }
+        self.admit.low_watermark_pct = env("CDND_ADMIT_LOW_PCT", self.admit.low_watermark_pct);
+        self.admit.normal_watermark_pct =
+            env("CDND_ADMIT_NORMAL_PCT", self.admit.normal_watermark_pct);
         self
     }
 }
@@ -474,6 +594,71 @@ mod tests {
             keep: 2,
             dir: Some(PathBuf::from("/tmp/snaps")),
         };
+        a.reload_compatible(&b).unwrap();
+    }
+
+    #[test]
+    fn admit_config_validates_and_bounds_classes() {
+        AdmitConfig::default().validate().unwrap();
+        assert_eq!(
+            AdmitConfig {
+                low_watermark_pct: 0,
+                ..AdmitConfig::default()
+            }
+            .validate(),
+            Err(DaemonConfigError::WatermarkOutOfRange {
+                class: "low",
+                pct: 0
+            })
+        );
+        assert_eq!(
+            AdmitConfig {
+                normal_watermark_pct: 101,
+                ..AdmitConfig::default()
+            }
+            .validate(),
+            Err(DaemonConfigError::WatermarkOutOfRange {
+                class: "normal",
+                pct: 101
+            })
+        );
+        assert_eq!(
+            AdmitConfig {
+                low_watermark_pct: 90,
+                normal_watermark_pct: 60,
+            }
+            .validate(),
+            Err(DaemonConfigError::WatermarkInverted {
+                low_pct: 90,
+                normal_pct: 60
+            })
+        );
+        // Exact integer limits, High always at capacity, floor ≥ 1.
+        let a = AdmitConfig::default();
+        assert_eq!(a.class_limit(Priority::Low, 4_096), 2_048);
+        assert_eq!(a.class_limit(Priority::Normal, 4_096), 3_072);
+        assert_eq!(a.class_limit(Priority::High, 4_096), 4_096);
+        assert_eq!(a.class_limit(Priority::Low, 1), 1);
+        // And the daemon-level validate covers the block.
+        let cfg = DaemonConfig {
+            admit: AdmitConfig {
+                low_watermark_pct: 0,
+                ..AdmitConfig::default()
+            },
+            ..DaemonConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(DaemonConfigError::WatermarkOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn route_and_admit_are_live_reloadable() {
+        let a = DaemonConfig::default();
+        let mut b = a.clone();
+        b.route.failover = true;
+        b.admit.low_watermark_pct = 25;
         a.reload_compatible(&b).unwrap();
     }
 

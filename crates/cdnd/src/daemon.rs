@@ -17,9 +17,19 @@
 //!   to Storm-Open — the shard stays down, cheap and observable, until an
 //!   operator [`Daemon::reset_shard`]. State machine: Closed → (crash) →
 //!   Backoff → (restart) → Closed, or → Storm-Open (see DESIGN.md §16).
-//! - **Backpressure, not buffering**: rings are bounded; arrivals beyond
-//!   capacity shed with [`SubmitError::Overloaded`] ([`Daemon::submit`])
-//!   or block the producer ([`Daemon::submit_wait`]) — queue memory is
+//! - **Failover routing** (off by default, [`RouteConfig`]): when a
+//!   key's primary shard is down, the submit path re-routes it to its
+//!   rendezvous-ordered live secondary ([`crate::route`]) where it is
+//!   served cold as an overlay miss — degraded, never dark. The decision
+//!   is pure in `(key, down-set)`, so the routing-aware serial reference
+//!   (`cdn_sim::run_routed_serial`) replays it exactly and failover
+//!   ledgers stay u64-reconcilable.
+//! - **Admission, not blind shedding**: rings are bounded and guarded by
+//!   a class-watermark admission controller ([`crate::Admit`],
+//!   [`AdmitConfig`]): brownout sheds `Low` before `Normal` before
+//!   `High`, per-request deadlines refuse at the request's own depth
+//!   bound, and every refusal lands under exactly one counted cause
+//!   ([`SubmitError`]). Queue memory stays
 //!   `shards × queue_capacity × sizeof(Request)`, a constant.
 //! - **Graceful drain**: [`Daemon::shutdown`] stops intake, lets every
 //!   live worker finish all queued requests, then joins all threads.
@@ -38,12 +48,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cdn_cache::{key_shard, AccessKind, CachePolicy, Request, ResidentEntry, Tick};
+use cdn_cache::{
+    key_shard, route_with_failover, AccessKind, CachePolicy, Request, ResidentEntry, Tick,
+};
 use tdc::SwitchableScip;
 
-use crate::config::{DaemonConfig, DaemonConfigError, RestartConfig, SnapshotConfig};
+use crate::config::{AdmitConfig, DaemonConfig, DaemonConfigError, RestartConfig, SnapshotConfig};
 use crate::ring::{BoundedRing, Popped, PushError};
+use crate::route::{Admit, Priority, ShardHealth};
 use crate::snapshot::{self, SnapshotData};
+
+#[cfg(feature = "fault-injection")]
+use crate::route::{route_fault_key, FP_ROUTE};
 
 /// Failpoint site evaluated once per request inside a shard worker, keyed
 /// by [`worker_fault_key`]. Arm it with [`cdn_cache::fault::FaultRule`]
@@ -61,30 +77,49 @@ pub fn worker_fault_key(shard: usize, tick: Tick) -> u64 {
     ((shard as u64) << 48) | (tick & 0x0000_FFFF_FFFF_FFFF)
 }
 
-/// Why a submit was refused. Every variant is counted per shard in
-/// [`ShardSnapshot`], so client-side tallies and daemon counters can be
-/// cross-checked exactly.
+/// Why a submit was refused, by cause. Every variant is counted per
+/// shard in [`ShardSnapshot`] (`Shed` further split by priority class),
+/// so client-side tallies and daemon counters reconcile exactly — each
+/// refused request lands under exactly one cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The shard's ring is at capacity — load was shed.
-    Overloaded,
-    /// The shard is in Backoff or Storm-Open (crashed, not yet serving).
-    ShardDown,
-    /// The daemon is draining; no new work is accepted.
-    ShuttingDown,
+    /// The routed shard's queue reached the request's class watermark
+    /// (brownout) or the hard ring capacity — load was shed.
+    Shed,
+    /// No shard can serve this key: its primary is in Backoff or
+    /// Storm-Open and either failover routing is disabled or every
+    /// failover candidate is down too.
+    Down,
+    /// The routed shard's queue depth reached the request's own
+    /// [`Admit::deadline_depth`] bound before its class watermark.
+    Deadline,
     /// The `cdnd.enqueue` failpoint injected a transport fault.
     Faulted,
+    /// The daemon is draining; no new work is accepted.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Overloaded => write!(f, "overloaded (queue full)"),
-            SubmitError::ShardDown => write!(f, "shard down (backoff or storm-open)"),
-            SubmitError::ShuttingDown => write!(f, "daemon shutting down"),
+            SubmitError::Shed => write!(f, "shed (class watermark or queue full)"),
+            SubmitError::Down => write!(f, "down (no live shard for key)"),
+            SubmitError::Deadline => write!(f, "deadline (queue deeper than request tolerates)"),
             SubmitError::Faulted => write!(f, "injected enqueue fault"),
+            SubmitError::ShuttingDown => write!(f, "daemon shutting down"),
         }
     }
+}
+
+/// Successful submit: where the request landed and whether the router
+/// diverted it from its primary (served as an overlay miss on a
+/// rendezvous secondary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accepted {
+    /// Shard whose ring accepted the request.
+    pub shard: usize,
+    /// True when `shard` is not the key's primary (failover overlay).
+    pub failover: bool,
 }
 
 /// Supervision state of one shard (the breaker states of DESIGN.md §16).
@@ -206,8 +241,12 @@ struct ShardShared {
     ctl_pending: AtomicBool,
     // Intake counters (written by producers under submit).
     enqueued: AtomicU64,
-    shed: AtomicU64,
+    failover_in: AtomicU64,
+    shed_low: AtomicU64,
+    shed_normal: AtomicU64,
+    shed_high: AtomicU64,
     rejected_down: AtomicU64,
+    rejected_deadline: AtomicU64,
     faulted_enqueues: AtomicU64,
     // Serving ledger (written by the worker).
     processed: AtomicU64,
@@ -243,8 +282,12 @@ impl ShardShared {
             ctl: Mutex::new(Vec::new()),
             ctl_pending: AtomicBool::new(false),
             enqueued: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            failover_in: AtomicU64::new(0),
+            shed_low: AtomicU64::new(0),
+            shed_normal: AtomicU64::new(0),
+            shed_high: AtomicU64::new(0),
             rejected_down: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
             faulted_enqueues: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             lost: AtomicU64::new(0),
@@ -280,13 +323,22 @@ impl ShardShared {
         self.resident_objects.store(objects, Ordering::Relaxed);
         self.resident_bytes.store(bytes, Ordering::Relaxed);
     }
+
+    fn shed_counter(&self, class: Priority) -> &AtomicU64 {
+        match class {
+            Priority::Low => &self.shed_low,
+            Priority::Normal => &self.shed_normal,
+            Priority::High => &self.shed_high,
+        }
+    }
 }
 
 /// Point-in-time counters for one shard. Consistency (once the daemon is
 /// quiescent or shut down): `enqueued == processed + lost +
 /// dropped_at_shutdown + depth`, and client-side tallies of submit
 /// outcomes equal `enqueued` / `shed` / `rejected_down` /
-/// `faulted_enqueues` exactly.
+/// `rejected_deadline` / `faulted_enqueues` exactly — every submitted
+/// request reconciles to exactly one counter cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardSnapshot {
     /// Supervision state at snapshot time.
@@ -303,12 +355,25 @@ pub struct ShardSnapshot {
     pub processed: u64,
     /// Requests lost to a worker crash (the panicking request itself).
     pub lost: u64,
-    /// Requests shed with [`SubmitError::Overloaded`].
+    /// Requests shed with [`SubmitError::Shed`], all classes
+    /// (`shed_low + shed_normal + shed_high`).
     pub shed: u64,
-    /// Requests rejected with [`SubmitError::ShardDown`].
+    /// `Low`-class requests shed at the brownout watermark.
+    pub shed_low: u64,
+    /// `Normal`-class requests shed at the brownout watermark.
+    pub shed_normal: u64,
+    /// `High`-class requests shed at the hard ring capacity.
+    pub shed_high: u64,
+    /// Requests rejected with [`SubmitError::Down`].
     pub rejected_down: u64,
+    /// Requests refused with [`SubmitError::Deadline`] (queue deeper
+    /// than the request's own bound, below its class watermark).
+    pub rejected_deadline: u64,
     /// Requests failed by the `cdnd.enqueue` failpoint.
     pub faulted_enqueues: u64,
+    /// Requests this shard accepted as failover overlay (their primary
+    /// was down; served here cold).
+    pub failover_in: u64,
     /// Cache hits (ledger, comparable to `RunMeasurement::hits`).
     pub hits: u64,
     /// Cache misses, rejections included.
@@ -375,6 +440,17 @@ impl DaemonStats {
     /// Total requests rejected while shards were down.
     pub fn total_rejected_down(&self) -> u64 {
         self.sum(|s| s.rejected_down)
+    }
+
+    /// Total requests refused on their own deadline bound.
+    pub fn total_rejected_deadline(&self) -> u64 {
+        self.sum(|s| s.rejected_deadline)
+    }
+
+    /// Total requests served as failover overlay (accepted on a
+    /// rendezvous secondary while their primary was down).
+    pub fn total_failover(&self) -> u64 {
+        self.sum(|s| s.failover_in)
     }
 
     /// Total requests lost to crashes.
@@ -709,6 +785,13 @@ pub struct Daemon {
     cfg: Mutex<DaemonConfig>,
     restart_cfg: Arc<Mutex<RestartConfig>>,
     snap_cfg: Arc<Mutex<SnapshotConfig>>,
+    // Routing/admission tunables, mirrored into atomics so the submit
+    // hot path never takes a config lock.
+    route_failover: AtomicBool,
+    admit_low_pct: std::sync::atomic::AtomicU8,
+    admit_normal_pct: std::sync::atomic::AtomicU8,
+    /// Monotonic submit ordinal — the router's tick ([`FP_ROUTE`] key).
+    route_seq: AtomicU64,
     shutting_down: Arc<AtomicBool>,
     reloads_applied: AtomicU64,
     reloads_rejected: AtomicU64,
@@ -751,6 +834,10 @@ impl Daemon {
             workers,
             supervisor: Some(supervisor),
             events_tx,
+            route_failover: AtomicBool::new(cfg.route.failover),
+            admit_low_pct: std::sync::atomic::AtomicU8::new(cfg.admit.low_watermark_pct),
+            admit_normal_pct: std::sync::atomic::AtomicU8::new(cfg.admit.normal_watermark_pct),
+            route_seq: AtomicU64::new(0),
             cfg: Mutex::new(cfg),
             restart_cfg,
             snap_cfg,
@@ -765,73 +852,153 @@ impl Daemon {
         self.shards.len()
     }
 
-    /// The shard `id` routes to ([`cdn_cache::key_shard`]).
+    /// The primary shard `id` routes to with everything up
+    /// ([`cdn_cache::key_shard`]).
     pub fn route(&self, id: u64) -> usize {
         key_shard(id, self.shards.len())
     }
 
-    fn pre_submit(&self, req: &Request) -> Result<usize, (usize, SubmitError)> {
-        let shard = self.route(req.id.0);
+    /// Point-in-time router view of every shard: supervision state plus
+    /// queue pressure.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .map(|s| ShardHealth {
+                up: s.state() == ShardState::Closed,
+                depth: s.ring.len(),
+                queue_capacity: s.ring.capacity(),
+            })
+            .collect()
+    }
+
+    /// Route + admit + enqueue. `wait` is the backpressure budget used
+    /// only when the effective admission bound is the full ring capacity
+    /// (class `High`, no deadline): brownout classes and deadlines fail
+    /// fast — a request unwilling to stand in a deep queue must not block
+    /// on one.
+    fn submit_inner(
+        &self,
+        req: Request,
+        admit: Admit,
+        wait: Option<Duration>,
+    ) -> Result<Accepted, (usize, SubmitError)> {
+        let primary = self.route(req.id.0);
         if self.shutting_down.load(Ordering::Acquire) {
-            return Err((shard, SubmitError::ShuttingDown));
+            return Err((primary, SubmitError::ShuttingDown));
         }
         #[cfg(feature = "fault-injection")]
         if let Some(cdn_cache::fault::FaultAction::Error(_)) =
             cdn_cache::fault::check(FP_ENQUEUE, req.id.0)
         {
-            self.shards[shard]
+            self.shards[primary]
                 .faulted_enqueues
                 .fetch_add(1, Ordering::Relaxed);
-            return Err((shard, SubmitError::Faulted));
+            return Err((primary, SubmitError::Faulted));
         }
-        if self.shards[shard].state() != ShardState::Closed {
-            self.shards[shard]
-                .rejected_down
-                .fetch_add(1, Ordering::Relaxed);
-            return Err((shard, SubmitError::ShardDown));
-        }
-        Ok(shard)
-    }
-
-    /// Non-blocking submit: sheds with [`SubmitError::Overloaded`] when
-    /// the target ring is full. Returns the shard that accepted (or
-    /// refused) the request.
-    pub fn submit(&self, req: Request) -> Result<usize, (usize, SubmitError)> {
-        let shard = self.pre_submit(&req)?;
-        match self.shards[shard].ring.try_push(req) {
+        let shard = if self.route_failover.load(Ordering::Relaxed) {
+            let _seq = self.route_seq.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "fault-injection")]
+            let force_primary_down = matches!(
+                cdn_cache::fault::check(FP_ROUTE, route_fault_key(primary, _seq)),
+                Some(cdn_cache::fault::FaultAction::Error(_))
+            );
+            #[cfg(not(feature = "fault-injection"))]
+            let force_primary_down = false;
+            let routed = route_with_failover(req.id.0, self.shards.len(), |s| {
+                (force_primary_down && s == primary) || self.shards[s].state() != ShardState::Closed
+            });
+            match routed {
+                Some(shard) => shard,
+                None => {
+                    self.shards[primary]
+                        .rejected_down
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err((primary, SubmitError::Down));
+                }
+            }
+        } else {
+            if self.shards[primary].state() != ShardState::Closed {
+                self.shards[primary]
+                    .rejected_down
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err((primary, SubmitError::Down));
+            }
+            primary
+        };
+        let target = &self.shards[shard];
+        let admit_cfg = AdmitConfig {
+            low_watermark_pct: self.admit_low_pct.load(Ordering::Relaxed),
+            normal_watermark_pct: self.admit_normal_pct.load(Ordering::Relaxed),
+        };
+        let class_limit = admit_cfg.class_limit(admit.class, target.ring.capacity());
+        let limit = class_limit.min(admit.deadline_depth.unwrap_or(usize::MAX));
+        let result = match wait {
+            Some(timeout) if limit >= target.ring.capacity() => target
+                .ring
+                .push_wait(req, timeout)
+                .map_err(|e| (target.ring.capacity(), e)),
+            _ => target.ring.try_push_within(req, limit),
+        };
+        match result {
             Ok(()) => {
-                self.shards[shard].enqueued.fetch_add(1, Ordering::Relaxed);
-                Ok(shard)
+                target.enqueued.fetch_add(1, Ordering::Relaxed);
+                let failover = shard != primary;
+                if failover {
+                    target.failover_in.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Accepted { shard, failover })
             }
-            Err(PushError::Full) => {
-                self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
-                Err((shard, SubmitError::Overloaded))
+            Err((depth, PushError::Full)) => {
+                // Cause attribution: the class watermark is charged when
+                // the observed depth reached it; otherwise the request's
+                // own (tighter) deadline bound refused first.
+                if depth >= class_limit {
+                    target
+                        .shed_counter(admit.class)
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err((shard, SubmitError::Shed))
+                } else {
+                    target.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    Err((shard, SubmitError::Deadline))
+                }
             }
-            Err(PushError::Closed) => Err((shard, SubmitError::ShuttingDown)),
+            Err((_, PushError::Closed)) => Err((shard, SubmitError::ShuttingDown)),
         }
     }
 
-    /// Backpressure submit: blocks while the target ring is full (up to
-    /// `timeout`, then sheds). Still fails fast with
-    /// [`SubmitError::ShardDown`] when the shard is not serving — waiting
+    /// Full-control submit: route `req` (with failover when enabled),
+    /// admit it under `admit`'s class watermark and deadline bound, and
+    /// enqueue. `wait` bounds backpressure blocking and only applies when
+    /// the effective admission bound is the whole ring (class `High`
+    /// with no deadline); otherwise the call fails fast.
+    pub fn submit_classed(
+        &self,
+        req: Request,
+        admit: Admit,
+        wait: Option<Duration>,
+    ) -> Result<Accepted, (usize, SubmitError)> {
+        self.submit_inner(req, admit, wait)
+    }
+
+    /// Non-blocking submit at default admission (`High`, no deadline):
+    /// sheds with [`SubmitError::Shed`] when the target ring is full.
+    /// Returns the shard that accepted (or refused) the request.
+    pub fn submit(&self, req: Request) -> Result<usize, (usize, SubmitError)> {
+        self.submit_inner(req, Admit::default(), None)
+            .map(|a| a.shard)
+    }
+
+    /// Backpressure submit at default admission: blocks while the target
+    /// ring is full (up to `timeout`, then sheds). Still fails fast with
+    /// [`SubmitError::Down`] when no shard can serve the key — waiting
     /// on a dead shard would stall the producer for the whole backoff.
     pub fn submit_wait(
         &self,
         req: Request,
         timeout: Duration,
     ) -> Result<usize, (usize, SubmitError)> {
-        let shard = self.pre_submit(&req)?;
-        match self.shards[shard].ring.push_wait(req, timeout) {
-            Ok(()) => {
-                self.shards[shard].enqueued.fetch_add(1, Ordering::Relaxed);
-                Ok(shard)
-            }
-            Err(PushError::Full) => {
-                self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
-                Err((shard, SubmitError::Overloaded))
-            }
-            Err(PushError::Closed) => Err((shard, SubmitError::ShuttingDown)),
-        }
+        self.submit_inner(req, Admit::default(), Some(timeout))
+            .map(|a| a.shard)
     }
 
     /// Supervision state of `shard`.
@@ -874,7 +1041,8 @@ impl Daemon {
     }
 
     /// Validate and apply a new config. Only supervision tunables
-    /// ([`RestartConfig`]) and snapshot tunables ([`SnapshotConfig`]) may
+    /// ([`RestartConfig`]), snapshot tunables ([`SnapshotConfig`]),
+    /// routing ([`RouteConfig`]) and admission ([`AdmitConfig`]) may
     /// change live; an invalid candidate or a changed immutable field is
     /// rejected whole and the daemon keeps the old config — including the
     /// running snapshot cadence ([`DaemonConfigError::ImmutableField`]).
@@ -887,6 +1055,12 @@ impl Daemon {
             Ok(()) => {
                 *self.restart_cfg.lock().unwrap() = candidate.restart;
                 *self.snap_cfg.lock().unwrap() = candidate.snap.clone();
+                self.route_failover
+                    .store(candidate.route.failover, Ordering::Relaxed);
+                self.admit_low_pct
+                    .store(candidate.admit.low_watermark_pct, Ordering::Relaxed);
+                self.admit_normal_pct
+                    .store(candidate.admit.normal_watermark_pct, Ordering::Relaxed);
                 *self.cfg.lock().unwrap() = candidate;
                 self.reloads_applied.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -932,9 +1106,16 @@ impl Daemon {
                 enqueued: s.enqueued.load(Ordering::Relaxed),
                 processed: s.processed.load(Ordering::Relaxed),
                 lost: s.lost.load(Ordering::Relaxed),
-                shed: s.shed.load(Ordering::Relaxed),
+                shed: s.shed_low.load(Ordering::Relaxed)
+                    + s.shed_normal.load(Ordering::Relaxed)
+                    + s.shed_high.load(Ordering::Relaxed),
+                shed_low: s.shed_low.load(Ordering::Relaxed),
+                shed_normal: s.shed_normal.load(Ordering::Relaxed),
+                shed_high: s.shed_high.load(Ordering::Relaxed),
                 rejected_down: s.rejected_down.load(Ordering::Relaxed),
+                rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
                 faulted_enqueues: s.faulted_enqueues.load(Ordering::Relaxed),
+                failover_in: s.failover_in.load(Ordering::Relaxed),
                 hits: s.hits.load(Ordering::Relaxed),
                 misses: s.misses.load(Ordering::Relaxed),
                 hit_bytes: s.hit_bytes.load(Ordering::Relaxed),

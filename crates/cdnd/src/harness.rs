@@ -8,10 +8,10 @@
 //! build on, so its accounting rules are worth stating precisely:
 //!
 //! - A shard's **outage window** is the half-open interval from the first
-//!   [`SubmitError::ShardDown`] rejection after a crash to the first
-//!   subsequent accepted submit to that shard. A request is *inside* an
-//!   outage when, after its own outcome is applied, at least one shard is
-//!   marked down.
+//!   [`SubmitError::Down`] rejection *or* failover-served request after a
+//!   crash to the first subsequent submit served on that shard as
+//!   primary. A request is *inside* an outage when, after its own outcome
+//!   is applied, at least one shard is marked down.
 //! - **Availability** is accepted/submitted over a region (inside
 //!   windows, outside windows, overall). The chaos gates require 100 %
 //!   outside all windows and a floor inside them.
@@ -24,11 +24,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cdn_cache::{Request, Tick};
-use cdn_sim::{BatchMode, PolicyKind, RunMeasurement, ShardedRunReport, TraceCtx};
+use cdn_sim::{
+    BatchMode, PolicyKind, RoutedShardLedger, RunMeasurement, ShardedRunReport, TraceCtx,
+};
 use cdn_trace::{partition_columns, ShardedTrace, TraceColumns};
 use tdc::SwitchableScip;
 
-use crate::daemon::{Daemon, PolicyFactory, ShardPolicy, ShardSnapshot, SubmitError};
+use crate::daemon::{Accepted, Daemon, PolicyFactory, ShardPolicy, ShardSnapshot, SubmitError};
+use crate::route::Admit;
 
 /// A workload pre-partitioned exactly like the library's sharded replay:
 /// the partition, the per-shard localized replay contexts, and the
@@ -128,7 +131,7 @@ pub enum FeedMode {
         /// How long to wait for ring space before shedding.
         push_timeout: Duration,
     },
-    /// Retry `ShardDown` / `Overloaded` until accepted or `give_up`
+    /// Retry `Down` / `Shed` until accepted or `give_up`
     /// elapses for that request. This is the exactness-measuring mode:
     /// every request (except crash-lost ones) eventually reaches its
     /// shard in trace order, so surviving-shard ledgers are comparable
@@ -149,14 +152,20 @@ pub enum FeedMode {
 /// daemon counters one-for-one (each request is attempted exactly once).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientTally {
-    /// Requests this client routed to the shard.
+    /// Requests whose final outcome (accept or refusal) landed on this
+    /// shard — with failover routing, the serving shard, not the primary.
     pub submitted: u64,
     /// Accepted into the shard's ring.
     pub accepted: u64,
-    /// Final `Overloaded` outcomes.
+    /// Accepted as failover overlay (this shard served for a down
+    /// primary).
+    pub failover_accepted: u64,
+    /// Final `Shed` outcomes.
     pub shed: u64,
-    /// Final `ShardDown` outcomes.
+    /// Final `Down` outcomes.
     pub rejected_down: u64,
+    /// Final `Deadline` outcomes.
+    pub deadline: u64,
     /// Final `Faulted` outcomes (injected enqueue faults).
     pub faulted: u64,
     /// Final `ShuttingDown` outcomes.
@@ -178,6 +187,9 @@ pub struct FeedReport {
     pub outside_accepted: u64,
     /// Down transitions observed (one per outage window opened).
     pub outage_windows: u64,
+    /// Requests accepted on a failover secondary (their primary was
+    /// down). These count toward availability — answered, degraded.
+    pub failover_accepted: u64,
 }
 
 impl FeedReport {
@@ -236,6 +248,12 @@ impl FeedReport {
                     tally.accepted, snap.enqueued
                 ));
             }
+            if tally.failover_accepted != snap.failover_in {
+                return Err(format!(
+                    "shard {i}: client failover-accepted {} != daemon failover-in {}",
+                    tally.failover_accepted, snap.failover_in
+                ));
+            }
             if strict_rejections {
                 if tally.shed != snap.shed {
                     return Err(format!(
@@ -247,6 +265,12 @@ impl FeedReport {
                     return Err(format!(
                         "shard {i}: client rejected-down {} != daemon {}",
                         tally.rejected_down, snap.rejected_down
+                    ));
+                }
+                if tally.deadline != snap.rejected_deadline {
+                    return Err(format!(
+                        "shard {i}: client deadline {} != daemon {}",
+                        tally.deadline, snap.rejected_deadline
                     ));
                 }
                 if tally.faulted != snap.faulted_enqueues {
@@ -261,7 +285,8 @@ impl FeedReport {
     }
 }
 
-/// Feed `requests` (trace order) into `daemon` from the calling thread.
+/// Feed `requests` (trace order) into `daemon` from the calling thread,
+/// at default admission (`High`, no deadline).
 pub fn feed(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport {
     let n = daemon.shard_count();
     let mut report = FeedReport {
@@ -271,37 +296,48 @@ pub fn feed(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport
         outside_total: 0,
         outside_accepted: 0,
         outage_windows: 0,
+        failover_accepted: 0,
     };
     let mut down = vec![false; n];
     for req in requests {
-        let shard = daemon.route(req.id.0);
-        report.per_shard[shard].submitted += 1;
+        let primary = daemon.route(req.id.0);
         let outcome = submit_with_mode(daemon, *req, mode);
-        let tally = &mut report.per_shard[shard];
+        // A failover accept and a Down rejection both signal the primary
+        // is down (window opens); a request served on its own primary
+        // signals that shard up (window closes).
         let accepted = match outcome {
-            Ok(_) => {
+            Ok(acc) => {
+                let tally = &mut report.per_shard[acc.shard];
+                tally.submitted += 1;
                 tally.accepted += 1;
-                down[shard] = false;
+                if acc.failover {
+                    tally.failover_accepted += 1;
+                    report.failover_accepted += 1;
+                    if !down[primary] {
+                        down[primary] = true;
+                        report.outage_windows += 1;
+                    }
+                } else {
+                    down[acc.shard] = false;
+                }
                 true
             }
-            Err((_, SubmitError::ShardDown)) => {
-                tally.rejected_down += 1;
-                if !down[shard] {
-                    down[shard] = true;
-                    report.outage_windows += 1;
+            Err((shard, e)) => {
+                let tally = &mut report.per_shard[shard];
+                tally.submitted += 1;
+                match e {
+                    SubmitError::Down => {
+                        tally.rejected_down += 1;
+                        if !down[shard] {
+                            down[shard] = true;
+                            report.outage_windows += 1;
+                        }
+                    }
+                    SubmitError::Shed => tally.shed += 1,
+                    SubmitError::Deadline => tally.deadline += 1,
+                    SubmitError::Faulted => tally.faulted += 1,
+                    SubmitError::ShuttingDown => tally.shutting_down += 1,
                 }
-                false
-            }
-            Err((_, SubmitError::Overloaded)) => {
-                tally.shed += 1;
-                false
-            }
-            Err((_, SubmitError::Faulted)) => {
-                tally.faulted += 1;
-                false
-            }
-            Err((_, SubmitError::ShuttingDown)) => {
-                tally.shutting_down += 1;
                 false
             }
         };
@@ -327,9 +363,11 @@ fn submit_with_mode(
     daemon: &Daemon,
     req: Request,
     mode: FeedMode,
-) -> Result<usize, (usize, SubmitError)> {
+) -> Result<Accepted, (usize, SubmitError)> {
     match mode {
-        FeedMode::FailFast { push_timeout } => daemon.submit_wait(req, push_timeout),
+        FeedMode::FailFast { push_timeout } => {
+            daemon.submit_classed(req, Admit::default(), Some(push_timeout))
+        }
         FeedMode::AwaitRecovery {
             push_timeout,
             retry,
@@ -337,8 +375,8 @@ fn submit_with_mode(
         } => {
             let deadline = Instant::now() + give_up;
             loop {
-                match daemon.submit_wait(req, push_timeout) {
-                    Err((shard, e @ (SubmitError::ShardDown | SubmitError::Overloaded))) => {
+                match daemon.submit_classed(req, Admit::default(), Some(push_timeout)) {
+                    Err((shard, e @ (SubmitError::Down | SubmitError::Shed))) => {
                         if Instant::now() >= deadline {
                             return Err((shard, e));
                         }
@@ -381,5 +419,50 @@ pub fn ledger_diff(
         reference.misses,
         reference.hit_bytes,
         reference.miss_bytes
+    ))
+}
+
+/// Does a daemon shard ledger equal a routing-aware reference
+/// [`RoutedShardLedger`] exactly — including the work it absorbed as a
+/// failover secondary and the requests it lost to its own crashes?
+pub fn routed_ledger_matches(snap: &ShardSnapshot, reference: &RoutedShardLedger) -> bool {
+    snap.processed == reference.processed
+        && snap.lost == reference.lost
+        && snap.hits == reference.hits
+        && snap.misses == reference.misses
+        && snap.hit_bytes == reference.hit_bytes
+        && snap.miss_bytes == reference.miss_bytes
+        && snap.failover_in == reference.failover_in
+}
+
+/// Human-readable diff of a daemon shard ledger against the routed
+/// reference (None when exact).
+pub fn routed_ledger_diff(
+    shard: usize,
+    snap: &ShardSnapshot,
+    reference: &RoutedShardLedger,
+) -> Option<String> {
+    if routed_ledger_matches(snap, reference) {
+        return None;
+    }
+    Some(format!(
+        "shard {shard}: daemon (processed {}, lost {}, hits {}, misses {}, \
+         hit_bytes {}, miss_bytes {}, failover_in {}) \
+         != routed reference (processed {}, lost {}, hits {}, misses {}, \
+         hit_bytes {}, miss_bytes {}, failover_in {})",
+        snap.processed,
+        snap.lost,
+        snap.hits,
+        snap.misses,
+        snap.hit_bytes,
+        snap.miss_bytes,
+        snap.failover_in,
+        reference.processed,
+        reference.lost,
+        reference.hits,
+        reference.misses,
+        reference.hit_bytes,
+        reference.miss_bytes,
+        reference.failover_in
     ))
 }

@@ -13,10 +13,18 @@
 //!    enabled ([`SnapshotConfig`]), the replacement worker restores warm
 //!    from the newest readable CRC-framed epoch file before draining its
 //!    ring ([`snapshot`], DESIGN.md §17).
-//! 2. **Overload robustness** — bounded queues shed explicitly with
-//!    [`SubmitError::Overloaded`]; depth/shed/restart counters are
-//!    observable in [`DaemonStats`].
-//! 3. **Graceful lifecycle** — drain-on-shutdown, validated config with
+//! 2. **Availability under failure** — when a key's primary shard is
+//!    down and failover routing is enabled ([`RouteConfig`]), the
+//!    [`route`] module re-routes it deterministically to its
+//!    rendezvous-ordered secondary, served cold as an overlay miss —
+//!    degraded, never dark (DESIGN.md §18).
+//! 3. **Overload robustness** — bounded queues guarded by a
+//!    class-watermark admission controller ([`Admit`], [`AdmitConfig`]):
+//!    brownout sheds the lowest [`Priority`] class first, per-request
+//!    deadlines refuse at the request's own depth bound, and every
+//!    refusal is counted under exactly one [`SubmitError`] cause in
+//!    [`DaemonStats`].
+//! 4. **Graceful lifecycle** — drain-on-shutdown, validated config with
 //!    reject-and-keep-old reload ([`DaemonConfig`]), and live per-shard
 //!    LRU→SCIP policy switch via `tdc::switchable`.
 //!
@@ -31,18 +39,22 @@ pub mod config;
 pub mod daemon;
 pub mod harness;
 pub mod ring;
+pub mod route;
 pub mod snapshot;
 
-pub use config::{DaemonConfig, DaemonConfigError, RestartConfig, SnapshotConfig};
+pub use config::{
+    AdmitConfig, DaemonConfig, DaemonConfigError, RestartConfig, RouteConfig, SnapshotConfig,
+};
 pub use daemon::{
-    worker_fault_key, Daemon, DaemonStats, PolicyFactory, ShardPolicy, ShardSnapshot, ShardState,
-    SubmitError, FP_ENQUEUE, FP_SHARD_WORKER,
+    worker_fault_key, Accepted, Daemon, DaemonStats, PolicyFactory, ShardPolicy, ShardSnapshot,
+    ShardState, SubmitError, FP_ENQUEUE, FP_SHARD_WORKER,
 };
 pub use harness::{
-    feed, ledger_diff, ledger_matches, switchable_factory, ClientTally, FeedMode, FeedReport,
-    ShardPlan,
+    feed, ledger_diff, ledger_matches, routed_ledger_diff, routed_ledger_matches,
+    switchable_factory, ClientTally, FeedMode, FeedReport, ShardPlan,
 };
 pub use ring::{BoundedRing, Popped, PushError};
+pub use route::{route_fault_key, Admit, Priority, RouteDecision, ShardHealth, FP_ROUTE};
 pub use snapshot::{
     snap_fault_key, RecoverOutcome, SnapError, SnapshotData, FP_SNAP_LOAD, FP_SNAP_WRITE,
 };

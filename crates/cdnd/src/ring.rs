@@ -83,12 +83,24 @@ impl<T> BoundedRing<T> {
     /// Try to enqueue without blocking; sheds with [`PushError::Full`] at
     /// capacity.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        self.try_push_within(item, self.capacity)
+            .map_err(|(_, e)| e)
+    }
+
+    /// Try to enqueue only while the current depth is below `limit`
+    /// (clamped to `capacity`). On refusal reports the depth observed
+    /// under the lock alongside the error, so an admission controller can
+    /// attribute the refusal to the exact bound that was hit (class
+    /// watermark vs per-request deadline) with no race between the depth
+    /// read and the refusal — both happen under one lock acquisition.
+    pub fn try_push_within(&self, item: T, limit: usize) -> Result<(), (usize, PushError)> {
+        let bound = limit.min(self.capacity);
         let mut g = self.inner.lock().unwrap();
         if g.closed {
-            return Err(PushError::Closed);
+            return Err((g.queue.len(), PushError::Closed));
         }
-        if g.queue.len() >= self.capacity {
-            return Err(PushError::Full);
+        if g.queue.len() >= bound {
+            return Err((g.queue.len(), PushError::Full));
         }
         g.queue.push_back(item);
         let depth = g.queue.len();
@@ -222,6 +234,28 @@ mod tests {
         // Peak is a high-water mark: draining does not lower it.
         assert_eq!(ring.peak_depth(), 4);
         assert_eq!(ring.try_push(5), Ok(()));
+    }
+
+    #[test]
+    fn push_within_enforces_limit_and_reports_depth() {
+        let ring: BoundedRing<u32> = BoundedRing::new(8);
+        for i in 0..3 {
+            assert_eq!(ring.try_push_within(i, 3), Ok(()));
+        }
+        // Refused at the limit with the exact depth observed.
+        assert_eq!(ring.try_push_within(9, 3), Err((3, PushError::Full)));
+        // A looser limit still admits (the ring itself has room).
+        assert_eq!(ring.try_push_within(4, 8), Ok(()));
+        // Limits beyond capacity clamp to capacity.
+        for i in 0..4 {
+            assert_eq!(ring.try_push_within(i, usize::MAX), Ok(()));
+        }
+        assert_eq!(
+            ring.try_push_within(99, usize::MAX),
+            Err((8, PushError::Full))
+        );
+        ring.close();
+        assert_eq!(ring.try_push_within(1, 3), Err((8, PushError::Closed)));
     }
 
     #[test]

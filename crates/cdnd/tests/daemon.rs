@@ -12,7 +12,7 @@ use cdn_sim::PolicyKind;
 use cdn_trace::{GeneratorConfig, TraceGenerator};
 use cdnd::{
     feed, ledger_diff, switchable_factory, Daemon, DaemonConfig, DaemonConfigError, FeedMode,
-    RestartConfig, ShardPlan, SnapshotConfig,
+    RestartConfig, RouteConfig, ShardPlan, SnapshotConfig,
 };
 use tdc::SwitchableScip;
 
@@ -90,7 +90,7 @@ fn overload_sheds_boundedly_and_counters_reconcile() {
             wall_secs: 0.0,
         }) {
             Ok(_) => accepted += 1,
-            Err((_, cdnd::SubmitError::Overloaded)) => shed += 1,
+            Err((_, cdnd::SubmitError::Shed)) => shed += 1,
             Err((_, e)) => panic!("unexpected submit error: {e:?}"),
         }
     }
@@ -388,4 +388,141 @@ fn respawn_over_snapshot_dir_restores_residency() {
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With every shard up, enabling failover routing is invisible: ledgers
+/// are bit-identical to the routing-off daemon (and to the serial
+/// reference), nothing is failover-served, and the only observable
+/// difference is the config flag itself.
+#[test]
+fn calm_routing_is_bit_identical_to_routing_off() {
+    let trace = small_trace(20_000, 23);
+    let total_capacity = 4 << 20;
+    let base = DaemonConfig {
+        shards: 4,
+        total_capacity,
+        ..DaemonConfig::default()
+    };
+    let plan = ShardPlan::build(&trace, base.shards, base.seed);
+
+    let run = |route_on: bool| {
+        let mut cfg = base.clone();
+        cfg.route = RouteConfig { failover: route_on };
+        let daemon = Daemon::spawn(cfg.clone(), plan.factory(PolicyKind::Scip)).unwrap();
+        let report = feed(&daemon, &trace, calm_mode());
+        for shard in 0..cfg.shards {
+            assert!(daemon.await_quiesced(shard, QUIESCE));
+        }
+        assert_eq!(report.failover_accepted, 0);
+        assert_eq!(report.outage_windows, 0);
+        daemon.shutdown()
+    };
+    let off = run(false);
+    let on = run(true);
+
+    assert_eq!(on.total_failover(), 0);
+    let reference = plan.reference(PolicyKind::Scip, total_capacity);
+    for shard in 0..base.shards {
+        let (a, b) = (&off.shards[shard], &on.shards[shard]);
+        assert_eq!(a.hits, b.hits, "shard {shard} hits");
+        assert_eq!(a.misses, b.misses, "shard {shard} misses");
+        assert_eq!(a.hit_bytes, b.hit_bytes, "shard {shard} hit bytes");
+        assert_eq!(a.miss_bytes, b.miss_bytes, "shard {shard} miss bytes");
+        assert_eq!(a.processed, b.processed, "shard {shard} processed");
+        assert_eq!(b.failover_in, 0, "shard {shard} failover");
+        if let Some(diff) = ledger_diff(shard, b, &reference.per_shard[shard]) {
+            panic!("routing-on vs serial: {diff}");
+        }
+    }
+}
+
+/// Brownout sheds lowest class first with exact, per-cause counts: at a
+/// paused shard with queue capacity Q, Low admits to 50 % of Q, Normal
+/// to 75 %, High to Q; a per-request deadline tighter than the class
+/// watermark refuses as `Deadline`, not `Shed`. Every refusal lands on
+/// exactly one counter and the drill reconciles after drain.
+#[test]
+fn brownout_sheds_by_class_with_exact_counts() {
+    use cdnd::{Admit, Priority};
+    let q = 64usize;
+    let cfg = DaemonConfig {
+        shards: 1,
+        queue_capacity: q,
+        worker_batch: 8,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::spawn(cfg, switchable_factory(Tick::MAX, 7)).unwrap();
+    daemon.pause_shard(0);
+
+    let mut id = 0u64;
+    let mut drill = |class: Priority, n: usize, deadline: Option<usize>| {
+        let (mut ok, mut shed, mut dead) = (0u64, 0u64, 0u64);
+        for _ in 0..n {
+            let req = Request {
+                tick: 0,
+                id: ObjectId(id),
+                size: 1_000,
+                wall_secs: 0.0,
+            };
+            id += 1;
+            match daemon.submit_classed(
+                req,
+                Admit {
+                    class,
+                    deadline_depth: deadline,
+                },
+                None,
+            ) {
+                Ok(acc) => {
+                    assert!(!acc.failover);
+                    ok += 1;
+                }
+                Err((_, cdnd::SubmitError::Shed)) => shed += 1,
+                Err((_, cdnd::SubmitError::Deadline)) => dead += 1,
+                Err((_, e)) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+        (ok, shed, dead)
+    };
+
+    // Low admits to its 50 % watermark (32), then sheds.
+    assert_eq!(
+        drill(Priority::Low, q, None),
+        (q as u64 / 2, q as u64 / 2, 0)
+    );
+    // Normal admits from depth 32 to its 75 % watermark (48).
+    assert_eq!(
+        drill(Priority::Normal, q, None),
+        (q as u64 / 4, 3 * q as u64 / 4, 0)
+    );
+    // A deadline tighter than the current depth refuses as Deadline
+    // (depth 48 is below High's watermark, so this is not a shed).
+    assert_eq!(drill(Priority::High, 1, Some(40)), (0, 0, 1));
+    // A deadline looser than the depth admits.
+    assert_eq!(drill(Priority::High, 1, Some(q)), (1, 0, 0));
+    // High fills the remaining capacity, then sheds at the full ring.
+    assert_eq!(
+        drill(Priority::High, q, None),
+        (q as u64 / 4 - 1, 3 * q as u64 / 4 + 1, 0)
+    );
+
+    let mid = daemon.stats();
+    assert_eq!(mid.shards[0].depth, q);
+    assert_eq!(mid.shards[0].peak_depth, q);
+    assert_eq!(mid.shards[0].enqueued, q as u64);
+    assert_eq!(mid.shards[0].shed_low, q as u64 / 2);
+    assert_eq!(mid.shards[0].shed_normal, 3 * q as u64 / 4);
+    assert_eq!(mid.shards[0].shed_high, 3 * q as u64 / 4 + 1);
+    assert_eq!(mid.shards[0].rejected_deadline, 1);
+    assert_eq!(
+        mid.shards[0].shed,
+        mid.shards[0].shed_low + mid.shards[0].shed_normal + mid.shards[0].shed_high
+    );
+
+    // Recovery: everything admitted is served, nothing new is refused.
+    daemon.resume_shard(0);
+    assert!(daemon.await_quiesced(0, QUIESCE));
+    let stats = daemon.shutdown();
+    assert_eq!(stats.shards[0].processed, q as u64);
+    assert_eq!(stats.shards[0].dropped_at_shutdown, 0);
 }

@@ -168,7 +168,7 @@ fn killed_shard_restarts_empty() {
         loop {
             match daemon.submit(req) {
                 Ok(_) => return,
-                Err((_, SubmitError::ShardDown)) => {
+                Err((_, SubmitError::Down)) => {
                     std::thread::sleep(Duration::from_micros(500));
                 }
                 Err((_, e)) => panic!("unexpected submit error: {e:?}"),
@@ -237,7 +237,7 @@ fn storm_breaker_opens_and_reset_revives() {
         loop {
             match daemon.submit(Request::new(0, id, 100)) {
                 Ok(_) => break,
-                Err((_, SubmitError::ShardDown)) => {
+                Err((_, SubmitError::Down)) => {
                     if daemon.shard_state(0) == ShardState::StormOpen {
                         break;
                     }
@@ -256,7 +256,7 @@ fn storm_breaker_opens_and_reset_revives() {
     assert_eq!(daemon.shard_state(0), ShardState::StormOpen);
     assert!(matches!(
         daemon.submit(Request::new(0, 9, 100)),
-        Err((0, SubmitError::ShardDown))
+        Err((0, SubmitError::Down))
     ));
 
     // Operator reset: history cleared, worker respawned, serving again.
@@ -268,7 +268,7 @@ fn storm_breaker_opens_and_reset_revives() {
     loop {
         match daemon.submit(Request::new(0, 3, 100)) {
             Ok(_) => break,
-            Err((_, SubmitError::ShardDown)) => std::thread::sleep(Duration::from_micros(500)),
+            Err((_, SubmitError::Down)) => std::thread::sleep(Duration::from_micros(500)),
             Err((_, e)) => panic!("unexpected submit error: {e:?}"),
         }
     }

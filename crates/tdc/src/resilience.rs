@@ -38,7 +38,7 @@
 //! down.
 
 use cdn_cache::ghost::GhostEntry;
-use cdn_cache::hash::mix64;
+use cdn_cache::hash::rendezvous_weight;
 use cdn_cache::{FxHashMap, GhostList, ObjectId, Request, SimRng, Tick};
 
 use crate::fault::{FaultSchedule, SpikeTarget};
@@ -630,7 +630,7 @@ impl ResilientTdc {
             if node == exclude || self.schedule.node_down(node, now) {
                 continue;
             }
-            let w = mix64(id.0 ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let w = rendezvous_weight(id.0, node);
             if best.is_none_or(|(bw, _)| w > bw) {
                 best = Some((w, node));
             }

@@ -17,18 +17,22 @@
 #                                 REPLAY_SHARDS). Composable with --gate.
 #   scripts/bench.sh --daemon     bench the cdnd daemon serving path
 #                                 instead of the replay engine: writes
-#                                 BENCH_daemon.json (schema v2: shard
-#                                 scaling + warm_restart section with
-#                                 time-to-restore and the warm-vs-cold
-#                                 hit-ratio delta) and, with --gate,
+#                                 BENCH_daemon.json (schema v3: shard
+#                                 scaling with per-point availability +
+#                                 warm_restart section + admission
+#                                 brownout drill) and, with --gate,
 #                                 fails on any (policy × shards) daemon
 #                                 throughput regression beyond the same
 #                                 tolerance or on a policy whose warm
 #                                 restart support regressed to
-#                                 unsupported. A schema-v1 baseline (no
-#                                 warm_restart section) is reported
-#                                 explicitly and its warm comparison
-#                                 skipped — never silently.
+#                                 unsupported. Availability must be
+#                                 exactly 1.0 per serving point and the
+#                                 admission drill exact on every run
+#                                 (absolute gates, no baseline needed).
+#                                 A schema-v1/v2 baseline missing the
+#                                 newer sections is reported explicitly
+#                                 and that comparison skipped — never
+#                                 silently.
 #
 # Knobs (env):
 #   REPLAY_BENCH_REQUESTS  trace length (default 2,000,000)
@@ -178,6 +182,38 @@ if [[ "$DAEMON" == 1 ]]; then
     if [[ "$GATE" == 1 && "$warm_gate_rc" != 0 ]]; then
         echo "--gate: warm-restart support regression"
         exit 1
+    fi
+
+    # Availability + admission section (schema v3): every serving point
+    # records client-observed availability — exactly 1.0 on a healthy
+    # daemon — and the brownout drill must land exactly on the watermark
+    # arithmetic. Both are absolute gates on the current run (the binary
+    # enforces them too; this re-check keeps the artifact honest even if
+    # it was produced elsewhere). A schema-v1/v2 baseline predates these
+    # fields — say so explicitly and skip the comparison, never silently
+    # pair nothing.
+    v3_rc=0
+    if ! grep -q '"availability"' "$OUT"; then
+        echo "--gate: FAIL no availability fields in $OUT (schema older than v3?)"
+        v3_rc=1
+    fi
+    while read -r av; do
+        if [[ "$av" != "1.000000" ]]; then
+            echo "--gate: FAIL daemon serving-point availability $av != 1.000000"
+            v3_rc=1
+        fi
+    done < <(grep -o '"availability": [0-9.]*' "$OUT" | awk '{print $2}')
+    if grep -q '"admission"' "$OUT" && grep -q '"exact": true' "$OUT"; then
+        echo "admission drill: per-class shed/deadline counts exact vs watermark arithmetic"
+    else
+        echo "--gate: FAIL admission drill missing or inexact in $OUT"
+        v3_rc=1
+    fi
+    if [[ "$v3_rc" != 0 ]]; then
+        exit 1
+    fi
+    if [[ -n "$BASELINE" && -f "$BASELINE" ]] && ! grep -q '"admission"' "$BASELINE"; then
+        echo "daemon baseline is schema v1/v2 (no availability/admission fields): v3 gates evaluated on the current run only, comparison skipped"
     fi
     exit 0
 fi

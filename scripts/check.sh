@@ -54,8 +54,17 @@ TDC_CHAOS_REQUESTS=20000 TDC_CHAOS_SEED=7 \
 echo "==> snapshot fault-injection suite (torn-tail, byte-flip corpus, load errors)"
 cargo test -q -p cdnd --features fault-injection --test snapshot_check
 
-echo "==> cdnd_chaos daemon gate (calm, calm-snap, kill, warm-restart, corruption"
-echo "    ladder; exits nonzero on any gate)"
+echo "==> drift-generator suite (flash crowd / rotation / cycle sanity + determinism)"
+cargo test -q -p cdn-trace --test drift_check
+
+echo "==> BoundedRing model check (FIFO + exact peak depth under crash-return)"
+cargo test -q -p cdnd --test ring_prop
+
+echo "==> failover-routing suite (route failpoint, routing-off inertness, routed oracle)"
+cargo test -q -p cdnd --features fault-injection --test routing_check
+
+echo "==> cdnd_chaos daemon gate (calm, calm-routed, calm-snap, kill, warm-restart,"
+echo "    corruption ladder, flash-crowd x kill-2x failover; exits nonzero on any gate)"
 CDND_CHAOS_REQUESTS=60000 \
     cargo run --release -q -p cdnd --features fault-injection --bin cdnd_chaos >/dev/null
 
