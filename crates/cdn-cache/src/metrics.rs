@@ -25,20 +25,22 @@ impl MissRatio {
         Self::default()
     }
 
-    /// Record a hit of `size` bytes.
+    /// Record a hit of `size` bytes. The byte ledger saturates: an
+    /// adversarial trace of near-`u64::MAX` objects must skew the byte
+    /// ratio, not wrap (or abort) the counter.
     #[inline]
     pub fn record_hit(&mut self, size: u64) {
         self.hits += 1;
-        self.hit_bytes += size;
+        self.hit_bytes = self.hit_bytes.saturating_add(size);
         self.window_hits += 1;
         self.window_total += 1;
     }
 
-    /// Record a miss of `size` bytes.
+    /// Record a miss of `size` bytes (byte ledger saturating, as above).
     #[inline]
     pub fn record_miss(&mut self, size: u64) {
         self.misses += 1;
-        self.miss_bytes += size;
+        self.miss_bytes = self.miss_bytes.saturating_add(size);
         self.window_total += 1;
     }
 
@@ -79,7 +81,7 @@ impl MissRatio {
 
     /// Byte miss ratio (fraction of requested bytes that missed).
     pub fn byte_miss_ratio(&self) -> f64 {
-        let b = self.hit_bytes + self.miss_bytes;
+        let b = self.hit_bytes.saturating_add(self.miss_bytes);
         if b == 0 {
             0.0
         } else {

@@ -15,6 +15,11 @@
 //! - [`checkpoint`]: JSONL sidecar checkpoint/resume for sweeps, keyed
 //!   by stable job fingerprints (policy + cache size + trace content
 //!   hash + seed); set `CDN_SIM_CHECKPOINT` to enable for experiments.
+//! - [`stream`]: the out-of-core seam — [`stream::TraceSource`] replays
+//!   either in-RAM columns or a disk-backed chunk stream through the
+//!   same monomorphized hot loop (ledgers u64-identical), and
+//!   [`stream::sweep_streamed`] runs checkpointable policy sweeps whose
+//!   peak RSS is independent of trace length.
 //! - `fault` (feature `fault-injection`): deterministic failpoints that
 //!   make sweep jobs panic and trace reads fail on demand, so tests can
 //!   prove the recovery paths.
@@ -33,6 +38,7 @@ pub mod experiments;
 pub mod fault;
 pub mod runner;
 pub mod shard;
+pub mod stream;
 pub mod sweep;
 pub mod table;
 
@@ -42,9 +48,11 @@ pub use runner::{
     run_policy, run_policy_dyn, BatchMode, PolicyKind, RunMeasurement, TraceCtx, AUTO_PREFETCH_DIST,
 };
 pub use shard::{
-    run_routed_serial, run_sharded, run_sharded_serial, AggregateMeasurement, OutageWindow,
-    RoutedRunReport, RoutedShardLedger, ShardedRunReport,
+    run_routed_serial, run_sharded, run_sharded_serial, run_sharded_stream,
+    run_sharded_stream_serial, AggregateMeasurement, OutageWindow, RoutedRunReport,
+    RoutedShardLedger, ShardedRunReport, SHARD_QUEUE_SLOTS,
 };
+pub use stream::{sweep_streamed, TraceSource};
 pub use sweep::{parallel_runs, run_jobs, JobOutcome, SweepConfig, SweepReport};
 pub use table::{Table, TableError};
 

@@ -48,6 +48,21 @@ impl TraceCtx {
         }
     }
 
+    /// Context for an out-of-core replay, where no next-access oracle can
+    /// exist (the trace never sits in RAM): empty table, scale fields
+    /// from the stream's (untrusted) header count. Every policy except
+    /// [`PolicyKind::Belady`] — which indexes the oracle positionally —
+    /// works unchanged; streamed identity tests that include Belady build
+    /// a full [`TraceCtx::new`] from the in-RAM trace and pass the *same*
+    /// context to both sides instead.
+    pub fn without_oracle(requests: u64, seed: u64) -> Self {
+        TraceCtx {
+            next_access: Arc::new(Vec::new()),
+            requests,
+            seed,
+        }
+    }
+
     fn lrb_config(&self) -> LrbConfig {
         LrbConfig {
             memory_window: (self.requests / 8).max(20_000),
@@ -368,6 +383,87 @@ impl PolicyKind {
         dispatch_policy!(self, capacity, ctx, go(self.label(), trace, mode))
     }
 
+    /// Replay a chunk stream (out-of-core trace) through a freshly built
+    /// policy with static dispatch. One policy instance and one ledger
+    /// persist across every chunk, and the per-request instructions are
+    /// the same monomorphized hot loop the in-RAM
+    /// [`PolicyKind::replay_batched`] runs, so the returned ledgers
+    /// (`hits`/`misses`/`hit_bytes`/`miss_bytes`) are u64-identical to an
+    /// in-RAM replay of the concatenated trace (pinned for all of
+    /// [`PolicyKind::ALL`] by `tests/stream_identity.rs`).
+    ///
+    /// The first `Err` in the stream aborts the replay and is returned —
+    /// a corrupt chunk can never produce a silently partial measurement.
+    /// `ctx.requests` should carry the stream's header count (it sizes
+    /// the memory-sampling stride and scale-dependent policy windows).
+    pub fn replay_stream<I, E>(
+        self,
+        capacity: u64,
+        chunks: I,
+        ctx: &TraceCtx,
+        mode: BatchMode,
+    ) -> Result<RunMeasurement, E>
+    where
+        I: IntoIterator<Item = Result<TraceColumns, E>>,
+    {
+        fn go<P: CachePolicy, I, E>(
+            policy: P,
+            label: &'static str,
+            chunks: I,
+            total_hint: usize,
+            mode: BatchMode,
+        ) -> Result<RunMeasurement, E>
+        where
+            I: IntoIterator<Item = Result<TraceColumns, E>>,
+        {
+            instrumented_replay_stream(policy, label, chunks, total_hint, mode)
+        }
+        let total_hint = ctx.requests as usize;
+        dispatch_policy!(
+            self,
+            capacity,
+            ctx,
+            go(self.label(), chunks, total_hint, mode)
+        )
+    }
+
+    /// [`PolicyKind::run_with_observer`] over a chunk stream: the same
+    /// plain per-request loop, one policy instance across chunks, with
+    /// the observer seeing the global request index. Returns the first
+    /// stream error, after the observer has seen every request decoded
+    /// before the failure point.
+    pub fn run_with_observer_stream<I, E, F>(
+        self,
+        capacity: u64,
+        chunks: I,
+        ctx: &TraceCtx,
+        observe: F,
+    ) -> Result<(), E>
+    where
+        I: IntoIterator<Item = Result<TraceColumns, E>>,
+        F: FnMut(usize, &Request, AccessKind, u64, u64),
+    {
+        fn go<P, I, E, F>(mut policy: P, chunks: I, mut observe: F) -> Result<(), E>
+        where
+            P: CachePolicy,
+            I: IntoIterator<Item = Result<TraceColumns, E>>,
+            F: FnMut(usize, &Request, AccessKind, u64, u64),
+        {
+            let mut i = 0usize;
+            for chunk in chunks {
+                let chunk = chunk?;
+                for j in 0..chunk.len() {
+                    let req = chunk.get(j);
+                    let outcome = policy.on_request(&req);
+                    observe(i, &req, outcome, policy.used_bytes(), policy.capacity());
+                    i += 1;
+                }
+            }
+            Ok(())
+        }
+        dispatch_policy!(self, capacity, ctx, go(chunks, observe))
+    }
+
     /// [`PolicyKind::run_with_observer`] through the software-pipelined
     /// loop at a fixed lookahead. Exists so the batched-identity suite can
     /// compare outcome streams against the straight loop for every policy
@@ -590,13 +686,105 @@ where
     let mem_stride = (n / 512).max(1);
     let llc = cdn_cache::llc_bytes();
     let mut lookahead = mode.initial_lookahead();
-    if lookahead > 0 {
-        prime_window(&policy, &source, 0, lookahead);
-    }
     let start = Instant::now();
+    replay_span(
+        &mut policy,
+        &source,
+        0,
+        mem_stride,
+        llc,
+        mode,
+        &mut lookahead,
+        &mut m,
+        &mut peak_mem,
+    );
+    let elapsed = start.elapsed();
+    finish_measurement(&policy, label, n, &m, peak_mem, elapsed)
+}
+
+/// Replay a chunk stream through one freshly built policy, threading the
+/// ledger and pipelining state across chunks so the replay is
+/// indistinguishable from an in-RAM replay of the concatenated trace —
+/// the inner loop is the exact [`replay_span`] the in-RAM path runs, so
+/// streamed ledgers are u64-identical and throughput stays within the
+/// hot-loop envelope. Only `STREAM_SLOTS + 1` chunks of trace ever exist
+/// at once; policy state is the sole length-dependent allocation.
+///
+/// `total_hint` (the stream's header count) sizes the memory-sampling
+/// stride; it is advisory only — a lying header changes sampling
+/// granularity, never outcomes, and the measurement reports the requests
+/// actually replayed.
+fn instrumented_replay_stream<P, I, E>(
+    mut policy: P,
+    label: &str,
+    chunks: I,
+    total_hint: usize,
+    mode: BatchMode,
+) -> Result<RunMeasurement, E>
+where
+    P: CachePolicy,
+    I: IntoIterator<Item = Result<TraceColumns, E>>,
+{
+    let mut m = cdn_cache::MissRatio::new();
+    let mut peak_mem = 0usize;
+    let mem_stride = (total_hint / 512).max(1);
+    let llc = cdn_cache::llc_bytes();
+    let mut lookahead = mode.initial_lookahead();
+    let mut base = 0usize;
+    let start = Instant::now();
+    for chunk in chunks {
+        let chunk = chunk?;
+        replay_span(
+            &mut policy,
+            &&chunk,
+            base,
+            mem_stride,
+            llc,
+            mode,
+            &mut lookahead,
+            &mut m,
+            &mut peak_mem,
+        );
+        base += chunk.len();
+    }
+    let elapsed = start.elapsed();
+    Ok(finish_measurement(
+        &policy, label, base, &m, peak_mem, elapsed,
+    ))
+}
+
+/// The shared per-span hot loop: replay every request of `source` through
+/// `policy`, recording hits/misses into `m`, sampling metadata footprint
+/// into `peak_mem` on the global (`base`-offset) stride, and sustaining /
+/// engaging the software pipeline via `lookahead`. In-RAM replays run one
+/// span covering the whole trace; streamed replays run one span per chunk
+/// with all mutable state threaded through, so both paths execute the
+/// same monomorphized instructions per request.
+///
+/// The lookahead window never crosses a span boundary (the last
+/// `lookahead` requests of a chunk go unhinted, and a pipelined span
+/// re-primes its opening window): hints are advisory and proven
+/// outcome-neutral, so ledgers are unaffected.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn replay_span<P: CachePolicy, S: RequestSource>(
+    policy: &mut P,
+    source: &S,
+    base: usize,
+    mem_stride: usize,
+    llc: usize,
+    mode: BatchMode,
+    lookahead: &mut usize,
+    m: &mut cdn_cache::MissRatio,
+    peak_mem: &mut usize,
+) {
+    let n = source.len();
+    if *lookahead > 0 {
+        prime_window(policy, source, 0, *lookahead);
+    }
     for i in 0..n {
-        if lookahead > 0 {
-            let ahead = i + lookahead;
+        if *lookahead > 0 {
+            let ahead = i + *lookahead;
             if ahead < n {
                 policy.prefetch_hint(source.id(ahead));
             }
@@ -607,20 +795,30 @@ where
         } else {
             m.record_miss(r.size);
         }
-        if i.is_multiple_of(mem_stride) {
+        if (base + i).is_multiple_of(mem_stride) {
             let mem = policy.memory_bytes();
-            peak_mem = peak_mem.max(mem);
-            if mode == BatchMode::Auto && lookahead == 0 && mem > llc {
+            *peak_mem = (*peak_mem).max(mem);
+            if mode == BatchMode::Auto && *lookahead == 0 && mem > llc {
                 // Index footprint has outgrown the LLC: probes now miss to
                 // DRAM, so overlapping them starts paying. Engage the
                 // pipeline and prime the window at the current position.
-                lookahead = AUTO_PREFETCH_DIST;
-                prime_window(&policy, &source, i + 1, lookahead);
+                *lookahead = AUTO_PREFETCH_DIST;
+                prime_window(policy, source, i + 1, *lookahead);
             }
         }
     }
-    let elapsed = start.elapsed();
-    peak_mem = peak_mem.max(policy.memory_bytes());
+}
+
+/// Fold the final policy state and ledger into a [`RunMeasurement`].
+fn finish_measurement<P: CachePolicy>(
+    policy: &P,
+    label: &str,
+    n: usize,
+    m: &cdn_cache::MissRatio,
+    peak_mem: usize,
+    elapsed: std::time::Duration,
+) -> RunMeasurement {
+    let peak_mem = peak_mem.max(policy.memory_bytes());
     let secs = elapsed.as_secs_f64().max(1e-9);
     RunMeasurement {
         policy: label.to_string(),

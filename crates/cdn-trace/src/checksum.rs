@@ -14,11 +14,13 @@ use std::sync::OnceLock;
 
 use cdn_cache::Request;
 
-fn crc_table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
+const CRC_SLICES: usize = 16;
+
+fn crc_tables() -> &'static [[u32; 256]; CRC_SLICES] {
+    static TABLES: OnceLock<[[u32; 256]; CRC_SLICES]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; CRC_SLICES];
+        for (i, entry) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -29,16 +31,65 @@ fn crc_table() -> &'static [u32; 256] {
             }
             *entry = c;
         }
-        table
+        // t[k][i] = CRC of byte i followed by k zero bytes — lets sixteen
+        // input bytes fold per loop iteration (slicing-by-16).
+        for i in 0..256 {
+            let mut c = t[0][i];
+            for k in 1..CRC_SLICES {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        t
     })
 }
 
 /// IEEE CRC-32 of `bytes` (same polynomial as zlib/PNG/Ethernet).
+///
+/// Slicing-by-16: sixteen bytes per table step instead of one, because
+/// this sits on the trace-prefetch thread's critical path — with the
+/// classic byte-at-a-time loop the CRC alone caps streamed replay well
+/// below the in-RAM hot loop, and on a single-core host every CRC cycle
+/// is stolen directly from the replay loop.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = crc_table();
+    let t = crc_tables();
     let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    let mut words = bytes.chunks_exact(16);
+    for w in &mut words {
+        let a = u64::from_le_bytes(w[0..8].try_into().unwrap()) ^ u64::from(c);
+        let b = u64::from_le_bytes(w[8..16].try_into().unwrap());
+        c = t[15][(a & 0xFF) as usize]
+            ^ t[14][((a >> 8) & 0xFF) as usize]
+            ^ t[13][((a >> 16) & 0xFF) as usize]
+            ^ t[12][((a >> 24) & 0xFF) as usize]
+            ^ t[11][((a >> 32) & 0xFF) as usize]
+            ^ t[10][((a >> 40) & 0xFF) as usize]
+            ^ t[9][((a >> 48) & 0xFF) as usize]
+            ^ t[8][(a >> 56) as usize]
+            ^ t[7][(b & 0xFF) as usize]
+            ^ t[6][((b >> 8) & 0xFF) as usize]
+            ^ t[5][((b >> 16) & 0xFF) as usize]
+            ^ t[4][((b >> 24) & 0xFF) as usize]
+            ^ t[3][((b >> 32) & 0xFF) as usize]
+            ^ t[2][((b >> 40) & 0xFF) as usize]
+            ^ t[1][((b >> 48) & 0xFF) as usize]
+            ^ t[0][(b >> 56) as usize];
+    }
+    let mut tail = words.remainder().chunks_exact(8);
+    for w in &mut tail {
+        let lo = u32::from_le_bytes(w[0..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(w[4..8].try_into().unwrap());
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in tail.remainder() {
+        c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }

@@ -148,17 +148,33 @@ impl TraceColumns {
         Ok(())
     }
 
+    /// Append all of `other`'s records (the streaming reader uses this to
+    /// coalesce disk chunks into larger replay chunks).
+    pub fn append_columns(&mut self, other: &TraceColumns) {
+        self.ids.extend_from_slice(&other.ids);
+        self.sizes.extend_from_slice(&other.sizes);
+        self.ticks.extend_from_slice(&other.ticks);
+        self.wall_secs.extend_from_slice(&other.wall_secs);
+    }
+
     /// 64-bit content hash over `(id, size, wall_secs)` of every record —
     /// the trace component of a sweep checkpoint fingerprint. Equals
     /// [`crate::checksum::trace_content_hash`] of the interleaved form.
     pub fn content_hash(&self) -> u64 {
         let mut h = crate::checksum::Fnv1a64::new();
+        self.fold_content_hash(&mut h);
+        h.finish()
+    }
+
+    /// Fold this trace's records into a running hasher, so a chunked
+    /// stream reproduces [`Self::content_hash`] of the whole trace by
+    /// folding chunks in order.
+    pub fn fold_content_hash(&self, h: &mut crate::checksum::Fnv1a64) {
         for i in 0..self.len() {
             h.update(&self.ids[i].0.to_le_bytes());
             h.update(&self.sizes[i].to_le_bytes());
             h.update(&self.wall_secs[i].to_bits().to_le_bytes());
         }
-        h.finish()
     }
 }
 

@@ -33,17 +33,18 @@ use cdn_cache::Request;
 use crate::checksum::crc32;
 use crate::columns::TraceColumns;
 
-const MAGIC: &[u8; 4] = b"CDNT";
-const END_MAGIC: &[u8; 4] = b"CDNE";
-const VERSION_V1: u32 = 1;
-const VERSION_V2: u32 = 2;
+pub(crate) const MAGIC: &[u8; 4] = b"CDNT";
+pub(crate) const END_MAGIC: &[u8; 4] = b"CDNE";
+pub(crate) const VERSION_V1: u32 = 1;
+pub(crate) const VERSION_V2: u32 = 2;
 
 /// Bytes per on-disk record: `u64 id`, `u64 size`, `f64 wall_secs`.
-const RECORD_BYTES: usize = 24;
+pub const RECORD_BYTES: usize = 24;
 
 /// Records per v2 chunk and per bulk read (1.5 MiB of I/O per syscall
-/// batch); also the granularity of v2 corruption detection.
-const CHUNK_RECORDS: usize = 64 * 1024;
+/// batch); also the granularity of v2 corruption detection and the unit
+/// a [`ChunkIter`] yields.
+pub const CHUNK_RECORDS: usize = 64 * 1024;
 
 /// Cap on up-front allocation derived from the (untrusted) header count,
 /// so a corrupt count cannot OOM the reader; the vectors still grow to
@@ -187,7 +188,7 @@ fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8], tick: u64) -> Resu
     })
 }
 
-fn encode_record(out: &mut Vec<u8>, r: &Request) {
+pub(crate) fn encode_record(out: &mut Vec<u8>, r: &Request) {
     out.extend_from_slice(&r.id.0.to_le_bytes());
     out.extend_from_slice(&r.size.to_le_bytes());
     out.extend_from_slice(&r.wall_secs.to_le_bytes());
@@ -286,109 +287,230 @@ fn inject_chunk_fault(payload: &mut [u8], _chunk: usize) -> Result<usize, TraceE
     Ok(payload.len())
 }
 
-/// Bulk-decode `count` v1 records (flat array, no framing). A short read
-/// anywhere is reported as truncation at the first missing record.
-fn decode_records_v1(
-    r: &mut impl Read,
-    count: usize,
-    mut push: impl FnMut(u64, u64, u64, f64),
-) -> Result<(), TraceError> {
-    let mut buf = vec![0u8; CHUNK_RECORDS.min(count.max(1)) * RECORD_BYTES];
-    let mut tick = 0usize;
-    let mut chunk = 0usize;
-    while tick < count {
-        let n = (count - tick).min(CHUNK_RECORDS);
-        let bytes = &mut buf[..n * RECORD_BYTES];
-        read_exact_or_truncated(r, bytes, tick as u64)?;
-        let usable = inject_chunk_fault(bytes, chunk)?;
-        if usable < bytes.len() {
-            return Err(TraceError::TruncatedMidRecord {
-                tick: (tick + usable / RECORD_BYTES) as u64,
-            });
-        }
-        decode_payload(bytes, tick, &mut push);
-        tick += n;
-        chunk += 1;
-    }
-    Ok(())
-}
-
-/// Decode `count` v2 records: verify each chunk's length field and CRC,
-/// then the footer. Every detectable corruption maps to a distinct
-/// [`TraceError`] variant.
-fn decode_records_v2(
-    r: &mut impl Read,
-    count: usize,
-    mut push: impl FnMut(u64, u64, u64, f64),
-) -> Result<(), TraceError> {
-    let mut buf = vec![0u8; CHUNK_RECORDS.min(count.max(1)) * RECORD_BYTES];
-    let mut tick = 0usize;
-    let mut chunk = 0usize;
-    while tick < count {
-        let expected = (count - tick).min(CHUNK_RECORDS) as u32;
-        let mut buf4 = [0u8; 4];
-        read_exact_or_truncated(r, &mut buf4, tick as u64)?;
-        let actual = u32::from_le_bytes(buf4);
-        if actual != expected {
-            return Err(TraceError::ChunkLengthMismatch {
-                chunk,
-                expected,
-                actual,
-            });
-        }
-        let bytes = &mut buf[..expected as usize * RECORD_BYTES];
-        read_exact_or_truncated(r, bytes, tick as u64)?;
-        read_exact_or_truncated(r, &mut buf4, (tick + expected as usize) as u64)?;
-        let stored = u32::from_le_bytes(buf4);
-        let usable = inject_chunk_fault(bytes, chunk)?;
-        if usable < bytes.len() {
-            return Err(TraceError::TruncatedMidRecord {
-                tick: (tick + usable / RECORD_BYTES) as u64,
-            });
-        }
-        let computed = crc32(bytes);
-        if computed != stored {
-            return Err(TraceError::ChecksumMismatch {
-                chunk,
-                stored,
-                computed,
-            });
-        }
-        decode_payload(bytes, tick, &mut push);
-        tick += expected as usize;
-        chunk += 1;
-    }
-    // Footer: repeated count + end magic.
-    let mut buf8 = [0u8; 8];
-    read_exact_or_truncated(r, &mut buf8, count as u64)?;
-    let footer = u64::from_le_bytes(buf8);
-    if footer != count as u64 {
-        return Err(TraceError::CountMismatch {
-            header: count as u64,
-            footer,
-        });
-    }
-    let mut magic = [0u8; 4];
-    read_exact_or_truncated(r, &mut magic, count as u64)?;
-    if &magic != END_MAGIC {
-        return Err(TraceError::CountMismatch {
-            header: count as u64,
-            footer,
-        });
-    }
-    Ok(())
-}
-
-fn decode_records(
-    r: &mut impl Read,
+/// Streaming decoder over a binary trace (v1 or v2): yields one decoded
+/// chunk at a time, so working memory is bounded by a single chunk buffer
+/// regardless of trace length — **the only v1/v2 decode path in the
+/// crate** ([`read_binary`] and [`read_binary_columns`] are collectors
+/// over it).
+///
+/// Memory safety against hostile headers: the per-chunk scratch buffer is
+/// sized by `min(header count, CHUNK_RECORDS)`, so a header claiming
+/// `u64::MAX` records allocates at most one chunk (1.5 MiB) and then
+/// fails with [`TraceError::TruncatedMidRecord`] when the bytes run out.
+///
+/// Error handling: the first error fuses the iterator (subsequent calls
+/// yield nothing), so a corrupt chunk can never be followed by silently
+/// decoded tail data. The v2 footer is verified when the last chunk has
+/// been consumed, before the stream reports a clean end.
+pub struct ChunkIter<R> {
+    r: R,
     version: u32,
+    /// Untrusted record count from the header — a *size hint*, never an
+    /// allocation bound beyond one chunk.
     count: usize,
-    push: impl FnMut(u64, u64, u64, f64),
-) -> Result<(), TraceError> {
-    match version {
-        VERSION_V1 => decode_records_v1(r, count, push),
-        VERSION_V2 => decode_records_v2(r, count, push),
-        v => Err(TraceError::UnsupportedVersion(v)),
+    tick: usize,
+    chunk: usize,
+    buf: Vec<u8>,
+    done: bool,
+}
+
+impl ChunkIter<BufReader<File>> {
+    /// Open a trace file and validate its header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> ChunkIter<R> {
+    /// Wrap any byte stream positioned at the trace header.
+    pub fn new(mut r: R) -> Result<Self, TraceError> {
+        let (version, count) = read_header(&mut r)?;
+        Ok(ChunkIter {
+            r,
+            version,
+            count,
+            tick: 0,
+            chunk: 0,
+            // One chunk of scratch, no matter what the header claims.
+            buf: vec![0u8; CHUNK_RECORDS.min(count.max(1)) * RECORD_BYTES],
+            done: false,
+        })
+    }
+
+    /// Record count the header claims. Untrusted: use it to size
+    /// estimates, never allocations.
+    pub fn header_count(&self) -> usize {
+        self.count
+    }
+
+    /// Format version (1 or 2) of the underlying file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Records decoded so far.
+    pub fn records_decoded(&self) -> usize {
+        self.tick
+    }
+
+    /// Decode the next chunk, feeding each record to `push` as
+    /// `(tick, id, size, wall_secs)`. Returns the number of records
+    /// decoded; `Ok(0)` means clean end-of-trace (for v2, the footer has
+    /// been verified). Any error fuses the stream.
+    pub fn next_chunk_with(
+        &mut self,
+        mut push: impl FnMut(u64, u64, u64, f64),
+    ) -> Result<usize, TraceError> {
+        if self.done {
+            return Ok(0);
+        }
+        match self.step_payload() {
+            Ok(0) => Ok(0),
+            Ok(n) => {
+                decode_payload(&self.buf[..n * RECORD_BYTES], self.tick, &mut push);
+                self.advance(n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decode the next chunk straight into `cols` (appending) with one
+    /// bulk pass per column instead of a per-record closure — the decode
+    /// path the prefetch thread runs, where per-record call overhead is
+    /// stolen directly from the replay loop on small hosts. Same
+    /// semantics as [`Self::next_chunk_with`] otherwise.
+    pub fn next_chunk_columns(&mut self, cols: &mut TraceColumns) -> Result<usize, TraceError> {
+        if self.done {
+            return Ok(0);
+        }
+        match self.step_payload() {
+            Ok(0) => Ok(0),
+            Ok(n) => {
+                let bytes = &self.buf[..n * RECORD_BYTES];
+                cols.ids.extend(bytes.chunks_exact(RECORD_BYTES).map(|r| {
+                    cdn_cache::ObjectId::from(u64::from_le_bytes(r[0..8].try_into().unwrap()))
+                }));
+                cols.sizes.extend(
+                    bytes
+                        .chunks_exact(RECORD_BYTES)
+                        .map(|r| u64::from_le_bytes(r[8..16].try_into().unwrap())),
+                );
+                cols.wall_secs.extend(
+                    bytes
+                        .chunks_exact(RECORD_BYTES)
+                        .map(|r| f64::from_le_bytes(r[16..24].try_into().unwrap())),
+                );
+                cols.ticks.extend(self.tick as u64..(self.tick + n) as u64);
+                self.advance(n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn advance(&mut self, records: usize) {
+        self.tick += records;
+        self.chunk += 1;
+    }
+
+    /// Read and integrity-check the next chunk into `self.buf`, without
+    /// decoding or advancing. Returns the record count (0 = clean end,
+    /// footer verified for v2); the payload is `self.buf[..n * RECORD_BYTES]`.
+    fn step_payload(&mut self) -> Result<usize, TraceError> {
+        if self.tick >= self.count {
+            self.done = true;
+            if self.version == VERSION_V2 {
+                self.verify_footer()?;
+            }
+            return Ok(0);
+        }
+        let expected = (self.count - self.tick).min(CHUNK_RECORDS);
+        if self.version == VERSION_V2 {
+            let mut buf4 = [0u8; 4];
+            read_exact_or_truncated(&mut self.r, &mut buf4, self.tick as u64)?;
+            let actual = u32::from_le_bytes(buf4);
+            if actual != expected as u32 {
+                return Err(TraceError::ChunkLengthMismatch {
+                    chunk: self.chunk,
+                    expected: expected as u32,
+                    actual,
+                });
+            }
+        }
+        let bytes = &mut self.buf[..expected * RECORD_BYTES];
+        read_exact_or_truncated(&mut self.r, bytes, self.tick as u64)?;
+        let stored = if self.version == VERSION_V2 {
+            let mut buf4 = [0u8; 4];
+            read_exact_or_truncated(&mut self.r, &mut buf4, (self.tick + expected) as u64)?;
+            Some(u32::from_le_bytes(buf4))
+        } else {
+            None
+        };
+        let usable = inject_chunk_fault(bytes, self.chunk)?;
+        if usable < bytes.len() {
+            return Err(TraceError::TruncatedMidRecord {
+                tick: (self.tick + usable / RECORD_BYTES) as u64,
+            });
+        }
+        if let Some(stored) = stored {
+            let computed = crc32(bytes);
+            if computed != stored {
+                return Err(TraceError::ChecksumMismatch {
+                    chunk: self.chunk,
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(expected)
+    }
+
+    /// v2 footer: repeated count + end magic.
+    fn verify_footer(&mut self) -> Result<(), TraceError> {
+        let mut buf8 = [0u8; 8];
+        read_exact_or_truncated(&mut self.r, &mut buf8, self.count as u64)?;
+        let footer = u64::from_le_bytes(buf8);
+        if footer != self.count as u64 {
+            return Err(TraceError::CountMismatch {
+                header: self.count as u64,
+                footer,
+            });
+        }
+        let mut magic = [0u8; 4];
+        read_exact_or_truncated(&mut self.r, &mut magic, self.count as u64)?;
+        if &magic != END_MAGIC {
+            return Err(TraceError::CountMismatch {
+                header: self.count as u64,
+                footer,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for ChunkIter<R> {
+    type Item = Result<TraceColumns, TraceError>;
+
+    /// Yield the next chunk as columns with global ticks. `None` after a
+    /// clean end or a prior error.
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut cols =
+            TraceColumns::with_capacity(self.count.saturating_sub(self.tick).min(CHUNK_RECORDS));
+        match self.next_chunk_columns(&mut cols) {
+            Ok(0) => None,
+            Ok(_) => Some(Ok(cols)),
+            Err(e) => Some(Err(e)),
+        }
     }
 }
 
@@ -399,36 +521,45 @@ fn capped_prealloc(count: usize, record_size: usize) -> usize {
 }
 
 /// Read a binary trace (v1 or v2) written by [`write_binary`] /
-/// [`write_binary_v1`].
+/// [`write_binary_v1`]. A collector over [`ChunkIter`].
 pub fn read_binary(path: &Path) -> Result<Vec<Request>, TraceError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let (version, count) = read_header(&mut r)?;
-    let mut trace = Vec::with_capacity(capped_prealloc(count, std::mem::size_of::<Request>()));
-    decode_records(&mut r, version, count, |tick, id, size, wall_secs| {
-        trace.push(Request {
-            tick,
-            id: id.into(),
-            size,
-            wall_secs,
-        });
-    })?;
-    Ok(trace)
+    let mut it = ChunkIter::open(path)?;
+    let mut trace = Vec::with_capacity(capped_prealloc(
+        it.header_count(),
+        std::mem::size_of::<Request>(),
+    ));
+    loop {
+        let n = it.next_chunk_with(|tick, id, size, wall_secs| {
+            trace.push(Request {
+                tick,
+                id: id.into(),
+                size,
+                wall_secs,
+            });
+        })?;
+        if n == 0 {
+            return Ok(trace);
+        }
+    }
 }
 
 /// Read a binary trace (v1 or v2) straight into structure-of-arrays form
-/// (no intermediate `Vec<Request>`).
+/// (no intermediate `Vec<Request>`). A collector over [`ChunkIter`].
 pub fn read_binary_columns(path: &Path) -> Result<TraceColumns, TraceError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let (version, count) = read_header(&mut r)?;
+    let mut it = ChunkIter::open(path)?;
     // 32 = the per-request total across the four columns.
-    let mut cols = TraceColumns::with_capacity(capped_prealloc(count, 32));
-    decode_records(&mut r, version, count, |tick, id, size, wall_secs| {
-        cols.ids.push(id.into());
-        cols.sizes.push(size);
-        cols.ticks.push(tick);
-        cols.wall_secs.push(wall_secs);
-    })?;
-    Ok(cols)
+    let mut cols = TraceColumns::with_capacity(capped_prealloc(it.header_count(), 32));
+    loop {
+        let n = it.next_chunk_with(|tick, id, size, wall_secs| {
+            cols.ids.push(id.into());
+            cols.sizes.push(size);
+            cols.ticks.push(tick);
+            cols.wall_secs.push(wall_secs);
+        })?;
+        if n == 0 {
+            return Ok(cols);
+        }
+    }
 }
 
 /// Write a trace as CSV with a header row.

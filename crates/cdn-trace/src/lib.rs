@@ -22,7 +22,12 @@
 //! - [`stats`]: Table-1 style trace statistics.
 //! - [`io`]: binary + CSV trace serialisation (v2 adds per-chunk CRC-32
 //!   and a length footer; corruption surfaces as structured
-//!   [`TraceError`]s).
+//!   [`TraceError`]s), with [`ChunkIter`] as the single streaming decode
+//!   path both whole-trace readers collect over.
+//! - [`stream`]: out-of-core streaming — [`StreamingTrace`] (double-
+//!   buffered prefetch thread over a [`ChunkIter`]) and the pipelined
+//!   direct-to-disk generator ([`generate_binary`]), bounded-memory on
+//!   both the read and write side regardless of trace length.
 //! - [`checksum`]: CRC-32 + FNV-1a content hashing behind trace
 //!   integrity and sweep checkpoint fingerprints.
 //! - [`label`]: offline ZRO / P-ZRO / A-ZRO / A-P-ZRO labeling by LRU
@@ -39,16 +44,21 @@ pub mod profiles;
 pub mod shard;
 pub mod sizes;
 pub mod stats;
+pub mod stream;
 pub mod zipf;
 
 pub use belady::{next_access_table, BeladyOracle, NO_NEXT};
 pub use checksum::{crc32, trace_content_hash};
 pub use columns::{SharedTrace, TraceColumns};
 pub use gen::{degenerate_corpus, DriftEvent, GeneratorConfig, TraceGenerator};
-pub use io::TraceError;
+pub use io::{ChunkIter, TraceError, CHUNK_RECORDS, RECORD_BYTES};
 pub use label::{label_trace, LabelSummary, RequestLabel, TraceLabels};
 pub use profiles::{drift_corpus, flash_crowd_window, Workload, WorkloadProfile};
-pub use shard::{partition_columns, ShardStats, ShardedTrace};
+pub use shard::{partition_columns, ChunkPartitioner, ShardStats, ShardedTrace};
 pub use sizes::SizeModel;
 pub use stats::{hot_set_overlap, top_k_ids, top_k_share, TraceStats};
+pub use stream::{
+    file_content_hash, generate_binary, stream_chunk_records, stream_content_hash,
+    write_binary_stream, write_csv_stream, StreamingTrace, STREAM_SLOTS,
+};
 pub use zipf::Zipf;

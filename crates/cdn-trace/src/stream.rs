@@ -1,0 +1,566 @@
+//! Out-of-core streaming: double-buffered trace prefetch and the
+//! direct-to-disk corpus generator.
+//!
+//! Two halves, both bounded-memory by construction:
+//!
+//! - **Read side** — [`StreamingTrace`] wraps a [`ChunkIter`] in a
+//!   prefetch thread connected to the consumer by one bounded two-slot
+//!   channel ([`STREAM_SLOTS`]): while the consumer replays chunk *N*,
+//!   the reader decodes (and CRC-verifies) chunk *N+1* into the free
+//!   slot, overlapping I/O + decode with compute. Peak memory on the
+//!   read path is `(STREAM_SLOTS + 2) × chunk bytes` — the slots, the
+//!   chunk being decoded, and the chunk being consumed — independent of
+//!   trace length. Decode errors travel through the channel as values;
+//!   a reader panic is caught and surfaces as a structured
+//!   [`TraceError`], never a hang or a silently short stream.
+//!
+//! - **Write side** — [`generate_binary`] runs the deterministic
+//!   [`TraceGenerator`] and writes format v2 straight to disk. The
+//!   generator itself is sequential (its RNG state is the determinism),
+//!   so parallelism comes from pipelining *around* it: chunk encode +
+//!   CRC run on a small worker pool while the writer thread reassembles
+//!   chunks in index order. The output is byte-identical to
+//!   `write_binary(path, &TraceGenerator::generate(cfg))` without ever
+//!   materializing the trace.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+use cdn_cache::Request;
+
+use crate::checksum::{crc32, Fnv1a64};
+use crate::columns::TraceColumns;
+use crate::gen::{GeneratorConfig, TraceGenerator};
+use crate::io::{
+    encode_record, ChunkIter, TraceError, CHUNK_RECORDS, END_MAGIC, MAGIC, RECORD_BYTES, VERSION_V2,
+};
+
+/// Bounded channel depth between the prefetch thread and the consumer:
+/// one slot being consumed-from, one being filled — classic double
+/// buffering.
+pub const STREAM_SLOTS: usize = 2;
+
+/// Records per chunk yielded to the consumer (`REPLAY_STREAM_CHUNK`,
+/// default [`CHUNK_RECORDS`]). Values below one disk chunk are rounded up
+/// to it — the reader coalesces whole disk chunks, it never splits them.
+pub fn stream_chunk_records() -> usize {
+    std::env::var("REPLAY_STREAM_CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(CHUNK_RECORDS)
+}
+
+/// A trace streamed off disk through a prefetch thread. Iterate it like
+/// any chunk source: `Item = Result<TraceColumns, TraceError>`, fused
+/// after the first error.
+pub struct StreamingTrace {
+    rx: Option<Receiver<Result<TraceColumns, TraceError>>>,
+    handle: Option<JoinHandle<()>>,
+    header_count: usize,
+    failed: bool,
+}
+
+impl StreamingTrace {
+    /// Open `path` and start prefetching. Header errors (missing file,
+    /// bad magic, unsupported version) surface synchronously here;
+    /// everything later arrives through the stream.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::open_with_chunk_records(path, stream_chunk_records())
+    }
+
+    /// [`Self::open`] with an explicit records-per-yielded-chunk target
+    /// (rounded up to whole disk chunks).
+    pub fn open_with_chunk_records(path: &Path, records: usize) -> Result<Self, TraceError> {
+        let iter = ChunkIter::open(path)?;
+        let header_count = iter.header_count();
+        Ok(Self::spawn_coalescing(iter, records.max(1), header_count))
+    }
+
+    /// Wrap an arbitrary chunk source in the prefetch thread. Tests use
+    /// synthetic sources to prove error and panic propagation.
+    pub fn spawn<I>(chunks: I) -> Self
+    where
+        I: Iterator<Item = Result<TraceColumns, TraceError>> + Send + 'static,
+    {
+        Self::spawn_coalescing(chunks, 1, 0)
+    }
+
+    fn spawn_coalescing<I>(chunks: I, target_records: usize, header_count: usize) -> Self
+    where
+        I: Iterator<Item = Result<TraceColumns, TraceError>> + Send + 'static,
+    {
+        let (tx, rx) = mpsc::sync_channel(STREAM_SLOTS);
+        // A panic anywhere in here drops `tx`; the consumer tells a panic
+        // apart from a clean end by joining the thread on disconnect.
+        let handle = std::thread::Builder::new()
+            .name("trace-prefetch".to_string())
+            .spawn(move || {
+                let mut pending: Option<TraceColumns> = None;
+                for item in chunks {
+                    match item {
+                        Ok(cols) => {
+                            let merged = match pending.take() {
+                                None => cols,
+                                Some(mut acc) => {
+                                    acc.append_columns(&cols);
+                                    acc
+                                }
+                            };
+                            if merged.len() >= target_records {
+                                if tx.send(Ok(merged)).is_err() {
+                                    return; // consumer gone
+                                }
+                            } else {
+                                pending = Some(merged);
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+                if let Some(acc) = pending {
+                    let _ = tx.send(Ok(acc));
+                }
+            })
+            .expect("spawn trace-prefetch thread");
+        StreamingTrace {
+            rx: Some(rx),
+            handle: Some(handle),
+            header_count,
+            failed: false,
+        }
+    }
+
+    /// Record count the file header claims (untrusted; sizing hint only).
+    pub fn header_count(&self) -> usize {
+        self.header_count
+    }
+}
+
+impl Iterator for StreamingTrace {
+    type Item = Result<TraceColumns, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.rx.as_ref()?.recv() {
+            Ok(Ok(cols)) => Some(Ok(cols)),
+            Ok(Err(e)) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+            // Disconnect: either a clean end of stream or the reader
+            // thread died without sending an error (a panic). Join it to
+            // find out which — a panic must never masquerade as a clean,
+            // shorter trace.
+            Err(_) => {
+                self.rx = None;
+                match self.handle.take().map(|h| h.join()) {
+                    Some(Err(panic)) => {
+                        self.failed = true;
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_string());
+                        Some(Err(TraceError::Io(io::Error::other(format!(
+                            "trace prefetch thread panicked: {msg}"
+                        )))))
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+impl Drop for StreamingTrace {
+    fn drop(&mut self) {
+        // Disconnect first so a reader blocked in `send` exits, then reap
+        // the thread (panics were already surfaced through `next`).
+        self.rx = None;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fold a chunk stream into the whole-trace content hash (equal to
+/// [`TraceColumns::content_hash`] of the concatenation) — the fingerprint
+/// seed for checkpointed sweeps over on-disk traces.
+pub fn stream_content_hash<I>(chunks: I) -> Result<u64, TraceError>
+where
+    I: IntoIterator<Item = Result<TraceColumns, TraceError>>,
+{
+    let mut h = Fnv1a64::new();
+    for chunk in chunks {
+        chunk?.fold_content_hash(&mut h);
+    }
+    Ok(h.finish())
+}
+
+/// Open `path` and hash its contents chunk-by-chunk without holding more
+/// than one chunk in memory.
+pub fn file_content_hash(path: &Path) -> Result<u64, TraceError> {
+    stream_content_hash(ChunkIter::open(path)?)
+}
+
+/// One v2 chunk framed and checksummed, ready to append to the file.
+fn encode_chunk(records: &[Request]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(records.len() * RECORD_BYTES);
+    for r in records {
+        encode_record(&mut payload, r);
+    }
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    framed.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    framed
+}
+
+/// Write format v2 directly from a request iterator that will yield
+/// exactly `count` records; errors if it yields a different number (the
+/// header and footer would otherwise lie). Single-threaded reference
+/// writer — [`generate_binary`] is the pipelined version.
+pub fn write_binary_stream(
+    path: &Path,
+    count: u64,
+    iter: impl Iterator<Item = Request>,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    w.write_all(&count.to_le_bytes())?;
+    let mut written = 0u64;
+    let mut chunk: Vec<Request> = Vec::with_capacity(CHUNK_RECORDS);
+    let flush_chunk = |w: &mut BufWriter<File>, chunk: &mut Vec<Request>| -> io::Result<()> {
+        if !chunk.is_empty() {
+            w.write_all(&encode_chunk(chunk))?;
+            chunk.clear();
+        }
+        Ok(())
+    };
+    for r in iter {
+        chunk.push(r);
+        written += 1;
+        if chunk.len() == CHUNK_RECORDS {
+            flush_chunk(&mut w, &mut chunk)?;
+        }
+    }
+    flush_chunk(&mut w, &mut chunk)?;
+    if written != count {
+        return Err(io::Error::other(format!(
+            "streaming writer: iterator yielded {written} records, header promised {count}"
+        )));
+    }
+    w.write_all(&count.to_le_bytes())?;
+    w.write_all(END_MAGIC)?;
+    w.flush()
+}
+
+/// Generate `cfg`'s trace straight to disk in format v2, byte-identical
+/// to `write_binary(path, &TraceGenerator::generate(cfg))`, holding only
+/// a bounded window of chunks in memory. Generation is sequential (the
+/// RNG state *is* the determinism); chunk encode + CRC are pipelined on a
+/// worker pool and the writer reassembles chunks in index order. Returns
+/// the record count written.
+pub fn generate_binary(path: &Path, cfg: GeneratorConfig) -> io::Result<u64> {
+    let count = cfg.requests;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(1)
+        .clamp(1, 4);
+    // gen -> encoders: bounded so the generator can run at most
+    // ENCODE_SLOTS chunks ahead of the slowest encoder.
+    const ENCODE_SLOTS: usize = 2;
+    let (raw_tx, raw_rx) = mpsc::sync_channel::<(usize, Vec<Request>)>(ENCODE_SLOTS);
+    // encoders -> writer: bounded so an out-of-order finish cannot pile
+    // up more than `workers + ENCODE_SLOTS` encoded chunks.
+    let (enc_tx, enc_rx) = mpsc::sync_channel::<(usize, Vec<u8>)>(workers + ENCODE_SLOTS);
+    // `Option` so an encoder can *drop* the shared receiver when the
+    // writer dies — disconnecting the generator's sender instead of
+    // leaving it blocked on a channel nobody drains.
+    let raw_rx = Mutex::new(Some(raw_rx));
+
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(MAGIC)?;
+    file.write_all(&VERSION_V2.to_le_bytes())?;
+    file.write_all(&count.to_le_bytes())?;
+
+    let written = std::thread::scope(|s| -> io::Result<u64> {
+        for _ in 0..workers {
+            let raw_rx = &raw_rx;
+            let enc_tx = enc_tx.clone();
+            s.spawn(move || loop {
+                let msg = {
+                    let guard = raw_rx.lock().expect("encoder receiver poisoned");
+                    let Some(rx) = guard.as_ref() else { return };
+                    rx.recv()
+                };
+                match msg {
+                    Ok((idx, records)) => {
+                        if enc_tx.send((idx, encode_chunk(&records))).is_err() {
+                            // Writer gone (I/O error): unhook the
+                            // generator so it stops instead of blocking.
+                            raw_rx.lock().expect("encoder receiver poisoned").take();
+                            return;
+                        }
+                    }
+                    Err(_) => return, // generator done
+                }
+            });
+        }
+        drop(enc_tx); // writer sees disconnect once all encoders finish
+
+        let writer = s.spawn(move || -> io::Result<u64> {
+            let mut pending: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+            let mut next = 0usize;
+            let mut written = 0u64;
+            while let Ok((idx, bytes)) = enc_rx.recv() {
+                pending.insert(idx, bytes);
+                while let Some(bytes) = pending.remove(&next) {
+                    written += (bytes.len().saturating_sub(8) / RECORD_BYTES) as u64;
+                    file.write_all(&bytes)?;
+                    next += 1;
+                }
+            }
+            file.write_all(&count.to_le_bytes())?;
+            file.write_all(END_MAGIC)?;
+            file.flush()?;
+            Ok(written)
+        });
+
+        // Drive the generator on this thread; its sequential state never
+        // crosses a thread boundary.
+        let mut idx = 0usize;
+        let mut chunk: Vec<Request> = Vec::with_capacity(CHUNK_RECORDS.min(count.max(1) as usize));
+        for r in TraceGenerator::new(cfg) {
+            chunk.push(r);
+            if chunk.len() == CHUNK_RECORDS {
+                let full = std::mem::replace(&mut chunk, Vec::with_capacity(CHUNK_RECORDS));
+                if raw_tx.send((idx, full)).is_err() {
+                    break; // encoders bailed because the writer errored
+                }
+                idx += 1;
+            }
+        }
+        if !chunk.is_empty() {
+            let _ = raw_tx.send((idx, chunk));
+        }
+        drop(raw_tx); // encoders drain and exit, then the writer finishes
+        writer.join().expect("trace writer thread panicked")
+    })?;
+
+    if written != count {
+        return Err(io::Error::other(format!(
+            "streaming generator wrote {written} records, config promised {count}"
+        )));
+    }
+    Ok(written)
+}
+
+/// Stream-write a CSV trace from an iterator (header row included).
+pub fn write_csv_stream(path: &Path, iter: impl Iterator<Item = Request>) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "tick,id,size,wall_secs")?;
+    let mut written = 0u64;
+    for r in iter {
+        writeln!(w, "{},{},{},{}", r.tick, r.id.0, r.size, r.wall_secs)?;
+        written += 1;
+    }
+    w.flush()?;
+    Ok(written)
+}
+
+/// Convenience: read a streamed trace back through a plain [`ChunkIter`]
+/// (no prefetch thread) — test and tooling helper.
+pub fn chunked(path: &Path) -> Result<ChunkIter<BufReader<File>>, TraceError> {
+    ChunkIter::open(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_binary;
+    use crate::profiles::Workload;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_cfg(requests: u64) -> GeneratorConfig {
+        Workload::CdnT.profile().config(requests, 11)
+    }
+
+    #[test]
+    fn generate_binary_bit_identical_to_in_ram_writer() {
+        // Crosses several chunk boundaries plus a partial tail, with the
+        // PR 9 drift-event schedule included, so the pipelined writer is
+        // proven byte-identical on exactly the corpora it exists for.
+        let n = CHUNK_RECORDS as u64 * 2 + 4_321;
+        let cfg = crate::profiles::Workload::CdnT
+            .profile()
+            .config_with_events(
+                n,
+                11,
+                vec![crate::gen::DriftEvent::FlashCrowd {
+                    start: n / 4,
+                    duration: n / 2,
+                    share: 0.5,
+                    objects: 64,
+                }],
+            );
+        let dir = tmpdir("cdn_trace_stream_bitident");
+        let streamed = dir.join("streamed.bin");
+        let reference = dir.join("reference.bin");
+        assert_eq!(generate_binary(&streamed, cfg.clone()).unwrap(), n);
+        write_binary(&reference, &TraceGenerator::generate(cfg)).unwrap();
+        assert_eq!(
+            std::fs::read(&streamed).unwrap(),
+            std::fs::read(&reference).unwrap(),
+            "pipelined generator output differs from the in-RAM writer"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_binary_stream_matches_write_binary() {
+        let cfg = small_cfg(10_000);
+        let trace = TraceGenerator::generate(cfg.clone());
+        let dir = tmpdir("cdn_trace_stream_writer");
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        write_binary_stream(&a, cfg.requests, TraceGenerator::new(cfg)).unwrap();
+        write_binary(&b, &trace).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_binary_stream_rejects_count_lies() {
+        let cfg = small_cfg(100);
+        let dir = tmpdir("cdn_trace_stream_countlie");
+        let path = dir.join("lie.bin");
+        let err = write_binary_stream(&path, 101, TraceGenerator::new(cfg)).unwrap_err();
+        assert!(err.to_string().contains("yielded 100"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_trace_reproduces_file_in_order() {
+        let cfg = small_cfg(CHUNK_RECORDS as u64 + 777);
+        let trace = TraceGenerator::generate(cfg);
+        let dir = tmpdir("cdn_trace_stream_roundtrip");
+        let path = dir.join("t.bin");
+        write_binary(&path, &trace).unwrap();
+        let mut streamed = TraceColumns::new();
+        let mut chunks = 0usize;
+        for chunk in StreamingTrace::open(&path).unwrap() {
+            streamed.append_columns(&chunk.unwrap());
+            chunks += 1;
+        }
+        assert!(chunks >= 2, "expected multiple chunks, got {chunks}");
+        assert_eq!(streamed.to_requests(), trace);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coalescing_respects_target_and_order() {
+        let cfg = small_cfg(CHUNK_RECORDS as u64 * 3 + 5);
+        let trace = TraceGenerator::generate(cfg);
+        let dir = tmpdir("cdn_trace_stream_coalesce");
+        let path = dir.join("t.bin");
+        write_binary(&path, &trace).unwrap();
+        let mut streamed = TraceColumns::new();
+        let mut chunks = 0usize;
+        for chunk in StreamingTrace::open_with_chunk_records(&path, CHUNK_RECORDS * 2).unwrap() {
+            streamed.append_columns(&chunk.unwrap());
+            chunks += 1;
+        }
+        // 3 full disk chunks + tail coalesced pairwise: 2 yields.
+        assert_eq!(chunks, 2, "coalescing changed the chunk count");
+        assert_eq!(streamed.to_requests(), trace);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_hash_matches_in_ram_hash() {
+        let cfg = small_cfg(CHUNK_RECORDS as u64 + 99);
+        let trace = TraceGenerator::generate(cfg);
+        let dir = tmpdir("cdn_trace_stream_hash");
+        let path = dir.join("t.bin");
+        write_binary(&path, &trace).unwrap();
+        assert_eq!(
+            file_content_hash(&path).unwrap(),
+            TraceColumns::from_requests(&trace).content_hash()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn io_error_propagates_through_prefetch_thread() {
+        let chunks = vec![
+            Ok(TraceColumns::from_requests(
+                &cdn_cache::object::micro_trace(&[(1, 10), (2, 20)]),
+            )),
+            Err(TraceError::Io(io::Error::other("disk on fire"))),
+            // Never reached: the stream must fuse at the first error.
+            Ok(TraceColumns::from_requests(
+                &cdn_cache::object::micro_trace(&[(3, 30)]),
+            )),
+        ];
+        let mut stream = StreamingTrace::spawn(chunks.into_iter());
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("disk on fire"), "{err}");
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn reader_panic_surfaces_as_error_not_short_stream() {
+        struct PanicAfter(usize);
+        impl Iterator for PanicAfter {
+            type Item = Result<TraceColumns, TraceError>;
+            fn next(&mut self) -> Option<Self::Item> {
+                if self.0 == 0 {
+                    panic!("prefetch exploded mid-trace");
+                }
+                self.0 -= 1;
+                Some(Ok(TraceColumns::from_requests(
+                    &cdn_cache::object::micro_trace(&[(7, 70)]),
+                )))
+            }
+        }
+        let mut stream = StreamingTrace::spawn(PanicAfter(1));
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        assert!(
+            err.to_string().contains("prefetch thread panicked"),
+            "panic must not look like end-of-trace: {err}"
+        );
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn dropping_mid_stream_does_not_hang() {
+        let cfg = small_cfg(CHUNK_RECORDS as u64 * 4);
+        let dir = tmpdir("cdn_trace_stream_drop");
+        let path = dir.join("t.bin");
+        generate_binary(&path, cfg).unwrap();
+        let mut stream = StreamingTrace::open(&path).unwrap();
+        assert!(stream.next().unwrap().is_ok());
+        drop(stream); // reader may be blocked in send; Drop must unwedge it
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use cdn_sim::PolicyKind;
 use cdn_trace::{TraceGenerator, TraceStats, Workload};
-use cdnd::{feed, ledger_diff, Daemon, DaemonConfig, FeedMode, ShardPlan, SnapshotConfig};
+use cdnd::{
+    feed, feed_batched, ledger_diff, Daemon, DaemonConfig, FeedMode, ShardPlan, SnapshotConfig,
+};
 
 const POLICIES: [PolicyKind; 2] = [PolicyKind::Lru, PolicyKind::Scip];
 
@@ -332,7 +334,10 @@ fn main() {
             };
             let daemon = Daemon::spawn(cfg, plan.factory(kind)).expect("spawn bench daemon");
             let start = Instant::now();
-            let report = feed(
+            // Batched submit path: shard-homogeneous windows through one
+            // ring-lock acquisition each, with per-request fallback. The
+            // exactness checks below gate that it changes no ledger.
+            let report = feed_batched(
                 &daemon,
                 &trace,
                 FeedMode::FailFast {

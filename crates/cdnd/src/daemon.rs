@@ -611,6 +611,16 @@ fn worker_loop(
         }
         match shared.ring.pop_many(batch, POP_TIMEOUT) {
             Popped::Items(items) => {
+                // A pause that raced the pop (the worker was already
+                // blocked inside `pop_many` when the flag went up) is
+                // honoured before any request is served: the batch goes
+                // back in order and the worker idles, so admission
+                // drills observe exact queue depths. The ring mutex
+                // orders the flag store before the popped push.
+                if shared.paused.load(Ordering::Acquire) {
+                    shared.ring.unpop(items.into_iter().collect());
+                    continue;
+                }
                 let mut pending = items.into_iter();
                 while let Some(mut req) = pending.next() {
                     let tick = shared.ticks.fetch_add(1, Ordering::Relaxed);
@@ -986,6 +996,82 @@ impl Daemon {
     pub fn submit(&self, req: Request) -> Result<usize, (usize, SubmitError)> {
         self.submit_inner(req, Admit::default(), None)
             .map(|a| a.shard)
+    }
+
+    /// Batched fast-path submit of a shard-homogeneous run at default
+    /// admission (`High`, no deadline): every request in `batch` must
+    /// route to `shard` as its primary. Accepts as many as fit under one
+    /// ring-lock acquisition per attempt ([`BoundedRing::push_many`]),
+    /// waiting for queue space up to `wait`, and returns how many were
+    /// enqueued. Refused requests stay in `batch` in submission order so
+    /// the caller can fall back to the per-request path — which owns all
+    /// refusal accounting (shed / down / deadline / failover). The fast
+    /// path itself refuses nothing and counts nothing but `enqueued`: it
+    /// stops (returning the partial count) the moment the shard leaves
+    /// `Closed`, so requests are never silently queued behind a dead
+    /// shard the per-request path would have rejected or re-routed.
+    ///
+    /// Compiled with `fault-injection`, the fast path disables itself
+    /// (always returns `Ok(0)`) so every submit evaluates its enqueue
+    /// and routing failpoints on the per-request path.
+    pub fn submit_batch(
+        &self,
+        shard: usize,
+        batch: &mut std::collections::VecDeque<Request>,
+        wait: Option<Duration>,
+    ) -> Result<usize, (usize, SubmitError)> {
+        debug_assert!(
+            batch.iter().all(|r| self.route(r.id.0) == shard),
+            "submit_batch: batch must be homogeneous on its primary shard"
+        );
+        #[cfg(feature = "fault-injection")]
+        {
+            let _ = (shard, &batch, wait);
+            Ok(0)
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            let target = &self.shards[shard];
+            let deadline = wait.map(|w| Instant::now() + w);
+            let mut pushed = 0usize;
+            loop {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    return if pushed == 0 {
+                        Err((shard, SubmitError::ShuttingDown))
+                    } else {
+                        Ok(pushed)
+                    };
+                }
+                if batch.is_empty() || target.state() != ShardState::Closed {
+                    return Ok(pushed);
+                }
+                match target.ring.push_many(batch, target.ring.capacity()) {
+                    Ok(n) => {
+                        if n > 0 {
+                            target.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+                            pushed += n;
+                            continue;
+                        }
+                        // Ring full: wait out the backpressure budget in
+                        // short slices so a shard crash mid-wait is seen.
+                        match deadline {
+                            Some(d) if Instant::now() < d => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            _ => return Ok(pushed),
+                        }
+                    }
+                    Err(PushError::Full) => unreachable!("push_many never reports Full"),
+                    Err(PushError::Closed) => {
+                        return if pushed == 0 {
+                            Err((shard, SubmitError::ShuttingDown))
+                        } else {
+                            Ok(pushed)
+                        };
+                    }
+                }
+            }
+        }
     }
 
     /// Backpressure submit at default admission: blocks while the target

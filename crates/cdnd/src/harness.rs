@@ -20,6 +20,7 @@
 //!   [`cdn_sim::run_sharded_serial`] u64-for-u64 — same capacity split,
 //!   same local tick assignment, same per-shard replay context.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +109,17 @@ impl ShardPlan {
         let ctxs: Arc<Vec<TraceCtx>> = Arc::new(self.ctxs.clone());
         Arc::new(move |shard, capacity| ShardPolicy::Plain(kind.build(capacity, &ctxs[shard])))
     }
+}
+
+/// A [`PolicyFactory`] for out-of-core drills: builds `kind` with an
+/// oracle-free [`TraceCtx`] (requests-count hint + seed only), so no
+/// per-shard context — and therefore no in-RAM copy of the trace — is
+/// ever materialized. Every policy except Belady accepts it.
+pub fn oracle_free_factory(kind: PolicyKind, requests: u64, seed: u64) -> PolicyFactory {
+    Arc::new(move |_shard, capacity| {
+        let ctx = TraceCtx::without_oracle(requests, seed);
+        ShardPolicy::Plain(kind.build(capacity, &ctx))
+    })
 }
 
 /// A [`PolicyFactory`] building the live-switchable LRU→SCIP node from
@@ -285,52 +297,70 @@ impl FeedReport {
     }
 }
 
-/// Feed `requests` (trace order) into `daemon` from the calling thread,
-/// at default admission (`High`, no deadline).
-pub fn feed(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport {
-    let n = daemon.shard_count();
-    let mut report = FeedReport {
-        per_shard: vec![ClientTally::default(); n],
-        inside_total: 0,
-        inside_accepted: 0,
-        outside_total: 0,
-        outside_accepted: 0,
-        outage_windows: 0,
-        failover_accepted: 0,
-    };
-    let mut down = vec![false; n];
-    for req in requests {
-        let primary = daemon.route(req.id.0);
-        let outcome = submit_with_mode(daemon, *req, mode);
-        // A failover accept and a Down rejection both signal the primary
-        // is down (window opens); a request served on its own primary
-        // signals that shard up (window closes).
+/// Requests per grouping window in [`feed_batched`]: big enough that
+/// per-shard runs amortize the ring lock, small enough that cross-shard
+/// reordering stays local (per-shard order is always exact).
+pub const FEED_WINDOW: usize = 1024;
+
+/// The accounting core every feed variant shares: per-shard tallies, the
+/// client-side down-set and the inside/outside outage classification.
+/// One instance per feed; the variants differ only in how requests reach
+/// [`FeedState::submit_one`] / [`FeedState::submit_window`].
+struct FeedState {
+    report: FeedReport,
+    down: Vec<bool>,
+}
+
+impl FeedState {
+    fn new(shards: usize) -> FeedState {
+        FeedState {
+            report: FeedReport {
+                per_shard: vec![ClientTally::default(); shards],
+                inside_total: 0,
+                inside_accepted: 0,
+                outside_total: 0,
+                outside_accepted: 0,
+                outage_windows: 0,
+                failover_accepted: 0,
+            },
+            down: vec![false; shards],
+        }
+    }
+
+    /// Apply one submit outcome to the tallies and the outage windows.
+    /// A failover accept and a Down rejection both signal the primary is
+    /// down (window opens); a request served on its own primary signals
+    /// that shard up (window closes). Inside/outside is judged *after*
+    /// applying the outcome, so the first rejection of a window counts
+    /// inside it and the accept that closes the window counts outside
+    /// (half-open interval).
+    fn apply(&mut self, primary: usize, outcome: Result<Accepted, (usize, SubmitError)>) {
         let accepted = match outcome {
             Ok(acc) => {
-                let tally = &mut report.per_shard[acc.shard];
+                let tally = &mut self.report.per_shard[acc.shard];
                 tally.submitted += 1;
                 tally.accepted += 1;
                 if acc.failover {
                     tally.failover_accepted += 1;
-                    report.failover_accepted += 1;
-                    if !down[primary] {
-                        down[primary] = true;
-                        report.outage_windows += 1;
+                    self.report.failover_accepted += 1;
+                    if !self.down[primary] {
+                        self.down[primary] = true;
+                        self.report.outage_windows += 1;
                     }
                 } else {
-                    down[acc.shard] = false;
+                    self.down[acc.shard] = false;
                 }
                 true
             }
             Err((shard, e)) => {
-                let tally = &mut report.per_shard[shard];
+                let tally = &mut self.report.per_shard[shard];
                 tally.submitted += 1;
                 match e {
                     SubmitError::Down => {
                         tally.rejected_down += 1;
-                        if !down[shard] {
-                            down[shard] = true;
-                            report.outage_windows += 1;
+                        if !self.down[shard] {
+                            self.down[shard] = true;
+                            self.report.outage_windows += 1;
                         }
                     }
                     SubmitError::Shed => tally.shed += 1,
@@ -341,22 +371,110 @@ pub fn feed(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport
                 false
             }
         };
-        // Inside/outside is judged *after* applying this outcome, so the
-        // first rejection of a window counts inside it and the accept
-        // that closes the window counts outside (half-open interval).
-        if down.iter().any(|d| *d) {
-            report.inside_total += 1;
+        if self.down.iter().any(|d| *d) {
+            self.report.inside_total += 1;
             if accepted {
-                report.inside_accepted += 1;
+                self.report.inside_accepted += 1;
             }
         } else {
-            report.outside_total += 1;
+            self.report.outside_total += 1;
             if accepted {
-                report.outside_accepted += 1;
+                self.report.outside_accepted += 1;
             }
         }
     }
-    report
+
+    /// Submit one request through the per-request path.
+    fn submit_one(&mut self, daemon: &Daemon, req: Request, mode: FeedMode) {
+        let primary = daemon.route(req.id.0);
+        let outcome = submit_with_mode(daemon, req, mode);
+        self.apply(primary, outcome);
+    }
+
+    /// Submit a window of requests, batching each shard-homogeneous
+    /// group through [`Daemon::submit_batch`] and falling back to the
+    /// per-request path for whatever the fast path refused. Per-shard
+    /// submission order equals trace order (the exactness contract);
+    /// only the interleaving *across* shards changes, which no ledger
+    /// observes.
+    fn submit_window(&mut self, daemon: &Daemon, window: &[Request], mode: FeedMode) {
+        let n = daemon.shard_count();
+        let mut groups: Vec<VecDeque<Request>> = vec![VecDeque::new(); n];
+        for req in window {
+            groups[daemon.route(req.id.0)].push_back(*req);
+        }
+        let wait = match mode {
+            FeedMode::FailFast { push_timeout } => push_timeout,
+            FeedMode::AwaitRecovery { push_timeout, .. } => push_timeout,
+        };
+        for (shard, mut group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // A refused whole batch (daemon draining) pushes nothing and
+            // falls through to the per-request path, which tallies the cause.
+            let pushed = daemon
+                .submit_batch(shard, &mut group, Some(wait))
+                .unwrap_or(0);
+            for _ in 0..pushed {
+                self.apply(
+                    shard,
+                    Ok(Accepted {
+                        shard,
+                        failover: false,
+                    }),
+                );
+            }
+            for req in group {
+                self.submit_one(daemon, req, mode);
+            }
+        }
+    }
+}
+
+/// Feed `requests` (trace order) into `daemon` from the calling thread,
+/// at default admission (`High`, no deadline).
+pub fn feed(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport {
+    let mut state = FeedState::new(daemon.shard_count());
+    for req in requests {
+        state.submit_one(daemon, *req, mode);
+    }
+    state.report
+}
+
+/// Like [`feed`], but submits [`FEED_WINDOW`]-request windows through
+/// the batched fast path ([`Daemon::submit_batch`], one ring-lock
+/// acquisition per shard run) with per-request fallback for anything the
+/// fast path refuses. Per-shard arrival order still equals trace order,
+/// so surviving-shard ledgers stay comparable to the serial reference
+/// and [`FeedReport::check_against`] holds exactly.
+pub fn feed_batched(daemon: &Daemon, requests: &[Request], mode: FeedMode) -> FeedReport {
+    let mut state = FeedState::new(daemon.shard_count());
+    for window in requests.chunks(FEED_WINDOW) {
+        state.submit_window(daemon, window, mode);
+    }
+    state.report
+}
+
+/// Feed an out-of-core chunk stream (e.g. [`cdn_trace::StreamingTrace`])
+/// into `daemon`, one batched window per chunk, without ever holding the
+/// whole trace in RAM. The first stream error aborts the feed and is
+/// returned — everything submitted before it has already reached the
+/// daemon (no partial report is fabricated for a broken trace).
+pub fn feed_stream<I, E>(daemon: &Daemon, chunks: I, mode: FeedMode) -> Result<FeedReport, E>
+where
+    I: IntoIterator<Item = Result<TraceColumns, E>>,
+{
+    let mut state = FeedState::new(daemon.shard_count());
+    for chunk in chunks {
+        let chunk = chunk?;
+        for window_start in (0..chunk.len()).step_by(FEED_WINDOW) {
+            let window_end = (window_start + FEED_WINDOW).min(chunk.len());
+            let window: Vec<Request> = (window_start..window_end).map(|i| chunk.get(i)).collect();
+            state.submit_window(daemon, &window, mode);
+        }
+    }
+    Ok(state.report)
 }
 
 fn submit_with_mode(

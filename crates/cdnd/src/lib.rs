@@ -50,8 +50,9 @@ pub use daemon::{
     ShardState, SubmitError, FP_ENQUEUE, FP_SHARD_WORKER,
 };
 pub use harness::{
-    feed, ledger_diff, ledger_matches, routed_ledger_diff, routed_ledger_matches,
-    switchable_factory, ClientTally, FeedMode, FeedReport, ShardPlan,
+    feed, feed_batched, feed_stream, ledger_diff, ledger_matches, oracle_free_factory,
+    routed_ledger_diff, routed_ledger_matches, switchable_factory, ClientTally, FeedMode,
+    FeedReport, ShardPlan, FEED_WINDOW,
 };
 pub use ring::{BoundedRing, Popped, PushError};
 pub use route::{route_fault_key, Admit, Priority, RouteDecision, ShardHealth, FP_ROUTE};

@@ -110,6 +110,36 @@ impl<T> BoundedRing<T> {
         Ok(())
     }
 
+    /// Batched submit: move items from the front of `batch` into the ring
+    /// while the depth stays below `limit` (clamped to `capacity`), under
+    /// a **single** lock acquisition — the per-request daemon feed pays
+    /// one lock round-trip per request; a chunked feeder pays one per
+    /// batch. Returns the number enqueued (possibly 0 on a full ring);
+    /// refused items stay in `batch` in order, so the caller's
+    /// per-request fallback path keeps exact per-cause accounting.
+    /// [`PushError::Closed`] leaves the whole batch with the caller.
+    pub fn push_many(&self, batch: &mut VecDeque<T>, limit: usize) -> Result<usize, PushError> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let bound = limit.min(self.capacity);
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        let room = bound.saturating_sub(g.queue.len());
+        let take = room.min(batch.len());
+        if take == 0 {
+            return Ok(0);
+        }
+        g.queue.extend(batch.drain(..take));
+        let depth = g.queue.len();
+        g.peak_depth = g.peak_depth.max(depth);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(take)
+    }
+
     /// Enqueue with backpressure: block while the ring is full, up to
     /// `timeout`. Returns [`PushError::Full`] only if the timeout expires
     /// with the ring still at capacity (a stuck consumer), or
@@ -256,6 +286,32 @@ mod tests {
         );
         ring.close();
         assert_eq!(ring.try_push_within(1, 3), Err((8, PushError::Closed)));
+    }
+
+    #[test]
+    fn push_many_fills_to_limit_and_leaves_the_rest() {
+        let ring: BoundedRing<u32> = BoundedRing::new(4);
+        let mut batch: VecDeque<u32> = (0..6).collect();
+        // Class limit below capacity: only 3 admitted.
+        assert_eq!(ring.push_many(&mut batch, 3), Ok(3));
+        assert_eq!(batch, VecDeque::from(vec![3, 4, 5]));
+        // Ring has one slot left under its hard capacity.
+        assert_eq!(ring.push_many(&mut batch, usize::MAX), Ok(1));
+        assert_eq!(batch, VecDeque::from(vec![4, 5]));
+        // Full: nothing admitted, nothing lost.
+        assert_eq!(ring.push_many(&mut batch, usize::MAX), Ok(0));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(ring.peak_depth(), 4);
+        match ring.pop_many(8, Duration::from_millis(1)) {
+            Popped::Items(items) => assert_eq!(items, vec![0, 1, 2, 3]),
+            other => panic!("expected items, got {other:?}"),
+        }
+        ring.close();
+        assert_eq!(
+            ring.push_many(&mut batch, usize::MAX),
+            Err(PushError::Closed)
+        );
+        assert_eq!(batch.len(), 2, "closed ring leaves the batch intact");
     }
 
     #[test]

@@ -15,6 +15,23 @@
 #   scripts/bench.sh --shards N   shard counts for the scaling section
 #                                 (comma list, e.g. 1,2,4; sets
 #                                 REPLAY_SHARDS). Composable with --gate.
+#   scripts/bench.sh --stream     bench the out-of-core streaming engine
+#                                 instead of the in-RAM replay: writes
+#                                 BENCH_stream.json (replay_stream_bench_v1:
+#                                 small streamed points, big-corpus
+#                                 flat-RSS section, in-RAM identity +
+#                                 pipeline-bound ratio). The absolute
+#                                 gates — peak RSS within 2x of the small
+#                                 replay, streamed ledgers u64-identical,
+#                                 throughput >= 85% of the achievable
+#                                 pipeline bound — live inside the binary
+#                                 and fail every run, baseline or not.
+#                                 With --gate, additionally fails if a
+#                                 streamed (policy x requests) point
+#                                 regressed beyond the shared tolerance
+#                                 vs the committed baseline; a baseline
+#                                 from before this schema is reported
+#                                 explicitly and skipped, never silently.
 #   scripts/bench.sh --daemon     bench the cdnd daemon serving path
 #                                 instead of the replay engine: writes
 #                                 BENCH_daemon.json (schema v3: shard
@@ -50,11 +67,19 @@
 #   CDND_BENCH_REQUESTS    --daemon trace length (default 500,000)
 #   CDND_BENCH_SHARDS      --daemon shard counts (default 1,2,4)
 #   CDND_BENCH_OUT         --daemon output path (default BENCH_daemon.json)
+#   REPLAY_STREAM_SMALL    --stream small-corpus length (default 2,000,000)
+#   REPLAY_STREAM_REQUESTS --stream big-corpus length (default 100,000,000;
+#                          0 skips the big section with a note)
+#   REPLAY_STREAM_OUT      --stream output path (default BENCH_stream.json)
+#   REPLAY_STREAM_CACHE_BYTES, REPLAY_STREAM_RSS_RATIO,
+#   REPLAY_STREAM_MIN_RATIO, REPLAY_STREAM_CHUNK
+#                          --stream gate/engine knobs (see replay_bench docs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GATE=0
 DAEMON=0
+STREAM=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --gate)
@@ -63,6 +88,10 @@ while [[ $# -gt 0 ]]; do
             ;;
         --daemon)
             DAEMON=1
+            shift
+            ;;
+        --stream)
+            STREAM=1
             shift
             ;;
         --shards)
@@ -81,6 +110,68 @@ while [[ $# -gt 0 ]]; do
 done
 
 TOLERANCE="${BENCH_GATE_TOLERANCE:-0.10}"
+
+if [[ "$STREAM" == 1 ]]; then
+    # Out-of-core streaming bench: BENCH_stream.json points are one JSON
+    # object per line keyed by (policy, requests). The flat-RSS, ledger
+    # identity, and pipeline-bound gates are absolute and enforced inside
+    # replay_bench --stream itself (it exits nonzero on any of them), so
+    # this section only adds the baseline throughput comparison.
+    OUT="${REPLAY_STREAM_OUT:-BENCH_stream.json}"
+    BASELINE=""
+    if [[ -f "$OUT" ]]; then
+        BASELINE="${OUT%.json}.prev.json"
+        cp "$OUT" "$BASELINE"
+        echo "baseline: previous $OUT saved as $BASELINE"
+    else
+        echo "baseline: no previous $OUT — first run, skipping comparison"
+        if [[ "$GATE" == 1 ]]; then
+            echo "--gate: no committed baseline to gate against; absolute gates still apply"
+        fi
+    fi
+
+    cargo build --release -p cdn-sim --bin replay_bench
+    REPLAY_STREAM_OUT="$OUT" \
+        cargo run --release -q -p cdn-sim --bin replay_bench -- --stream >/dev/null
+
+    if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
+        if ! grep -q '"replay_stream_bench_v1"' "$BASELINE"; then
+            echo "baseline predates replay_stream_bench_v1: measured fresh, comparison skipped"
+        else
+            stream_rows() {
+                grep -o '{"policy": "[^"]*", "requests": [0-9]*, "requests_per_sec": [0-9.]*' "$1" |
+                    sed 's/{"policy": "//; s/", "requests": /\//; s/, "requests_per_sec": / /'
+            }
+            gate_rc=0
+            while read -r key prev_rps; do
+                cur_rps="$(stream_rows "$OUT" | awk -v k="$key" '$1 == k {print $2}')"
+                if [[ -z "$cur_rps" ]]; then
+                    echo "--gate: streamed point $key missing from current run; skipping"
+                    continue
+                fi
+                awk -v k="$key" -v p="$prev_rps" -v c="$cur_rps" 'BEGIN {
+                    printf "streamed %s: %.2f -> %.2f Mreq/s (%+.1f%%)\n",
+                        k, p / 1e6, c / 1e6, (c - p) / p * 100
+                }'
+                if [[ "$GATE" == 1 ]] && ! awk -v p="$prev_rps" -v c="$cur_rps" -v tol="$TOLERANCE" \
+                    'BEGIN { exit !(c >= p * (1 - tol)) }'; then
+                    echo "--gate: FAIL streamed point $key regressed beyond tolerance"
+                    gate_rc=1
+                fi
+            done < <(stream_rows "$BASELINE")
+            if [[ "$GATE" == 1 ]]; then
+                if [[ "$gate_rc" != 0 ]]; then
+                    awk -v tol="$TOLERANCE" 'BEGIN {
+                        printf "--gate: streamed throughput regression beyond %.0f%% tolerance\n", tol * 100
+                    }'
+                    exit 1
+                fi
+                echo "--gate: all streamed points within tolerance"
+            fi
+        fi
+    fi
+    exit 0
+fi
 
 if [[ "$DAEMON" == 1 ]]; then
     # Daemon serving-path bench: BENCH_daemon.json rows are one JSON
